@@ -1,0 +1,202 @@
+// Command dipbench executes the DIPBench benchmark: it builds the Fig. 1
+// scenario topology in-process, deploys the 15 process types on the
+// selected integration engine, runs the configured number of benchmark
+// periods under the three scale factors, prints the NAVG+ performance
+// report and plot, and optionally writes CSV/gnuplot outputs.
+//
+// Usage:
+//
+//	dipbench [flags]
+//	dipbench -list            print the Table I process type inventory
+//	dipbench -fig8            print the Fig. 8 scale factor series
+//	dipbench -spec            print the full generated benchmark spec
+//
+// Flags:
+//
+//	-d float      scale factor datasize (default 0.05)
+//	-t float      scale factor time: 1 tu = 1/t ms (default 1)
+//	-f string     scale factor distribution: uniform|skewed (default uniform)
+//	-periods int  benchmark periods, 1..100 (default 3)
+//	-engine s     federated|pipeline|eai|etl (default federated)
+//	-seed n       generation seed (default 42)
+//	-fast         dispatch without schedule waiting (functional mode)
+//	-remote       database server behind a real HTTP protocol boundary
+//	-verify       run the post-phase functional verification
+//	-quality      print the per-system data quality report after the run
+//	-csv path     write the per-process report as CSV
+//	-dat path     write the gnuplot data file
+//	-records path write the raw per-instance records CSV
+//	-series path  write the per-period NAVG series CSV
+//	-trace path   write the dispatched-event trace CSV
+//
+// Ctrl-C cancels a running benchmark gracefully.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+
+	"repro/internal/core"
+	"repro/internal/processes"
+	"repro/internal/quality"
+	"repro/internal/schedule"
+	"repro/internal/spec"
+)
+
+func main() {
+	var (
+		d       = flag.Float64("d", 0.05, "scale factor datasize")
+		t       = flag.Float64("t", 1.0, "scale factor time (1 tu = 1/t ms)")
+		f       = flag.String("f", "uniform", "scale factor distribution: uniform|skewed")
+		periods = flag.Int("periods", 3, "benchmark periods (1..100)")
+		eng     = flag.String("engine", core.EngineFederated, "integration engine: federated|pipeline|eai|etl")
+		seed    = flag.Uint64("seed", 42, "generation seed")
+		fast    = flag.Bool("fast", false, "skip schedule waiting (functional mode)")
+		remote  = flag.Bool("remote", false, "place the database server behind a real HTTP boundary")
+		verify  = flag.Bool("verify", false, "run the post-phase verification")
+		warmup  = flag.Int("warmup", 0, "discard the first N periods from the metric")
+		csvPath = flag.String("csv", "", "write report CSV to this path")
+		datPath = flag.String("dat", "", "write gnuplot data file to this path")
+		recPath = flag.String("records", "", "write raw per-instance records CSV to this path")
+		trcPath = flag.String("trace", "", "write the dispatched-event trace CSV to this path")
+		serPath = flag.String("series", "", "write the per-period NAVG series CSV to this path")
+		opsPath = flag.String("operators", "", "write the per-operator-kind cost CSV to this path")
+		list    = flag.Bool("list", false, "print the Table I process type inventory and exit")
+		fig8    = flag.Bool("fig8", false, "print the Fig. 8 scale factor series and exit")
+		qual    = flag.Bool("quality", false, "print the per-system data quality report after the run")
+		specOut = flag.Bool("spec", false, "print the full generated benchmark specification and exit")
+	)
+	flag.Parse()
+
+	if *specOut {
+		if err := spec.Render(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *list {
+		printInventory()
+		return
+	}
+	if *fig8 {
+		printFig8(*d)
+		return
+	}
+
+	progress := func(k, events, failures int) {
+		if *periods >= 10 && (k+1)%10 == 0 {
+			fmt.Printf("  period %d/%d done (%d events, %d failures)\n",
+				k+1, *periods, events, failures)
+		}
+	}
+	b, err := core.New(core.Config{
+		Datasize:     *d,
+		TimeScale:    *t,
+		Distribution: *f,
+		Periods:      *periods,
+		Seed:         *seed,
+		Engine:       *eng,
+		FastClock:    *fast,
+		Verify:       *verify,
+		RemoteDB:     *remote,
+		Trace:        *trcPath != "",
+		OnPeriod:     progress,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer b.Close()
+
+	fmt.Printf("DIPBench: engine=%s d=%g t=%g f=%s periods=%d seed=%d\n",
+		*eng, *d, *t, *f, *periods, *seed)
+	// Ctrl-C cancels the run gracefully (in-flight instances finish).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	res, err := b.RunContext(ctx)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("executed %d events in %v (%d failures)\n\n",
+		res.Stats.Events, res.Stats.Elapsed.Round(1e6), res.Stats.Failures)
+	report := res.Report
+	if *warmup > 0 {
+		fmt.Printf("(metric over periods %d..%d; %d warm-up periods discarded)\n",
+			*warmup, *periods-1, *warmup)
+		report = b.Monitor().AnalyzeFrom(*warmup)
+	}
+	fmt.Print(report)
+	fmt.Println()
+	if err := report.Plot(os.Stdout, *d); err != nil {
+		fatal(err)
+	}
+	if res.Stats.Verification != nil {
+		fmt.Println()
+		fmt.Print(res.Stats.Verification)
+		if !res.Stats.Verification.OK() {
+			defer os.Exit(1)
+		}
+	}
+	if *qual {
+		fmt.Println()
+		fmt.Print(quality.Assess(b.Scenario()))
+	}
+	writeFile := func(path string, write func(*os.File) error) {
+		if path == "" {
+			return
+		}
+		fh, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		defer fh.Close()
+		if err := write(fh); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+	writeFile(*csvPath, func(fh *os.File) error { return report.WriteCSV(fh) })
+	writeFile(*datPath, func(fh *os.File) error { return report.WriteGnuplotDat(fh) })
+	writeFile(*recPath, func(fh *os.File) error { return b.Monitor().WriteRecordsCSV(fh) })
+	writeFile(*serPath, func(fh *os.File) error { return b.Monitor().WritePeriodSeriesCSV(fh) })
+	writeFile(*opsPath, func(fh *os.File) error { return b.Monitor().WriteOperatorCSV(fh) })
+	if *trcPath != "" && b.Trace() != nil {
+		writeFile(*trcPath, func(fh *os.File) error { return b.Trace().WriteCSV(fh) })
+	}
+}
+
+func printInventory() {
+	defs, err := processes.New()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("DIPBench process types (Table I):")
+	fmt.Printf("%-5s %-4s %-5s %s\n", "Group", "ID", "Event", "Name")
+	for _, row := range defs.Inventory() {
+		fmt.Printf("%-5s %-4s %-5s %s\n", row.Group, row.ID, row.Event, row.Name)
+	}
+}
+
+func printFig8(d float64) {
+	fmt.Printf("Fig. 8 (left): executed P01 instances per period (d=%g)\n", d)
+	series := schedule.Fig8Left(d)
+	for k := 0; k < len(series); k += 10 {
+		fmt.Printf("  k=%2d: m=%d\n", k, series[k])
+	}
+	fmt.Println("Fig. 8 (right): P01 event times under time scale factors")
+	for _, t := range []float64{0.5, 1, 2} {
+		times := schedule.Fig8Right(t, 5)
+		fmt.Printf("  t=%g:", t)
+		for _, at := range times {
+			fmt.Printf(" %v", at)
+		}
+		fmt.Println()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dipbench:", err)
+	os.Exit(1)
+}

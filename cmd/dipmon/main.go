@@ -1,0 +1,108 @@
+// Command dipmon is the DIPBench Monitor's offline analysis tool: it reads
+// a raw per-instance records CSV (written by dipbench -records), computes
+// the NAVG+ metric per process type and renders the performance report and
+// plot — the paper's "plotting functions for the generation of performance
+// diagrams from the measured integration system performance".
+//
+// Usage:
+//
+//	dipmon -in records.csv [-t timescale] [-d datasize] [-csv out.csv] [-dat out.dat]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/monitor"
+)
+
+func main() {
+	var (
+		in      = flag.String("in", "", "raw per-instance records CSV (required)")
+		t       = flag.Float64("t", 1.0, "time scale factor used during the run")
+		d       = flag.Float64("d", 0.05, "datasize scale factor (plot label only)")
+		warmup  = flag.Int("warmup", 0, "discard the first N periods from the metric")
+		series  = flag.String("series", "", "print the per-period NAVG development of this process type")
+		csvPath = flag.String("csv", "", "write the analyzed report CSV to this path")
+		datPath = flag.String("dat", "", "write the gnuplot data file to this path")
+	)
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "dipmon: -in is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	fh, err := os.Open(*in)
+	if err != nil {
+		fatal(err)
+	}
+	defer fh.Close()
+	m, err := monitor.ReadRecordsCSV(fh, *t)
+	if err != nil {
+		fatal(err)
+	}
+	rep := m.AnalyzeFrom(*warmup)
+	fmt.Print(rep)
+	fmt.Println()
+	if err := rep.Plot(os.Stdout, *d); err != nil {
+		fatal(err)
+	}
+	if *series != "" {
+		printSeries(m, *series)
+	}
+	if *csvPath != "" {
+		out, err := os.Create(*csvPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer out.Close()
+		if err := rep.WriteCSV(out); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", *csvPath)
+	}
+	if *datPath != "" {
+		out, err := os.Create(*datPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer out.Close()
+		if err := rep.WriteGnuplotDat(out); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", *datPath)
+	}
+}
+
+// printSeries renders the per-period NAVG development of one process type
+// as an ASCII chart.
+func printSeries(m *monitor.Monitor, process string) {
+	points := m.PeriodSeries(process)
+	if len(points) == 0 {
+		fmt.Printf("\nno records for process %s\n", process)
+		return
+	}
+	maxVal := 0.0
+	for _, p := range points {
+		if p.NAVG > maxVal {
+			maxVal = p.NAVG
+		}
+	}
+	if maxVal == 0 {
+		maxVal = 1
+	}
+	fmt.Printf("\nper-period NAVG of %s [tu]:\n", process)
+	const width = 50
+	for _, p := range points {
+		bar := int(p.NAVG / maxVal * width)
+		fmt.Printf("  k=%3d |%-*s| %8.2f (%d inst)\n",
+			p.Period, width, strings.Repeat("#", bar), p.NAVG, p.Instances)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dipmon:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,10 @@
+// Package dipbench is a from-scratch Go reproduction of DIPBench, the
+// Data-Intensive Integration Process Benchmark (Böhm, Habich, Lehner,
+// Wloka — IEEE ICDE Workshops 2008): a benchmark for integration systems
+// such as federated DBMS, EAI servers and ETL tools.
+//
+// The root package holds the benchmark harness (bench_test.go) that
+// regenerates every table and figure of the paper's evaluation; the
+// implementation lives under internal/ (see DESIGN.md for the package
+// map) and the runnable tools under cmd/.
+package dipbench

@@ -1,0 +1,82 @@
+// Comparison: runs the identical benchmark configuration against all four
+// integration engines — the federated "System A" reference, the optimized
+// pipeline engine, the EAI-server-style engine and the ETL-style engine —
+// and prints a
+// side-by-side NAVG+ table. This is the use the paper designed DIPBench
+// for: "we hope that it will be used by research groups and system vendors
+// in order to provide comparability concerning the system performance."
+//
+//	go run ./examples/comparison [-d datasize] [-periods n]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/monitor"
+	"repro/internal/quality"
+)
+
+func main() {
+	d := flag.Float64("d", 0.05, "scale factor datasize")
+	periods := flag.Int("periods", 2, "benchmark periods")
+	flag.Parse()
+
+	engines := []string{core.EngineFederated, core.EnginePipeline, core.EngineEAI, core.EngineETL}
+	reports := make(map[string]*monitor.Report, len(engines))
+	elapsed := make(map[string]string, len(engines))
+
+	for _, eng := range engines {
+		b, err := core.New(core.Config{
+			Datasize: *d, TimeScale: 1, Periods: *periods, Seed: 42,
+			Engine: eng, FastClock: true, Verify: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := b.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !res.Stats.Verification.OK() {
+			fmt.Print(res.Stats.Verification)
+			log.Fatalf("%s: functional verification failed", eng)
+		}
+		reports[eng] = res.Report
+		elapsed[eng] = res.Stats.Elapsed.Round(1e6).String()
+		if eng == engines[len(engines)-1] {
+			// Show the data-quality state the last engine left behind —
+			// identical across engines, since they are functionally
+			// equivalent.
+			fmt.Print(quality.Assess(b.Scenario()))
+			fmt.Println()
+		}
+		_ = b.Close()
+	}
+
+	fmt.Printf("NAVG+ per process type [tu], d=%g, %d periods, functional clock:\n\n", *d, *periods)
+	fmt.Printf("%-6s", "Proc")
+	for _, eng := range engines {
+		fmt.Printf(" %12s", eng)
+	}
+	fmt.Println()
+	for _, st := range reports[engines[0]].Stats {
+		fmt.Printf("%-6s", st.Process)
+		for _, eng := range engines {
+			row := reports[eng].ByProcess(st.Process)
+			if row == nil {
+				fmt.Printf(" %12s", "-")
+				continue
+			}
+			fmt.Printf(" %12.2f", row.NAVGPlus)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("\nwall time per run:")
+	for _, eng := range engines {
+		fmt.Printf("  %s=%s", eng, elapsed[eng])
+	}
+	fmt.Println()
+}

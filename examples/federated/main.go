@@ -1,0 +1,98 @@
+// Federated reference experiment: reproduces the experiment pair of the
+// paper's Section VI (Figs. 10 and 11) — the federated DBMS reference
+// implementation evaluated at datasize d=0.05 and d=0.1, with timescale
+// t=1.0 and uniform-distributed datasets — and prints the two performance
+// plots plus the observations the paper highlights.
+//
+//	go run ./examples/federated [-periods n] [-t timescale]
+//
+// The default runs 3 periods per configuration with an accelerated
+// schedule (t=50) so the example finishes in seconds; pass -t 1 -periods
+// 100 for the paper's full configuration.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/monitor"
+)
+
+func main() {
+	periods := flag.Int("periods", 3, "benchmark periods per configuration")
+	timeScale := flag.Float64("t", 50, "time scale factor t (paper: 1.0)")
+	flag.Parse()
+
+	run := func(d float64) *monitor.Report {
+		b, err := core.New(core.Config{
+			Datasize:     d,
+			TimeScale:    *timeScale,
+			Distribution: "uniform",
+			Periods:      *periods,
+			Seed:         42,
+			Engine:       core.EngineFederated,
+			Verify:       true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer b.Close()
+		fmt.Printf("== running federated reference implementation: d=%g, t=%g, %d periods ==\n",
+			d, *timeScale, *periods)
+		res, err := b.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res.Stats.Verification != nil && !res.Stats.Verification.OK() {
+			fmt.Print(res.Stats.Verification)
+			log.Fatal("functional verification failed")
+		}
+		fmt.Printf("executed %d events in %v (%d failures)\n\n",
+			res.Stats.Events, res.Stats.Elapsed.Round(1e6), res.Stats.Failures)
+		if err := res.Report.Plot(os.Stdout, d); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+		return res.Report
+	}
+
+	// Fig. 10: d = 0.05.  Fig. 11: d = 0.1.
+	rep005 := run(0.05)
+	rep010 := run(0.1)
+
+	fmt.Println("== observations (cf. Section VI of the paper) ==")
+	// 1. Serialized data-intensive processes vs. concurrent message-driven.
+	serialized := []string{"P11", "P12", "P13", "P14", "P15"}
+	concurrent := []string{"P01", "P02", "P04", "P08", "P10"}
+	avg := func(rep *monitor.Report, ids []string) float64 {
+		var sum float64
+		n := 0
+		for _, id := range ids {
+			if st := rep.ByProcess(id); st != nil {
+				sum += st.NAVGPlus
+				n++
+			}
+		}
+		if n == 0 {
+			return 0
+		}
+		return sum / float64(n)
+	}
+	s, c := avg(rep005, serialized), avg(rep005, concurrent)
+	fmt.Printf("1. NAVG+ difference at d=0.05: serialized data-intensive avg %.1f tu vs. "+
+		"concurrent message-driven avg %.1f tu (x%.1f)\n", s, c, s/c)
+
+	// 2. Impact of doubling d on E1-driven process types.
+	fmt.Println("2. raising d from 0.05 to 0.1:")
+	for _, id := range []string{"P04", "P08", "P10", "P13"} {
+		a, b := rep005.ByProcess(id), rep010.ByProcess(id)
+		if a == nil || b == nil {
+			continue
+		}
+		fmt.Printf("   %s: NAVG+ %.2f -> %.2f tu (instances %d -> %d)\n",
+			id, a.NAVGPlus, b.NAVGPlus, a.Instances, b.Instances)
+	}
+}

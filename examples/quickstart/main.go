@@ -1,0 +1,50 @@
+// Quickstart: run a small DIPBench configuration end to end and print the
+// NAVG+ performance report.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+)
+
+func main() {
+	// A small configuration: 2 periods at datasize 0.02 on the federated
+	// reference engine, functional clock (no schedule waiting), with the
+	// post-phase verification enabled.
+	b, err := core.New(core.Config{
+		Datasize:  0.02,
+		TimeScale: 1.0,
+		Periods:   2,
+		Seed:      42,
+		Engine:    core.EngineFederated,
+		FastClock: true,
+		Verify:    true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer b.Close()
+
+	res, err := b.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("executed %d process instances over %d periods in %v\n\n",
+		res.Stats.Events, res.Stats.Periods, res.Stats.Elapsed.Round(1e6))
+	fmt.Print(res.Report)
+	fmt.Println()
+	if err := res.Report.Plot(os.Stdout, b.Config().Datasize); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(res.Stats.Verification)
+	if !res.Stats.Verification.OK() {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,101 @@
+package dipbench
+
+// Smoke tests keeping the runnable examples honest: each example must
+// build, run to completion and print its expected signature output.
+// Skipped under -short (they shell out to `go run`).
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+)
+
+func runExample(t *testing.T, timeout time.Duration, args ...string) string {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run"}, args...)...)
+	cmd.Dir = "."
+	done := make(chan struct{})
+	var out []byte
+	var err error
+	go func() {
+		out, err = cmd.CombinedOutput()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		_ = cmd.Process.Kill()
+		t.Fatalf("example %v timed out after %v", args, timeout)
+	}
+	if err != nil {
+		t.Fatalf("example %v failed: %v\n%s", args, err, out)
+	}
+	return string(out)
+}
+
+func TestExampleQuickstart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples skipped in -short mode")
+	}
+	out := runExample(t, 2*time.Minute, "./examples/quickstart")
+	for _, want := range []string{"DIPBench Performance Report", "PASS", "NAVG+"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("quickstart output missing %q", want)
+		}
+	}
+	if strings.Contains(out, "FAIL") {
+		t.Errorf("quickstart verification failed:\n%s", out)
+	}
+}
+
+func TestExampleFederated(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples skipped in -short mode")
+	}
+	out := runExample(t, 4*time.Minute, "./examples/federated", "-periods", "1")
+	for _, want := range []string{
+		"d=0.05", "d=0.1", "observations", "serialized data-intensive",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("federated output missing %q", want)
+		}
+	}
+}
+
+func TestExampleComparison(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples skipped in -short mode")
+	}
+	out := runExample(t, 4*time.Minute, "./examples/comparison", "-d", "0.01", "-periods", "1")
+	for _, want := range []string{"federated", "pipeline", "eai", "etl", "wall time per run"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("comparison output missing %q", want)
+		}
+	}
+}
+
+func TestExampleCustomProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples skipped in -short mode")
+	}
+	out := runExample(t, 2*time.Minute, "./examples/customprocess")
+	if !strings.Contains(out, "custom process PX1") || !strings.Contains(out, "PX1") {
+		t.Errorf("customprocess output:\n%s", out)
+	}
+}
+
+func TestExampleWebServices(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples skipped in -short mode")
+	}
+	out := runExample(t, 2*time.Minute, "./examples/webservices")
+	for _, want := range []string{
+		"application server", "XSD_Beijing", "XSD_Seoul",
+		"present in Seoul after exchange: true", "UNION DISTINCT",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("webservices output missing %q", want)
+		}
+	}
+}

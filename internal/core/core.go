@@ -1,0 +1,229 @@
+// Package core is the public facade of the DIPBench reproduction: it wires
+// the scenario topology, the process definitions, an integration engine,
+// the monitor and the workload client into a single Benchmark value with a
+// one-call Run.
+//
+// A minimal complete run:
+//
+//	b, err := core.New(core.Config{
+//		Datasize:  0.05,
+//		TimeScale: 1.0,
+//		Periods:   10,
+//		Engine:    core.EngineFederated,
+//	})
+//	if err != nil { ... }
+//	defer b.Close()
+//	result, err := b.Run()
+//	fmt.Print(result.Report)
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/driver"
+	"repro/internal/engine"
+	"repro/internal/monitor"
+	"repro/internal/processes"
+	"repro/internal/scenario"
+	"repro/internal/schedule"
+)
+
+// Engine identifiers accepted by Config.Engine.
+const (
+	// EngineFederated is the Fig. 9 "System A" reference implementation.
+	EngineFederated = "federated"
+	// EnginePipeline is the optimized pipelined engine.
+	EnginePipeline = "pipeline"
+	// EngineEAI is the EAI-server-style engine (store-and-forward with a
+	// bounded worker pool) — one of the paper's future-work comparison
+	// targets.
+	EngineEAI = "eai"
+	// EngineETL is the ETL-tool-style engine (micro-batched message
+	// processing) — the paper's other future-work comparison target.
+	EngineETL = "etl"
+)
+
+// Config parameterizes a benchmark.
+type Config struct {
+	// Datasize is the continuous scale factor d (> 0).
+	Datasize float64
+	// TimeScale is the continuous scale factor t: 1 tu = 1/t ms.
+	// Defaults to 1.
+	TimeScale float64
+	// Distribution is the discrete scale factor f: "uniform" (default)
+	// or "skewed".
+	Distribution string
+	// Periods is the number of benchmark periods (1..100); the full
+	// benchmark runs 100. Defaults to 1.
+	Periods int
+	// Seed is the global generation seed.
+	Seed uint64
+	// Engine selects the system under test: "federated" (default) or
+	// "pipeline".
+	Engine string
+	// EngineOptions overrides the per-engine execution strategy when
+	// non-nil (ablation studies).
+	EngineOptions *engine.Options
+	// DBLatency is the simulated per-call latency of the external
+	// database server.
+	DBLatency time.Duration
+	// WSDelay is the artificial extra delay per web-service call.
+	WSDelay time.Duration
+	// RemoteDB places the database server behind a real HTTP protocol
+	// boundary, reproducing the paper's separate external-system machine
+	// (every database call becomes a genuine network round trip).
+	RemoteDB bool
+	// FastClock skips idle waiting between scheduled events (functional
+	// runs); the default real-time clock honours the schedule deadlines.
+	FastClock bool
+	// Verify runs the post-phase functional verification.
+	Verify bool
+	// Trace records every dispatched event for schedule auditing
+	// (retrieve it with Benchmark.Trace).
+	Trace bool
+	// OnPeriod, when non-nil, receives per-period progress callbacks.
+	OnPeriod func(k, events, failures int)
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.TimeScale == 0 {
+		c.TimeScale = 1
+	}
+	if c.Distribution == "" {
+		c.Distribution = "uniform"
+	}
+	if c.Periods == 0 {
+		c.Periods = 1
+	}
+	if c.Engine == "" {
+		c.Engine = EngineFederated
+	}
+	return c
+}
+
+// Benchmark is a ready-to-run DIPBench instance.
+type Benchmark struct {
+	cfg    Config
+	scn    *scenario.Scenario
+	eng    *engine.Engine
+	mon    *monitor.Monitor
+	client *driver.Client
+	trace  *driver.Trace
+}
+
+// New builds the full benchmark stack from a configuration.
+func New(cfg Config) (*Benchmark, error) {
+	cfg = cfg.withDefaults()
+	dist, ok := datagen.ParseDistribution(cfg.Distribution)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown distribution %q", cfg.Distribution)
+	}
+	sf := schedule.ScaleFactors{Datasize: cfg.Datasize, Time: cfg.TimeScale, Dist: dist}
+	if err := sf.Validate(); err != nil {
+		return nil, err
+	}
+	scn, err := scenario.New(scenario.Options{
+		DBLatency: cfg.DBLatency, WSDelay: cfg.WSDelay, RemoteDB: cfg.RemoteDB,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defs, err := processes.New()
+	if err != nil {
+		_ = scn.Close()
+		return nil, err
+	}
+	mon := monitor.New(cfg.TimeScale)
+	var eng *engine.Engine
+	switch {
+	case cfg.EngineOptions != nil:
+		eng, err = engine.New(cfg.Engine, *cfg.EngineOptions, defs, scn.Gateway(), mon)
+	case cfg.Engine == EngineFederated:
+		eng, err = engine.NewFederated(defs, scn.Gateway(), mon)
+	case cfg.Engine == EnginePipeline:
+		eng, err = engine.NewPipeline(defs, scn.Gateway(), mon)
+	case cfg.Engine == EngineEAI:
+		eng, err = engine.NewEAI(defs, scn.Gateway(), mon)
+	case cfg.Engine == EngineETL:
+		eng, err = engine.NewETL(defs, scn.Gateway(), mon)
+	default:
+		err = fmt.Errorf("core: unknown engine %q", cfg.Engine)
+	}
+	if err != nil {
+		_ = scn.Close()
+		return nil, err
+	}
+	var clock driver.Clock
+	if cfg.FastClock {
+		clock = driver.FastClock{}
+	}
+	var trace *driver.Trace
+	if cfg.Trace {
+		trace = driver.NewTrace()
+	}
+	client, err := driver.NewClient(driver.Config{
+		Scale:    sf,
+		Periods:  cfg.Periods,
+		Seed:     cfg.Seed,
+		Clock:    clock,
+		Verify:   cfg.Verify,
+		Trace:    trace,
+		OnPeriod: cfg.OnPeriod,
+	}, scn, eng)
+	if err != nil {
+		_ = scn.Close()
+		return nil, err
+	}
+	return &Benchmark{cfg: cfg, scn: scn, eng: eng, mon: mon, client: client, trace: trace}, nil
+}
+
+// Trace returns the event trace (nil unless Config.Trace was set).
+func (b *Benchmark) Trace() *driver.Trace { return b.trace }
+
+// Config returns the effective (defaulted) configuration.
+func (b *Benchmark) Config() Config { return b.cfg }
+
+// Scenario exposes the topology (for examples and inspection).
+func (b *Benchmark) Scenario() *scenario.Scenario { return b.scn }
+
+// Engine exposes the system under test.
+func (b *Benchmark) Engine() *engine.Engine { return b.eng }
+
+// Monitor exposes the cost monitor.
+func (b *Benchmark) Monitor() *monitor.Monitor { return b.mon }
+
+// Result bundles the outcome of a benchmark run.
+type Result struct {
+	// Stats summarizes the executed events.
+	Stats *driver.RunStats
+	// Report is the analyzed NAVG+ performance report.
+	Report *monitor.Report
+}
+
+// Run executes the benchmark (work phase, plus post-phase verification
+// when configured) and analyzes the measurements.
+func (b *Benchmark) Run() (*Result, error) {
+	return b.RunContext(context.Background())
+}
+
+// RunContext is Run with cancellation: a cancelled context stops the run
+// promptly; the partial measurements collected so far remain available on
+// the Monitor.
+func (b *Benchmark) RunContext(ctx context.Context) (*Result, error) {
+	stats, err := b.client.RunContext(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Stats: stats, Report: b.mon.Analyze()}, nil
+}
+
+// Close releases the benchmark's resources: the engine's batchers and the
+// topology's web-service server.
+func (b *Benchmark) Close() error {
+	_ = b.eng.Close()
+	return b.scn.Close()
+}

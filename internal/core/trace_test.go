@@ -1,0 +1,83 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTraceOptionWiresThrough(t *testing.T) {
+	b, err := New(Config{Datasize: 0.004, Periods: 1, FastClock: true, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	res, err := b.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Trace() == nil {
+		t.Fatal("trace missing")
+	}
+	if b.Trace().Len() != res.Stats.Events {
+		t.Errorf("trace %d vs events %d", b.Trace().Len(), res.Stats.Events)
+	}
+	var sb strings.Builder
+	if err := b.Trace().WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "P13") {
+		t.Error("trace csv incomplete")
+	}
+}
+
+func TestTraceDisabledByDefault(t *testing.T) {
+	b, err := New(Config{Datasize: 0.004, FastClock: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if b.Trace() != nil {
+		t.Error("trace should be nil when disabled")
+	}
+}
+
+func TestOnPeriodCallback(t *testing.T) {
+	var periods []int
+	b, err := New(Config{
+		Datasize: 0.004, Periods: 3, FastClock: true,
+		OnPeriod: func(k, events, failures int) {
+			periods = append(periods, k)
+			if events == 0 || failures != 0 {
+				t.Errorf("period %d: events=%d failures=%d", k, events, failures)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if _, err := b.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(periods) != 3 || periods[0] != 0 || periods[2] != 2 {
+		t.Errorf("callback periods: %v", periods)
+	}
+}
+
+func TestEndToEndEAI(t *testing.T) {
+	b, err := New(Config{
+		Datasize: 0.004, Periods: 1, Seed: 42,
+		Engine: EngineEAI, FastClock: true, Verify: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	res, err := b.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Failures != 0 || !res.Stats.Verification.OK() {
+		t.Fatalf("eai run: %+v\n%v", res.Stats, res.Stats.Verification)
+	}
+}

@@ -1,0 +1,155 @@
+package datagen
+
+import (
+	"fmt"
+	"strconv"
+	"testing"
+
+	"repro/internal/schema"
+)
+
+func TestSourceOrdersMatchDatasetRelations(t *testing.T) {
+	// The canonical accessor must agree row-for-row with the dataset
+	// builders — the verifier depends on it.
+	g := testGen(t)
+	orders, err := g.SourceOrders(schema.SysTrondheim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := g.Europe(schema.SysTrondheim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(orders) != ds.Orders.Len() {
+		t.Fatalf("counts: %d vs %d", len(orders), ds.Orders.Len())
+	}
+	for i, o := range orders {
+		row := ds.Orders.Row(i)
+		if row[0].Int() != o.Key || row[1].Int() != o.CustKey || row[4].Float() != o.Total {
+			t.Fatalf("order %d diverges: %+v vs %v", i, o, row)
+		}
+	}
+}
+
+func TestSourceOrdersMatchTPCHDataset(t *testing.T) {
+	g := testGen(t)
+	orders, err := g.SourceOrders(schema.SysChicago)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := g.TPCH(schema.SysChicago)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range orders {
+		row := ds.Orders.Row(i)
+		if row[0].Int() != o.Key || row[3].Float() != o.Total {
+			t.Fatalf("order %d diverges", i)
+		}
+	}
+}
+
+func TestSourceOrdersMatchAsiaDataset(t *testing.T) {
+	g := testGen(t)
+	orders, err := g.SourceOrders(schema.SysSeoul)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := g.Asia(schema.SysSeoul)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range orders {
+		row := ds.Orders.Row(i)
+		if row[0].Int() != o.Key || row[5].Float() != o.Total {
+			t.Fatalf("order %d diverges", i)
+		}
+	}
+}
+
+func TestSourceOrdersUnknownSource(t *testing.T) {
+	g := testGen(t)
+	if _, err := g.SourceOrders("Atlantis"); err == nil {
+		t.Fatal("unknown source accepted")
+	}
+}
+
+func TestOrderDirtyIndependentOfPools(t *testing.T) {
+	// The dirty flag must be a function of the key alone, whatever
+	// candidate pools the caller supplies — the verifier relies on it.
+	g := testGen(t)
+	cities1 := []schema.CityRow{schema.CityCatalog[0]}
+	cities2 := schema.CitiesInRegion(schema.RegionAmerica)
+	for key := int64(40_000_000); key < 40_000_200; key++ {
+		a := g.OrderFor(key, []int64{1}, []int64{1}, cities1)
+		b := g.OrderFor(key, []int64{5, 6, 7, 8}, []int64{10, 11, 12}, cities2)
+		if a.Dirty != b.Dirty {
+			t.Fatalf("dirty flag depends on pools at key %d", key)
+		}
+		if g.OrderDirty(key) != a.Dirty {
+			t.Fatalf("OrderDirty disagrees at key %d", key)
+		}
+	}
+}
+
+func TestCustomerDirtyConsistent(t *testing.T) {
+	g := testGen(t)
+	cities := schema.CitiesInRegion(schema.RegionEurope)
+	for key := int64(0); key < 200; key++ {
+		if g.CustomerDirty(key) != g.CustomerFor(key, cities).Dirty {
+			t.Fatalf("CustomerDirty disagrees at key %d", key)
+		}
+	}
+}
+
+func TestViennaEntityMatchesMessage(t *testing.T) {
+	g := testGen(t)
+	for i := 0; i < 20; i++ {
+		o := g.ViennaOrderEntity(i)
+		msg := g.ViennaOrder(i)
+		if msg.Attr("id") != fmt.Sprint(o.Key) {
+			t.Fatalf("message %d key mismatch", i)
+		}
+		if msg.PathText("Head/CustRef") != fmt.Sprint(o.CustKey) {
+			t.Fatalf("message %d custref mismatch", i)
+		}
+		total, _ := strconv.ParseFloat(msg.PathText("Head/Total"), 64)
+		if total != o.Total {
+			t.Fatalf("message %d total mismatch: %g vs %g", i, total, o.Total)
+		}
+		if len(msg.Child("Lines").ChildrenNamed("Line")) != len(o.Lines) {
+			t.Fatalf("message %d line count mismatch", i)
+		}
+	}
+}
+
+func TestHongkongEntityMatchesMessage(t *testing.T) {
+	g := testGen(t)
+	for i := 0; i < 20; i++ {
+		o := g.HongkongOrderEntity(i)
+		msg := g.HongkongOrder(i)
+		if msg.PathText("OrdNo") != fmt.Sprint(o.Key) {
+			t.Fatalf("message %d key mismatch", i)
+		}
+		total, _ := strconv.ParseFloat(msg.PathText("OrdTotal"), 64)
+		if total != o.Total {
+			t.Fatalf("message %d total mismatch", i)
+		}
+	}
+}
+
+func TestSanDiegoEntityMatchesMessage(t *testing.T) {
+	g := testGen(t)
+	for i := 0; i < 60; i++ {
+		o, brokenEntity := g.SanDiegoOrderEntity(i)
+		msg, brokenMsg := g.SanDiegoOrder(i)
+		if brokenEntity != brokenMsg {
+			t.Fatalf("message %d broken flag mismatch", i)
+		}
+		if !brokenMsg {
+			if msg.PathText("OrderNo") != fmt.Sprint(o.Key) {
+				t.Fatalf("message %d key mismatch", i)
+			}
+		}
+	}
+}

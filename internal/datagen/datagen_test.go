@@ -1,0 +1,323 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/schema"
+)
+
+func testGen(t *testing.T) *Generator {
+	t.Helper()
+	return MustNew(Config{Seed: 42, Datasize: 0.05, Dist: Uniform, Period: 0})
+}
+
+func TestConfigValidate(t *testing.T) {
+	if _, err := New(Config{Datasize: 0}); err == nil {
+		t.Error("zero datasize accepted")
+	}
+	if _, err := New(Config{Datasize: -1}); err == nil {
+		t.Error("negative datasize accepted")
+	}
+	if _, err := New(Config{Datasize: 0.1, Period: -1}); err == nil {
+		t.Error("negative period accepted")
+	}
+	if _, err := New(Config{Datasize: 0.1}); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(7), NewRNG(7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	if NewRNG(7).Uint64() == NewRNG(8).Uint64() {
+		t.Error("different seeds collided immediately")
+	}
+}
+
+func TestDeriveSeedSensitivity(t *testing.T) {
+	base := uint64(42)
+	s1 := DeriveSeed(base, "a", "b")
+	s2 := DeriveSeed(base, "ab")
+	s3 := DeriveSeed(base, "a", "b")
+	if s1 == s2 {
+		t.Error("label boundaries not separated")
+	}
+	if s1 != s3 {
+		t.Error("DeriveSeed not deterministic")
+	}
+}
+
+func TestRNGRanges(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 1000; i++ {
+		if v := r.Intn(10); v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		if v := r.Int63n(7); v < 0 || v >= 7 {
+			t.Fatalf("Int63n out of range: %d", v)
+		}
+		if f := r.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %g", f)
+		}
+	}
+}
+
+func TestRNGPanicsOnBadN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := NewRNG(3)
+	const n = 20000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.05 {
+		t.Errorf("normal mean = %g", mean)
+	}
+	if math.Abs(variance-1) > 0.1 {
+		t.Errorf("normal variance = %g", variance)
+	}
+}
+
+func TestUniformIndexCoverage(t *testing.T) {
+	r := NewRNG(5)
+	counts := make([]int, 10)
+	const n = 10000
+	for i := 0; i < n; i++ {
+		counts[r.Index(Uniform, 10)]++
+	}
+	for i, c := range counts {
+		if c < n/10/2 || c > n/10*2 {
+			t.Errorf("uniform index %d count %d far from %d", i, c, n/10)
+		}
+	}
+}
+
+func TestSkewedIndexIsSkewed(t *testing.T) {
+	r := NewRNG(5)
+	counts := make([]int, 10)
+	const n = 10000
+	for i := 0; i < n; i++ {
+		counts[r.Index(Skewed, 10)]++
+	}
+	if counts[0] <= counts[9] {
+		t.Errorf("zipf not skewed: first=%d last=%d", counts[0], counts[9])
+	}
+	// Head should dominate: index 0 above twice the uniform share.
+	if counts[0] < n/5 {
+		t.Errorf("zipf head too light: %d", counts[0])
+	}
+}
+
+func TestParseDistribution(t *testing.T) {
+	if d, ok := ParseDistribution("uniform"); !ok || d != Uniform {
+		t.Error("uniform")
+	}
+	if d, ok := ParseDistribution("skewed"); !ok || d != Skewed {
+		t.Error("skewed")
+	}
+	if _, ok := ParseDistribution("banana"); ok {
+		t.Error("banana accepted")
+	}
+	if Uniform.String() != "uniform" || Skewed.String() != "skewed" {
+		t.Error("String()")
+	}
+}
+
+func TestScaledCounts(t *testing.T) {
+	g := MustNew(Config{Seed: 1, Datasize: 0.05})
+	if g.CustomerCount() != 40 { // ceil(800*0.05)
+		t.Errorf("CustomerCount = %d", g.CustomerCount())
+	}
+	if g.ProductCount() != 10 {
+		t.Errorf("ProductCount = %d", g.ProductCount())
+	}
+	if g.OrderCount() != 75 {
+		t.Errorf("OrderCount = %d", g.OrderCount())
+	}
+	tiny := MustNew(Config{Seed: 1, Datasize: 0.0001})
+	if tiny.CustomerCount() < 1 {
+		t.Error("count must be at least 1")
+	}
+	// Doubling d doubles the counts.
+	g2 := MustNew(Config{Seed: 1, Datasize: 0.1})
+	if g2.OrderCount() != 2*g.OrderCount() {
+		t.Errorf("datasize scaling: %d vs %d", g2.OrderCount(), g.OrderCount())
+	}
+}
+
+func TestCustomerKeysSharedPrefix(t *testing.T) {
+	g := testGen(t)
+	chi := g.CustomerKeys(schema.SysChicago)
+	bal := g.CustomerKeys(schema.SysBaltimore)
+	shared := int(math.Round(float64(len(bal)) * SharedFraction))
+	if shared == 0 {
+		t.Fatal("test scale too small for shared keys")
+	}
+	for i := 0; i < shared; i++ {
+		if bal[i] != chi[i] {
+			t.Fatalf("Baltimore key %d = %d, want Chicago's %d", i, bal[i], chi[i])
+		}
+	}
+	// Non-shared keys must come from Baltimore's own range.
+	if !schema.CustKeys[schema.SysBaltimore].Contains(bal[shared]) {
+		t.Errorf("own key %d outside range", bal[shared])
+	}
+	// Chicago (group head) shares nothing.
+	if !schema.CustKeys[schema.SysChicago].Contains(chi[0]) {
+		t.Errorf("Chicago first key %d outside range", chi[0])
+	}
+}
+
+func TestBeijingSeoulSharedKeys(t *testing.T) {
+	g := testGen(t)
+	bj := g.CustomerKeys(schema.SysBeijing)
+	se := g.CustomerKeys(schema.SysSeoul)
+	shared := int(math.Round(float64(len(se)) * SharedFraction))
+	for i := 0; i < shared; i++ {
+		if se[i] != bj[i] {
+			t.Fatalf("Seoul key %d not shared with Beijing", i)
+		}
+	}
+}
+
+func TestProductKeysSharedAcrossRegionSources(t *testing.T) {
+	g := testGen(t)
+	a := g.ProductKeys(schema.RegionAmerica)
+	b := g.ProductKeys(schema.RegionAmerica)
+	if len(a) != g.ProductCount() {
+		t.Fatalf("product count: %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("product keys not stable")
+		}
+		if !schema.ProdKeys[schema.RegionAmerica].Contains(a[i]) {
+			t.Fatalf("product key %d outside region range", a[i])
+		}
+	}
+}
+
+func TestEntityAttributesDependOnlyOnKey(t *testing.T) {
+	g := testGen(t)
+	cities := schema.CitiesInRegion(schema.RegionAmerica)
+	c1 := g.CustomerFor(4_000_001, cities)
+	c2 := g.CustomerFor(4_000_001, cities)
+	if c1 != c2 {
+		t.Error("customer attributes not deterministic")
+	}
+	p1, p2 := g.ProductFor(3_000), g.ProductFor(3_000)
+	if p1 != p2 {
+		t.Error("product attributes not deterministic")
+	}
+}
+
+func TestEntitiesChangeAcrossPeriods(t *testing.T) {
+	g0 := MustNew(Config{Seed: 1, Datasize: 0.05, Period: 0})
+	g1 := MustNew(Config{Seed: 1, Datasize: 0.05, Period: 1})
+	cities := schema.CitiesInRegion(schema.RegionEurope)
+	if g0.CustomerFor(5, cities) == g1.CustomerFor(5, cities) {
+		t.Error("periods should reinitialize with fresh data")
+	}
+}
+
+func TestDirtyRateApproximate(t *testing.T) {
+	g := MustNew(Config{Seed: 9, Datasize: 1})
+	cities := schema.CitiesInRegion(schema.RegionEurope)
+	dirty := 0
+	const n = 5000
+	for i := int64(0); i < n; i++ {
+		if g.CustomerFor(i, cities).Dirty {
+			dirty++
+		}
+	}
+	rate := float64(dirty) / n
+	if rate < DirtyRate/2 || rate > DirtyRate*2 {
+		t.Errorf("dirty rate %.3f far from %.3f", rate, DirtyRate)
+	}
+}
+
+func TestDirtyCustomersAreDetectable(t *testing.T) {
+	g := MustNew(Config{Seed: 9, Datasize: 1})
+	cities := schema.CitiesInRegion(schema.RegionEurope)
+	for i := int64(0); i < 2000; i++ {
+		c := g.CustomerFor(i, cities)
+		detectable := c.Name == "" || c.Phone == "INVALID"
+		if c.Dirty != detectable {
+			t.Fatalf("customer %d: Dirty=%v but detectable=%v", i, c.Dirty, detectable)
+		}
+	}
+}
+
+func TestOrderTotalsEqualLineSums(t *testing.T) {
+	f := func(keySeed int64) bool {
+		g := testGen(t)
+		key := 20_000_000 + (keySeed%1000+1000)%1000
+		o := g.OrderFor(key, []int64{1, 2, 3}, []int64{10, 11}, schema.CitiesInRegion(schema.RegionAsia))
+		var sum float64
+		for _, l := range o.Lines {
+			sum += l.Price
+		}
+		if o.Dirty {
+			sum = -sum // corrupted movement data negates the total
+		}
+		return math.Abs(o.Total-sum) < 0.01 && len(o.Lines) >= 1 && len(o.Lines) <= MaxOrderLines
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSkewedDistributionConcentratesOrders(t *testing.T) {
+	// Under the skewed scale factor f, the hottest customer must receive
+	// far more than the uniform share of orders.
+	countTop := func(dist Distribution) int {
+		g := MustNew(Config{Seed: 4, Datasize: 0.5, Dist: dist})
+		orders, err := g.SourceOrders(schema.SysChicago)
+		if err != nil {
+			t.Fatal(err)
+		}
+		byCust := map[int64]int{}
+		for _, o := range orders {
+			byCust[o.CustKey]++
+		}
+		top := 0
+		for _, n := range byCust {
+			if n > top {
+				top = n
+			}
+		}
+		return top
+	}
+	uni, skew := countTop(Uniform), countTop(Skewed)
+	if skew < uni*3 {
+		t.Errorf("skewed hot customer %d orders vs uniform %d; expected strong concentration", skew, uni)
+	}
+}
+
+func TestOrderDatesInWindow(t *testing.T) {
+	g := testGen(t)
+	for i := int64(0); i < 100; i++ {
+		o := g.OrderFor(20_000_000+i, []int64{1}, []int64{1}, schema.CitiesInRegion(schema.RegionAsia))
+		if o.Date.Before(epoch) || o.Date.After(epoch.AddDate(0, 0, orderDateWindowDays+1)) {
+			t.Fatalf("order date %v outside window", o.Date)
+		}
+	}
+}

@@ -1,0 +1,248 @@
+package datagen
+
+import (
+	"testing"
+
+	rel "repro/internal/relational"
+	"repro/internal/schema"
+)
+
+func TestEuropeDatasetShape(t *testing.T) {
+	g := testGen(t)
+	ds, err := g.Europe(schema.SysBerlinParis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Customer.Len() != g.CustomerCount() {
+		t.Errorf("customers: %d", ds.Customer.Len())
+	}
+	if ds.Orders.Len() != g.OrderCount() {
+		t.Errorf("orders: %d", ds.Orders.Len())
+	}
+	if ds.Product.Len() != g.ProductCount() {
+		t.Errorf("products: %d", ds.Product.Len())
+	}
+	if ds.Orderline.Len() < ds.Orders.Len() {
+		t.Errorf("orderlines: %d < orders %d", ds.Orderline.Len(), ds.Orders.Len())
+	}
+	if ds.City.Len() != 2 || ds.Company.Len() != EuropeCompanies {
+		t.Errorf("city/company: %d/%d", ds.City.Len(), ds.Company.Len())
+	}
+	// Schemas match the declared Europe schemas.
+	if !ds.Customer.Schema().Equal(schema.EuropeCustomer) {
+		t.Error("customer schema")
+	}
+	if !ds.Orders.Schema().Equal(schema.EuropeOrders) {
+		t.Error("orders schema")
+	}
+}
+
+func TestEuropeBerlinParisLocationSplit(t *testing.T) {
+	g := testGen(t)
+	ds, err := g.Europe(schema.SysBerlinParis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	locs := map[string]int{}
+	for i := 0; i < ds.Customer.Len(); i++ {
+		locs[ds.Customer.Get(i, "Location").Str()]++
+	}
+	if locs[schema.LocBerlin] == 0 || locs[schema.LocParis] == 0 {
+		t.Errorf("locations not split: %v", locs)
+	}
+	if locs[schema.LocBerlin]+locs[schema.LocParis] != ds.Customer.Len() {
+		t.Errorf("unknown locations present: %v", locs)
+	}
+	// Orders carry locations too (P05/P06 filter on them).
+	for i := 0; i < ds.Orders.Len(); i++ {
+		l := ds.Orders.Get(i, "Location").Str()
+		if l != schema.LocBerlin && l != schema.LocParis {
+			t.Fatalf("order location %q", l)
+		}
+	}
+}
+
+func TestEuropeTrondheimSingleLocation(t *testing.T) {
+	g := testGen(t)
+	ds, err := g.Europe(schema.SysTrondheim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < ds.Customer.Len(); i++ {
+		if ds.Customer.Get(i, "Location").Str() != "Trondheim" {
+			t.Fatal("Trondheim customer with foreign location")
+		}
+	}
+	// Keys in the Trondheim range (no union group).
+	for i := 0; i < ds.Customer.Len(); i++ {
+		if !schema.CustKeys[schema.SysTrondheim].Contains(ds.Customer.Get(i, "Custkey").Int()) {
+			t.Fatal("customer key outside Trondheim range")
+		}
+	}
+}
+
+func TestEuropeRejectsNonEuropeSource(t *testing.T) {
+	g := testGen(t)
+	if _, err := g.Europe(schema.SysChicago); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestEuropeDatasetDeterministic(t *testing.T) {
+	g1 := MustNew(Config{Seed: 42, Datasize: 0.05, Period: 3})
+	g2 := MustNew(Config{Seed: 42, Datasize: 0.05, Period: 3})
+	a, err := g1.Europe(schema.SysBerlinParis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := g2.Europe(schema.SysBerlinParis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Customer.Len() != b.Customer.Len() {
+		t.Fatal("row counts differ")
+	}
+	for i := 0; i < a.Customer.Len(); i++ {
+		if !a.Customer.Row(i).Equal(b.Customer.Row(i)) {
+			t.Fatalf("row %d differs", i)
+		}
+	}
+	for i := 0; i < a.Orders.Len(); i++ {
+		if !a.Orders.Row(i).Equal(b.Orders.Row(i)) {
+			t.Fatalf("order row %d differs", i)
+		}
+	}
+}
+
+func TestTPCHDatasetShape(t *testing.T) {
+	g := testGen(t)
+	ds, err := g.TPCH(schema.SysChicago)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ds.Customer.Schema().Equal(schema.TPCHCustomer) ||
+		!ds.Orders.Schema().Equal(schema.TPCHOrders) ||
+		!ds.Lineitem.Schema().Equal(schema.TPCHLineitem) ||
+		!ds.Part.Schema().Equal(schema.TPCHPart) {
+		t.Fatal("TPC-H schemas")
+	}
+	if ds.Customer.Len() != g.CustomerCount() || ds.Orders.Len() != g.OrderCount() {
+		t.Errorf("counts: %d customers, %d orders", ds.Customer.Len(), ds.Orders.Len())
+	}
+	// Status codes are TPC-H letters.
+	for i := 0; i < ds.Orders.Len(); i++ {
+		s := ds.Orders.Get(i, "O_Orderstatus").Str()
+		if s != "O" && s != "P" && s != "F" {
+			t.Fatalf("bad TPC-H status %q", s)
+		}
+	}
+	if _, err := g.TPCH(schema.SysBeijing); err == nil {
+		t.Error("non-America source accepted")
+	}
+}
+
+func TestTPCHSharedRowsIdentical(t *testing.T) {
+	// The shared leading keys must carry identical attribute values, so
+	// UNION DISTINCT can treat them as true duplicates.
+	g := testGen(t)
+	chi, err := g.TPCH(schema.SysChicago)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bal, err := g.TPCH(schema.SysBaltimore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chiByKey := map[int64]rel.Row{}
+	for i := 0; i < chi.Customer.Len(); i++ {
+		chiByKey[chi.Customer.Get(i, "C_Custkey").Int()] = chi.Customer.Row(i)
+	}
+	sharedSeen := 0
+	for i := 0; i < bal.Customer.Len(); i++ {
+		key := bal.Customer.Get(i, "C_Custkey").Int()
+		if other, ok := chiByKey[key]; ok {
+			sharedSeen++
+			if !bal.Customer.Row(i).Equal(other) {
+				t.Fatalf("shared customer %d differs between sources", key)
+			}
+		}
+	}
+	if sharedSeen == 0 {
+		t.Fatal("no shared customers between Chicago and Baltimore")
+	}
+}
+
+func TestAsiaDatasetShapes(t *testing.T) {
+	g := testGen(t)
+	for _, src := range []string{schema.SysBeijing, schema.SysSeoul, schema.SysHongkong} {
+		ds, err := g.Asia(src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		if ds.Customers.Len() != g.CustomerCount() || ds.Orders.Len() != g.OrderCount() {
+			t.Errorf("%s counts: %d/%d", src, ds.Customers.Len(), ds.Orders.Len())
+		}
+		if ds.OrderItems.Len() < ds.Orders.Len() {
+			t.Errorf("%s orderitems", src)
+		}
+	}
+	bj, _ := g.Asia(schema.SysBeijing)
+	if !bj.Customers.Schema().Equal(schema.BeijingCustomer) {
+		t.Error("Beijing spelling")
+	}
+	se, _ := g.Asia(schema.SysSeoul)
+	if !se.Customers.Schema().Equal(schema.SeoulCustomer) {
+		t.Error("Seoul spelling")
+	}
+	if _, err := g.Asia(schema.SysChicago); err == nil {
+		t.Error("non-Asia source accepted")
+	}
+}
+
+func TestAsiaOrdersUseCanonicalVocabulary(t *testing.T) {
+	g := testGen(t)
+	ds, err := g.Asia(schema.SysHongkong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid := map[string]bool{"OPEN": true, "SHIPPED": true, "CLOSED": true}
+	for i := 0; i < ds.Orders.Len(); i++ {
+		if !valid[ds.Orders.Get(i, "OrdState").Str()] {
+			t.Fatalf("bad state %q", ds.Orders.Get(i, "OrdState").Str())
+		}
+	}
+}
+
+func TestOrderlinesReferenceGeneratedOrders(t *testing.T) {
+	g := testGen(t)
+	ds, err := g.Europe(schema.SysTrondheim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orderKeys := map[int64]bool{}
+	for i := 0; i < ds.Orders.Len(); i++ {
+		orderKeys[ds.Orders.Get(i, "Ordkey").Int()] = true
+	}
+	for i := 0; i < ds.Orderline.Len(); i++ {
+		if !orderKeys[ds.Orderline.Get(i, "Ordkey").Int()] {
+			t.Fatal("dangling orderline")
+		}
+	}
+}
+
+func TestOrdersReferenceGeneratedCustomers(t *testing.T) {
+	g := testGen(t)
+	ds, err := g.TPCH(schema.SysMadison)
+	if err != nil {
+		t.Fatal(err)
+	}
+	custKeys := map[int64]bool{}
+	for i := 0; i < ds.Customer.Len(); i++ {
+		custKeys[ds.Customer.Get(i, "C_Custkey").Int()] = true
+	}
+	for i := 0; i < ds.Orders.Len(); i++ {
+		if !custKeys[ds.Orders.Get(i, "O_Custkey").Int()] {
+			t.Fatal("order references unknown customer")
+		}
+	}
+}

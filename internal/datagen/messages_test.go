@@ -1,0 +1,121 @@
+package datagen
+
+import (
+	"strconv"
+	"testing"
+
+	"repro/internal/schema"
+)
+
+func TestViennaOrderValidAndDeterministic(t *testing.T) {
+	g := testGen(t)
+	m1 := g.ViennaOrder(3)
+	m2 := g.ViennaOrder(3)
+	if !m1.Equal(m2) {
+		t.Fatal("Vienna message not deterministic")
+	}
+	if errs := schema.XSDVienna.Validate(m1); len(errs) != 0 {
+		t.Fatalf("Vienna message invalid: %v", errs)
+	}
+	// Customer reference resolvable in the Europe sources.
+	ref, err := strconv.ParseInt(m1.PathText("Head/CustRef"), 10, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !schema.CustKeys[schema.SysBerlinParis].Contains(ref) &&
+		!schema.CustKeys[schema.SysTrondheim].Contains(ref) {
+		t.Errorf("CustRef %d outside Europe ranges", ref)
+	}
+	// Order ids unique across i.
+	if g.ViennaOrder(4).Attr("id") == m1.Attr("id") {
+		t.Error("order ids collide")
+	}
+}
+
+func TestMDMCustomerValidAndRoutable(t *testing.T) {
+	g := testGen(t)
+	sawBP, sawTr := false, false
+	for i := 0; i < 50; i++ {
+		m := g.MDMCustomer(i)
+		if errs := schema.XSDMDM.Validate(m); len(errs) != 0 {
+			t.Fatalf("MDM message %d invalid: %v", i, errs)
+		}
+		key, err := strconv.ParseInt(m.Child("Customer").Attr("custkey"), 10, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if key < 1_000_000 {
+			sawBP = true
+		} else {
+			sawTr = true
+		}
+		// MDM always sends clean names.
+		if m.PathText("Customer/Name") == "" {
+			t.Fatal("MDM message with empty name")
+		}
+	}
+	if !sawBP || !sawTr {
+		t.Errorf("switch routing not exercised: bp=%v tr=%v", sawBP, sawTr)
+	}
+}
+
+func TestHongkongOrderValidAndDisjointFromDataset(t *testing.T) {
+	g := testGen(t)
+	m := g.HongkongOrder(0)
+	if errs := schema.XSDHongkong.Validate(m); len(errs) != 0 {
+		t.Fatalf("Hongkong message invalid: %v", errs)
+	}
+	key, _ := strconv.ParseInt(m.PathText("OrdNo"), 10, 64)
+	// Message keys start above the extracted dataset keys.
+	for _, dk := range g.OrderKeysFor(schema.SysHongkong) {
+		if dk == key {
+			t.Fatal("message order key collides with dataset order key")
+		}
+	}
+}
+
+func TestSanDiegoErrorInjection(t *testing.T) {
+	g := MustNew(Config{Seed: 42, Datasize: 0.05})
+	const n = 400
+	bad := 0
+	for i := 0; i < n; i++ {
+		doc, broken := g.SanDiegoOrder(i)
+		valid := schema.XSDSanDiego.Valid(doc)
+		if broken {
+			bad++
+			if valid {
+				t.Fatalf("message %d flagged broken but validates", i)
+			}
+		} else if !valid {
+			t.Fatalf("message %d flagged clean but invalid: %v", i, schema.XSDSanDiego.Validate(doc))
+		}
+	}
+	rate := float64(bad) / n
+	if rate < SanDiegoErrorRate/2 || rate > SanDiegoErrorRate*2 {
+		t.Errorf("error rate %.3f far from %.3f", rate, SanDiegoErrorRate)
+	}
+}
+
+func TestSanDiegoDeterministic(t *testing.T) {
+	g := testGen(t)
+	a, ba := g.SanDiegoOrder(7)
+	b, bb := g.SanDiegoOrder(7)
+	if ba != bb || !a.Equal(b) {
+		t.Fatal("San Diego message not deterministic")
+	}
+}
+
+func TestBeijingCustomerMsgValid(t *testing.T) {
+	g := testGen(t)
+	m := g.BeijingCustomerMsg(2)
+	if errs := schema.XSDBeijing.Validate(m); len(errs) != 0 {
+		t.Fatalf("Beijing message invalid: %v", errs)
+	}
+	key, _ := strconv.ParseInt(m.PathText("Cust_ID"), 10, 64)
+	if !schema.CustKeys[schema.SysBeijing].Contains(key) {
+		t.Errorf("Beijing message key %d outside range", key)
+	}
+	if m.PathText("Cust_Name") == "" {
+		t.Error("master data exchange should carry clean names")
+	}
+}

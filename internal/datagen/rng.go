@@ -1,0 +1,155 @@
+// Package datagen implements the data-generation half of the DIPBench
+// Initializer: deterministic pseudo-random generation of synthetic source
+// system datasets and XML messages, with selectable value distributions
+// (the discrete scale factor "distribution f" of the benchmark: "from
+// uniformly distributed data values to specially skewed data values"),
+// scaled by the continuous scale factor "datasize d", and with controlled
+// error injection for the error-prone San Diego application and for the
+// master-data cleansing processes.
+package datagen
+
+import "math"
+
+// RNG is a small, fast, deterministic pseudo-random generator
+// (splitmix64). It is deliberately not math/rand so that generated
+// datasets are stable across Go versions; benchmark verification depends
+// on re-deriving the exact same data.
+type RNG struct{ state uint64 }
+
+// NewRNG creates a generator from a seed.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// DeriveSeed mixes a base seed with domain labels so that every
+// (period, source, table) combination gets an independent stream.
+func DeriveSeed(base uint64, labels ...string) uint64 {
+	h := base ^ 0x9E3779B97F4A7C15
+	for _, l := range labels {
+		for i := 0; i < len(l); i++ {
+			h ^= uint64(l[i])
+			h *= 0x100000001B3
+		}
+		h ^= 0xFF
+		h *= 0x100000001B3
+	}
+	return h
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("datagen: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63n returns a uniform int64 in [0, n). It panics if n <= 0.
+func (r *RNG) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("datagen: Int63n with non-positive n")
+	}
+	return int64(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform float in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool { return r.Float64() < p }
+
+// NormFloat64 returns a standard-normal variate (Box-Muller).
+func (r *RNG) NormFloat64() float64 {
+	for {
+		u1 := r.Float64()
+		if u1 == 0 {
+			continue
+		}
+		u2 := r.Float64()
+		return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	}
+}
+
+// Distribution selects how discrete choices (keys, categories) are drawn —
+// the benchmark's scale factor f.
+type Distribution uint8
+
+// Supported distributions.
+const (
+	// Uniform draws all values with equal probability.
+	Uniform Distribution = iota
+	// Skewed draws values Zipf-distributed (s≈1.2): few hot values
+	// dominate, modelling real-world key popularity.
+	Skewed
+)
+
+// String names the distribution.
+func (d Distribution) String() string {
+	switch d {
+	case Uniform:
+		return "uniform"
+	case Skewed:
+		return "skewed"
+	default:
+		return "?"
+	}
+}
+
+// ParseDistribution parses "uniform" or "skewed".
+func ParseDistribution(s string) (Distribution, bool) {
+	switch s {
+	case "uniform":
+		return Uniform, true
+	case "skewed":
+		return Skewed, true
+	default:
+		return Uniform, false
+	}
+}
+
+// zipfExponent is the fixed skew parameter used by the Skewed distribution.
+const zipfExponent = 1.2
+
+// Index draws an index in [0, n) according to the distribution. For
+// Skewed, index 0 is the most popular.
+func (r *RNG) Index(d Distribution, n int) int {
+	if n <= 0 {
+		panic("datagen: Index with non-positive n")
+	}
+	switch d {
+	case Skewed:
+		return r.zipf(n)
+	default:
+		return r.Intn(n)
+	}
+}
+
+// zipf draws a Zipf(s=zipfExponent) index in [0, n) by inversion over the
+// harmonic partial sums. n is small in this benchmark (catalog sizes), so
+// the O(n) inversion is fine and keeps the generator dependency-free.
+func (r *RNG) zipf(n int) int {
+	// Compute (cached would be nicer, but n varies per call site and the
+	// loop is short) the normalization constant.
+	var total float64
+	for i := 1; i <= n; i++ {
+		total += 1 / math.Pow(float64(i), zipfExponent)
+	}
+	u := r.Float64() * total
+	var cum float64
+	for i := 1; i <= n; i++ {
+		cum += 1 / math.Pow(float64(i), zipfExponent)
+		if u <= cum {
+			return i - 1
+		}
+	}
+	return n - 1
+}

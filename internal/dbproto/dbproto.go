@@ -1,0 +1,379 @@
+// Package dbproto exposes a relational server over HTTP — the remote
+// database protocol that lets the benchmark reproduce the paper's
+// three-machine environment setup faithfully: the external systems (ES)
+// live behind a network boundary, so every database round trip of the
+// integration system is a genuine request/response exchange and the
+// communication-cost category Cc measures real wire time.
+//
+// Wire format (all POST, XML bodies):
+//
+//	/db/<instance>/query    <Query table="T" where="SQL predicate"/>   -> ResultSet
+//	/db/<instance>/insert   ResultSet (name = table)                   -> <Affected n=""/>
+//	/db/<instance>/upsert   ResultSet (name = table)                   -> <Affected n=""/>
+//	/db/<instance>/delete   <Delete table="T" where="..."/>            -> <Affected n=""/>
+//	/db/<instance>/update   <Update table="T" where="...">
+//	                          <Set col="C" type="BIGINT">42</Set>...    -> <Affected n=""/>
+//	/db/<instance>/call     <Call proc="P"><Arg type="...">v</Arg>...   -> ResultSet
+//
+// Predicates travel as their SQL text (relational.ParsePredicate); typed
+// scalars as text with a type attribute (relational.ParseValue).
+package dbproto
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	rel "repro/internal/relational"
+	x "repro/internal/xmlmsg"
+)
+
+// Remote is a running database protocol endpoint.
+type Remote struct {
+	server   *rel.Server
+	http     *http.Server
+	listener net.Listener
+	baseURL  string
+}
+
+// Serve binds a loopback listener for the relational server and starts
+// answering protocol requests.
+func Serve(server *rel.Server) (*Remote, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("dbproto: listen: %w", err)
+	}
+	r := &Remote{server: server, listener: ln, baseURL: "http://" + ln.Addr().String()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/db/", r.dispatch)
+	r.http = &http.Server{Handler: mux}
+	go func() { _ = r.http.Serve(ln) }()
+	return r, nil
+}
+
+// BaseURL returns the endpoint's base URL.
+func (r *Remote) BaseURL() string { return r.baseURL }
+
+// Close shuts the endpoint down.
+func (r *Remote) Close() error { return r.http.Close() }
+
+// dispatch routes /db/<instance>/<op>.
+func (r *Remote) dispatch(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	parts := strings.Split(strings.Trim(req.URL.Path, "/"), "/")
+	if len(parts) != 3 {
+		http.Error(w, "expected /db/<instance>/<operation>", http.StatusNotFound)
+		return
+	}
+	conn, err := r.server.Connect(parts[1])
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(req.Body, 128<<20))
+	if err != nil {
+		http.Error(w, "read: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	doc, err := x.Parse(bytes.NewReader(body))
+	if err != nil {
+		http.Error(w, "parse: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	var result *x.Node
+	switch parts[2] {
+	case "query":
+		result, err = handleQuery(conn, doc)
+	case "insert":
+		result, err = handleLoad(conn, doc, false)
+	case "upsert":
+		result, err = handleLoad(conn, doc, true)
+	case "delete":
+		result, err = handleDelete(conn, doc)
+	case "update":
+		result, err = handleUpdate(conn, doc)
+	case "call":
+		result, err = handleCall(conn, doc)
+	default:
+		http.Error(w, "unknown operation "+parts[2], http.StatusNotFound)
+		return
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/xml")
+	_ = result.WriteXML(w)
+}
+
+// parseWhere parses the optional where attribute; absent means all rows.
+func parseWhere(doc *x.Node) (rel.Predicate, error) {
+	where := doc.Attr("where")
+	if where == "" {
+		return rel.True(), nil
+	}
+	return rel.ParsePredicate(where)
+}
+
+func handleQuery(conn *rel.Conn, doc *x.Node) (*x.Node, error) {
+	if doc.Name != "Query" {
+		return nil, fmt.Errorf("dbproto: query expects a Query document")
+	}
+	pred, err := parseWhere(doc)
+	if err != nil {
+		return nil, err
+	}
+	relation, err := conn.Query(doc.Attr("table"), pred)
+	if err != nil {
+		return nil, err
+	}
+	return x.FromRelation(doc.Attr("table"), relation), nil
+}
+
+func handleLoad(conn *rel.Conn, doc *x.Node, upsert bool) (*x.Node, error) {
+	if doc.Name != "ResultSet" {
+		return nil, fmt.Errorf("dbproto: load expects a ResultSet document")
+	}
+	relation, err := x.ToRelation(doc)
+	if err != nil {
+		return nil, err
+	}
+	table := doc.Attr("name")
+	if upsert {
+		err = conn.UpsertBulk(table, relation)
+	} else {
+		err = conn.InsertBulk(table, relation)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return affected(relation.Len()), nil
+}
+
+func handleDelete(conn *rel.Conn, doc *x.Node) (*x.Node, error) {
+	if doc.Name != "Delete" {
+		return nil, fmt.Errorf("dbproto: delete expects a Delete document")
+	}
+	pred, err := parseWhere(doc)
+	if err != nil {
+		return nil, err
+	}
+	n, err := conn.Delete(doc.Attr("table"), pred)
+	if err != nil {
+		return nil, err
+	}
+	return affected(n), nil
+}
+
+func handleUpdate(conn *rel.Conn, doc *x.Node) (*x.Node, error) {
+	if doc.Name != "Update" {
+		return nil, fmt.Errorf("dbproto: update expects an Update document")
+	}
+	pred, err := parseWhere(doc)
+	if err != nil {
+		return nil, err
+	}
+	table := doc.Attr("table")
+	t := conn.Database().Table(table)
+	if t == nil {
+		return nil, fmt.Errorf("dbproto: no table %q", table)
+	}
+	type assignment struct {
+		ordinal int
+		val     rel.Value
+	}
+	var assigns []assignment
+	for _, set := range doc.ChildrenNamed("Set") {
+		col := set.Attr("col")
+		o := t.Schema().Ordinal(col)
+		if o < 0 {
+			return nil, fmt.Errorf("dbproto: no column %q", col)
+		}
+		v, err := decodeValue(set)
+		if err != nil {
+			return nil, err
+		}
+		assigns = append(assigns, assignment{o, v})
+	}
+	n, err := conn.Update(table, pred, func(row rel.Row) rel.Row {
+		for _, a := range assigns {
+			row[a.ordinal] = a.val
+		}
+		return row
+	})
+	if err != nil {
+		return nil, err
+	}
+	return affected(n), nil
+}
+
+func handleCall(conn *rel.Conn, doc *x.Node) (*x.Node, error) {
+	if doc.Name != "Call" {
+		return nil, fmt.Errorf("dbproto: call expects a Call document")
+	}
+	var args []rel.Value
+	for _, arg := range doc.ChildrenNamed("Arg") {
+		v, err := decodeValue(arg)
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, v)
+	}
+	result, err := conn.Call(doc.Attr("proc"), args...)
+	if err != nil {
+		return nil, err
+	}
+	if result == nil {
+		return affected(0), nil
+	}
+	return x.FromRelation("result", result), nil
+}
+
+// decodeValue decodes a typed scalar element (<... type="BIGINT">42</...>).
+func decodeValue(n *x.Node) (rel.Value, error) {
+	if n.Attr("null") == "true" {
+		return rel.Null, nil
+	}
+	t, err := rel.ParseTypeName(n.Attr("type"))
+	if err != nil {
+		return rel.Null, err
+	}
+	return rel.ParseValue(t, n.Text)
+}
+
+// encodeValue encodes a typed scalar element.
+func encodeValue(name string, v rel.Value) *x.Node {
+	el := x.NewText(name, v.String())
+	if v.IsNull() {
+		el.Text = ""
+		el.SetAttr("null", "true")
+		return el
+	}
+	el.SetAttr("type", v.Type().String())
+	return el
+}
+
+func affected(n int) *x.Node {
+	return x.New("Affected").SetAttr("n", strconv.Itoa(n))
+}
+
+// Client talks to one instance through the protocol.
+type Client struct {
+	baseURL  string
+	instance string
+	http     *http.Client
+}
+
+// NewClient creates a protocol client for one database instance.
+func NewClient(baseURL, instance string) *Client {
+	return &Client{baseURL: baseURL, instance: instance,
+		http: &http.Client{Timeout: 60 * time.Second}}
+}
+
+// post sends a document and parses the XML response.
+func (c *Client) post(op string, doc *x.Node) (*x.Node, error) {
+	var buf bytes.Buffer
+	if err := doc.WriteXML(&buf); err != nil {
+		return nil, err
+	}
+	url := fmt.Sprintf("%s/db/%s/%s", c.baseURL, c.instance, op)
+	resp, err := c.http.Post(url, "application/xml", &buf)
+	if err != nil {
+		return nil, fmt.Errorf("dbproto: %s %s: %w", c.instance, op, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("dbproto: %s %s: HTTP %d: %s",
+			c.instance, op, resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	return x.Parse(bytes.NewReader(body))
+}
+
+// Query reads matching rows of a table.
+func (c *Client) Query(table string, pred rel.Predicate) (*rel.Relation, error) {
+	q := x.New("Query").SetAttr("table", table)
+	if pred != nil {
+		q.SetAttr("where", pred.String())
+	}
+	doc, err := c.post("query", q)
+	if err != nil {
+		return nil, err
+	}
+	return x.ToRelation(doc)
+}
+
+// Insert appends the relation to the table.
+func (c *Client) Insert(table string, r *rel.Relation) error {
+	_, err := c.post("insert", x.FromRelation(table, r))
+	return err
+}
+
+// Upsert inserts-or-replaces the relation by primary key.
+func (c *Client) Upsert(table string, r *rel.Relation) error {
+	_, err := c.post("upsert", x.FromRelation(table, r))
+	return err
+}
+
+// Delete removes matching rows and returns the count.
+func (c *Client) Delete(table string, pred rel.Predicate) (int, error) {
+	d := x.New("Delete").SetAttr("table", table)
+	if pred != nil {
+		d.SetAttr("where", pred.String())
+	}
+	doc, err := c.post("delete", d)
+	if err != nil {
+		return 0, err
+	}
+	return affectedCount(doc)
+}
+
+// Update sets columns on matching rows and returns the count.
+func (c *Client) Update(table string, pred rel.Predicate, set map[string]rel.Value) (int, error) {
+	u := x.New("Update").SetAttr("table", table)
+	if pred != nil {
+		u.SetAttr("where", pred.String())
+	}
+	for col, v := range set {
+		u.Add(encodeValue("Set", v).SetAttr("col", col))
+	}
+	doc, err := c.post("update", u)
+	if err != nil {
+		return 0, err
+	}
+	return affectedCount(doc)
+}
+
+// Call invokes a stored procedure.
+func (c *Client) Call(proc string, args ...rel.Value) (*rel.Relation, error) {
+	call := x.New("Call").SetAttr("proc", proc)
+	for _, a := range args {
+		call.Add(encodeValue("Arg", a))
+	}
+	doc, err := c.post("call", call)
+	if err != nil {
+		return nil, err
+	}
+	if doc.Name == "Affected" {
+		return nil, nil
+	}
+	return x.ToRelation(doc)
+}
+
+func affectedCount(doc *x.Node) (int, error) {
+	if doc.Name != "Affected" {
+		return 0, fmt.Errorf("dbproto: unexpected response %s", doc.Name)
+	}
+	return strconv.Atoi(doc.Attr("n"))
+}

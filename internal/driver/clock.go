@@ -1,0 +1,49 @@
+// Package driver implements the Client of the DIPBench toolsuite: it
+// owns the benchmark execution schedule, sends messages and time-based
+// scheduling events to the integration system under test, enforces the
+// stream ordering of Fig. 7 (A and B concurrent, then C, then D), drives
+// the per-period (un)initialization, and verifies the functional
+// correctness of the integrated data in the post phase.
+package driver
+
+import (
+	"context"
+	"time"
+)
+
+// Clock paces the event dispatch. The real-time clock honours the
+// scheduled deadlines (honest concurrency at the configured time scale);
+// the fast clock skips idle waiting while preserving dispatch order —
+// useful for functional testing where wall-clock fidelity is irrelevant.
+type Clock interface {
+	// WaitUntil blocks until offset has elapsed since epoch, or until the
+	// context is cancelled (in which case it returns the context error).
+	WaitUntil(ctx context.Context, epoch time.Time, offset time.Duration) error
+}
+
+// RealClock sleeps until each deadline.
+type RealClock struct{}
+
+// WaitUntil implements Clock.
+func (RealClock) WaitUntil(ctx context.Context, epoch time.Time, offset time.Duration) error {
+	d := time.Until(epoch.Add(offset))
+	if d <= 0 {
+		return ctx.Err()
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// FastClock dispatches immediately, never sleeping.
+type FastClock struct{}
+
+// WaitUntil implements Clock.
+func (FastClock) WaitUntil(ctx context.Context, _ time.Time, _ time.Duration) error {
+	return ctx.Err()
+}

@@ -1,0 +1,274 @@
+package driver
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/engine"
+	"repro/internal/scenario"
+	"repro/internal/schedule"
+	x "repro/internal/xmlmsg"
+)
+
+// Config parameterizes a benchmark run.
+type Config struct {
+	// Scale holds the three scale factors d, t, f.
+	Scale schedule.ScaleFactors
+	// Periods is the number of benchmark periods (the full benchmark runs
+	// schedule.Periods = 100).
+	Periods int
+	// Seed is the global data-generation seed.
+	Seed uint64
+	// Clock paces event dispatch; nil means RealClock.
+	Clock Clock
+	// Verify runs the post-phase functional verification after the last
+	// period.
+	Verify bool
+	// Trace, when non-nil, records every dispatched event for schedule
+	// auditing.
+	Trace *Trace
+	// OnPeriod, when non-nil, is called after every completed period with
+	// the period index and its event/failure counts — progress reporting
+	// for long runs.
+	OnPeriod func(k, events, failures int)
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if err := c.Scale.Validate(); err != nil {
+		return err
+	}
+	if c.Periods < 1 || c.Periods > schedule.Periods {
+		return fmt.Errorf("driver: periods must be in [1,%d], got %d", schedule.Periods, c.Periods)
+	}
+	return nil
+}
+
+// Client executes the benchmark against an integration system.
+type Client struct {
+	cfg Config
+	s   *scenario.Scenario
+	eng *engine.Engine
+}
+
+// NewClient builds a client.
+func NewClient(cfg Config, s *scenario.Scenario, eng *engine.Engine) (*Client, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if s == nil || eng == nil {
+		return nil, fmt.Errorf("driver: scenario and engine are required")
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = RealClock{}
+	}
+	return &Client{cfg: cfg, s: s, eng: eng}, nil
+}
+
+// RunStats summarizes one benchmark run.
+type RunStats struct {
+	Periods  int
+	Events   int
+	Failures int
+	Elapsed  time.Duration
+	// Verification holds the post-phase result (nil when disabled).
+	Verification *VerificationResult
+}
+
+// Run executes the work phase: cfg.Periods benchmark periods, then (when
+// configured) the post-phase verification against the last period's data.
+func (c *Client) Run() (*RunStats, error) {
+	return c.RunContext(context.Background())
+}
+
+// RunContext is Run with cancellation: when the context is cancelled, the
+// in-flight period stops dispatching (queued events are abandoned, running
+// instances finish), the partial statistics are returned together with the
+// context's error, and no verification runs.
+func (c *Client) RunContext(ctx context.Context) (*RunStats, error) {
+	start := time.Now()
+	stats := &RunStats{}
+	var lastGen *datagen.Generator
+	for k := 0; k < c.cfg.Periods; k++ {
+		if err := ctx.Err(); err != nil {
+			stats.Elapsed = time.Since(start)
+			return stats, err
+		}
+		gen, events, failures, err := c.runPeriod(ctx, k)
+		stats.Events += events
+		stats.Failures += failures
+		if err != nil {
+			stats.Elapsed = time.Since(start)
+			if ctx.Err() != nil {
+				return stats, ctx.Err()
+			}
+			return stats, fmt.Errorf("driver: period %d: %w", k, err)
+		}
+		stats.Periods++
+		lastGen = gen
+		if c.cfg.OnPeriod != nil {
+			c.cfg.OnPeriod(k, events, failures)
+		}
+	}
+	stats.Elapsed = time.Since(start)
+	if c.cfg.Verify && lastGen != nil {
+		v := Verify(c.s, lastGen, c.cfg.Scale)
+		stats.Verification = v
+	}
+	return stats, nil
+}
+
+// latch tracks the completion of all instances of one process type within
+// a period.
+type latch struct {
+	mu      sync.Mutex
+	pending int
+	done    chan struct{}
+}
+
+func newLatch(expected int) *latch {
+	l := &latch{pending: expected, done: make(chan struct{})}
+	if expected == 0 {
+		close(l.done)
+	}
+	return l
+}
+
+func (l *latch) complete() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.pending--
+	if l.pending == 0 {
+		close(l.done)
+	}
+}
+
+// runPeriod executes one benchmark period k: uninitialize, initialize the
+// sources, then dispatch the four streams.
+func (c *Client) runPeriod(ctx context.Context, k int) (*datagen.Generator, int, int, error) {
+	if err := c.s.Uninitialize(); err != nil {
+		return nil, 0, 0, err
+	}
+	c.eng.ResetQueues()
+	gen, err := datagen.New(datagen.Config{
+		Seed:     c.cfg.Seed,
+		Datasize: c.cfg.Scale.Datasize,
+		Dist:     c.cfg.Scale.Dist,
+		Period:   k,
+	})
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	if err := c.s.InitializeSources(gen); err != nil {
+		return nil, 0, 0, err
+	}
+	plan, err := schedule.PeriodPlan(k, c.cfg.Scale)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+
+	latches := make(map[string]*latch)
+	for id, n := range plan.CountByProcess() {
+		latches[id] = newLatch(n)
+	}
+
+	var mu sync.Mutex
+	failures := 0
+	executed := 0
+	dispatch := func(in schedule.Instance, epoch time.Time, wg *sync.WaitGroup) {
+		defer wg.Done()
+		defer latches[in.Process].complete()
+		if err := c.cfg.Clock.WaitUntil(ctx, epoch, c.cfg.Scale.TU(in.OffsetTU)); err != nil {
+			return // cancelled before the deadline: abandon the event
+		}
+		for _, dep := range in.AfterAll {
+			if l := latches[dep]; l != nil {
+				select {
+				case <-l.done:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}
+		dispatched := time.Since(epoch)
+		var msg *x.Node
+		var genErr error
+		if m, ok := c.messageFor(gen, in.Process, in.Seq); ok {
+			msg = m
+		} else if isE1(in.Process) {
+			genErr = fmt.Errorf("no message generator for %s", in.Process)
+		}
+		var err error
+		if genErr != nil {
+			err = genErr
+		} else {
+			err = c.eng.Execute(in.Process, msg, k)
+		}
+		mu.Lock()
+		executed++
+		if err != nil {
+			failures++
+		}
+		mu.Unlock()
+		if c.cfg.Trace != nil {
+			c.cfg.Trace.add(TraceEvent{
+				Period: k, Process: in.Process, Seq: in.Seq,
+				ScheduledTU: in.OffsetTU, Dispatched: dispatched,
+				Completed: time.Since(epoch), Failed: err != nil,
+			})
+		}
+	}
+
+	runStreams := func(streams ...schedule.Stream) {
+		epoch := time.Now()
+		var wg sync.WaitGroup
+		for _, s := range streams {
+			for _, in := range plan.ByStream(s) {
+				wg.Add(1)
+				go dispatch(in, epoch, &wg)
+			}
+		}
+		wg.Wait()
+	}
+	// Fig. 7: streams A and B concurrent, then C, then D.
+	runStreams(schedule.StreamA, schedule.StreamB)
+	runStreams(schedule.StreamC)
+	runStreams(schedule.StreamD)
+
+	if err := ctx.Err(); err != nil {
+		return gen, executed, failures, err
+	}
+	return gen, executed, failures, nil
+}
+
+// isE1 reports whether the process type is message-initiated.
+func isE1(id string) bool {
+	switch id {
+	case "P01", "P02", "P04", "P08", "P10":
+		return true
+	default:
+		return false
+	}
+}
+
+// messageFor generates the E1 input message of an instance.
+func (c *Client) messageFor(gen *datagen.Generator, process string, seq int) (*x.Node, bool) {
+	switch process {
+	case "P01":
+		return gen.BeijingCustomerMsg(seq), true
+	case "P02":
+		return gen.MDMCustomer(seq), true
+	case "P04":
+		return gen.ViennaOrder(seq), true
+	case "P08":
+		return gen.HongkongOrder(seq), true
+	case "P10":
+		doc, _ := gen.SanDiegoOrder(seq)
+		return doc, true
+	default:
+		return nil, false
+	}
+}

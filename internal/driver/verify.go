@@ -1,0 +1,261 @@
+package driver
+
+import (
+	"fmt"
+
+	"repro/internal/datagen"
+	"repro/internal/scenario"
+	"repro/internal/schedule"
+	"repro/internal/schema"
+)
+
+// VerificationResult is the outcome of the post-phase functional
+// verification (Fig. 6): the expected warehouse state is re-derived from
+// the deterministic generators and compared against the integrated data of
+// the last executed period.
+type VerificationResult struct {
+	Checks []Check
+}
+
+// Check is one verification assertion.
+type Check struct {
+	Name string
+	OK   bool
+	Info string
+}
+
+// OK reports whether every check passed.
+func (v *VerificationResult) OK() bool {
+	for _, c := range v.Checks {
+		if !c.OK {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the verification report.
+func (v *VerificationResult) String() string {
+	out := "Functional verification (phase post):\n"
+	for _, c := range v.Checks {
+		mark := "PASS"
+		if !c.OK {
+			mark = "FAIL"
+		}
+		out += fmt.Sprintf("  [%s] %-40s %s\n", mark, c.Name, c.Info)
+	}
+	return out
+}
+
+// expectation is the deterministically re-derived target state of the
+// warehouse after one period.
+type expectation struct {
+	// cleanOrders maps the distinct clean order keys to their line counts.
+	cleanOrders map[int64]int
+	// failedMsgs is the number of schema-broken San Diego messages.
+	failedMsgs int
+	// cleanProducts is the number of distinct clean products across the
+	// three regions.
+	cleanProducts int
+}
+
+// lineTotal sums the expected orderline counts.
+func (e *expectation) lineTotal() int {
+	n := 0
+	for _, lines := range e.cleanOrders {
+		n += lines
+	}
+	return n
+}
+
+// expectedOrders computes the distinct clean order keys (with their line
+// counts) that must reach the warehouse, the number of San Diego messages
+// that must land in the failed-data destination, and the clean product
+// count.
+func expectedOrders(gen *datagen.Generator, sf schedule.ScaleFactors) (*expectation, error) {
+	exp := &expectation{cleanOrders: make(map[int64]int)}
+	addOrder := func(o datagen.Order) {
+		if !o.Dirty {
+			exp.cleanOrders[o.Key] = len(o.Lines)
+		}
+	}
+	// Dataset orders of every consolidated source (duplicates collapse in
+	// the map, mirroring the UNION DISTINCT operators). Hongkong's local
+	// dataset stays local: the scenario consolidates Hongkong through its
+	// pushed messages (P08) only, while P09 extracts Beijing and Seoul.
+	for _, src := range scenario.SourceSystems {
+		if src == schema.SysHongkong {
+			continue
+		}
+		orders, oerr := gen.SourceOrders(src)
+		if oerr != nil {
+			return nil, oerr
+		}
+		for _, o := range orders {
+			addOrder(o)
+		}
+	}
+	// Message orders.
+	for i := 0; i < schedule.CountP04(sf.Datasize); i++ {
+		addOrder(gen.ViennaOrderEntity(i))
+	}
+	for i := 0; i < schedule.CountP08(sf.Datasize); i++ {
+		addOrder(gen.HongkongOrderEntity(i))
+	}
+	for i := 0; i < schedule.CountP10(sf.Datasize); i++ {
+		o, broken := gen.SanDiegoOrderEntity(i)
+		if broken {
+			exp.failedMsgs++
+			continue
+		}
+		addOrder(o)
+	}
+	// Master data: the distinct clean products of the three regions.
+	for _, region := range schema.Regions {
+		for _, key := range gen.ProductKeys(region) {
+			if !gen.ProductFor(key).Dirty {
+				exp.cleanProducts++
+			}
+		}
+	}
+	return exp, nil
+}
+
+// Verify checks the functional correctness of the integrated data against
+// the deterministic expectation derived from the generator of the last
+// period.
+func Verify(s *scenario.Scenario, gen *datagen.Generator, sf schedule.ScaleFactors) *VerificationResult {
+	v := &VerificationResult{}
+	check := func(name string, ok bool, format string, args ...interface{}) {
+		v.Checks = append(v.Checks, Check{Name: name, OK: ok, Info: fmt.Sprintf(format, args...)})
+	}
+
+	dwh := s.DB(schema.SysDWH)
+	cdb := s.DB(schema.SysCDB)
+
+	exp, err := expectedOrders(gen, sf)
+	if err != nil {
+		check("expectation derivation", false, "%v", err)
+		return v
+	}
+	clean := exp.cleanOrders
+
+	// 1. The warehouse holds exactly the distinct clean orders.
+	gotOrders := dwh.MustTable("Orders").Len()
+	check("warehouse order count", gotOrders == len(clean),
+		"got %d, expected %d", gotOrders, len(clean))
+
+	// 2. Every warehouse order key is an expected clean key.
+	ords := dwh.MustTable("Orders").Scan()
+	allExpected := true
+	for i := 0; i < ords.Len(); i++ {
+		if _, ok := clean[ords.Get(i, "Ordkey").Int()]; !ok {
+			allExpected = false
+			break
+		}
+	}
+	check("warehouse order keys", allExpected, "all keys derive from clean source orders")
+
+	// 2b. The warehouse holds exactly the clean orders' lines.
+	gotLines := dwh.MustTable("Orderline").Len()
+	check("warehouse orderline count", gotLines == exp.lineTotal(),
+		"got %d, expected %d", gotLines, exp.lineTotal())
+
+	// 2c. The warehouse holds exactly the distinct clean products.
+	gotProds := dwh.MustTable("Product").Len()
+	check("warehouse product count", gotProds == exp.cleanProducts,
+		"got %d, expected %d", gotProds, exp.cleanProducts)
+
+	// 3. No corrupted totals survived the movement cleansing.
+	badTotals := 0
+	for i := 0; i < ords.Len(); i++ {
+		if ords.Get(i, "Totalprice").Float() <= 0 {
+			badTotals++
+		}
+	}
+	check("movement cleansing", badTotals == 0, "%d corrupted totals in warehouse", badTotals)
+
+	// 4. The failed-data destination holds exactly the schema-broken San
+	// Diego messages.
+	gotFailed := cdb.MustTable("FailedMessages").Len()
+	check("failed-data destination", gotFailed == exp.failedMsgs,
+		"got %d, expected %d", gotFailed, exp.failedMsgs)
+
+	// 5. No dirty master data reached the warehouse.
+	dirtyMaster := 0
+	custs := dwh.MustTable("Customer").Scan()
+	for i := 0; i < custs.Len(); i++ {
+		if custs.Get(i, "Name").Str() == "" || custs.Get(i, "Phone").Str() == "INVALID" {
+			dirtyMaster++
+		}
+	}
+	prods := dwh.MustTable("Product").Scan()
+	for i := 0; i < prods.Len(); i++ {
+		if prods.Get(i, "Name").Str() == "" || prods.Get(i, "Price").Float() <= 0 {
+			dirtyMaster++
+		}
+	}
+	check("master-data cleansing", dirtyMaster == 0, "%d dirty master rows in warehouse", dirtyMaster)
+
+	// 6. The CDB's movement data was removed after the load (delta
+	// determination) and its master data is flagged integrated.
+	check("CDB movement delta reset",
+		cdb.MustTable("Orders").Len() == 0 && cdb.MustTable("Orderline").Len() == 0,
+		"orders=%d lines=%d", cdb.MustTable("Orders").Len(), cdb.MustTable("Orderline").Len())
+	unflagged := 0
+	cdbCusts := cdb.MustTable("Customer").Scan()
+	ic := schema.CDBCustomer.MustOrdinal("Integrated")
+	for i := 0; i < cdbCusts.Len(); i++ {
+		if !cdbCusts.Row(i)[ic].Bool() {
+			unflagged++
+		}
+	}
+	check("CDB master integration flags", unflagged == 0, "%d unflagged customers", unflagged)
+
+	// 7. The data marts partition the warehouse orders by region, without
+	// loss and without overlap.
+	totalMart := 0
+	partitionOK := true
+	for _, mv := range schema.Marts {
+		dm := s.DB(mv.Name)
+		mo := dm.MustTable("Orders").Scan()
+		totalMart += mo.Len()
+		for i := 0; i < mo.Len(); i++ {
+			ck := mo.Get(i, "Citykey").Int()
+			if schema.CityRegionName(ck) != mv.Region {
+				partitionOK = false
+			}
+		}
+	}
+	check("data mart partitioning", partitionOK && totalMart == gotOrders,
+		"marts hold %d orders, warehouse %d", totalMart, gotOrders)
+
+	// 8. Every materialized view is consistent with its fact table.
+	mvOK := true
+	info := ""
+	for _, sys := range []string{schema.SysDWH, schema.SysDMEur, schema.SysDMUS, schema.SysDMAsia} {
+		db := s.DB(sys)
+		if db.Table("OrdersMV") == nil {
+			continue
+		}
+		mv := db.MustTable("OrdersMV").Scan()
+		sum := int64(0)
+		for i := 0; i < mv.Len(); i++ {
+			sum += mv.Get(i, "OrderCount").Int()
+		}
+		if sum != int64(db.MustTable("Orders").Len()) {
+			mvOK = false
+			info += fmt.Sprintf("%s: MV %d vs %d; ", sys, sum, db.MustTable("Orders").Len())
+		}
+	}
+	check("materialized view consistency", mvOK, "%s", orDefault(info, "all views consistent"))
+
+	return v
+}
+
+func orDefault(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}

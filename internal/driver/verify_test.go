@@ -1,0 +1,152 @@
+package driver
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/datagen"
+	rel "repro/internal/relational"
+	"repro/internal/schedule"
+	"repro/internal/schema"
+)
+
+// verifiedRig runs one period and returns everything needed to tamper
+// with the final state and re-verify.
+func verifiedRig(t *testing.T) (*rig, *datagen.Generator, schedule.ScaleFactors) {
+	t.Helper()
+	r := newRig(t, false)
+	sf := testScale(0.005)
+	c, err := NewClient(Config{Scale: sf, Periods: 1, Seed: 3, Clock: FastClock{}}, r.s, r.eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	gen := datagen.MustNew(datagen.Config{Seed: 3, Datasize: 0.005, Dist: datagen.Uniform, Period: 0})
+	v := Verify(r.s, gen, sf)
+	if !v.OK() {
+		t.Fatalf("clean state fails verification:\n%s", v)
+	}
+	return r, gen, sf
+}
+
+// failedCheck returns the named check, failing the test if it passed.
+func failedCheck(t *testing.T, r *rig, gen *datagen.Generator, sf schedule.ScaleFactors, name string) {
+	t.Helper()
+	v := Verify(r.s, gen, sf)
+	for _, c := range v.Checks {
+		if c.Name == name {
+			if c.OK {
+				t.Fatalf("check %q passed despite tampering:\n%s", name, v)
+			}
+			return
+		}
+	}
+	t.Fatalf("check %q missing", name)
+}
+
+func TestVerifyDetectsCorruptedTotal(t *testing.T) {
+	r, gen, sf := verifiedRig(t)
+	dwh := r.s.DB(schema.SysDWH)
+	if _, err := dwh.MustTable("Orders").Update(rel.True(), func(row rel.Row) rel.Row {
+		row[schema.WHOrders.MustOrdinal("Totalprice")] = rel.NewFloat(-1)
+		return row
+	}); err != nil {
+		t.Fatal(err)
+	}
+	failedCheck(t, r, gen, sf, "movement cleansing")
+}
+
+func TestVerifyDetectsMissingFailedMessages(t *testing.T) {
+	r, gen, sf := verifiedRig(t)
+	cdb := r.s.DB(schema.SysCDB)
+	if cdb.MustTable("FailedMessages").Len() == 0 {
+		t.Skip("no broken San Diego messages at this scale/seed")
+	}
+	cdb.MustTable("FailedMessages").Truncate()
+	failedCheck(t, r, gen, sf, "failed-data destination")
+}
+
+func TestVerifyDetectsDirtyMasterData(t *testing.T) {
+	r, gen, sf := verifiedRig(t)
+	dwh := r.s.DB(schema.SysDWH)
+	if err := dwh.MustTable("Customer").Insert(rel.Row{
+		rel.NewInt(999999), rel.NewString(""), rel.NewString("a"), rel.NewString("p"),
+		rel.NewString("Berlin"), rel.NewString("Germany"), rel.NewString("Europe"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	failedCheck(t, r, gen, sf, "master-data cleansing")
+}
+
+func TestVerifyDetectsLeftoverCDBMovement(t *testing.T) {
+	r, gen, sf := verifiedRig(t)
+	cdb := r.s.DB(schema.SysCDB)
+	if err := cdb.MustTable("Orders").Insert(rel.Row{
+		rel.NewInt(1), rel.NewInt(1), rel.NewInt(100),
+		rel.NewTime(epochTime()), rel.NewString("OPEN"), rel.NewString("LOW"),
+		rel.NewFloat(10), rel.NewString("s"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	failedCheck(t, r, gen, sf, "CDB movement delta reset")
+}
+
+func TestVerifyDetectsUnflaggedMaster(t *testing.T) {
+	r, gen, sf := verifiedRig(t)
+	cdb := r.s.DB(schema.SysCDB)
+	if _, err := cdb.MustTable("Customer").Update(rel.True(), func(row rel.Row) rel.Row {
+		row[schema.CDBCustomer.MustOrdinal("Integrated")] = rel.NewBool(false)
+		return row
+	}); err != nil {
+		t.Fatal(err)
+	}
+	failedCheck(t, r, gen, sf, "CDB master integration flags")
+}
+
+func TestVerifyDetectsMartPartitionViolation(t *testing.T) {
+	r, gen, sf := verifiedRig(t)
+	// An Asian order smuggled into the Europe mart.
+	dm := r.s.DB(schema.SysDMEur)
+	if err := dm.MustTable("Orders").Insert(rel.Row{
+		rel.NewInt(999991), rel.NewInt(1), rel.NewInt(schema.CityByName("Beijing").Key),
+		rel.NewTime(epochTime()), rel.NewString("OPEN"), rel.NewString("LOW"),
+		rel.NewFloat(10),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	failedCheck(t, r, gen, sf, "data mart partitioning")
+}
+
+func TestVerifyDetectsStaleMV(t *testing.T) {
+	r, gen, sf := verifiedRig(t)
+	dwh := r.s.DB(schema.SysDWH)
+	if _, err := dwh.MustTable("OrdersMV").Update(rel.True(), func(row rel.Row) rel.Row {
+		row[schema.WHOrdersMV.MustOrdinal("OrderCount")] =
+			rel.NewInt(row[schema.WHOrdersMV.MustOrdinal("OrderCount")].Int() + 1)
+		return row
+	}); err != nil {
+		t.Fatal(err)
+	}
+	failedCheck(t, r, gen, sf, "materialized view consistency")
+}
+
+func TestVerifyDetectsForeignOrderKey(t *testing.T) {
+	r, gen, sf := verifiedRig(t)
+	dwh := r.s.DB(schema.SysDWH)
+	// An order key no generator produced.
+	if err := dwh.MustTable("Orders").Insert(rel.Row{
+		rel.NewInt(987654321), rel.NewInt(1), rel.NewInt(100),
+		rel.NewTime(epochTime()), rel.NewString("OPEN"), rel.NewString("LOW"),
+		rel.NewFloat(10),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	failedCheck(t, r, gen, sf, "warehouse order keys")
+}
+
+// epochTime is a fixed order date for tamper rows.
+func epochTime() time.Time {
+	return time.Date(2008, 4, 7, 0, 0, 0, 0, time.UTC)
+}

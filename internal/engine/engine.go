@@ -1,0 +1,364 @@
+// Package engine implements the integration systems under test. The
+// benchmark's system under test executes the 15 MTM process types; four
+// named configurations are provided over one engine core:
+//
+//   - NewFederated models the paper's reference implementation on a
+//     commercial federated DBMS ("System A", Fig. 9): E1 messages are
+//     queued in a relational queue table whose insert trigger runs the
+//     integration process, every instance re-creates its execution plan
+//     (no plan cache — the paper observes that the XML functionalities
+//     "are apparently not included in the optimizer"), and intermediate
+//     datasets are materialized like local temp tables.
+//
+//   - NewPipeline is an optimized engine: direct dispatch, a process
+//     plan cache (management cost paid once), and streaming intermediates
+//     without materialization.
+//
+//   - NewEAI (future work §VII of the paper) adds store-and-forward
+//     message handling and a bounded worker pool.
+//
+//   - NewETL (future work §VII) micro-batches E1 messages.
+//
+// All run the identical process definitions against the identical
+// external systems, so measured differences are engine differences — the
+// comparison DIPBench is designed to enable. Every Options field can also
+// be toggled independently for ablation studies.
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/monitor"
+	"repro/internal/mtm"
+	"repro/internal/processes"
+	rel "repro/internal/relational"
+	x "repro/internal/xmlmsg"
+)
+
+// Options selects the engine's execution strategy; the ablation benchmarks
+// toggle these independently.
+type Options struct {
+	// PlanCache caches compiled process plans; without it, every instance
+	// pays the plan-creation management cost Cm.
+	PlanCache bool
+	// Materialize copies every intermediate dataset (temp-table style
+	// materialization points, Fig. 9 b).
+	Materialize bool
+	// QueueTrigger routes E1 messages through a queue table whose insert
+	// trigger runs the process (Fig. 9 a); otherwise messages dispatch
+	// directly.
+	QueueTrigger bool
+	// MaxWorkers bounds the number of concurrently executing process
+	// instances (an EAI server's worker thread pool); 0 means unbounded.
+	// Callers block until a worker is free — the queueing delay is real
+	// and shows up in the instance's costs.
+	MaxWorkers int
+	// BatchSize > 1 enables ETL-tool-style micro-batching of E1 messages:
+	// messages of one process type are collected and processed as a batch
+	// once BatchSize accumulate or BatchTimeout expires. Incompatible
+	// with QueueTrigger.
+	BatchSize int
+	// BatchTimeout flushes a partial batch; defaults to 2ms.
+	BatchTimeout time.Duration
+}
+
+// Engine executes process instances and records their costs.
+type Engine struct {
+	name string
+	opts Options
+	defs *processes.Definitions
+	ext  mtm.External
+	mon  *monitor.Monitor
+
+	internal *rel.Database // engine-internal storage (queue tables)
+	queueSeq atomic.Int64
+	pending  sync.Map      // queue TID -> *monitor.InstanceRecorder
+	workers  chan struct{} // worker-pool semaphore (nil when unbounded)
+
+	mu       sync.Mutex
+	plans    map[string]*plan
+	batchers map[string]*batcher
+	closed   bool
+
+	planBuilds atomic.Uint64 // statistics: number of plan compilations
+	instances  atomic.Uint64
+}
+
+// New creates an engine with explicit options.
+func New(name string, opts Options, defs *processes.Definitions, ext mtm.External, mon *monitor.Monitor) (*Engine, error) {
+	if defs == nil {
+		return nil, fmt.Errorf("engine: nil process definitions")
+	}
+	if ext == nil {
+		return nil, fmt.Errorf("engine: nil external gateway")
+	}
+	if mon == nil {
+		mon = monitor.New(1)
+	}
+	e := &Engine{
+		name:     name,
+		opts:     opts,
+		defs:     defs,
+		ext:      ext,
+		mon:      mon,
+		internal: rel.NewDatabase("engine_internal"),
+		plans:    make(map[string]*plan),
+	}
+	if opts.MaxWorkers < 0 {
+		return nil, fmt.Errorf("engine: MaxWorkers must be non-negative, got %d", opts.MaxWorkers)
+	}
+	if opts.MaxWorkers > 0 {
+		e.workers = make(chan struct{}, opts.MaxWorkers)
+	}
+	if opts.BatchSize < 0 {
+		return nil, fmt.Errorf("engine: BatchSize must be non-negative, got %d", opts.BatchSize)
+	}
+	if opts.BatchSize > 1 && opts.QueueTrigger {
+		return nil, fmt.Errorf("engine: BatchSize and QueueTrigger are mutually exclusive")
+	}
+	if opts.BatchSize > 1 {
+		e.batchers = make(map[string]*batcher)
+	}
+	if opts.QueueTrigger {
+		if err := e.setupQueues(); err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+// errEngineClosed reports submissions after Close.
+var errEngineClosed = fmt.Errorf("engine: closed")
+
+// Close drains the micro-batchers; further E1 submissions fail. It is
+// only needed for batching engines but safe on all.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	batchers := make([]*batcher, 0, len(e.batchers))
+	for _, b := range e.batchers {
+		batchers = append(batchers, b)
+	}
+	e.mu.Unlock()
+	for _, b := range batchers {
+		b.close()
+	}
+	return nil
+}
+
+// batchTimeout returns the effective partial-batch flush timeout.
+func (e *Engine) batchTimeout() time.Duration {
+	if e.opts.BatchTimeout > 0 {
+		return e.opts.BatchTimeout
+	}
+	return 2 * time.Millisecond
+}
+
+// batcherFor returns (creating on demand) the process's batcher.
+func (e *Engine) batcherFor(p *mtm.Process) *batcher {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	b, ok := e.batchers[p.ID]
+	if !ok {
+		b = newBatcher(e, p)
+		e.batchers[p.ID] = b
+	}
+	return b
+}
+
+// NewFederated creates the "System A" reference engine (Fig. 9).
+func NewFederated(defs *processes.Definitions, ext mtm.External, mon *monitor.Monitor) (*Engine, error) {
+	return New("federated (System A)", Options{
+		PlanCache: false, Materialize: true, QueueTrigger: true,
+	}, defs, ext, mon)
+}
+
+// NewPipeline creates the optimized pipelined engine.
+func NewPipeline(defs *processes.Definitions, ext mtm.External, mon *monitor.Monitor) (*Engine, error) {
+	return New("pipeline", Options{
+		PlanCache: true, Materialize: false, QueueTrigger: false,
+	}, defs, ext, mon)
+}
+
+// DefaultEAIWorkers is the worker-pool size of the EAI-style engine.
+const DefaultEAIWorkers = 4
+
+// NewEAI creates an EAI-server-style engine — the paper's future-work
+// comparison target ("we currently realize experiments with EAI servers
+// and ETL tools"): store-and-forward message handling (queue + re-parse,
+// like the federated E1 path), plan caching, streaming intermediates, and
+// a bounded worker pool that serializes excess concurrency.
+func NewEAI(defs *processes.Definitions, ext mtm.External, mon *monitor.Monitor) (*Engine, error) {
+	return New("eai", Options{
+		PlanCache: true, QueueTrigger: true, MaxWorkers: DefaultEAIWorkers,
+	}, defs, ext, mon)
+}
+
+// DefaultETLBatch is the micro-batch size of the ETL-style engine.
+const DefaultETLBatch = 8
+
+// NewETL creates an ETL-tool-style engine — the paper's other future-work
+// comparison target: plan caching, streaming intermediates, and
+// micro-batched E1 message processing (per-message latency traded for
+// amortized batch execution).
+func NewETL(defs *processes.Definitions, ext mtm.External, mon *monitor.Monitor) (*Engine, error) {
+	return New("etl", Options{
+		PlanCache: true, BatchSize: DefaultETLBatch,
+	}, defs, ext, mon)
+}
+
+// Name returns the engine's display name.
+func (e *Engine) Name() string { return e.name }
+
+// Options returns the engine's execution options.
+func (e *Engine) Options() Options { return e.opts }
+
+// Monitor returns the attached monitor.
+func (e *Engine) Monitor() *monitor.Monitor { return e.mon }
+
+// Stats returns cumulative engine statistics.
+func (e *Engine) Stats() (instances, planBuilds uint64) {
+	return e.instances.Load(), e.planBuilds.Load()
+}
+
+// queueSchema is the Fig. 9 message queue table layout:
+// TID BIGINT PRIMARY KEY, MSG CLOB.
+var queueSchema = rel.MustSchema([]rel.Column{
+	rel.Col("TID", rel.TypeInt),
+	rel.Col("MSG", rel.TypeString),
+}, "TID")
+
+// setupQueues creates one queue table per E1 process type and installs
+// the insert triggers that run the integration processes.
+func (e *Engine) setupQueues() error {
+	for _, p := range e.defs.All() {
+		if p.Event != mtm.E1 {
+			continue
+		}
+		p := p
+		tbl, err := e.internal.CreateTable(p.ID+"_Queue", queueSchema)
+		if err != nil {
+			return err
+		}
+		tbl.AddTrigger(rel.OnInsert, func(_ *rel.Table, _, new rel.Row) error {
+			var rec *monitor.InstanceRecorder
+			if v, ok := e.pending.Load(new[0].Int()); ok {
+				rec = v.(*monitor.InstanceRecorder)
+			}
+			// The trigger evaluates the logical "inserted" row: re-parse
+			// the queued message — genuine per-message XML overhead of
+			// this architecture — and execute the process.
+			parseStart := time.Now()
+			doc, err := x.ParseString(new[1].Str())
+			if rec != nil {
+				rec.Record(mtm.CostProc, time.Since(parseStart))
+			}
+			if err != nil {
+				return fmt.Errorf("engine: queued message: %w", err)
+			}
+			return e.runInstance(p, mtm.XMLMessage(doc), rec)
+		})
+	}
+	return nil
+}
+
+// Execute runs one instance of the process type synchronously, recording
+// its costs under the given benchmark period. input is the E1 message
+// (nil for E2 processes).
+func (e *Engine) Execute(processID string, input *x.Node, period int) error {
+	p := e.defs.ByID(processID)
+	if p == nil {
+		return fmt.Errorf("engine: unknown process %q", processID)
+	}
+	if e.workers != nil {
+		e.workers <- struct{}{}
+		defer func() { <-e.workers }()
+	}
+	if p.Event == mtm.E1 {
+		if input == nil {
+			return fmt.Errorf("engine: process %s requires an input message", processID)
+		}
+		if e.opts.QueueTrigger {
+			return e.executeViaQueue(p, input, period)
+		}
+		if e.opts.BatchSize > 1 {
+			return e.batcherFor(p).submit(input, period)
+		}
+		return e.runInstanceRecorded(p, mtm.XMLMessage(input), period)
+	}
+	if input != nil {
+		return fmt.Errorf("engine: process %s is time-scheduled and takes no message", processID)
+	}
+	return e.runInstanceRecorded(p, nil, period)
+}
+
+// executeViaQueue realizes the Fig. 9 a) path: serialize the message,
+// INSERT it into the process's queue table through the SQL layer, and let
+// the insert trigger run the process.
+func (e *Engine) executeViaQueue(p *mtm.Process, input *x.Node, period int) error {
+	rec := e.mon.StartInstance(p.ID, period)
+	e.instances.Add(1)
+	serStart := time.Now()
+	payload := input.String()
+	tid := e.queueSeq.Add(1)
+	sql := fmt.Sprintf("INSERT INTO %s_Queue VALUES (%d, '%s')",
+		p.ID, tid, strings.ReplaceAll(payload, "'", "''"))
+	rec.Record(mtm.CostProc, time.Since(serStart))
+	e.pending.Store(tid, rec)
+	defer e.pending.Delete(tid)
+	_, err := e.internal.Exec(sql)
+	rec.Finish(err)
+	return err
+}
+
+// runInstanceRecorded wraps runInstance with a fresh monitor record.
+func (e *Engine) runInstanceRecorded(p *mtm.Process, input *mtm.Message, period int) error {
+	rec := e.mon.StartInstance(p.ID, period)
+	e.instances.Add(1)
+	err := e.runInstance(p, input, rec)
+	rec.Finish(err)
+	return err
+}
+
+// runInstance compiles (or fetches) the plan and executes the operators.
+// rec may be nil (costs discarded).
+func (e *Engine) runInstance(p *mtm.Process, input *mtm.Message, rec *monitor.InstanceRecorder) error {
+	var costRec mtm.CostRecorder
+	if rec != nil {
+		costRec = rec
+	}
+	// Plan creation: internal management cost Cm.
+	mgmtStart := time.Now()
+	pl := e.plan(p)
+	if rec != nil {
+		rec.Record(mtm.CostMgmt, time.Since(mgmtStart))
+	}
+	ctx := mtm.NewContext(e.ext, input, costRec)
+	return mtm.Run(pl.process, ctx)
+}
+
+// QueueDepth reports the rows currently held in the E1 queue tables —
+// with synchronous triggers this equals the number of processed messages
+// retained for audit.
+func (e *Engine) QueueDepth() int {
+	if !e.opts.QueueTrigger {
+		return 0
+	}
+	return e.internal.TotalRows()
+}
+
+// ResetQueues truncates the engine-internal queue tables (between
+// benchmark periods).
+func (e *Engine) ResetQueues() {
+	if e.opts.QueueTrigger {
+		e.internal.TruncateAll()
+	}
+}

@@ -1,0 +1,153 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/mtm"
+	rel "repro/internal/relational"
+)
+
+// plan is a compiled process: the (possibly instrumented) operator graph
+// plus a textual plan description, the artifact whose creation is billed
+// as internal management cost Cm.
+type plan struct {
+	process *mtm.Process
+	text    string
+	steps   int
+}
+
+// plan returns the compiled plan for a process, building it on demand.
+// With the plan cache enabled the build cost is paid once per process
+// type; without it, every instance recompiles.
+func (e *Engine) plan(p *mtm.Process) *plan {
+	if e.opts.PlanCache {
+		e.mu.Lock()
+		if pl, ok := e.plans[p.ID]; ok {
+			e.mu.Unlock()
+			return pl
+		}
+		e.mu.Unlock()
+	}
+	pl := e.compile(p)
+	if e.opts.PlanCache {
+		e.mu.Lock()
+		e.plans[p.ID] = pl
+		e.mu.Unlock()
+	}
+	return pl
+}
+
+// compile walks the operator graph, renders the plan text and — when
+// materialization is on — wraps dataset-producing operators with
+// temp-table materialization points.
+func (e *Engine) compile(p *mtm.Process) *plan {
+	e.planBuilds.Add(1)
+	var b strings.Builder
+	fmt.Fprintf(&b, "PLAN %s (%s, event %s)\n", p.ID, p.Name, p.Event)
+	steps := 0
+	ops := e.compileOps(p.Ops, &b, 1, &steps)
+	compiled := &mtm.Process{ID: p.ID, Name: p.Name, Group: p.Group, Event: p.Event, Ops: ops}
+	return &plan{process: compiled, text: b.String(), steps: steps}
+}
+
+func (e *Engine) compileOps(ops []mtm.Operator, b *strings.Builder, depth int, steps *int) []mtm.Operator {
+	out := make([]mtm.Operator, 0, len(ops))
+	indent := strings.Repeat("  ", depth)
+	for _, op := range ops {
+		*steps++
+		fmt.Fprintf(b, "%s%d: %s\n", indent, *steps, op.Kind())
+		switch o := op.(type) {
+		case mtm.Switch:
+			cases := make([]mtm.SwitchCase, len(o.Cases))
+			for i, c := range o.Cases {
+				cases[i] = mtm.SwitchCase{When: c.When, Ops: e.compileOps(c.Ops, b, depth+1, steps)}
+			}
+			out = append(out, mtm.Switch{Cases: cases, Else: e.compileOps(o.Else, b, depth+1, steps)})
+		case mtm.Fork:
+			branches := make([][]mtm.Operator, len(o.Branches))
+			for i, br := range o.Branches {
+				branches[i] = e.compileOps(br, b, depth+1, steps)
+			}
+			out = append(out, mtm.Fork{Branches: branches})
+		case mtm.Validate:
+			out = append(out, mtm.Validate{
+				In: o.In, Schema: o.Schema, ErrorsTo: o.ErrorsTo,
+				Valid:   e.compileOps(o.Valid, b, depth+1, steps),
+				Invalid: e.compileOps(o.Invalid, b, depth+1, steps),
+			})
+		case mtm.Subprocess:
+			sub := e.compile(o.Process)
+			out = append(out, mtm.Subprocess{Process: sub.process})
+		default:
+			out = append(out, e.maybeMaterialize(op))
+		}
+	}
+	return out
+}
+
+// datasetOutput reports the dataset output variable of a leaf operator,
+// or "" when the operator produces no dataset.
+func datasetOutput(op mtm.Operator) string {
+	switch o := op.(type) {
+	case mtm.Selection:
+		return o.Out
+	case mtm.Projection:
+		return o.Out
+	case mtm.RenameData:
+		return o.Out
+	case mtm.UnionDistinct:
+		return o.Out
+	case mtm.Join:
+		return o.Out
+	case mtm.ToData:
+		return o.Out
+	default:
+		return ""
+	}
+}
+
+// maybeMaterialize wraps dataset-producing operators with a
+// materialization point when the engine materializes intermediates.
+func (e *Engine) maybeMaterialize(op mtm.Operator) mtm.Operator {
+	if !e.opts.Materialize {
+		return op
+	}
+	out := datasetOutput(op)
+	if out == "" {
+		return op
+	}
+	return materializeOp{Operator: op, out: out}
+}
+
+// materializeOp decorates an operator with a temp-table materialization:
+// after the operator runs, its output dataset is deep-copied, modelling
+// the local materialization points of Fig. 9 b). The copy cost is billed
+// to the operator's own category (it executes inside the operator's
+// timing window).
+type materializeOp struct {
+	mtm.Operator
+	out string
+}
+
+// Execute implements mtm.Operator.
+func (m materializeOp) Execute(ctx *mtm.Context) error {
+	if err := m.Operator.Execute(ctx); err != nil {
+		return err
+	}
+	msg := ctx.Get(m.out)
+	if msg == nil || msg.Data == nil {
+		return nil
+	}
+	r := msg.Data
+	rows := make([]rel.Row, r.Len())
+	for i := 0; i < r.Len(); i++ {
+		rows[i] = r.Row(i).Clone()
+	}
+	mat, err := rel.NewRelation(r.Schema(), rows)
+	if err != nil {
+		return fmt.Errorf("engine: materialize %s: %w", m.out, err)
+	}
+	ctx.Set(m.out, mtm.DataMessage(mat))
+	return nil
+}

@@ -1,0 +1,134 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/monitor"
+	"repro/internal/mtm"
+	"repro/internal/processes"
+	rel "repro/internal/relational"
+	x "repro/internal/xmlmsg"
+)
+
+func TestPlanTextDescribesOperatorTree(t *testing.T) {
+	f := newFixture(t)
+	e, err := New("t", Options{}, processes.MustNew(), f.s.Gateway(), f.mon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := e.compile(e.defs.ByID("P02"))
+	for _, want := range []string{"PLAN P02", "RECEIVE", "TRANSLATE", "SWITCH", "INVOKE"} {
+		if !strings.Contains(pl.text, want) {
+			t.Errorf("plan text missing %q:\n%s", want, pl.text)
+		}
+	}
+	if pl.steps != e.defs.ByID("P02").OperatorCount() {
+		t.Errorf("plan steps %d != operator count %d", pl.steps, e.defs.ByID("P02").OperatorCount())
+	}
+}
+
+func TestPlanCompilationCoversNestedStructures(t *testing.T) {
+	f := newFixture(t)
+	e, err := New("t", Options{Materialize: true}, processes.MustNew(), f.s.Gateway(), f.mon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// P14 exercises Subprocess and Fork; P10 Validate; the compiled plan
+	// must preserve the full operator counts.
+	for _, id := range []string{"P10", "P14"} {
+		orig := e.defs.ByID(id)
+		pl := e.compile(orig)
+		if pl.process.OperatorCount() != orig.OperatorCount() {
+			t.Errorf("%s: compiled %d operators, original %d",
+				id, pl.process.OperatorCount(), orig.OperatorCount())
+		}
+		if pl.process.ID != orig.ID || pl.process.Event != orig.Event {
+			t.Errorf("%s: metadata lost", id)
+		}
+	}
+}
+
+func TestDatasetOutputDetection(t *testing.T) {
+	cases := []struct {
+		op   mtm.Operator
+		want string
+	}{
+		{mtm.Selection{Out: "a"}, "a"},
+		{mtm.Projection{Out: "b"}, "b"},
+		{mtm.RenameData{Out: "c"}, "c"},
+		{mtm.UnionDistinct{Out: "d"}, "d"},
+		{mtm.Join{Out: "e"}, "e"},
+		{mtm.ToData{Out: "f"}, "f"},
+		{mtm.Receive{To: "g"}, ""},
+		{mtm.Invoke{Out: "h"}, ""}, // invokes are not materialized
+		{mtm.ToXML{Out: "i"}, ""},  // XML outputs are not temp tables
+	}
+	for _, c := range cases {
+		if got := datasetOutput(c.op); got != c.want {
+			t.Errorf("%T: %q, want %q", c.op, got, c.want)
+		}
+	}
+}
+
+func TestMaterializeOpCopiesDatasets(t *testing.T) {
+	inner := mtm.Selection{In: "in", Out: "out", Pred: rel.True()}
+	op := materializeOp{Operator: inner, out: "out"}
+	ctx := mtm.NewContext(nil, nil, nil)
+	src := rel.MustRelation(rel.MustSchema([]rel.Column{rel.Col("K", rel.TypeInt)}),
+		[]rel.Row{{rel.NewInt(1)}})
+	ctx.Set("in", mtm.DataMessage(src))
+	if err := op.Execute(ctx); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ctx.Data("out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The materialized copy must not alias the source rows.
+	out.Row(0)[0] = rel.NewInt(99)
+	if src.Row(0)[0].Int() != 1 {
+		t.Error("materialization aliased the source rows")
+	}
+	// Metadata preserved.
+	if out.Len() != 1 || !out.Schema().Equal(src.Schema()) {
+		t.Error("materialized relation diverges")
+	}
+}
+
+func TestMaterializeOpIgnoresXMLOutputs(t *testing.T) {
+	inner := mtm.Assign{To: "out", Fn: func(*mtm.Context) (*mtm.Message, error) {
+		return mtm.XMLMessage(x.New("Doc")), nil
+	}}
+	op := materializeOp{Operator: inner, out: "out"}
+	ctx := mtm.NewContext(nil, nil, nil)
+	if err := op.Execute(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Get("out").Doc == nil {
+		t.Error("XML output damaged by materialization")
+	}
+}
+
+func TestMaterializeOpPreservesKindAndCategory(t *testing.T) {
+	inner := mtm.Selection{Out: "x"}
+	op := materializeOp{Operator: inner, out: "x"}
+	if op.Kind() != "SELECTION" || op.Category() != mtm.CostProc {
+		t.Errorf("decorator metadata: %s/%s", op.Kind(), op.Category())
+	}
+}
+
+func TestPlanCacheIsPerProcess(t *testing.T) {
+	f := newFixture(t)
+	e, err := New("t", Options{PlanCache: true}, processes.MustNew(), f.s.Gateway(), monitor.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = e.plan(e.defs.ByID("P12"))
+	_ = e.plan(e.defs.ByID("P12"))
+	_ = e.plan(e.defs.ByID("P13"))
+	_, builds := e.Stats()
+	if builds != 2 {
+		t.Errorf("plan builds: %d, want 2 (one per distinct process)", builds)
+	}
+}

@@ -1,0 +1,324 @@
+// Package monitor implements the Monitor of the DIPBench toolsuite: it
+// collects the per-instance cost measurements of the three cost categories
+// (communication Cc, internal management Cm, processing Cp), normalizes
+// them to be comparable and independent of concurrent process executions,
+// and computes the benchmark performance metric
+//
+//	NAVG+(P) = NAVG(NC(p)) + sigma+(NC(p))
+//
+// — the average of the normalized costs of a process type's instances plus
+// the positive standard deviation, expressed in abstract time units (tu,
+// where 1 tu = 1/t milliseconds under time scale factor t).
+//
+// Cost normalization: the paper requires costs "comparable and independent
+// of concurrent process executions" without giving the formula. The
+// monitor maintains an activity ledger — a step function of how many
+// process instances are concurrently active — and divides each instance's
+// measured wall-time costs by the average concurrency during the
+// instance's lifetime. For serialized streams this reduces to plain wall
+// time; for concurrent streams it removes the inflation caused by
+// co-scheduled instances.
+package monitor
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/mtm"
+)
+
+// Monitor collects instance records for one benchmark run.
+type Monitor struct {
+	timeScale float64 // scale factor t: 1 tu = 1/t ms
+
+	mu        sync.Mutex
+	active    int
+	lastEvent time.Time
+	area      float64 // integral of active instances over seconds
+	records   []*Record
+	started   bool
+	opTotals  map[opKey]*opCell // per (process, operator kind) aggregation
+}
+
+// Record is the measurement of one finished process instance.
+type Record struct {
+	Process string
+	Period  int
+	Start   time.Time
+	End     time.Time
+	Cc      time.Duration // communication costs
+	Cm      time.Duration // internal management costs
+	Cp      time.Duration // processing costs
+	AvgConc float64       // average concurrency during the lifetime
+	Err     error         // non-nil if the instance failed
+}
+
+// Total returns the sum of the three cost categories.
+func (r *Record) Total() time.Duration { return r.Cc + r.Cm + r.Cp }
+
+// Normalized returns the normalized cost NC(p) in milliseconds.
+func (r *Record) Normalized() float64 {
+	conc := r.AvgConc
+	if conc < 1 {
+		conc = 1
+	}
+	return float64(r.Total().Nanoseconds()) / 1e6 / conc
+}
+
+// New creates a monitor for the given time scale factor t (>0).
+func New(timeScale float64) *Monitor {
+	if timeScale <= 0 {
+		timeScale = 1
+	}
+	return &Monitor{timeScale: timeScale}
+}
+
+// TimeScale returns the configured scale factor t.
+func (m *Monitor) TimeScale() float64 { return m.timeScale }
+
+// advance integrates the activity ledger up to now. Caller holds mu.
+func (m *Monitor) advance(now time.Time) {
+	if m.started {
+		m.area += float64(m.active) * now.Sub(m.lastEvent).Seconds()
+	}
+	m.lastEvent = now
+	m.started = true
+}
+
+// InstanceRecorder tracks one running process instance. It implements
+// mtm.CostRecorder for the operator-level cost intervals and adds the
+// engine-level management costs.
+type InstanceRecorder struct {
+	m         *Monitor
+	rec       *Record
+	startArea float64
+	mu        sync.Mutex
+	finished  bool
+}
+
+// StartInstance begins measuring a process instance.
+func (m *Monitor) StartInstance(process string, period int) *InstanceRecorder {
+	now := time.Now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.advance(now)
+	m.active++
+	return &InstanceRecorder{
+		m:         m,
+		rec:       &Record{Process: process, Period: period, Start: now},
+		startArea: m.area,
+	}
+}
+
+// Record implements mtm.CostRecorder.
+func (r *InstanceRecorder) Record(cat mtm.Cost, d time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch cat {
+	case mtm.CostComm:
+		r.rec.Cc += d
+	case mtm.CostMgmt:
+		r.rec.Cm += d
+	case mtm.CostProc:
+		r.rec.Cp += d
+	}
+}
+
+// Finish completes the instance, computing its average concurrency.
+// err records an instance failure. Finish is idempotent.
+func (r *InstanceRecorder) Finish(err error) {
+	now := time.Now()
+	r.mu.Lock()
+	if r.finished {
+		r.mu.Unlock()
+		return
+	}
+	r.finished = true
+	r.rec.End = now
+	r.rec.Err = err
+	r.mu.Unlock()
+
+	m := r.m
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.advance(now)
+	m.active--
+	lifetime := now.Sub(r.rec.Start).Seconds()
+	if lifetime > 0 {
+		r.rec.AvgConc = (m.area - r.startArea) / lifetime
+	} else {
+		r.rec.AvgConc = float64(m.active + 1)
+	}
+	m.records = append(m.records, r.rec)
+}
+
+// Records returns a snapshot of all finished instance records.
+func (m *Monitor) Records() []*Record {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Record, len(m.records))
+	copy(out, m.records)
+	return out
+}
+
+// Active returns the number of currently running instances.
+func (m *Monitor) Active() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.active
+}
+
+// msToTU converts milliseconds to abstract time units: 1 tu = 1/t ms.
+func (m *Monitor) msToTU(ms float64) float64 { return ms * m.timeScale }
+
+// ProcessStats is the aggregated result of one process type.
+type ProcessStats struct {
+	Process   string
+	Instances int
+	Failures  int
+	// NAVG is the average of the normalized costs, in tu.
+	NAVG float64
+	// StdDev is the (positive) standard deviation of the normalized
+	// costs, in tu.
+	StdDev float64
+	// NAVGPlus is the benchmark metric NAVG+ = NAVG + sigma+, in tu.
+	NAVGPlus float64
+	// Category breakdown (averages over instances, in tu).
+	AvgCc, AvgCm, AvgCp float64
+	// AvgConc is the mean of the instances' average concurrency.
+	AvgConc float64
+	// P50 and P95 are the median and 95th-percentile normalized costs
+	// (nearest-rank), in tu.
+	P50, P95 float64
+}
+
+// Report is the full benchmark analysis.
+type Report struct {
+	TimeScale float64
+	Stats     []ProcessStats // ordered by process id
+}
+
+// Analyze aggregates all finished records into the benchmark report.
+// Failed instances count toward Failures but not toward the metric.
+func (m *Monitor) Analyze() *Report { return m.AnalyzeFrom(0) }
+
+// AnalyzeFrom aggregates only the records of periods >= minPeriod —
+// discarding warm-up periods (plan-cache population, allocator ramp-up)
+// from the metric, a standard benchmark practice.
+func (m *Monitor) AnalyzeFrom(minPeriod int) *Report {
+	records := m.Records()
+	byProc := make(map[string][]*Record)
+	for _, r := range records {
+		if r.Period < minPeriod {
+			continue
+		}
+		byProc[r.Process] = append(byProc[r.Process], r)
+	}
+	ids := make([]string, 0, len(byProc))
+	for id := range byProc {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	rep := &Report{TimeScale: m.timeScale}
+	for _, id := range ids {
+		recs := byProc[id]
+		st := ProcessStats{Process: id, Instances: len(recs)}
+		var normed []float64
+		var sumCc, sumCm, sumCp, sumConc float64
+		ok := 0
+		for _, r := range recs {
+			if r.Err != nil {
+				st.Failures++
+				continue
+			}
+			ok++
+			normed = append(normed, m.msToTU(r.Normalized()))
+			sumCc += m.msToTU(float64(r.Cc.Nanoseconds()) / 1e6)
+			sumCm += m.msToTU(float64(r.Cm.Nanoseconds()) / 1e6)
+			sumCp += m.msToTU(float64(r.Cp.Nanoseconds()) / 1e6)
+			sumConc += r.AvgConc
+		}
+		if ok > 0 {
+			st.NAVG = mean(normed)
+			st.StdDev = stddev(normed, st.NAVG)
+			st.NAVGPlus = st.NAVG + st.StdDev
+			st.AvgCc = sumCc / float64(ok)
+			st.AvgCm = sumCm / float64(ok)
+			st.AvgCp = sumCp / float64(ok)
+			st.AvgConc = sumConc / float64(ok)
+			st.P50 = percentileOf(normed, 50)
+			st.P95 = percentileOf(normed, 95)
+		}
+		rep.Stats = append(rep.Stats, st)
+	}
+	return rep
+}
+
+// ByProcess returns the stats row for a process id, or nil.
+func (r *Report) ByProcess(id string) *ProcessStats {
+	for i := range r.Stats {
+		if r.Stats[i].Process == id {
+			return &r.Stats[i]
+		}
+	}
+	return nil
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// percentileOf returns the nearest-rank p-th percentile of xs (which is
+// copied, not mutated); 0 for empty input.
+func percentileOf(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// stddev computes the sample standard deviation (n-1 denominator; 0 for a
+// single observation).
+func stddev(xs []float64, mu float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		d := x - mu
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}
+
+// String renders the report as the textual DIPBench performance table.
+func (r *Report) String() string {
+	out := fmt.Sprintf("DIPBench Performance Report [sfTime=%g]\n", r.TimeScale)
+	out += fmt.Sprintf("%-6s %6s %5s %12s %12s %10s %10s %10s %8s\n",
+		"Proc", "Inst", "Fail", "NAVG[tu]", "NAVG+[tu]", "Cc[tu]", "Cm[tu]", "Cp[tu]", "Conc")
+	for _, s := range r.Stats {
+		out += fmt.Sprintf("%-6s %6d %5d %12.2f %12.2f %10.2f %10.2f %10.2f %8.2f\n",
+			s.Process, s.Instances, s.Failures, s.NAVG, s.NAVGPlus, s.AvgCc, s.AvgCm, s.AvgCp, s.AvgConc)
+	}
+	return out
+}

@@ -1,0 +1,313 @@
+package monitor
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/mtm"
+)
+
+func TestInstanceRecorderCategories(t *testing.T) {
+	m := New(1)
+	rec := m.StartInstance("P01", 0)
+	rec.Record(mtm.CostComm, 10*time.Millisecond)
+	rec.Record(mtm.CostMgmt, 5*time.Millisecond)
+	rec.Record(mtm.CostProc, 20*time.Millisecond)
+	rec.Record(mtm.CostProc, 5*time.Millisecond)
+	rec.Finish(nil)
+	recs := m.Records()
+	if len(recs) != 1 {
+		t.Fatalf("records: %d", len(recs))
+	}
+	r := recs[0]
+	if r.Cc != 10*time.Millisecond || r.Cm != 5*time.Millisecond || r.Cp != 25*time.Millisecond {
+		t.Errorf("categories: %v %v %v", r.Cc, r.Cm, r.Cp)
+	}
+	if r.Total() != 40*time.Millisecond {
+		t.Errorf("total: %v", r.Total())
+	}
+}
+
+func TestFinishIdempotent(t *testing.T) {
+	m := New(1)
+	rec := m.StartInstance("P01", 0)
+	rec.Finish(nil)
+	rec.Finish(errors.New("again"))
+	if len(m.Records()) != 1 {
+		t.Fatal("double finish recorded twice")
+	}
+	if m.Active() != 0 {
+		t.Fatalf("active: %d", m.Active())
+	}
+}
+
+func TestSerializedInstanceConcurrencyIsOne(t *testing.T) {
+	m := New(1)
+	for i := 0; i < 3; i++ {
+		rec := m.StartInstance("P12", 0)
+		time.Sleep(2 * time.Millisecond)
+		rec.Finish(nil)
+	}
+	for _, r := range m.Records() {
+		if math.Abs(r.AvgConc-1) > 0.05 {
+			t.Errorf("serialized concurrency: %g", r.AvgConc)
+		}
+	}
+}
+
+func TestConcurrentInstancesShareNormalization(t *testing.T) {
+	m := New(1)
+	const n = 4
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rec := m.StartInstance("P04", 0)
+			rec.Record(mtm.CostProc, 10*time.Millisecond)
+			time.Sleep(20 * time.Millisecond)
+			rec.Finish(nil)
+		}()
+	}
+	wg.Wait()
+	for _, r := range m.Records() {
+		if r.AvgConc < 2 {
+			t.Errorf("concurrent instance measured conc %g, want >= 2", r.AvgConc)
+		}
+		// Normalized cost is the raw cost divided by concurrency.
+		raw := float64(r.Total().Nanoseconds()) / 1e6
+		if got := r.Normalized(); math.Abs(got-raw/r.AvgConc) > 1e-9 {
+			t.Errorf("normalization: %g vs %g", got, raw/r.AvgConc)
+		}
+	}
+}
+
+func TestAnalyzeNAVGPlus(t *testing.T) {
+	m := New(1)
+	// Fabricate three instances with known normalized costs by finishing
+	// them serialized (concurrency 1).
+	durations := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 30 * time.Millisecond}
+	for _, d := range durations {
+		rec := m.StartInstance("P13", 0)
+		rec.Record(mtm.CostProc, d)
+		rec.Finish(nil)
+	}
+	rep := m.Analyze()
+	st := rep.ByProcess("P13")
+	if st == nil || st.Instances != 3 {
+		t.Fatalf("stats: %+v", st)
+	}
+	// Mean 20, sample stddev 10 -> NAVG+ = 30 (in tu = ms at t=1).
+	if math.Abs(st.NAVG-20) > 1 {
+		t.Errorf("NAVG: %g", st.NAVG)
+	}
+	if math.Abs(st.StdDev-10) > 1 {
+		t.Errorf("StdDev: %g", st.StdDev)
+	}
+	if math.Abs(st.NAVGPlus-(st.NAVG+st.StdDev)) > 1e-9 {
+		t.Errorf("NAVG+ != NAVG + sigma")
+	}
+}
+
+func TestTimeScaleConvertsToTU(t *testing.T) {
+	// With t=2, 1 tu = 0.5 ms, so 10 ms = 20 tu.
+	m := New(2)
+	rec := m.StartInstance("P01", 0)
+	rec.Record(mtm.CostProc, 10*time.Millisecond)
+	rec.Finish(nil)
+	st := m.Analyze().ByProcess("P01")
+	if st.NAVG < 19.5 || st.NAVG > 25 {
+		t.Errorf("tu conversion: %g", st.NAVG)
+	}
+}
+
+func TestFailuresExcludedFromMetric(t *testing.T) {
+	m := New(1)
+	ok := m.StartInstance("P10", 0)
+	ok.Record(mtm.CostProc, 10*time.Millisecond)
+	ok.Finish(nil)
+	bad := m.StartInstance("P10", 0)
+	bad.Record(mtm.CostProc, 1000*time.Millisecond)
+	bad.Finish(errors.New("boom"))
+	st := m.Analyze().ByProcess("P10")
+	if st.Instances != 2 || st.Failures != 1 {
+		t.Fatalf("instances/failures: %d/%d", st.Instances, st.Failures)
+	}
+	if st.NAVG > 100 {
+		t.Errorf("failed instance polluted the metric: %g", st.NAVG)
+	}
+}
+
+func TestReportOrderingAndString(t *testing.T) {
+	m := New(1)
+	for _, id := range []string{"P10", "P02", "P07"} {
+		rec := m.StartInstance(id, 0)
+		rec.Finish(nil)
+	}
+	rep := m.Analyze()
+	if len(rep.Stats) != 3 || rep.Stats[0].Process != "P02" || rep.Stats[2].Process != "P10" {
+		t.Fatalf("ordering: %+v", rep.Stats)
+	}
+	s := rep.String()
+	for _, want := range []string{"P02", "P07", "P10", "NAVG+"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	if rep.ByProcess("P99") != nil {
+		t.Error("ByProcess on missing id")
+	}
+}
+
+func TestPlotOutput(t *testing.T) {
+	m := New(1)
+	rec := m.StartInstance("P13", 0)
+	rec.Record(mtm.CostProc, 5*time.Millisecond)
+	rec.Finish(nil)
+	var b strings.Builder
+	if err := m.Analyze().Plot(&b, 0.05); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"sfTime=1", "sfDatasize=0.05", "P13", "NAVG+", "#"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plot missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	m := New(1)
+	rec := m.StartInstance("P04", 3)
+	rec.Record(mtm.CostComm, 7*time.Millisecond)
+	rec.Record(mtm.CostProc, 3*time.Millisecond)
+	rec.Finish(nil)
+	bad := m.StartInstance("P10", 3)
+	bad.Finish(errors.New("x"))
+
+	var b strings.Builder
+	if err := m.WriteRecordsCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := ReadRecordsCSV(strings.NewReader(b.String()), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := m2.Records()
+	if len(recs) != 2 {
+		t.Fatalf("records: %d", len(recs))
+	}
+	if recs[0].Process != "P04" || recs[0].Period != 3 ||
+		recs[0].Cc != 7*time.Millisecond || recs[0].Cp != 3*time.Millisecond {
+		t.Errorf("round trip: %+v", recs[0])
+	}
+	if recs[1].Err == nil {
+		t.Error("failure flag lost")
+	}
+	// Analysis over re-read records matches.
+	a, b2 := m.Analyze(), m2.Analyze()
+	if math.Abs(a.ByProcess("P04").NAVG-b2.ByProcess("P04").NAVG) > 0.01 {
+		t.Errorf("NAVG differs after round trip")
+	}
+}
+
+func TestReadRecordsCSVErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"header\nonly,two",
+		"h\nP04,x,0,0,0,0,0,1.0,0",
+		"h\nP04,1,x,0,0,0,0,1.0,0",
+		"h\nP04,1,0,0,0,0,0,x,0",
+	}
+	for _, c := range cases {
+		if _, err := ReadRecordsCSV(strings.NewReader(c), 1); err == nil {
+			t.Errorf("accepted %q", c)
+		}
+	}
+}
+
+func TestReportCSVAndGnuplot(t *testing.T) {
+	m := New(1)
+	rec := m.StartInstance("P01", 0)
+	rec.Record(mtm.CostProc, time.Millisecond)
+	rec.Finish(nil)
+	rep := m.Analyze()
+	var csv, dat strings.Builder
+	if err := rep.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(csv.String(), "P01") || !strings.Contains(csv.String(), "navgplus_tu") {
+		t.Errorf("csv: %s", csv.String())
+	}
+	if err := rep.WriteGnuplotDat(&dat); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(dat.String(), "# idx process") {
+		t.Errorf("dat: %s", dat.String())
+	}
+}
+
+func TestAnalyzePercentiles(t *testing.T) {
+	m := New(1)
+	for _, ms := range []int{10, 20, 30, 40, 50, 60, 70, 80, 90, 100} {
+		rec := m.StartInstance("PX", 0)
+		rec.Record(mtm.CostProc, time.Duration(ms)*time.Millisecond)
+		rec.Finish(nil)
+	}
+	st := m.Analyze().ByProcess("PX")
+	if st.P50 < 40 || st.P50 > 60 {
+		t.Errorf("P50: %g", st.P50)
+	}
+	if st.P95 < 85 || st.P95 > 110 || st.P95 <= st.P50 {
+		t.Errorf("P95: %g", st.P95)
+	}
+	// The CSV carries the percentile columns.
+	var b strings.Builder
+	if err := m.Analyze().WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "p95_tu") {
+		t.Error("CSV missing percentile columns")
+	}
+}
+
+func TestAnalyzeFromDiscardsWarmup(t *testing.T) {
+	m := New(1)
+	// Period 0: slow warm-up instance; periods 1-2: fast.
+	slow := m.StartInstance("P12", 0)
+	slow.Record(mtm.CostProc, 100*time.Millisecond)
+	slow.Finish(nil)
+	for k := 1; k <= 2; k++ {
+		rec := m.StartInstance("P12", k)
+		rec.Record(mtm.CostProc, 2*time.Millisecond)
+		rec.Finish(nil)
+	}
+	all := m.Analyze().ByProcess("P12")
+	warm := m.AnalyzeFrom(1).ByProcess("P12")
+	if all.Instances != 3 || warm.Instances != 2 {
+		t.Fatalf("instances: %d/%d", all.Instances, warm.Instances)
+	}
+	if warm.NAVG >= all.NAVG {
+		t.Errorf("warm-up not discarded: %.2f vs %.2f", warm.NAVG, all.NAVG)
+	}
+	// Discarding everything yields an empty report.
+	if len(m.AnalyzeFrom(99).Stats) != 0 {
+		t.Error("over-discard should yield no stats")
+	}
+}
+
+func TestStddevEdgeCases(t *testing.T) {
+	if stddev(nil, 0) != 0 {
+		t.Error("empty stddev")
+	}
+	if stddev([]float64{5}, 5) != 0 {
+		t.Error("single observation stddev")
+	}
+	if mean(nil) != 0 {
+		t.Error("empty mean")
+	}
+}

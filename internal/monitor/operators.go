@@ -1,0 +1,112 @@
+package monitor
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/mtm"
+)
+
+// Operator-level analysis: the cost model the benchmark builds on
+// attributes costs to individual operator executions; aggregating them per
+// (process type, operator kind) shows where each process spends its time —
+// RECEIVE/INVOKE round trips vs. TRANSLATE vs. UNION_DISTINCT etc.
+
+// opKey identifies one aggregation cell.
+type opKey struct {
+	process string
+	kind    string
+}
+
+// RecordOp implements mtm.OpRecorder: per-operator-kind intervals of one
+// instance flow into the monitor's global aggregation.
+func (r *InstanceRecorder) RecordOp(kind string, d time.Duration) {
+	r.m.recordOp(r.rec.Process, kind, d)
+}
+
+var _ mtm.OpRecorder = (*InstanceRecorder)(nil)
+
+func (m *Monitor) recordOp(process, kind string, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.opTotals == nil {
+		m.opTotals = make(map[opKey]*opCell)
+	}
+	cell := m.opTotals[opKey{process, kind}]
+	if cell == nil {
+		cell = &opCell{}
+		m.opTotals[opKey{process, kind}] = cell
+	}
+	cell.total += d
+	cell.count++
+}
+
+// opCell accumulates one aggregation cell.
+type opCell struct {
+	total time.Duration
+	count int
+}
+
+// OperatorStat is one row of the operator-level analysis.
+type OperatorStat struct {
+	Process string
+	Kind    string
+	// Executions counts the operator executions across all instances.
+	Executions int
+	// TotalTU is the summed execution time in tu.
+	TotalTU float64
+	// AvgTU is the mean execution time per execution in tu.
+	AvgTU float64
+}
+
+// OperatorBreakdown returns the per-kind totals of one process type,
+// ordered by descending total time.
+func (m *Monitor) OperatorBreakdown(process string) []OperatorStat {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []OperatorStat
+	for key, cell := range m.opTotals {
+		if key.process != process {
+			continue
+		}
+		totalTU := m.msToTU(float64(cell.total.Nanoseconds()) / 1e6)
+		out = append(out, OperatorStat{
+			Process:    process,
+			Kind:       key.kind,
+			Executions: cell.count,
+			TotalTU:    totalTU,
+			AvgTU:      totalTU / float64(cell.count),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].TotalTU > out[j].TotalTU })
+	return out
+}
+
+// WriteOperatorCSV emits the full operator-level analysis as CSV.
+func (m *Monitor) WriteOperatorCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "process,operator,executions,total_tu,avg_tu"); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	procs := map[string]bool{}
+	for key := range m.opTotals {
+		procs[key.process] = true
+	}
+	m.mu.Unlock()
+	ids := make([]string, 0, len(procs))
+	for id := range procs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		for _, st := range m.OperatorBreakdown(id) {
+			if _, err := fmt.Fprintf(w, "%s,%s,%d,%.4f,%.6f\n",
+				st.Process, st.Kind, st.Executions, st.TotalTU, st.AvgTU); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

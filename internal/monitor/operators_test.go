@@ -1,0 +1,81 @@
+package monitor
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/mtm"
+)
+
+func TestOperatorBreakdown(t *testing.T) {
+	m := New(1)
+	rec := m.StartInstance("P03", 0)
+	rec.RecordOp("INVOKE", 10*time.Millisecond)
+	rec.RecordOp("INVOKE", 20*time.Millisecond)
+	rec.RecordOp("UNION_DISTINCT", 5*time.Millisecond)
+	rec.Finish(nil)
+	rec2 := m.StartInstance("P03", 1)
+	rec2.RecordOp("INVOKE", 30*time.Millisecond)
+	rec2.Finish(nil)
+
+	stats := m.OperatorBreakdown("P03")
+	if len(stats) != 2 {
+		t.Fatalf("kinds: %d", len(stats))
+	}
+	// Ordered by total descending: INVOKE first.
+	if stats[0].Kind != "INVOKE" || stats[0].Executions != 3 {
+		t.Errorf("invoke row: %+v", stats[0])
+	}
+	if stats[0].TotalTU < 59 || stats[0].TotalTU > 65 {
+		t.Errorf("invoke total: %g", stats[0].TotalTU)
+	}
+	if stats[0].AvgTU < 19 || stats[0].AvgTU > 22 {
+		t.Errorf("invoke avg: %g", stats[0].AvgTU)
+	}
+	if stats[1].Kind != "UNION_DISTINCT" || stats[1].Executions != 1 {
+		t.Errorf("union row: %+v", stats[1])
+	}
+	if len(m.OperatorBreakdown("P99")) != 0 {
+		t.Error("unknown process breakdown")
+	}
+}
+
+func TestOperatorCSV(t *testing.T) {
+	m := New(1)
+	rec := m.StartInstance("P01", 0)
+	rec.RecordOp("TRANSLATE", time.Millisecond)
+	rec.Finish(nil)
+	var b strings.Builder
+	if err := m.WriteOperatorCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "P01,TRANSLATE,1,") {
+		t.Errorf("csv: %s", out)
+	}
+}
+
+func TestOperatorRecordingThroughMTMRun(t *testing.T) {
+	// The executor feeds the OpRecorder extension automatically.
+	m := New(1)
+	rec := m.StartInstance("PX", 0)
+	var _ mtm.OpRecorder = rec
+	p := &mtm.Process{ID: "PX", Event: mtm.E2, Ops: []mtm.Operator{
+		mtm.Custom{Name: "ENRICH", Cat: mtm.CostProc, Fn: func(*mtm.Context) error {
+			time.Sleep(time.Millisecond)
+			return nil
+		}},
+	}}
+	if err := mtm.Run(p, mtm.NewContext(nil, nil, rec)); err != nil {
+		t.Fatal(err)
+	}
+	rec.Finish(nil)
+	stats := m.OperatorBreakdown("PX")
+	if len(stats) != 1 || stats[0].Kind != "ENRICH" || stats[0].Executions != 1 {
+		t.Fatalf("breakdown: %+v", stats)
+	}
+	if stats[0].TotalTU < 0.9 {
+		t.Errorf("measured time: %g tu", stats[0].TotalTU)
+	}
+}

@@ -1,0 +1,91 @@
+package monitor
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Per-period analysis: the benchmark runs up to 100 periods, and the
+// per-period development of a process type's normalized costs shows
+// warm-up effects, cache behaviour and the decreasing stream-A event
+// counts (Fig. 8 left). This file provides the time-series view the
+// Monitor's plotting functions build on.
+
+// PeriodPoint is the aggregated measurement of one process type in one
+// benchmark period.
+type PeriodPoint struct {
+	Period    int
+	Instances int
+	NAVG      float64 // mean normalized cost, in tu
+	NAVGPlus  float64 // NAVG + sigma, in tu
+}
+
+// PeriodSeries aggregates the records of one process type per period,
+// ordered by period. Failed instances are excluded, as in Analyze.
+func (m *Monitor) PeriodSeries(process string) []PeriodPoint {
+	byPeriod := make(map[int][]float64)
+	for _, r := range m.Records() {
+		if r.Process != process || r.Err != nil {
+			continue
+		}
+		byPeriod[r.Period] = append(byPeriod[r.Period], m.msToTU(r.Normalized()))
+	}
+	periods := make([]int, 0, len(byPeriod))
+	for k := range byPeriod {
+		periods = append(periods, k)
+	}
+	sort.Ints(periods)
+	out := make([]PeriodPoint, 0, len(periods))
+	for _, k := range periods {
+		xs := byPeriod[k]
+		mu := mean(xs)
+		out = append(out, PeriodPoint{
+			Period:    k,
+			Instances: len(xs),
+			NAVG:      mu,
+			NAVGPlus:  mu + stddev(xs, mu),
+		})
+	}
+	return out
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) of the process
+// type's normalized costs in tu, using nearest-rank; 0 when no successful
+// instances exist.
+func (m *Monitor) Percentile(process string, p float64) float64 {
+	var xs []float64
+	for _, r := range m.Records() {
+		if r.Process != process || r.Err != nil {
+			continue
+		}
+		xs = append(xs, m.msToTU(r.Normalized()))
+	}
+	return percentileOf(xs, p)
+}
+
+// WritePeriodSeriesCSV emits the per-period series of every process type
+// as CSV (long format: process, period, instances, navg, navgplus).
+func (m *Monitor) WritePeriodSeriesCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "process,period,instances,navg_tu,navgplus_tu"); err != nil {
+		return err
+	}
+	procs := map[string]bool{}
+	for _, r := range m.Records() {
+		procs[r.Process] = true
+	}
+	ids := make([]string, 0, len(procs))
+	for id := range procs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		for _, pt := range m.PeriodSeries(id) {
+			if _, err := fmt.Fprintf(w, "%s,%d,%d,%.4f,%.4f\n",
+				id, pt.Period, pt.Instances, pt.NAVG, pt.NAVGPlus); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

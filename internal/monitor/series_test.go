@@ -1,0 +1,97 @@
+package monitor
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/mtm"
+)
+
+func seedSeries(t *testing.T) *Monitor {
+	t.Helper()
+	m := New(1)
+	add := func(process string, period int, d time.Duration, fail bool) {
+		rec := m.StartInstance(process, period)
+		rec.Record(mtm.CostProc, d)
+		var err error
+		if fail {
+			err = errors.New("x")
+		}
+		rec.Finish(err)
+	}
+	add("P04", 0, 10*time.Millisecond, false)
+	add("P04", 0, 20*time.Millisecond, false)
+	add("P04", 1, 40*time.Millisecond, false)
+	add("P04", 1, 1000*time.Millisecond, true) // failed: excluded
+	add("P13", 0, 5*time.Millisecond, false)
+	return m
+}
+
+func TestPeriodSeries(t *testing.T) {
+	m := seedSeries(t)
+	series := m.PeriodSeries("P04")
+	if len(series) != 2 {
+		t.Fatalf("periods: %d", len(series))
+	}
+	if series[0].Period != 0 || series[0].Instances != 2 {
+		t.Errorf("period 0: %+v", series[0])
+	}
+	if series[0].NAVG < 14 || series[0].NAVG > 16 {
+		t.Errorf("period 0 NAVG: %g", series[0].NAVG)
+	}
+	// Failed instance excluded from period 1.
+	if series[1].Instances != 1 {
+		t.Errorf("period 1: %+v", series[1])
+	}
+	if series[1].NAVGPlus != series[1].NAVG {
+		t.Errorf("single instance sigma should be 0: %+v", series[1])
+	}
+	if len(m.PeriodSeries("P99")) != 0 {
+		t.Error("unknown process should yield empty series")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	m := New(1)
+	for _, ms := range []int{10, 20, 30, 40, 50, 60, 70, 80, 90, 100} {
+		rec := m.StartInstance("PX", 0)
+		rec.Record(mtm.CostProc, time.Duration(ms)*time.Millisecond)
+		rec.Finish(nil)
+	}
+	p50 := m.Percentile("PX", 50)
+	p95 := m.Percentile("PX", 95)
+	if p50 < 40 || p50 > 60 {
+		t.Errorf("p50: %g", p50)
+	}
+	if p95 < 85 || p95 > 105 {
+		t.Errorf("p95: %g", p95)
+	}
+	if p95 <= p50 {
+		t.Error("p95 must exceed p50")
+	}
+	if m.Percentile("P99", 50) != 0 {
+		t.Error("unknown process percentile")
+	}
+}
+
+func TestWritePeriodSeriesCSV(t *testing.T) {
+	m := seedSeries(t)
+	var b strings.Builder
+	if err := m.WritePeriodSeriesCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Header + P04 periods 0,1 + P13 period 0.
+	if len(lines) != 4 {
+		t.Fatalf("lines: %d\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "process,period") {
+		t.Errorf("header: %s", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "P04,0,2,") {
+		t.Errorf("first row: %s", lines[1])
+	}
+}

@@ -1,0 +1,145 @@
+package mtm
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	rel "repro/internal/relational"
+	x "repro/internal/xmlmsg"
+)
+
+// Cost is one of the three cost categories of the DIPBench cost model.
+type Cost uint8
+
+// Cost categories.
+const (
+	// CostComm (Cc) is time spent waiting for external systems: network
+	// delay and external processing.
+	CostComm Cost = iota
+	// CostMgmt (Cm) is internal management time not correlated to a
+	// concrete process instance execution: plan creation, compilation,
+	// internal reorganization.
+	CostMgmt
+	// CostProc (Cp) is integration processing time: all control-flow- and
+	// data-flow-oriented processing steps.
+	CostProc
+)
+
+// String names the category as in the paper.
+func (c Cost) String() string {
+	switch c {
+	case CostComm:
+		return "Cc"
+	case CostMgmt:
+		return "Cm"
+	case CostProc:
+		return "Cp"
+	default:
+		return "?"
+	}
+}
+
+// CostRecorder receives the measured cost intervals of one process
+// instance; the Monitor implements it. Implementations must be safe for
+// concurrent use (FORK branches record concurrently).
+type CostRecorder interface {
+	Record(cat Cost, d time.Duration)
+}
+
+// nopRecorder discards costs; used when no monitor is attached.
+type nopRecorder struct{}
+
+func (nopRecorder) Record(Cost, time.Duration) {}
+
+// External is the gateway through which INVOKE operators reach the
+// external systems (database instances, web services). The integration
+// engine provides the implementation; every call is a communication-cost
+// round trip.
+type External interface {
+	// Query reads rows of a table matching the predicate.
+	Query(system, table string, pred rel.Predicate) (*rel.Relation, error)
+	// FetchXML reads a whole table as a raw XML result-set document (the
+	// web-service extraction path of P09).
+	FetchXML(system, table string) (*x.Node, error)
+	// Insert appends the dataset to a table.
+	Insert(system, table string, r *rel.Relation) error
+	// Upsert inserts-or-replaces the dataset by primary key.
+	Upsert(system, table string, r *rel.Relation) error
+	// Delete removes matching rows and returns the count.
+	Delete(system, table string, pred rel.Predicate) (int, error)
+	// Update sets the given columns on matching rows and returns the
+	// count (the P12 "flag master data as integrated" step).
+	Update(system, table string, pred rel.Predicate, set map[string]rel.Value) (int, error)
+	// Call invokes a stored procedure.
+	Call(system, proc string, args ...rel.Value) (*rel.Relation, error)
+	// Send delivers an entity XML message to a system (web-service update
+	// operation, P01).
+	Send(system string, doc *x.Node) error
+}
+
+// Context is the execution state of one process instance: the variable
+// bindings msg1..msgN, the external gateway, the cost recorder and the
+// triggering input message (event type E1). It is safe for concurrent use
+// by FORK branches.
+type Context struct {
+	// Ext reaches the external systems; required for INVOKE.
+	Ext External
+	// Input is the message that triggered the instance (nil for E2).
+	Input *Message
+
+	rec  CostRecorder
+	mu   sync.Mutex
+	vars map[string]*Message
+}
+
+// NewContext builds a context. rec may be nil to discard costs.
+func NewContext(ext External, input *Message, rec CostRecorder) *Context {
+	if rec == nil {
+		rec = nopRecorder{}
+	}
+	return &Context{Ext: ext, Input: input, rec: rec, vars: make(map[string]*Message)}
+}
+
+// Get returns the variable binding, or nil.
+func (c *Context) Get(name string) *Message {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.vars[name]
+}
+
+// MustGet returns the binding or an error for unbound variables.
+func (c *Context) MustGet(name string) (*Message, error) {
+	if m := c.Get(name); m != nil {
+		return m, nil
+	}
+	return nil, fmt.Errorf("mtm: variable %q is not bound", name)
+}
+
+// Set binds a variable.
+func (c *Context) Set(name string, m *Message) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.vars[name] = m
+}
+
+// Doc returns the XML payload of a variable.
+func (c *Context) Doc(name string) (*x.Node, error) {
+	m, err := c.MustGet(name)
+	if err != nil {
+		return nil, err
+	}
+	return m.RequireDoc(name)
+}
+
+// Data returns the relational payload of a variable.
+func (c *Context) Data(name string) (*rel.Relation, error) {
+	m, err := c.MustGet(name)
+	if err != nil {
+		return nil, err
+	}
+	return m.RequireData(name)
+}
+
+// record forwards a cost interval to the recorder.
+func (c *Context) record(cat Cost, d time.Duration) { c.rec.Record(cat, d) }

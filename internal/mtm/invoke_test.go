@@ -1,0 +1,145 @@
+package mtm
+
+import (
+	"errors"
+	"testing"
+
+	rel "repro/internal/relational"
+)
+
+func TestInvokeUpdateOperation(t *testing.T) {
+	ext := setupFake()
+	ctx := NewContext(ext, nil, nil)
+	op := Invoke{
+		Service: "sys1", Operation: OpUpdate, Table: "T",
+		Pred: rel.ColEq("K", rel.NewInt(1)),
+		Set:  map[string]rel.Value{"V": rel.NewString("updated")},
+	}
+	if err := op.Execute(ctx); err != nil {
+		t.Fatal(err)
+	}
+	row := ext.dbs["sys1"].MustTable("T").Lookup(rel.NewInt(1))
+	if row[1].Str() != "updated" {
+		t.Fatalf("update: %v", row)
+	}
+	// Row 2 untouched.
+	if ext.dbs["sys1"].MustTable("T").Lookup(rel.NewInt(2))[1].Str() != "b" {
+		t.Fatal("predicate ignored")
+	}
+}
+
+func TestInvokeUpdateAllRowsWithNilPred(t *testing.T) {
+	ext := setupFake()
+	ctx := NewContext(ext, nil, nil)
+	op := Invoke{Service: "sys1", Operation: OpUpdate, Table: "T",
+		Set: map[string]rel.Value{"V": rel.NewString("x")}}
+	if err := op.Execute(ctx); err != nil {
+		t.Fatal(err)
+	}
+	all := ext.dbs["sys1"].MustTable("T").Scan()
+	for i := 0; i < all.Len(); i++ {
+		if all.Get(i, "V").Str() != "x" {
+			t.Fatal("nil predicate should update everything")
+		}
+	}
+}
+
+func TestInvokePredFnOverridesPred(t *testing.T) {
+	ext := setupFake()
+	ctx := NewContext(ext, nil, nil)
+	ctx.Set("wanted", DataMessage(rel.MustRelation(kvSchema(), []rel.Row{
+		{rel.NewInt(2), rel.NewString("ignored")},
+	})))
+	op := Invoke{
+		Service: "sys1", Operation: OpQuery, Table: "T", Out: "result",
+		Pred: rel.ColEq("K", rel.NewInt(999)), // would match nothing
+		PredFn: func(ctx *Context) (rel.Predicate, error) {
+			r, err := ctx.Data("wanted")
+			if err != nil {
+				return nil, err
+			}
+			return rel.ColEq("K", r.Get(0, "K")), nil
+		},
+	}
+	if err := op.Execute(ctx); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := ctx.Data("result")
+	if got.Len() != 1 || got.Get(0, "K").Int() != 2 {
+		t.Fatalf("PredFn not used: %v", got)
+	}
+}
+
+func TestInvokePredFnErrorPropagates(t *testing.T) {
+	ext := setupFake()
+	ctx := NewContext(ext, nil, nil)
+	op := Invoke{
+		Service: "sys1", Operation: OpQuery, Table: "T", Out: "r",
+		PredFn: func(*Context) (rel.Predicate, error) {
+			return nil, errors.New("dynamic predicate failed")
+		},
+	}
+	if err := op.Execute(ctx); err == nil {
+		t.Fatal("PredFn error swallowed")
+	}
+}
+
+func TestInvokeKindsAndCategories(t *testing.T) {
+	// Every operator's metadata is stable (plans and reports rely on it).
+	kinds := []struct {
+		op   Operator
+		want string
+	}{
+		{Receive{}, "RECEIVE"},
+		{Assign{}, "ASSIGN"},
+		{Invoke{}, "INVOKE"},
+		{Translate{}, "TRANSLATE"},
+		{RenameData{}, "TRANSLATE"},
+		{Selection{}, "SELECTION"},
+		{Projection{}, "PROJECTION"},
+		{UnionDistinct{}, "UNION_DISTINCT"},
+		{Join{}, "JOIN"},
+		{ToData{}, "CONVERT"},
+		{ToXML{}, "CONVERT"},
+		{Switch{}, "SWITCH"},
+		{Validate{}, "VALIDATE"},
+		{Fork{}, "FORK"},
+		{Subprocess{}, "SUBPROCESS"},
+	}
+	for _, c := range kinds {
+		if c.op.Kind() != c.want {
+			t.Errorf("%T.Kind() = %q, want %q", c.op, c.op.Kind(), c.want)
+		}
+	}
+	// Communication-bound operators bill to Cc, the rest to Cp.
+	if (Invoke{}).Category() != CostComm || (Receive{}).Category() != CostComm {
+		t.Error("invoke/receive must bill to Cc")
+	}
+	for _, op := range []Operator{Selection{}, Projection{}, Join{}, UnionDistinct{}, Translate{}} {
+		if op.Category() != CostProc {
+			t.Errorf("%T must bill to Cp", op)
+		}
+	}
+	// Custom's category is caller-chosen.
+	if (Custom{Cat: CostMgmt}).Category() != CostMgmt {
+		t.Error("custom category")
+	}
+	if (Custom{Name: "ENRICH"}).Kind() != "ENRICH" || (Custom{}).Kind() != "CUSTOM" {
+		t.Error("custom kind")
+	}
+}
+
+func TestCompositeFlags(t *testing.T) {
+	composites := []Operator{Switch{}, Fork{}, Validate{}, Subprocess{}}
+	for _, op := range composites {
+		if !op.composite() {
+			t.Errorf("%T should be composite", op)
+		}
+	}
+	leaves := []Operator{Receive{}, Assign{}, Invoke{}, Translate{}, Selection{}}
+	for _, op := range leaves {
+		if op.composite() {
+			t.Errorf("%T should be a leaf", op)
+		}
+	}
+}

@@ -1,0 +1,224 @@
+package mtm
+
+import (
+	"fmt"
+	"time"
+)
+
+// EventType distinguishes the two process-initiating event kinds of the
+// benchmark.
+type EventType uint8
+
+// Event types.
+const (
+	// E1 processes are initiated by incoming messages.
+	E1 EventType = iota + 1
+	// E2 processes are initiated by time-based scheduling events.
+	E2
+)
+
+// String names the event type.
+func (e EventType) String() string {
+	switch e {
+	case E1:
+		return "E1"
+	case E2:
+		return "E2"
+	default:
+		return "?"
+	}
+}
+
+// Group is one of the four process type groups of Table I.
+type Group string
+
+// Process groups.
+const (
+	GroupA Group = "A" // source system management
+	GroupB Group = "B" // data consolidation
+	GroupC Group = "C" // data warehouse update
+	GroupD Group = "D" // data mart update
+)
+
+// Process is one integration process type: metadata plus the operator
+// sequence. Subprocesses are Process values referenced by a Subprocess
+// operator.
+type Process struct {
+	// ID is the benchmark process type id, e.g. "P02".
+	ID string
+	// Name is the Table I description.
+	Name string
+	// Group is the Table I group (A-D).
+	Group Group
+	// Event is the initiating event type.
+	Event EventType
+	// Ops is the operator sequence.
+	Ops []Operator
+}
+
+// Validate performs static checks on the process definition.
+func (p *Process) Validate() error {
+	if p.ID == "" {
+		return fmt.Errorf("mtm: process without ID")
+	}
+	if p.Event != E1 && p.Event != E2 {
+		return fmt.Errorf("mtm: process %s with invalid event type", p.ID)
+	}
+	if len(p.Ops) == 0 {
+		return fmt.Errorf("mtm: process %s has no operators", p.ID)
+	}
+	var walk func(ops []Operator) error
+	hasReceive := false
+	walk = func(ops []Operator) error {
+		for _, op := range ops {
+			if op == nil {
+				return fmt.Errorf("mtm: process %s contains a nil operator", p.ID)
+			}
+			switch o := op.(type) {
+			case Receive:
+				hasReceive = true
+			case Switch:
+				for _, c := range o.Cases {
+					if c.When == nil {
+						return fmt.Errorf("mtm: process %s: SWITCH case without condition", p.ID)
+					}
+					if err := walk(c.Ops); err != nil {
+						return err
+					}
+				}
+				if err := walk(o.Else); err != nil {
+					return err
+				}
+			case Fork:
+				for _, b := range o.Branches {
+					if err := walk(b); err != nil {
+						return err
+					}
+				}
+			case Validate:
+				if err := walk(o.Valid); err != nil {
+					return err
+				}
+				if err := walk(o.Invalid); err != nil {
+					return err
+				}
+			case Subprocess:
+				if o.Process == nil {
+					return fmt.Errorf("mtm: process %s: subprocess without target", p.ID)
+				}
+				if err := walk(o.Process.Ops); err != nil {
+					return err
+				}
+			case Assign:
+				if o.Fn == nil {
+					return fmt.Errorf("mtm: process %s: ASSIGN without function", p.ID)
+				}
+			case Custom:
+				if o.Fn == nil {
+					return fmt.Errorf("mtm: process %s: CUSTOM without function", p.ID)
+				}
+			}
+		}
+		return nil
+	}
+	if err := walk(p.Ops); err != nil {
+		return err
+	}
+	if p.Event == E1 && !hasReceive {
+		return fmt.Errorf("mtm: E1 process %s must start with RECEIVE", p.ID)
+	}
+	return nil
+}
+
+// OperatorCount returns the total number of operators including nested
+// branches; a complexity statistic used by documentation and tests.
+func (p *Process) OperatorCount() int {
+	var count func(ops []Operator) int
+	count = func(ops []Operator) int {
+		n := 0
+		for _, op := range ops {
+			n++
+			switch o := op.(type) {
+			case Switch:
+				for _, c := range o.Cases {
+					n += count(c.Ops)
+				}
+				n += count(o.Else)
+			case Fork:
+				for _, b := range o.Branches {
+					n += count(b)
+				}
+			case Validate:
+				n += count(o.Valid) + count(o.Invalid)
+			case Subprocess:
+				n += count(o.Process.Ops)
+			}
+		}
+		return n
+	}
+	return count(p.Ops)
+}
+
+// Subprocess invokes another process inline — the subprocess invocations
+// of P14. The child's operators are timed individually in the parent's
+// context.
+type Subprocess struct {
+	Process *Process
+}
+
+// Kind implements Operator.
+func (Subprocess) Kind() string { return "SUBPROCESS" }
+
+// Category implements Operator.
+func (Subprocess) Category() Cost { return CostProc }
+
+func (Subprocess) composite() bool { return true }
+
+// Execute implements Operator.
+func (o Subprocess) Execute(ctx *Context) error {
+	if o.Process == nil {
+		return fmt.Errorf("mtm: SUBPROCESS without target")
+	}
+	return runOps(o.Process.Ops, ctx)
+}
+
+// Run executes a process instance in the given context, recording each
+// leaf operator's duration in its cost category.
+func Run(p *Process, ctx *Context) error {
+	if err := runOps(p.Ops, ctx); err != nil {
+		return fmt.Errorf("%s: %w", p.ID, err)
+	}
+	return nil
+}
+
+// OpRecorder is an optional extension of CostRecorder: recorders that
+// implement it additionally receive per-operator-kind cost intervals,
+// enabling the operator-level analysis of the cost model.
+type OpRecorder interface {
+	RecordOp(kind string, d time.Duration)
+}
+
+// runOps executes an operator sequence, timing each leaf operator.
+// Composite operators recurse through runOps so their children are billed
+// individually and the composite shell adds no double-counted time.
+func runOps(ops []Operator, ctx *Context) error {
+	for _, op := range ops {
+		if op.composite() {
+			if err := op.Execute(ctx); err != nil {
+				return err
+			}
+			continue
+		}
+		start := time.Now()
+		err := op.Execute(ctx)
+		elapsed := time.Since(start)
+		ctx.record(op.Category(), elapsed)
+		if opRec, ok := ctx.rec.(OpRecorder); ok {
+			opRec.RecordOp(op.Kind(), elapsed)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

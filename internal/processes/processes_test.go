@@ -1,0 +1,593 @@
+package processes
+
+import (
+	"strconv"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/mtm"
+	rel "repro/internal/relational"
+	"repro/internal/scenario"
+	"repro/internal/schema"
+)
+
+// env bundles a live topology, generator and process definitions.
+type env struct {
+	s    *scenario.Scenario
+	g    *datagen.Generator
+	defs *Definitions
+	gw   *scenario.Gateway
+}
+
+func newEnv(t *testing.T) *env {
+	t.Helper()
+	s, err := scenario.New(scenario.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	g := datagen.MustNew(datagen.Config{Seed: 7, Datasize: 0.02, Dist: datagen.Uniform})
+	if err := s.InitializeSources(g); err != nil {
+		t.Fatal(err)
+	}
+	defs, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &env{s: s, g: g, defs: defs, gw: s.Gateway()}
+}
+
+// run executes one process instance.
+func (e *env) run(t *testing.T, id string, input *mtm.Message) {
+	t.Helper()
+	p := e.defs.ByID(id)
+	if p == nil {
+		t.Fatalf("no process %s", id)
+	}
+	ctx := mtm.NewContext(e.gw, input, nil)
+	if err := mtm.Run(p, ctx); err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+}
+
+func TestTableI_ProcessTypeInventory(t *testing.T) {
+	defs := MustNew()
+	inv := defs.Inventory()
+	if len(inv) != 15 {
+		t.Fatalf("process types: %d, want 15", len(inv))
+	}
+	// Table I: groups and names.
+	want := []struct {
+		group mtm.Group
+		id    string
+		event mtm.EventType
+	}{
+		{mtm.GroupA, "P01", mtm.E1},
+		{mtm.GroupA, "P02", mtm.E1},
+		{mtm.GroupA, "P03", mtm.E2},
+		{mtm.GroupB, "P04", mtm.E1},
+		{mtm.GroupB, "P05", mtm.E2},
+		{mtm.GroupB, "P06", mtm.E2},
+		{mtm.GroupB, "P07", mtm.E2},
+		{mtm.GroupB, "P08", mtm.E1},
+		{mtm.GroupB, "P09", mtm.E2},
+		{mtm.GroupB, "P10", mtm.E1},
+		{mtm.GroupB, "P11", mtm.E2},
+		{mtm.GroupC, "P12", mtm.E2},
+		{mtm.GroupC, "P13", mtm.E2},
+		{mtm.GroupD, "P14", mtm.E2},
+		{mtm.GroupD, "P15", mtm.E2},
+	}
+	for i, w := range want {
+		got := inv[i]
+		if got.Group != w.group || got.ID != w.id || got.Event != w.event {
+			t.Errorf("row %d: %+v, want %+v", i, got, w)
+		}
+		if got.Name == "" {
+			t.Errorf("row %d has no name", i)
+		}
+	}
+	if defs.ByID("P99") != nil {
+		t.Error("ByID on unknown id")
+	}
+}
+
+func TestP02Structure(t *testing.T) {
+	// Fig. 4: receive, translate, switch with routed invokes.
+	p := MustNew().ByID("P02")
+	if len(p.Ops) != 4 {
+		t.Fatalf("P02 ops: %d", len(p.Ops))
+	}
+	kinds := []string{"RECEIVE", "TRANSLATE", "ASSIGN", "SWITCH"}
+	for i, k := range kinds {
+		if p.Ops[i].Kind() != k {
+			t.Errorf("P02 op %d: %s, want %s", i, p.Ops[i].Kind(), k)
+		}
+	}
+}
+
+func TestP03Structure(t *testing.T) {
+	// Fig. 5: per-source queries, union distinct, update of us_eastcoast.
+	p := MustNew().ByID("P03")
+	var invokes, unions int
+	for _, op := range p.Ops {
+		switch op.Kind() {
+		case "INVOKE":
+			invokes++
+		case "UNION_DISTINCT":
+			unions++
+		}
+	}
+	if unions != 4 { // Orders, Customer, Part (+ Lineitem completeness)
+		t.Errorf("P03 unions: %d", unions)
+	}
+	if invokes != 4*3+4 { // 4 tables x 3 sources + 4 loads
+		t.Errorf("P03 invokes: %d", invokes)
+	}
+}
+
+func TestP01MasterDataExchange(t *testing.T) {
+	e := newEnv(t)
+	msg := e.g.BeijingCustomerMsg(0)
+	key, _ := strconv.ParseInt(msg.PathText("Cust_ID"), 10, 64)
+	// Make sure the exchanged customer lands in Seoul's table.
+	e.run(t, "P01", mtm.XMLMessage(msg))
+	seoul := e.s.WS.Service(schema.SysSeoul).Database().MustTable("Customers")
+	row := seoul.Lookup(rel.NewInt(key))
+	if row == nil {
+		t.Fatalf("customer %d not exchanged to Seoul", key)
+	}
+	if row[1].Str() != msg.PathText("Cust_Name") {
+		t.Errorf("exchanged name %q, want %q", row[1].Str(), msg.PathText("Cust_Name"))
+	}
+}
+
+func TestP02RoutesBySwitch(t *testing.T) {
+	e := newEnv(t)
+	sawBP, sawTr := false, false
+	for i := 0; i < 30 && !(sawBP && sawTr); i++ {
+		msg := e.g.MDMCustomer(i)
+		key, _ := strconv.ParseInt(msg.Child("Customer").Attr("custkey"), 10, 64)
+		e.run(t, "P02", mtm.XMLMessage(msg))
+		var sys string
+		if key < 1_000_000 {
+			sys, sawBP = schema.SysBerlinParis, true
+		} else {
+			sys, sawTr = schema.SysTrondheim, true
+		}
+		row := e.s.DB(sys).MustTable("Customer").Lookup(rel.NewInt(key))
+		if row == nil {
+			t.Fatalf("MDM customer %d not upserted into %s", key, sys)
+		}
+		if row[1].Str() != msg.PathText("Customer/Name") {
+			t.Errorf("upserted name %q, want %q", row[1].Str(), msg.PathText("Customer/Name"))
+		}
+	}
+	if !sawBP || !sawTr {
+		t.Error("both routes should be exercised")
+	}
+}
+
+func TestP03UnionDistinct(t *testing.T) {
+	e := newEnv(t)
+	e.run(t, "P03", nil)
+	us := e.s.DB(schema.SysUSEastcoast)
+	// Distinct customers across the three sources: count unique keys.
+	uniq := map[int64]bool{}
+	for _, src := range []string{schema.SysChicago, schema.SysBaltimore, schema.SysMadison} {
+		for _, k := range e.g.CustomerKeys(src) {
+			uniq[k] = true
+		}
+	}
+	if got := us.MustTable("Customer").Len(); got != len(uniq) {
+		t.Errorf("US_Eastcoast customers: %d, want %d", got, len(uniq))
+	}
+	// Duplicates existed, so the union removed something.
+	if len(uniq) >= 3*e.g.CustomerCount() {
+		t.Error("no duplicates between sources; dedup untested")
+	}
+	uniqOrd := map[int64]bool{}
+	for _, src := range []string{schema.SysChicago, schema.SysBaltimore, schema.SysMadison} {
+		for _, k := range e.g.OrderKeysFor(src) {
+			uniqOrd[k] = true
+		}
+	}
+	if got := us.MustTable("Orders").Len(); got != len(uniqOrd) {
+		t.Errorf("US_Eastcoast orders: %d, want %d", got, len(uniqOrd))
+	}
+	if us.MustTable("Part").Len() != e.g.ProductCount() {
+		t.Errorf("US_Eastcoast parts: %d, want %d", us.MustTable("Part").Len(), e.g.ProductCount())
+	}
+	if us.MustTable("Lineitem").Len() == 0 {
+		t.Error("US_Eastcoast lineitems empty")
+	}
+}
+
+func TestP04ViennaEnrichmentAndLoad(t *testing.T) {
+	e := newEnv(t)
+	msg := e.g.ViennaOrder(0)
+	e.run(t, "P04", mtm.XMLMessage(msg))
+	cdb := e.s.DB(schema.SysCDB)
+	key, _ := strconv.ParseInt(msg.Attr("id"), 10, 64)
+	row := cdb.MustTable("Orders").Lookup(rel.NewInt(key))
+	if row == nil {
+		t.Fatal("Vienna order not in CDB")
+	}
+	s := schema.CDBOrders
+	if row[s.MustOrdinal("SrcSystem")].Str() != schema.SysVienna {
+		t.Error("provenance")
+	}
+	// Enrichment: the city key comes from the referenced customer.
+	custRef, _ := strconv.ParseInt(msg.PathText("Head/CustRef"), 10, 64)
+	var custSys string
+	if custRef < 1_000_000 {
+		custSys = schema.SysBerlinParis
+	} else {
+		custSys = schema.SysTrondheim
+	}
+	cust := e.s.DB(custSys).MustTable("Customer").Lookup(rel.NewInt(custRef))
+	if cust == nil {
+		t.Fatal("referenced customer missing from source")
+	}
+	wantCity := cust[schema.EuropeCustomer.MustOrdinal("Citykey")].Int()
+	if got := row[s.MustOrdinal("Citykey")].Int(); got != wantCity {
+		t.Errorf("enriched city: %d, want %d", got, wantCity)
+	}
+	// Status is canonical text.
+	status := row[s.MustOrdinal("Status")].Str()
+	if status != "OPEN" && status != "SHIPPED" && status != "CLOSED" {
+		t.Errorf("status %q not canonical", status)
+	}
+	// Lines arrived too.
+	lines, err := cdb.MustTable("Orderline").SelectWhere(rel.ColEq("Ordkey", rel.NewInt(key)))
+	if err != nil || lines.Len() == 0 {
+		t.Errorf("orderlines: %v %v", lines, err)
+	}
+}
+
+func TestP05P06P07EuropeExtraction(t *testing.T) {
+	e := newEnv(t)
+	e.run(t, "P05", nil)
+	e.run(t, "P06", nil)
+	e.run(t, "P07", nil)
+	cdb := e.s.DB(schema.SysCDB)
+	s := schema.CDBCustomer
+	// Every Europe customer (by key) must be in the CDB exactly once.
+	uniq := map[int64]bool{}
+	for _, src := range []string{schema.SysBerlinParis, schema.SysTrondheim} {
+		for _, k := range e.g.CustomerKeys(src) {
+			uniq[k] = true
+		}
+	}
+	custs := cdb.MustTable("Customer").Scan()
+	if custs.Len() != len(uniq) {
+		t.Errorf("CDB customers: %d, want %d", custs.Len(), len(uniq))
+	}
+	for i := 0; i < custs.Len(); i++ {
+		row := custs.Row(i)
+		if row[s.MustOrdinal("Region")].Str() != schema.RegionEurope {
+			t.Fatalf("customer %v region %q", row[0], row[s.MustOrdinal("Region")].Str())
+		}
+		src := row[s.MustOrdinal("SrcSystem")].Str()
+		if src != schema.LocBerlin && src != schema.LocParis && src != schema.SysTrondheim {
+			t.Fatalf("customer provenance %q", src)
+		}
+	}
+	// Orders: all Europe orders with semantic mapping applied.
+	ords := cdb.MustTable("Orders").Scan()
+	wantOrders := 2 * e.g.OrderCount()
+	if ords.Len() != wantOrders {
+		t.Errorf("CDB orders: %d, want %d", ords.Len(), wantOrders)
+	}
+	os := schema.CDBOrders
+	for i := 0; i < ords.Len(); i++ {
+		st := ords.Get(i, "Status").Str()
+		if st != "OPEN" && st != "SHIPPED" && st != "CLOSED" {
+			t.Fatalf("order status %q not mapped", st)
+		}
+		pr := ords.Row(i)[os.MustOrdinal("Priority")].Str()
+		if pr != "URGENT" && pr != "HIGH" && pr != "MEDIUM" && pr != "LOW" {
+			t.Fatalf("order priority %q not mapped", pr)
+		}
+	}
+	// Orderlines followed their orders.
+	if cdb.MustTable("Orderline").Len() == 0 {
+		t.Error("CDB orderlines empty")
+	}
+	// Products upserted once despite two instances sharing keys.
+	if got := cdb.MustTable("Product").Len(); got != e.g.ProductCount() {
+		t.Errorf("CDB products: %d, want %d", got, e.g.ProductCount())
+	}
+}
+
+func TestP08HongkongMessage(t *testing.T) {
+	e := newEnv(t)
+	msg := e.g.HongkongOrder(0)
+	e.run(t, "P08", mtm.XMLMessage(msg))
+	cdb := e.s.DB(schema.SysCDB)
+	key, _ := strconv.ParseInt(msg.PathText("OrdNo"), 10, 64)
+	row := cdb.MustTable("Orders").Lookup(rel.NewInt(key))
+	if row == nil {
+		t.Fatal("Hongkong order not in CDB")
+	}
+	s := schema.CDBOrders
+	if row[s.MustOrdinal("Citykey")].Int() != schema.CityByName("Hongkong").Key {
+		t.Error("Hongkong city key")
+	}
+	if row[s.MustOrdinal("SrcSystem")].Str() != schema.SysHongkong {
+		t.Error("provenance")
+	}
+}
+
+func TestP09AsiaExtraction(t *testing.T) {
+	e := newEnv(t)
+	e.run(t, "P09", nil)
+	cdb := e.s.DB(schema.SysCDB)
+	uniqCust := map[int64]bool{}
+	for _, src := range []string{schema.SysBeijing, schema.SysSeoul} {
+		for _, k := range e.g.CustomerKeys(src) {
+			uniqCust[k] = true
+		}
+	}
+	if got := cdb.MustTable("Customer").Len(); got != len(uniqCust) {
+		t.Errorf("CDB customers: %d, want %d", got, len(uniqCust))
+	}
+	uniqOrd := map[int64]bool{}
+	for _, src := range []string{schema.SysBeijing, schema.SysSeoul} {
+		for _, k := range e.g.OrderKeysFor(src) {
+			uniqOrd[k] = true
+		}
+	}
+	if got := cdb.MustTable("Orders").Len(); got != len(uniqOrd) {
+		t.Errorf("CDB orders: %d, want %d", got, len(uniqOrd))
+	}
+	// Duplicate resolution: shared orders keep the Beijing provenance
+	// (first operand of the union).
+	shared := e.g.OrderKeysFor(schema.SysSeoul)[0] // first Seoul key is shared with Beijing
+	row := cdb.MustTable("Orders").Lookup(rel.NewInt(shared))
+	if row == nil {
+		t.Fatal("shared order missing")
+	}
+	if row[schema.CDBOrders.MustOrdinal("SrcSystem")].Str() != schema.SysBeijing {
+		t.Errorf("shared order provenance %q, want Beijing first",
+			row[schema.CDBOrders.MustOrdinal("SrcSystem")].Str())
+	}
+	// Products deduped across the region.
+	if got := cdb.MustTable("Product").Len(); got != e.g.ProductCount() {
+		t.Errorf("CDB products: %d, want %d", got, e.g.ProductCount())
+	}
+}
+
+func TestP10ValidationSplit(t *testing.T) {
+	e := newEnv(t)
+	cdb := e.s.DB(schema.SysCDB)
+	goodBefore := cdb.MustTable("Orders").Len()
+	sent, failed := 0, 0
+	for i := 0; i < 40; i++ {
+		doc, broken := e.g.SanDiegoOrder(i)
+		e.run(t, "P10", mtm.XMLMessage(doc))
+		sent++
+		if broken {
+			failed++
+		}
+	}
+	if failed == 0 {
+		t.Fatal("test needs at least one broken message; raise the count")
+	}
+	if got := cdb.MustTable("FailedMessages").Len(); got != failed {
+		t.Errorf("failed messages: %d, want %d", got, failed)
+	}
+	if got := cdb.MustTable("Orders").Len() - goodBefore; got != sent-failed {
+		t.Errorf("loaded orders: %d, want %d", got, sent-failed)
+	}
+	// Failed rows carry a reason and the original payload.
+	fm := cdb.MustTable("FailedMessages").Scan()
+	for i := 0; i < fm.Len(); i++ {
+		if fm.Get(i, "Reason").Str() == "" || fm.Get(i, "Payload").Str() == "" {
+			t.Fatalf("failed row %d incomplete: %v", i, fm.Row(i))
+		}
+	}
+}
+
+func TestP11AmericaToCDB(t *testing.T) {
+	e := newEnv(t)
+	e.run(t, "P03", nil)
+	e.run(t, "P11", nil)
+	cdb := e.s.DB(schema.SysCDB)
+	us := e.s.DB(schema.SysUSEastcoast)
+	if cdb.MustTable("Customer").Len() != us.MustTable("Customer").Len() {
+		t.Errorf("CDB customers %d != US_Eastcoast %d",
+			cdb.MustTable("Customer").Len(), us.MustTable("Customer").Len())
+	}
+	if cdb.MustTable("Orders").Len() != us.MustTable("Orders").Len() {
+		t.Error("orders count mismatch")
+	}
+	// Semantic mapping applied and cities synthesized.
+	ords := cdb.MustTable("Orders").Scan()
+	s := schema.CDBOrders
+	for i := 0; i < ords.Len(); i++ {
+		ck := ords.Row(i)[s.MustOrdinal("Citykey")].Int()
+		if schema.CityRegionName(ck) != schema.RegionAmerica {
+			t.Fatalf("order city %d not American", ck)
+		}
+	}
+}
+
+func TestP12MasterDataLoad(t *testing.T) {
+	e := newEnv(t)
+	e.run(t, "P05", nil)
+	e.run(t, "P06", nil)
+	e.run(t, "P07", nil)
+	cdb, dwh := e.s.DB(schema.SysCDB), e.s.DB(schema.SysDWH)
+	dirtyBefore := 0
+	cs := schema.CDBCustomer
+	custs := cdb.MustTable("Customer").Scan()
+	for i := 0; i < custs.Len(); i++ {
+		row := custs.Row(i)
+		if row[cs.MustOrdinal("Name")].Str() == "" || row[cs.MustOrdinal("Phone")].Str() == "INVALID" {
+			dirtyBefore++
+		}
+	}
+	if dirtyBefore == 0 {
+		t.Fatal("no dirty master data generated; cleansing untested")
+	}
+	e.run(t, "P12", nil)
+	// The warehouse holds exactly the clean customers.
+	if got := dwh.MustTable("Customer").Len(); got != custs.Len()-dirtyBefore {
+		t.Errorf("DWH customers: %d, want %d", got, custs.Len()-dirtyBefore)
+	}
+	// No dirty rows slipped through.
+	whc := dwh.MustTable("Customer").Scan()
+	for i := 0; i < whc.Len(); i++ {
+		if whc.Get(i, "Name").Str() == "" {
+			t.Fatal("dirty customer reached the warehouse")
+		}
+	}
+	// CDB master data flagged integrated but not removed.
+	left := cdb.MustTable("Customer").Scan()
+	if left.Len() != custs.Len()-dirtyBefore {
+		t.Errorf("CDB customers after cleansing: %d", left.Len())
+	}
+	for i := 0; i < left.Len(); i++ {
+		if !left.Row(i)[cs.MustOrdinal("Integrated")].Bool() {
+			t.Fatal("customer not flagged integrated")
+		}
+	}
+	// Products loaded too.
+	if dwh.MustTable("Product").Len() == 0 {
+		t.Error("DWH products empty")
+	}
+}
+
+func TestP13MovementDataLoad(t *testing.T) {
+	e := newEnv(t)
+	e.run(t, "P07", nil) // Trondheim movement into the CDB
+	cdb, dwh := e.s.DB(schema.SysCDB), e.s.DB(schema.SysDWH)
+	total := cdb.MustTable("Orders").Len()
+	dirty := 0
+	ords := cdb.MustTable("Orders").Scan()
+	s := schema.CDBOrders
+	for i := 0; i < ords.Len(); i++ {
+		if ords.Row(i)[s.MustOrdinal("Totalprice")].Float() <= 0 {
+			dirty++
+		}
+	}
+	if dirty == 0 {
+		t.Fatal("no dirty movement data generated; cleansing untested")
+	}
+	e.run(t, "P13", nil)
+	if got := dwh.MustTable("Orders").Len(); got != total-dirty {
+		t.Errorf("DWH orders: %d, want %d", got, total-dirty)
+	}
+	// The materialized view was refreshed.
+	if dwh.MustTable("OrdersMV").Len() == 0 {
+		t.Error("OrdersMV not refreshed")
+	}
+	// Movement data removed from the CDB for delta determination.
+	if cdb.MustTable("Orders").Len() != 0 || cdb.MustTable("Orderline").Len() != 0 {
+		t.Error("CDB movement data not removed")
+	}
+	// MV consistency: total order count equals the fact table.
+	mv := dwh.MustTable("OrdersMV").Scan()
+	sum := int64(0)
+	for i := 0; i < mv.Len(); i++ {
+		sum += mv.Get(i, "OrderCount").Int()
+	}
+	if sum != int64(dwh.MustTable("Orders").Len()) {
+		t.Errorf("MV counts %d != orders %d", sum, dwh.MustTable("Orders").Len())
+	}
+}
+
+func TestP14P15DataMartRefresh(t *testing.T) {
+	e := newEnv(t)
+	// Fill the warehouse through the normal chain.
+	for _, id := range []string{"P03", "P05", "P06", "P07", "P09", "P11", "P12", "P13"} {
+		e.run(t, id, nil)
+	}
+	e.run(t, "P14", nil)
+	e.run(t, "P15", nil)
+	dwh := e.s.DB(schema.SysDWH)
+	totalMartOrders := 0
+	for _, v := range schema.Marts {
+		dm := e.s.DB(v.Name)
+		if dm.MustTable("Customer").Len() == 0 && v.Region != schema.RegionAmerica {
+			t.Errorf("%s customers empty", v.Name)
+		}
+		// Partitioning: every mart order belongs to the mart's region.
+		ords := dm.MustTable("Orders").Scan()
+		totalMartOrders += ords.Len()
+		s := schema.WHOrders
+		for i := 0; i < ords.Len(); i++ {
+			ck := ords.Row(i)[s.MustOrdinal("Citykey")].Int()
+			if schema.CityRegionName(ck) != v.Region {
+				t.Fatalf("%s order in city %d (region %s)", v.Name, ck, schema.CityRegionName(ck))
+			}
+		}
+		// Customers partitioned by region.
+		custs := dm.MustTable("Customer").Scan()
+		for i := 0; i < custs.Len(); i++ {
+			if custs.Get(i, "Region").Str() != v.Region {
+				t.Fatalf("%s customer of region %q", v.Name, custs.Get(i, "Region").Str())
+			}
+		}
+		// Dimension layout per variant.
+		if v.DenormProducts {
+			if dm.MustTable("Product").Len() != dwh.MustTable("Product").Len() {
+				t.Errorf("%s denormalized products: %d vs %d", v.Name,
+					dm.MustTable("Product").Len(), dwh.MustTable("Product").Len())
+			}
+			p := dm.MustTable("Product").Scan()
+			for i := 0; i < p.Len(); i++ {
+				if p.Get(i, "GroupName").Str() == "" || p.Get(i, "LineName").Str() == "" {
+					t.Fatalf("%s product not denormalized: %v", v.Name, p.Row(i))
+				}
+			}
+		} else if dm.MustTable("ProductGroup").Len() == 0 {
+			t.Errorf("%s normalized product dims empty", v.Name)
+		}
+		if v.DenormLocations {
+			loc := dm.MustTable("Location").Scan()
+			if loc.Len() != len(schema.CitiesInRegion(v.Region)) {
+				t.Errorf("%s locations: %d", v.Name, loc.Len())
+			}
+		} else if dm.MustTable("City").Len() != len(schema.CitiesInRegion(v.Region)) {
+			t.Errorf("%s cities: %d", v.Name, dm.MustTable("City").Len())
+		}
+		// P15 refreshed the mart's MV consistently.
+		mv := dm.MustTable("OrdersMV").Scan()
+		sum := int64(0)
+		for i := 0; i < mv.Len(); i++ {
+			sum += mv.Get(i, "OrderCount").Int()
+		}
+		if sum != int64(ords.Len()) {
+			t.Errorf("%s MV counts %d != orders %d", v.Name, sum, ords.Len())
+		}
+	}
+	// The marts partition the warehouse without loss.
+	if totalMartOrders != dwh.MustTable("Orders").Len() {
+		t.Errorf("marts hold %d orders, warehouse %d", totalMartOrders, dwh.MustTable("Orders").Len())
+	}
+}
+
+func TestProcessesReRunAfterUninitialize(t *testing.T) {
+	// Two full periods in sequence must not collide on primary keys.
+	e := newEnv(t)
+	runAll := func() {
+		for _, id := range []string{"P03", "P05", "P06", "P07", "P09", "P11", "P12", "P13", "P14", "P15"} {
+			e.run(t, id, nil)
+		}
+	}
+	runAll()
+	if err := e.s.Uninitialize(); err != nil {
+		t.Fatal(err)
+	}
+	g2 := datagen.MustNew(datagen.Config{Seed: 7, Datasize: 0.02, Dist: datagen.Uniform, Period: 1})
+	if err := e.s.InitializeSources(g2); err != nil {
+		t.Fatal(err)
+	}
+	e.g = g2
+	runAll()
+	if e.s.DB(schema.SysDWH).MustTable("Orders").Len() == 0 {
+		t.Error("second period produced no warehouse data")
+	}
+}

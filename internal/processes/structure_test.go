@@ -1,0 +1,143 @@
+package processes
+
+import (
+	"testing"
+
+	"repro/internal/mtm"
+)
+
+// TestProcessOperatorInventory pins each process type's operator profile:
+// changes to the process definitions (which define the benchmark's
+// workload) should be deliberate, not accidental.
+func TestProcessOperatorInventory(t *testing.T) {
+	defs := MustNew()
+	countKinds := func(p *mtm.Process) map[string]int {
+		counts := map[string]int{}
+		var walk func(ops []mtm.Operator)
+		walk = func(ops []mtm.Operator) {
+			for _, op := range ops {
+				counts[op.Kind()]++
+				switch o := op.(type) {
+				case mtm.Switch:
+					for _, c := range o.Cases {
+						walk(c.Ops)
+					}
+					walk(o.Else)
+				case mtm.Fork:
+					for _, b := range o.Branches {
+						walk(b)
+					}
+				case mtm.Validate:
+					walk(o.Valid)
+					walk(o.Invalid)
+				case mtm.Subprocess:
+					walk(o.Process.Ops)
+				}
+			}
+		}
+		walk(p.Ops)
+		return counts
+	}
+	type expectation struct {
+		kind string
+		n    int
+	}
+	expect := map[string][]expectation{
+		// P01: receive, translate, send.
+		"P01": {{"RECEIVE", 1}, {"TRANSLATE", 1}, {"INVOKE", 1}},
+		// P02 (Fig. 4): receive, translate, assign, switch with two
+		// routed invokes.
+		"P02": {{"RECEIVE", 1}, {"TRANSLATE", 1}, {"SWITCH", 1}, {"INVOKE", 2}},
+		// P03 (Fig. 5): 3 sources x 4 tables queries + 4 loads, 4 unions.
+		"P03": {{"INVOKE", 16}, {"UNION_DISTINCT", 4}},
+		// P04: receive, enrichment switch with a query per route,
+		// translate custom, dataset assign, two loads.
+		"P04": {{"RECEIVE", 1}, {"SWITCH", 1}, {"INVOKE", 4}},
+		// P05/P06: extract 4 tables + load 4 + selection on customers and
+		// orders + join/projection for the line filter.
+		"P05": {{"INVOKE", 8}, {"SELECTION", 2}, {"JOIN", 1}, {"PROJECTION", 1}},
+		"P06": {{"INVOKE", 8}, {"SELECTION", 2}, {"JOIN", 1}, {"PROJECTION", 1}},
+		"P07": {{"INVOKE", 8}, {"SELECTION", 2}, {"JOIN", 1}, {"PROJECTION", 1}},
+		// P08: receive, STX translate, assign, two loads.
+		"P08": {{"RECEIVE", 1}, {"TRANSLATE", 1}, {"INVOKE", 2}},
+		// P09: per feed (4) and service (2): fetch + translate + convert
+		// + finalize; plus union and load per feed.
+		"P09": {{"INVOKE", 12}, {"TRANSLATE", 16}, {"CONVERT", 8}, {"UNION_DISTINCT", 4}},
+		// P10: receive, validate with translated load vs failed-data path.
+		"P10": {{"RECEIVE", 1}, {"VALIDATE", 1}, {"TRANSLATE", 1}},
+		// P11: 4 extracts, 4 translations, 4 loads.
+		"P11": {{"INVOKE", 8}, {"TRANSLATE", 4}},
+		// P12: cleansing call + per master table: query, projection,
+		// validate, load, flag.
+		"P12": {{"INVOKE", 7}, {"PROJECTION", 2}, {"VALIDATE", 2}},
+		// P13: cleansing + orders/lines loads + MV refresh + 2 deletes.
+		"P13": {{"INVOKE", 8}, {"PROJECTION", 2}, {"VALIDATE", 2}},
+		// P14: S1 subprocess + fork with 3 mart threads (2 selections per
+		// thread) + mart-load subprocesses (1 location selection for each
+		// denormalized-location mart, 3 for the normalized Asia mart).
+		"P14": {{"SUBPROCESS", 4}, {"FORK", 1}, {"SELECTION", 11}},
+		// P15: fork with one MV refresh per mart.
+		"P15": {{"FORK", 1}, {"INVOKE", 3}},
+	}
+	for id, exps := range expect {
+		p := defs.ByID(id)
+		counts := countKinds(p)
+		for _, e := range exps {
+			if counts[e.kind] != e.n {
+				t.Errorf("%s: %s count %d, want %d (all: %v)", id, e.kind, counts[e.kind], e.n, counts)
+			}
+		}
+	}
+}
+
+// TestP09UsesTwoDifferentStylesheets verifies the paper's "two different
+// STX style sheets" requirement.
+func TestP09UsesTwoDifferentStylesheets(t *testing.T) {
+	if SheetBeijingOrdersRS == SheetSeoulOrdersRS {
+		t.Fatal("Beijing and Seoul must use different stylesheets")
+	}
+	// The two sheets rewrite different source column names.
+	if SheetBeijingOrdersRS.Rules[0].AttrValueMap["name"]["Ord_ID"] != "Ordkey" {
+		t.Error("Beijing sheet mapping")
+	}
+	if SheetSeoulOrdersRS.Rules[0].AttrValueMap["name"]["OID"] != "Ordkey" {
+		t.Error("Seoul sheet mapping")
+	}
+}
+
+// TestGroupCAndDAreDataIntensiveOnly pins the paper's "the groups C and D
+// address data-intensive process types exclusively": no RECEIVE operators.
+func TestGroupCAndDAreDataIntensiveOnly(t *testing.T) {
+	defs := MustNew()
+	for _, p := range defs.All() {
+		if p.Group != mtm.GroupC && p.Group != mtm.GroupD {
+			continue
+		}
+		if p.Event != mtm.E2 {
+			t.Errorf("%s in group %s must be time-scheduled", p.ID, p.Group)
+		}
+	}
+}
+
+// TestP14Parallelism pins the "high degree of parallelism" of group D:
+// P14 forks three concurrent mart threads, P15 three refreshes.
+func TestP14Parallelism(t *testing.T) {
+	defs := MustNew()
+	find := func(p *mtm.Process) *mtm.Fork {
+		for _, op := range p.Ops {
+			if f, ok := op.(mtm.Fork); ok {
+				return &f
+			}
+		}
+		return nil
+	}
+	for _, id := range []string{"P14", "P15"} {
+		f := find(defs.ByID(id))
+		if f == nil {
+			t.Fatalf("%s has no FORK", id)
+		}
+		if len(f.Branches) != 3 {
+			t.Errorf("%s fork branches: %d, want 3 (one per data mart)", id, len(f.Branches))
+		}
+	}
+}

@@ -1,0 +1,97 @@
+// Package processes defines the 15 DIPBench integration process types of
+// Table I as MTM process graphs, together with the STX stylesheets and
+// schema-mapping helpers they use. The definitions deliberately mirror the
+// paper's suboptimal modelling ("the modeled processes are suboptimal.
+// This leaves enough space for optimizations"): full-table extracts
+// followed by selections, per-table round trips, and re-translation per
+// message.
+package processes
+
+import (
+	"repro/internal/schema"
+	"repro/internal/stx"
+)
+
+// SheetBeijingToSeoul translates the P01 master-data exchange message from
+// XSD_Beijing to XSD_Seoul.
+var SheetBeijingToSeoul = stx.MustNew("beijing-to-seoul", stx.ActCopy,
+	stx.Rule{Pattern: "BJCustomer", Action: stx.ActRename, NewName: "SKCustomer"},
+	stx.Rule{Pattern: "Cust_ID", Action: stx.ActRename, NewName: "CID"},
+	stx.Rule{Pattern: "Cust_Name", Action: stx.ActRename, NewName: "CNAME"},
+	stx.Rule{Pattern: "Cust_Addr", Action: stx.ActRename, NewName: "CADDR"},
+	stx.Rule{Pattern: "Cust_City", Action: stx.ActRename, NewName: "CCITY"},
+	stx.Rule{Pattern: "Cust_Phone", Action: stx.ActRename, NewName: "CPHONE"},
+)
+
+// SheetMDMToEurope translates the P02 MDM master-data message to the
+// Europe customer form: the MasterData wrapper is unwrapped and the
+// Customer element renamed; the custkey attribute is preserved.
+var SheetMDMToEurope = stx.MustNew("mdm-to-europe", stx.ActCopy,
+	stx.Rule{Pattern: "MasterData", Action: stx.ActUnwrap},
+	stx.Rule{Pattern: "Customer", Action: stx.ActRename, NewName: "EUCustomer"},
+)
+
+// SheetHongkongToCDB translates the P08 Hongkong order message to the
+// canonical CDB order form.
+var SheetHongkongToCDB = stx.MustNew("hongkong-to-cdb", stx.ActCopy,
+	stx.Rule{Pattern: "HKOrder", Action: stx.ActRename, NewName: "CDBOrder"},
+	stx.Rule{Pattern: "OrdNo", Action: stx.ActRename, NewName: "Ordkey"},
+	stx.Rule{Pattern: "CustNo", Action: stx.ActRename, NewName: "Custkey"},
+	stx.Rule{Pattern: "OrdDate", Action: stx.ActRename, NewName: "Orderdate"},
+	stx.Rule{Pattern: "OrdState", Action: stx.ActRename, NewName: "Status"},
+	stx.Rule{Pattern: "OrdPrio", Action: stx.ActRename, NewName: "Priority"},
+	stx.Rule{Pattern: "OrdTotal", Action: stx.ActRename, NewName: "Totalprice"},
+	stx.Rule{Pattern: "Positions", Action: stx.ActRename, NewName: "Lines"},
+	stx.Rule{Pattern: "Pos", Action: stx.ActRename, NewName: "Line",
+		AttrMap: map[string]string{"no": "pos"}},
+	stx.Rule{Pattern: "ProdNo", Action: stx.ActRename, NewName: "Prodkey"},
+	stx.Rule{Pattern: "Qty", Action: stx.ActRename, NewName: "Quantity"},
+	stx.Rule{Pattern: "Amt", Action: stx.ActRename, NewName: "Extendedprice"},
+)
+
+// SheetSanDiegoToCDB translates the (validated) P10 San Diego order
+// message to the canonical CDB order form.
+var SheetSanDiegoToCDB = stx.MustNew("sandiego-to-cdb", stx.ActCopy,
+	stx.Rule{Pattern: "SDOrder", Action: stx.ActRename, NewName: "CDBOrder"},
+	stx.Rule{Pattern: "OrderNo", Action: stx.ActRename, NewName: "Ordkey"},
+	stx.Rule{Pattern: "Customer", Action: stx.ActRename, NewName: "Custkey"},
+	stx.Rule{Pattern: "Placed", Action: stx.ActRename, NewName: "Orderdate"},
+	stx.Rule{Pattern: "Sum", Action: stx.ActRename, NewName: "Totalprice"},
+	stx.Rule{Pattern: "Items", Action: stx.ActRename, NewName: "Lines"},
+	stx.Rule{Pattern: "Item", Action: stx.ActRename, NewName: "Line",
+		AttrMap: map[string]string{"no": "pos"}},
+	stx.Rule{Pattern: "PartNo", Action: stx.ActRename, NewName: "Prodkey"},
+	stx.Rule{Pattern: "Count", Action: stx.ActRename, NewName: "Quantity"},
+	stx.Rule{Pattern: "Value", Action: stx.ActRename, NewName: "Extendedprice"},
+)
+
+// attrValueRules builds the Column-name rewriting rule of a result-set
+// stylesheet from a column mapping.
+func attrValueRules(mapping map[string]string) stx.Rule {
+	return stx.Rule{
+		Pattern:      "Column",
+		Action:       stx.ActCopy,
+		AttrValueMap: map[string]map[string]string{"name": mapping},
+	}
+}
+
+// Result-set stylesheets of P09: the extracted XML result sets of Beijing
+// and Seoul are translated to CDB column names by rewriting the
+// Column/@name metadata ("translated to the CDB schema using two different
+// STX style sheets").
+var (
+	SheetBeijingOrdersRS    = stx.MustNew("beijing-orders-rs", stx.ActCopy, attrValueRules(schema.BeijingOrdersToCDB))
+	SheetBeijingCustomersRS = stx.MustNew("beijing-customers-rs", stx.ActCopy, attrValueRules(schema.BeijingCustomerToCDB))
+	SheetBeijingProductsRS  = stx.MustNew("beijing-products-rs", stx.ActCopy, attrValueRules(schema.BeijingProductToCDB))
+	SheetBeijingItemsRS     = stx.MustNew("beijing-items-rs", stx.ActCopy, attrValueRules(map[string]string{
+		"Ord_ID": "Ordkey", "Item_No": "Pos", "Prod_ID": "Prodkey",
+		"Qty": "Quantity", "Amount": "Extendedprice",
+	}))
+	SheetSeoulOrdersRS    = stx.MustNew("seoul-orders-rs", stx.ActCopy, attrValueRules(schema.SeoulOrdersToCDB))
+	SheetSeoulCustomersRS = stx.MustNew("seoul-customers-rs", stx.ActCopy, attrValueRules(schema.SeoulCustomerToCDB))
+	SheetSeoulProductsRS  = stx.MustNew("seoul-products-rs", stx.ActCopy, attrValueRules(schema.SeoulProductToCDB))
+	SheetSeoulItemsRS     = stx.MustNew("seoul-items-rs", stx.ActCopy, attrValueRules(map[string]string{
+		"OID": "Ordkey", "POS": "Pos", "PID": "Prodkey",
+		"QTY": "Quantity", "AMT": "Extendedprice",
+	}))
+)

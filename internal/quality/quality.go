@@ -1,0 +1,332 @@
+// Package quality implements the data-quality assessment the DIPBench
+// paper names as future work ("we want to enhance the benchmark by
+// integrating quality and semantic issues"), in the spirit of the
+// quality-metric ETL benchmark discussion it cites (Vassiliadis et al.,
+// QDB 2007). It measures, per system and layer of the scenario:
+//
+//   - completeness: the fraction of non-NULL, non-empty cells;
+//   - uniqueness: duplicate master-data entities beyond key identity
+//     (customers sharing name+city, products sharing names);
+//   - referential integrity: orders resolving to customers, orderlines to
+//     orders and products;
+//   - consistency: materialized views agreeing with their fact tables.
+//
+// The paper's scenario narrative predicts the gradient these measures
+// show: "during this staging process, the data quality increases" from
+// the sources through the consolidated database to the warehouse.
+package quality
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	rel "repro/internal/relational"
+	"repro/internal/scenario"
+)
+
+// TableQuality is the assessment of one table.
+type TableQuality struct {
+	System string
+	Table  string
+	Rows   int
+	// Completeness is the fraction of cells that are non-NULL and, for
+	// strings, non-empty. 1.0 for empty tables.
+	Completeness float64
+}
+
+// Violation is one referential or consistency finding.
+type Violation struct {
+	System string
+	Kind   string
+	Count  int
+	Detail string
+}
+
+// SystemQuality aggregates one system's measures.
+type SystemQuality struct {
+	System string
+	Tables []TableQuality
+	// DuplicateEntities counts master-data rows that duplicate another
+	// row's business identity (same customer name+city / product name)
+	// under a different key.
+	DuplicateEntities int
+	// Violations lists referential/consistency findings.
+	Violations []Violation
+}
+
+// Completeness returns the row-weighted mean completeness over the
+// system's tables (1.0 when the system holds no rows).
+func (s *SystemQuality) Completeness() float64 {
+	var cells, weighted float64
+	for _, t := range s.Tables {
+		if t.Rows == 0 {
+			continue
+		}
+		cells += float64(t.Rows)
+		weighted += t.Completeness * float64(t.Rows)
+	}
+	if cells == 0 {
+		return 1
+	}
+	return weighted / cells
+}
+
+// ViolationCount sums the system's violation counts.
+func (s *SystemQuality) ViolationCount() int {
+	n := 0
+	for _, v := range s.Violations {
+		n += v.Count
+	}
+	return n
+}
+
+// Report is a full scenario assessment.
+type Report struct {
+	Systems []SystemQuality // in layer order
+}
+
+// BySystem returns a system's assessment, or nil.
+func (r *Report) BySystem(name string) *SystemQuality {
+	for i := range r.Systems {
+		if r.Systems[i].System == name {
+			return &r.Systems[i]
+		}
+	}
+	return nil
+}
+
+// Assess measures the whole scenario.
+func Assess(s *scenario.Scenario) *Report {
+	rep := &Report{}
+	for _, name := range scenario.DatabaseSystems {
+		rep.Systems = append(rep.Systems, assessSystem(name, s.DB(name)))
+	}
+	for _, name := range scenario.WebServiceSystems {
+		rep.Systems = append(rep.Systems, assessSystem(name, s.WS.Service(name).Database()))
+	}
+	return rep
+}
+
+// assessSystem measures one database instance.
+func assessSystem(name string, db *rel.Database) SystemQuality {
+	sq := SystemQuality{System: name}
+	tables := db.TableNames()
+	sort.Strings(tables)
+	for _, tn := range tables {
+		t := db.MustTable(tn)
+		sq.Tables = append(sq.Tables, assessTable(name, tn, t))
+	}
+	sq.DuplicateEntities = duplicateEntities(db)
+	sq.Violations = referentialViolations(name, db)
+	if v := mvConsistency(name, db); v != nil {
+		sq.Violations = append(sq.Violations, *v)
+	}
+	return sq
+}
+
+// assessTable computes per-table completeness.
+func assessTable(system, table string, t *rel.Table) TableQuality {
+	r := t.Scan()
+	tq := TableQuality{System: system, Table: table, Rows: r.Len(), Completeness: 1}
+	if r.Len() == 0 {
+		return tq
+	}
+	total, complete := 0, 0
+	for i := 0; i < r.Len(); i++ {
+		row := r.Row(i)
+		for _, v := range row {
+			total++
+			if v.IsNull() {
+				continue
+			}
+			if v.Type() == rel.TypeString && strings.TrimSpace(v.Str()) == "" {
+				continue
+			}
+			complete++
+		}
+	}
+	tq.Completeness = float64(complete) / float64(total)
+	return tq
+}
+
+// duplicateEntities counts master-data rows whose business identity
+// duplicates an earlier row under a different key. Handles the customer
+// and product tables of every schema variant by probing known column
+// pairs.
+func duplicateEntities(db *rel.Database) int {
+	dups := 0
+	probe := func(table string, idCols ...string) {
+		t := db.Table(table)
+		if t == nil {
+			return
+		}
+		s := t.Schema()
+		ords := make([]int, 0, len(idCols))
+		for _, c := range idCols {
+			o := s.Ordinal(c)
+			if o < 0 {
+				return
+			}
+			ords = append(ords, o)
+		}
+		seen := map[string]bool{}
+		r := t.Scan()
+		for i := 0; i < r.Len(); i++ {
+			parts := make([]string, len(ords))
+			empty := false
+			for j, o := range ords {
+				v := r.Row(i)[o]
+				if v.IsNull() || (v.Type() == rel.TypeString && v.Str() == "") {
+					empty = true
+					break
+				}
+				parts[j] = v.String()
+			}
+			if empty {
+				continue // incompleteness is measured separately
+			}
+			key := strings.Join(parts, "\x00")
+			if seen[key] {
+				dups++
+			}
+			seen[key] = true
+		}
+	}
+	// Customer variants across the schemas of the scenario.
+	probe("Customer", "Name", "City")             // CDB / DWH / marts (denormalized city name)
+	probe("Customer", "Name", "Citykey")          // Europe schema
+	probe("Customer", "C_Name", "C_Phone")        // TPC-H
+	probe("Customers", "Cust_Name", "Cust_Phone") // Beijing
+	probe("Customers", "CNAME", "CPHONE")         // Seoul
+	probe("Customers", "CustName", "CustPhone")   // Hongkong
+	// Product variants.
+	probe("Product", "Name")
+	probe("Products", "Prod_Name")
+	probe("Products", "PNAME")
+	probe("Products", "ProdName")
+	probe("Part", "P_Name")
+	return dups
+}
+
+// referentialViolations checks order->customer and orderline->order/
+// product references for whichever schema variant the system uses.
+func referentialViolations(system string, db *rel.Database) []Violation {
+	var out []Violation
+	count := func(kind, detail string, n int) {
+		if n > 0 {
+			out = append(out, Violation{System: system, Kind: kind, Count: n, Detail: detail})
+		}
+	}
+	keys := func(table, col string) map[int64]bool {
+		t := db.Table(table)
+		if t == nil {
+			return nil
+		}
+		o := t.Schema().Ordinal(col)
+		if o < 0 {
+			return nil
+		}
+		set := make(map[int64]bool)
+		r := t.Scan()
+		for i := 0; i < r.Len(); i++ {
+			set[r.Row(i)[o].Int()] = true
+		}
+		return set
+	}
+	dangling := func(table, col string, target map[int64]bool) int {
+		if target == nil {
+			return 0
+		}
+		t := db.Table(table)
+		if t == nil {
+			return 0
+		}
+		o := t.Schema().Ordinal(col)
+		if o < 0 {
+			return 0
+		}
+		n := 0
+		r := t.Scan()
+		for i := 0; i < r.Len(); i++ {
+			if !target[r.Row(i)[o].Int()] {
+				n++
+			}
+		}
+		return n
+	}
+	type refCheck struct {
+		childTable, childCol   string
+		parentTable, parentCol string
+		kind                   string
+	}
+	variants := [][]refCheck{
+		{ // warehouse / CDB / mart / Europe spelling
+			{"Orders", "Custkey", "Customer", "Custkey", "order->customer"},
+			{"Orderline", "Ordkey", "Orders", "Ordkey", "orderline->order"},
+			{"Orderline", "Prodkey", "Product", "Prodkey", "orderline->product"},
+		},
+		{ // TPC-H spelling
+			{"Orders", "O_Custkey", "Customer", "C_Custkey", "order->customer"},
+			{"Lineitem", "L_Orderkey", "Orders", "O_Orderkey", "lineitem->order"},
+			{"Lineitem", "L_Partkey", "Part", "P_Partkey", "lineitem->part"},
+		},
+	}
+	for _, variant := range variants {
+		for _, c := range variant {
+			parents := keys(c.parentTable, c.parentCol)
+			if parents == nil {
+				continue
+			}
+			n := dangling(c.childTable, c.childCol, parents)
+			count(c.kind, fmt.Sprintf("%s.%s without %s.%s", c.childTable, c.childCol,
+				c.parentTable, c.parentCol), n)
+		}
+	}
+	return out
+}
+
+// mvConsistency checks OrdersMV against the Orders fact table.
+func mvConsistency(system string, db *rel.Database) *Violation {
+	mv := db.Table("OrdersMV")
+	orders := db.Table("Orders")
+	if mv == nil || orders == nil {
+		return nil
+	}
+	sum := int64(0)
+	r := mv.Scan()
+	o := mv.Schema().Ordinal("OrderCount")
+	for i := 0; i < r.Len(); i++ {
+		sum += r.Row(i)[o].Int()
+	}
+	diff := sum - int64(orders.Len())
+	if diff == 0 {
+		return nil
+	}
+	if diff < 0 {
+		diff = -diff
+	}
+	return &Violation{
+		System: system, Kind: "mv-consistency", Count: int(diff),
+		Detail: fmt.Sprintf("OrdersMV counts %d orders, fact table has %d", sum, orders.Len()),
+	}
+}
+
+// String renders the quality report as a per-system table.
+func (r *Report) String() string {
+	var b strings.Builder
+	b.WriteString("Data quality report (completeness | duplicate entities | violations):\n")
+	for _, s := range r.Systems {
+		fmt.Fprintf(&b, "  %-18s %6.2f%% | %4d dup | %4d viol",
+			s.System, s.Completeness()*100, s.DuplicateEntities, s.ViolationCount())
+		if len(s.Violations) > 0 {
+			kinds := make([]string, 0, len(s.Violations))
+			for _, v := range s.Violations {
+				kinds = append(kinds, fmt.Sprintf("%s:%d", v.Kind, v.Count))
+			}
+			fmt.Fprintf(&b, "  (%s)", strings.Join(kinds, ", "))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

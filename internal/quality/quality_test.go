@@ -1,0 +1,160 @@
+package quality
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/engine"
+	"repro/internal/processes"
+	rel "repro/internal/relational"
+	"repro/internal/scenario"
+	"repro/internal/schema"
+)
+
+func initialized(t *testing.T) (*scenario.Scenario, *datagen.Generator) {
+	t.Helper()
+	s, err := scenario.New(scenario.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	g := datagen.MustNew(datagen.Config{Seed: 5, Datasize: 0.02, Dist: datagen.Uniform})
+	if err := s.InitializeSources(g); err != nil {
+		t.Fatal(err)
+	}
+	return s, g
+}
+
+func TestAssessCoversAllSystems(t *testing.T) {
+	s, _ := initialized(t)
+	rep := Assess(s)
+	want := len(scenario.DatabaseSystems) + len(scenario.WebServiceSystems)
+	if len(rep.Systems) != want {
+		t.Fatalf("systems assessed: %d, want %d", len(rep.Systems), want)
+	}
+	if rep.BySystem(schema.SysCDB) == nil || rep.BySystem("Atlantis") != nil {
+		t.Error("BySystem lookup")
+	}
+}
+
+func TestSourceCompletenessBelowOne(t *testing.T) {
+	// The generators inject empty names into the sources, so source
+	// completeness must be measurably below 1.
+	s, _ := initialized(t)
+	rep := Assess(s)
+	bp := rep.BySystem(schema.SysBerlinParis)
+	if bp.Completeness() >= 1 {
+		t.Errorf("Berlin/Paris completeness %.4f, expected dirt", bp.Completeness())
+	}
+	// Empty systems report completeness 1.
+	dwh := rep.BySystem(schema.SysDWH)
+	for _, tbl := range dwh.Tables {
+		if tbl.Table == "Customer" && tbl.Rows == 0 && tbl.Completeness != 1 {
+			t.Error("empty table completeness should be 1")
+		}
+	}
+}
+
+func TestQualityIncreasesThroughTheLayers(t *testing.T) {
+	// "During this staging process, the data quality increases": after a
+	// full pipeline run, the warehouse must be complete (cleansing
+	// removed the dirt) while the sources are not.
+	s, g := initialized(t)
+	eng, err := engine.NewPipeline(processes.MustNew(), s.Gateway(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"P03", "P05", "P06", "P07", "P09", "P11", "P12", "P13", "P14", "P15"} {
+		if err := eng.Execute(id, nil, 0); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+	}
+	_ = g
+	rep := Assess(s)
+	src := rep.BySystem(schema.SysBerlinParis).Completeness()
+	wh := rep.BySystem(schema.SysDWH).Completeness()
+	if wh <= src {
+		t.Errorf("quality gradient violated: source %.4f, warehouse %.4f", src, wh)
+	}
+	if wh < 0.9999 {
+		t.Errorf("warehouse completeness %.4f, want ~1 after cleansing", wh)
+	}
+	// The warehouse has no referential violations orderline->order.
+	for _, v := range rep.BySystem(schema.SysDWH).Violations {
+		if v.Kind == "orderline->order" || v.Kind == "mv-consistency" {
+			t.Errorf("warehouse violation: %+v", v)
+		}
+	}
+}
+
+func TestDuplicateEntityDetection(t *testing.T) {
+	s, _ := initialized(t)
+	cdb := s.DB(schema.SysCDB)
+	mk := func(key int64, name string) rel.Row {
+		return rel.Row{
+			rel.NewInt(key), rel.NewString(name), rel.NewString("addr"), rel.NewString("p"),
+			rel.NewString("Berlin"), rel.NewString("Germany"), rel.NewString("Europe"),
+			rel.NewString("s"), rel.NewBool(false),
+		}
+	}
+	_ = cdb.MustTable("Customer").Insert(mk(1, "Ada"))
+	_ = cdb.MustTable("Customer").Insert(mk(2, "Ada")) // same name+city, different key
+	_ = cdb.MustTable("Customer").Insert(mk(3, "Bob"))
+	rep := Assess(s)
+	if got := rep.BySystem(schema.SysCDB).DuplicateEntities; got != 1 {
+		t.Errorf("duplicates: %d, want 1", got)
+	}
+}
+
+func TestReferentialViolationDetection(t *testing.T) {
+	s, _ := initialized(t)
+	dwh := s.DB(schema.SysDWH)
+	// An orderline pointing to a missing order.
+	if err := dwh.MustTable("Orderline").Insert(rel.Row{
+		rel.NewInt(999), rel.NewInt(1), rel.NewInt(1000), rel.NewInt(1), rel.NewFloat(1),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rep := Assess(s)
+	found := false
+	for _, v := range rep.BySystem(schema.SysDWH).Violations {
+		if v.Kind == "orderline->order" && v.Count == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("dangling orderline not detected: %+v", rep.BySystem(schema.SysDWH).Violations)
+	}
+}
+
+func TestMVConsistencyViolationDetection(t *testing.T) {
+	s, _ := initialized(t)
+	dwh := s.DB(schema.SysDWH)
+	// An MV row claiming orders that do not exist.
+	if err := dwh.MustTable("OrdersMV").Insert(rel.Row{
+		rel.NewInt(2008), rel.NewInt(1), rel.NewInt(7), rel.NewInt(5), rel.NewFloat(100),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rep := Assess(s)
+	found := false
+	for _, v := range rep.BySystem(schema.SysDWH).Violations {
+		if v.Kind == "mv-consistency" && v.Count == 5 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("MV inconsistency not detected")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	s, _ := initialized(t)
+	out := Assess(s).String()
+	for _, want := range []string{"Data quality report", schema.SysCDB, schema.SysBeijing, "%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package relational
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDatabaseCatalog(t *testing.T) {
+	db := NewDatabase("cdb")
+	if db.Name() != "cdb" {
+		t.Fatalf("Name = %q", db.Name())
+	}
+	s := MustSchema([]Column{Col("K", TypeInt)}, "K")
+	tbl, err := db.CreateTable("T1", s)
+	if err != nil || tbl == nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateTable("t1", s); err == nil {
+		t.Fatal("duplicate table (case-insensitive) should fail")
+	}
+	if db.Table("T1") != tbl || db.Table("t1") != tbl {
+		t.Fatal("case-insensitive lookup broken")
+	}
+	db.MustCreateTable("T2", s)
+	names := db.TableNames()
+	if len(names) != 2 || names[0] != "T1" || names[1] != "T2" {
+		t.Fatalf("TableNames = %v", names)
+	}
+	if err := db.DropTable("T1"); err != nil {
+		t.Fatal(err)
+	}
+	if db.Table("T1") != nil {
+		t.Fatal("drop failed")
+	}
+	if err := db.DropTable("T1"); err == nil {
+		t.Fatal("double drop should fail")
+	}
+}
+
+func TestDatabaseTruncateAllAndTotals(t *testing.T) {
+	db := NewDatabase("x")
+	s := MustSchema([]Column{Col("K", TypeInt)}, "K")
+	a := db.MustCreateTable("A", s)
+	b := db.MustCreateTable("B", s)
+	for i := 0; i < 3; i++ {
+		_ = a.Insert(Row{NewInt(int64(i))})
+		_ = b.Insert(Row{NewInt(int64(i))})
+	}
+	if db.TotalRows() != 6 {
+		t.Fatalf("TotalRows = %d", db.TotalRows())
+	}
+	db.TruncateAll()
+	if db.TotalRows() != 0 {
+		t.Fatalf("TotalRows after truncate = %d", db.TotalRows())
+	}
+}
+
+func TestProcedureRegistryAndCall(t *testing.T) {
+	db := NewDatabase("p")
+	db.RegisterProcedure("sp_double", func(_ *Database, args []Value) (*Relation, error) {
+		s := MustSchema([]Column{Col("V", TypeInt)})
+		return NewRelation(s, []Row{{NewInt(args[0].Int() * 2)}})
+	})
+	r, err := db.Call("SP_DOUBLE", NewInt(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Get(0, "V").Int() != 42 {
+		t.Fatalf("call result: %v", r)
+	}
+	if _, err := db.Call("missing"); err == nil {
+		t.Fatal("missing procedure should error")
+	}
+}
+
+func TestServerInstancesAndConnect(t *testing.T) {
+	srv := NewServer(0)
+	srv.CreateInstance("Berlin")
+	srv.CreateInstance("Paris")
+	names := srv.InstanceNames()
+	if len(names) != 2 || names[0] != "Berlin" {
+		t.Fatalf("InstanceNames = %v", names)
+	}
+	if _, err := srv.Connect("Madrid"); err == nil {
+		t.Fatal("connect to missing instance should fail")
+	}
+	conn := srv.MustConnect("berlin")
+	if conn.Database().Name() != "Berlin" {
+		t.Fatalf("connected to %q", conn.Database().Name())
+	}
+}
+
+func TestConnOperations(t *testing.T) {
+	srv := NewServer(0)
+	db := srv.CreateInstance("DB")
+	s := MustSchema([]Column{Col("K", TypeInt), Col("V", TypeString)}, "K")
+	db.MustCreateTable("T", s)
+	conn := srv.MustConnect("DB")
+
+	if err := conn.Insert("T", Row{NewInt(1), NewString("a")}); err != nil {
+		t.Fatal(err)
+	}
+	bulk := MustRelation(s, []Row{
+		{NewInt(2), NewString("b")},
+		{NewInt(3), NewString("c")},
+	})
+	if err := conn.InsertBulk("T", bulk); err != nil {
+		t.Fatal(err)
+	}
+	rel, err := conn.Scan("T")
+	if err != nil || rel.Len() != 3 {
+		t.Fatalf("scan: %v, %v", rel, err)
+	}
+	rel, err = conn.Query("T", ColEq("K", NewInt(2)))
+	if err != nil || rel.Len() != 1 {
+		t.Fatalf("query: %v, %v", rel, err)
+	}
+	up := MustRelation(s, []Row{{NewInt(2), NewString("B!")}})
+	if err := conn.UpsertBulk("T", up); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Table("T").Lookup(NewInt(2)); got[1].Str() != "B!" {
+		t.Fatalf("upsert: %v", got)
+	}
+	n, err := conn.Update("T", ColEq("K", NewInt(1)), func(r Row) Row {
+		r[1] = NewString("z")
+		return r
+	})
+	if err != nil || n != 1 {
+		t.Fatalf("update: %d, %v", n, err)
+	}
+	n, err = conn.Delete("T", ColEq("K", NewInt(3)))
+	if err != nil || n != 1 {
+		t.Fatalf("delete: %d, %v", n, err)
+	}
+	if srv.Calls() != 7 {
+		t.Errorf("Calls = %d, want 7", srv.Calls())
+	}
+}
+
+func TestConnErrorsOnMissingTable(t *testing.T) {
+	srv := NewServer(0)
+	srv.CreateInstance("DB")
+	conn := srv.MustConnect("DB")
+	if _, err := conn.Scan("missing"); err == nil {
+		t.Error("Scan missing table should fail")
+	}
+	if err := conn.Insert("missing", Row{}); err == nil {
+		t.Error("Insert missing table should fail")
+	}
+	if err := conn.InsertBulk("missing", Empty(MustSchema(nil))); err == nil {
+		t.Error("InsertBulk missing table should fail")
+	}
+	if _, err := conn.Delete("missing", True()); err == nil {
+		t.Error("Delete missing table should fail")
+	}
+	if _, err := conn.Update("missing", True(), func(r Row) Row { return r }); err == nil {
+		t.Error("Update missing table should fail")
+	}
+}
+
+func TestServerLatencyCharged(t *testing.T) {
+	srv := NewServer(2 * time.Millisecond)
+	db := srv.CreateInstance("DB")
+	db.MustCreateTable("T", MustSchema([]Column{Col("K", TypeInt)}, "K"))
+	conn := srv.MustConnect("DB")
+	start := time.Now()
+	const calls = 5
+	for i := 0; i < calls; i++ {
+		_, _ = conn.Scan("T")
+	}
+	if elapsed := time.Since(start); elapsed < calls*2*time.Millisecond {
+		t.Errorf("latency not charged: %v for %d calls", elapsed, calls)
+	}
+	if srv.Latency() != 2*time.Millisecond {
+		t.Errorf("Latency() = %v", srv.Latency())
+	}
+	srv.SetLatency(0)
+	if srv.Latency() != 0 {
+		t.Errorf("SetLatency: %v", srv.Latency())
+	}
+}

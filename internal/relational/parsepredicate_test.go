@@ -1,0 +1,141 @@
+package relational
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestParsePredicateBasics(t *testing.T) {
+	s := ordersSchema()
+	rows := []Row{
+		{NewInt(1), NewInt(10), NewString("OPEN"), NewFloat(100)},
+		{NewInt(2), NewInt(20), NewString("CLOSED"), NewFloat(50)},
+	}
+	cases := []struct {
+		expr string
+		want []bool
+	}{
+		{"TRUE", []bool{true, true}},
+		{"FALSE", []bool{false, false}},
+		{"Ordkey = 1", []bool{true, false}},
+		{"Total >= 60", []bool{true, false}},
+		{"Status = 'OPEN' OR Status = 'CLOSED'", []bool{true, true}},
+		{"Status LIKE 'OP%'", []bool{true, false}},
+		{"NOT (Ordkey = 1)", []bool{false, true}},
+		{"Custkey IS NOT NULL", []bool{true, true}},
+		{"Ordkey IN (2, 3)", []bool{false, true}},
+		{"Ordkey = Custkey", []bool{false, false}},
+	}
+	for _, c := range cases {
+		pred, err := ParsePredicate(c.expr)
+		if err != nil {
+			t.Errorf("%q: %v", c.expr, err)
+			continue
+		}
+		for i, row := range rows {
+			got, err := pred.Eval(s, row)
+			if err != nil {
+				t.Errorf("%q row %d: %v", c.expr, i, err)
+				continue
+			}
+			if got != c.want[i] {
+				t.Errorf("%q row %d: %v, want %v", c.expr, i, got, c.want[i])
+			}
+		}
+	}
+}
+
+func TestParsePredicateErrors(t *testing.T) {
+	for _, expr := range []string{"", "Ordkey =", "AND", "Ordkey = 1 extra"} {
+		if _, err := ParsePredicate(expr); err == nil {
+			t.Errorf("accepted %q", expr)
+		}
+	}
+}
+
+// TestPredicateStringRoundTrip checks the wire-transport contract: for the
+// predicate constructors the benchmark processes use, parsing String()
+// yields an equivalent predicate.
+func TestPredicateStringRoundTrip(t *testing.T) {
+	s := ordersSchema()
+	rows := []Row{
+		{NewInt(1), NewInt(10), NewString("OPEN"), NewFloat(100)},
+		{NewInt(2), NewInt(20), NewString("SHIPPED"), NewFloat(250)},
+		{NewInt(3), NewInt(30), NewString("O'Neil"), NewFloat(75)},
+	}
+	preds := []Predicate{
+		True(),
+		Or(), // FALSE
+		ColEq("Ordkey", NewInt(2)),
+		Cmp("Total", OpGe, NewFloat(100)),
+		Cmp("Status", OpNe, NewString("OPEN")),
+		ColEq("Status", NewString("O'Neil")), // quote escaping
+		And(ColEq("Custkey", NewInt(10)), Cmp("Total", OpLt, NewFloat(200))),
+		Or(ColEq("Ordkey", NewInt(1)), ColEq("Ordkey", NewInt(3))),
+		Not(ColEq("Ordkey", NewInt(2))),
+		IsNotNull("Custkey"),
+		IsNull("Custkey"),
+		Like("Status", "O%"),
+		CmpCols("Ordkey", OpLt, "Custkey"),
+		ColEq("Integrated", NewBool(false)),
+	}
+	boolSchema := MustSchema([]Column{Col("Integrated", TypeBool)})
+	boolRow := Row{NewBool(false)}
+	for _, p := range preds {
+		parsed, err := ParsePredicate(p.String())
+		if err != nil {
+			t.Errorf("parse %q: %v", p.String(), err)
+			continue
+		}
+		for i, row := range rows {
+			schemaFor, rowFor := s, row
+			if p.String() == "Integrated = true" || p.String() == "Integrated = false" {
+				schemaFor, rowFor = boolSchema, boolRow
+			}
+			want, err1 := p.Eval(schemaFor, rowFor)
+			got, err2 := parsed.Eval(schemaFor, rowFor)
+			if (err1 == nil) != (err2 == nil) {
+				t.Errorf("%q row %d: error mismatch %v vs %v", p.String(), i, err1, err2)
+				continue
+			}
+			if want != got {
+				t.Errorf("%q row %d: %v, want %v", p.String(), i, got, want)
+			}
+		}
+	}
+}
+
+func TestPredicateTimeValuesNotWireTransportable(t *testing.T) {
+	// Timestamp literals render as RFC3339, which the SQL lexer does not
+	// accept as a literal; the remote protocol must not rely on them.
+	p := ColEq("Orderdate", NewTime(time.Date(2008, 4, 7, 0, 0, 0, 0, time.UTC)))
+	if _, err := ParsePredicate(p.String()); err == nil {
+		t.Skip("timestamp predicates became parseable; relax this pin")
+	}
+}
+
+func TestParsePredicateRoundTripProperty(t *testing.T) {
+	f := func(key int64, total float64) bool {
+		if math.IsNaN(total) || math.IsInf(total, 0) {
+			return true // not representable as SQL literals
+		}
+		p := And(
+			ColEq("Ordkey", NewInt(key)),
+			Cmp("Total", OpGt, NewFloat(total)),
+		)
+		parsed, err := ParsePredicate(p.String())
+		if err != nil {
+			return false
+		}
+		s := ordersSchema()
+		row := Row{NewInt(key), NewInt(0), NewString("X"), NewFloat(total + 1)}
+		want, _ := p.Eval(s, row)
+		got, _ := parsed.Eval(s, row)
+		return want == got
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,298 @@
+package relational
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Predicate evaluates a boolean condition over a row. Predicates are used
+// by selections, deletes, updates and the SWITCH operator of the MTM.
+type Predicate interface {
+	// Eval reports whether the row satisfies the predicate.
+	Eval(s *Schema, row Row) (bool, error)
+	// String renders a SQL-like representation.
+	String() string
+}
+
+// CmpOp is a comparison operator for column predicates.
+type CmpOp uint8
+
+// Comparison operators.
+const (
+	OpEq CmpOp = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+// String renders the operator symbol.
+func (o CmpOp) String() string {
+	switch o {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "<>"
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	default:
+		return "?"
+	}
+}
+
+func (o CmpOp) holds(c int) bool {
+	switch o {
+	case OpEq:
+		return c == 0
+	case OpNe:
+		return c != 0
+	case OpLt:
+		return c < 0
+	case OpLe:
+		return c <= 0
+	case OpGt:
+		return c > 0
+	case OpGe:
+		return c >= 0
+	default:
+		return false
+	}
+}
+
+// cmpPred compares a column against a constant.
+type cmpPred struct {
+	col string
+	op  CmpOp
+	val Value
+}
+
+// Cmp builds a column-vs-constant comparison predicate.
+func Cmp(col string, op CmpOp, val Value) Predicate { return cmpPred{col, op, val} }
+
+// ColEq is shorthand for an equality predicate.
+func ColEq(col string, val Value) Predicate { return cmpPred{col, OpEq, val} }
+
+func (p cmpPred) Eval(s *Schema, row Row) (bool, error) {
+	i := s.Ordinal(p.col)
+	if i < 0 {
+		return false, fmt.Errorf("relational: predicate references unknown column %q", p.col)
+	}
+	v := row[i]
+	if v.IsNull() || p.val.IsNull() {
+		return false, nil // SQL three-valued logic collapses UNKNOWN to false
+	}
+	return p.op.holds(v.Compare(p.val)), nil
+}
+
+func (p cmpPred) String() string {
+	return fmt.Sprintf("%s %s %s", p.col, p.op, quoteVal(p.val))
+}
+
+// colColPred compares two columns of the same row.
+type colColPred struct {
+	left  string
+	op    CmpOp
+	right string
+}
+
+// CmpCols builds a column-vs-column comparison predicate.
+func CmpCols(left string, op CmpOp, right string) Predicate {
+	return colColPred{left, op, right}
+}
+
+func (p colColPred) Eval(s *Schema, row Row) (bool, error) {
+	li, ri := s.Ordinal(p.left), s.Ordinal(p.right)
+	if li < 0 {
+		return false, fmt.Errorf("relational: predicate references unknown column %q", p.left)
+	}
+	if ri < 0 {
+		return false, fmt.Errorf("relational: predicate references unknown column %q", p.right)
+	}
+	l, r := row[li], row[ri]
+	if l.IsNull() || r.IsNull() {
+		return false, nil
+	}
+	return p.op.holds(l.Compare(r)), nil
+}
+
+func (p colColPred) String() string {
+	return fmt.Sprintf("%s %s %s", p.left, p.op, p.right)
+}
+
+// andPred is the conjunction of predicates.
+type andPred []Predicate
+
+// And builds the conjunction of the given predicates. And() is TRUE.
+func And(ps ...Predicate) Predicate { return andPred(ps) }
+
+func (p andPred) Eval(s *Schema, row Row) (bool, error) {
+	for _, sub := range p {
+		ok, err := sub.Eval(s, row)
+		if err != nil || !ok {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+func (p andPred) String() string { return joinPreds([]Predicate(p), " AND ", "TRUE") }
+
+// orPred is the disjunction of predicates.
+type orPred []Predicate
+
+// Or builds the disjunction of the given predicates. Or() is FALSE.
+func Or(ps ...Predicate) Predicate { return orPred(ps) }
+
+func (p orPred) Eval(s *Schema, row Row) (bool, error) {
+	for _, sub := range p {
+		ok, err := sub.Eval(s, row)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+func (p orPred) String() string { return joinPreds([]Predicate(p), " OR ", "FALSE") }
+
+// notPred negates a predicate.
+type notPred struct{ sub Predicate }
+
+// Not negates the predicate (NULL comparisons stay false, not true,
+// mirroring WHERE-clause semantics).
+func Not(p Predicate) Predicate { return notPred{p} }
+
+func (p notPred) Eval(s *Schema, row Row) (bool, error) {
+	ok, err := p.sub.Eval(s, row)
+	return !ok && err == nil, err
+}
+
+func (p notPred) String() string { return "NOT (" + p.sub.String() + ")" }
+
+// nullPred tests a column for NULL.
+type nullPred struct {
+	col    string
+	isNull bool
+}
+
+// IsNull tests whether the column is NULL.
+func IsNull(col string) Predicate { return nullPred{col, true} }
+
+// IsNotNull tests whether the column is not NULL.
+func IsNotNull(col string) Predicate { return nullPred{col, false} }
+
+func (p nullPred) Eval(s *Schema, row Row) (bool, error) {
+	i := s.Ordinal(p.col)
+	if i < 0 {
+		return false, fmt.Errorf("relational: predicate references unknown column %q", p.col)
+	}
+	return row[i].IsNull() == p.isNull, nil
+}
+
+func (p nullPred) String() string {
+	if p.isNull {
+		return p.col + " IS NULL"
+	}
+	return p.col + " IS NOT NULL"
+}
+
+// likePred implements a simple LIKE with % wildcards (prefix/suffix/contains).
+type likePred struct {
+	col     string
+	pattern string
+}
+
+// Like builds a LIKE predicate. Only '%' wildcards are supported.
+func Like(col, pattern string) Predicate { return likePred{col, pattern} }
+
+func (p likePred) Eval(s *Schema, row Row) (bool, error) {
+	i := s.Ordinal(p.col)
+	if i < 0 {
+		return false, fmt.Errorf("relational: predicate references unknown column %q", p.col)
+	}
+	v := row[i]
+	if v.IsNull() || v.Type() != TypeString {
+		return false, nil
+	}
+	return likeMatch(v.Str(), p.pattern), nil
+}
+
+func (p likePred) String() string { return fmt.Sprintf("%s LIKE '%s'", p.col, p.pattern) }
+
+// likeMatch matches s against a %-wildcard pattern.
+func likeMatch(s, pattern string) bool {
+	parts := strings.Split(pattern, "%")
+	if len(parts) == 1 {
+		return s == pattern
+	}
+	if parts[0] != "" {
+		if !strings.HasPrefix(s, parts[0]) {
+			return false
+		}
+		s = s[len(parts[0]):]
+	}
+	last := parts[len(parts)-1]
+	for _, mid := range parts[1 : len(parts)-1] {
+		if mid == "" {
+			continue
+		}
+		idx := strings.Index(s, mid)
+		if idx < 0 {
+			return false
+		}
+		s = s[idx+len(mid):]
+	}
+	return strings.HasSuffix(s, last)
+}
+
+// truePred always evaluates to true.
+type truePred struct{}
+
+// True is the predicate satisfied by every row.
+func True() Predicate { return truePred{} }
+
+func (truePred) Eval(*Schema, Row) (bool, error) { return true, nil }
+func (truePred) String() string                  { return "TRUE" }
+
+// funcPred wraps an arbitrary Go function as a predicate.
+type funcPred struct {
+	desc string
+	fn   func(*Schema, Row) (bool, error)
+}
+
+// PredicateFunc adapts a Go function to the Predicate interface. The desc
+// is used only for display.
+func PredicateFunc(desc string, fn func(*Schema, Row) (bool, error)) Predicate {
+	return funcPred{desc, fn}
+}
+
+func (p funcPred) Eval(s *Schema, row Row) (bool, error) { return p.fn(s, row) }
+func (p funcPred) String() string                        { return p.desc }
+
+func joinPreds(ps []Predicate, sep, empty string) string {
+	if len(ps) == 0 {
+		return empty
+	}
+	parts := make([]string, len(ps))
+	for i, p := range ps {
+		parts[i] = "(" + p.String() + ")"
+	}
+	return strings.Join(parts, sep)
+}
+
+func quoteVal(v Value) string {
+	if v.Type() == TypeString {
+		return "'" + strings.ReplaceAll(v.Str(), "'", "''") + "'"
+	}
+	return v.String()
+}

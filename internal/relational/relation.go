@@ -1,0 +1,449 @@
+package relational
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Relation is an immutable, materialized bag of rows with a schema. It is
+// the unit of data exchanged between the relational engine, web services
+// and the integration system (where it appears as a dataset message).
+type Relation struct {
+	schema *Schema
+	rows   []Row
+}
+
+// NewRelation builds a relation, validating each row against the schema.
+func NewRelation(schema *Schema, rows []Row) (*Relation, error) {
+	for i, r := range rows {
+		if err := schema.CheckRow(r); err != nil {
+			return nil, fmt.Errorf("row %d: %w", i, err)
+		}
+	}
+	return &Relation{schema: schema, rows: rows}, nil
+}
+
+// MustRelation is NewRelation that panics on error; for test fixtures.
+func MustRelation(schema *Schema, rows []Row) *Relation {
+	r, err := NewRelation(schema, rows)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Empty returns an empty relation with the given schema.
+func Empty(schema *Schema) *Relation { return &Relation{schema: schema} }
+
+// Schema returns the relation's schema.
+func (r *Relation) Schema() *Schema { return r.schema }
+
+// Len returns the number of rows.
+func (r *Relation) Len() int { return len(r.rows) }
+
+// Row returns the i-th row. The caller must not mutate it.
+func (r *Relation) Row(i int) Row { return r.rows[i] }
+
+// Rows returns the backing row slice. The caller must not mutate it.
+func (r *Relation) Rows() []Row { return r.rows }
+
+// Get returns the value at row i, named column. It panics on a bad column.
+func (r *Relation) Get(i int, col string) Value {
+	return r.rows[i][r.schema.MustOrdinal(col)]
+}
+
+// Clone returns a deep-enough copy: the row slice is copied, rows shared
+// (rows are treated as immutable throughout the engine).
+func (r *Relation) Clone() *Relation {
+	rows := make([]Row, len(r.rows))
+	copy(rows, r.rows)
+	return &Relation{schema: r.schema, rows: rows}
+}
+
+// Select returns the rows satisfying the predicate.
+func (r *Relation) Select(pred Predicate) (*Relation, error) {
+	out := make([]Row, 0, len(r.rows)/2+1)
+	for _, row := range r.rows {
+		ok, err := pred.Eval(r.schema, row)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, row)
+		}
+	}
+	return &Relation{schema: r.schema, rows: out}, nil
+}
+
+// Project returns a relation with only the named columns, in order.
+func (r *Relation) Project(names ...string) (*Relation, error) {
+	ps, err := r.schema.Project(names...)
+	if err != nil {
+		return nil, err
+	}
+	ordinals := make([]int, len(names))
+	for i, n := range names {
+		ordinals[i] = r.schema.MustOrdinal(n)
+	}
+	rows := make([]Row, len(r.rows))
+	for i, row := range r.rows {
+		rows[i] = Row(row.pick(ordinals))
+	}
+	return &Relation{schema: ps, rows: rows}, nil
+}
+
+// Rename returns a relation with column old renamed to new. Rows are shared.
+func (r *Relation) Rename(old, new string) (*Relation, error) {
+	rs, err := r.schema.Rename(old, new)
+	if err != nil {
+		return nil, err
+	}
+	return &Relation{schema: rs, rows: r.rows}, nil
+}
+
+// RenameAll applies the mapping old->new for every entry; missing columns
+// are an error. It realizes the projection-with-rename steps that the
+// DIPBench process types P05..P07 and P11 perform for schema mapping.
+func (r *Relation) RenameAll(mapping map[string]string) (*Relation, error) {
+	out := r
+	var err error
+	for old, new := range mapping {
+		out, err = out.Rename(old, new)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// UnionDistinct merges relations with union-compatible schemas and removes
+// duplicates with respect to the named key columns. If no key columns are
+// given, whole-row duplicates are removed. The first occurrence wins,
+// scanning r first and the others in order — the UNION DISTINCT operator of
+// process types P03 and P09.
+func (r *Relation) UnionDistinct(keyCols []string, others ...*Relation) (*Relation, error) {
+	for _, o := range others {
+		if !r.schema.Equal(o.schema) {
+			return nil, fmt.Errorf("relational: union of incompatible schemas %s and %s",
+				r.schema, o.schema)
+		}
+	}
+	ordinals := make([]int, 0, len(keyCols))
+	for _, k := range keyCols {
+		i := r.schema.Ordinal(k)
+		if i < 0 {
+			return nil, fmt.Errorf("relational: union key column %q missing", k)
+		}
+		ordinals = append(ordinals, i)
+	}
+	if len(ordinals) == 0 {
+		for i := range r.schema.Columns {
+			ordinals = append(ordinals, i)
+		}
+	}
+	type bucket struct{ rows []Row }
+	seen := make(map[uint64]*bucket, r.Len())
+	var out []Row
+	add := func(row Row) {
+		key := row.pick(ordinals)
+		h := hashValues(key)
+		b := seen[h]
+		if b == nil {
+			b = &bucket{}
+			seen[h] = b
+		}
+		for _, prev := range b.rows {
+			if Row(prev.pick(ordinals)).Equal(Row(key)) {
+				return // duplicate key: first occurrence wins
+			}
+		}
+		b.rows = append(b.rows, row)
+		out = append(out, row)
+	}
+	for _, row := range r.rows {
+		add(row)
+	}
+	for _, o := range others {
+		for _, row := range o.rows {
+			add(row)
+		}
+	}
+	return &Relation{schema: r.schema, rows: out}, nil
+}
+
+// Join computes the natural equi-join of r and o on leftCol = rightCol
+// using a hash join (build on the smaller input). Columns of o that clash
+// with columns of r are prefixed with the given prefix (or dropped if the
+// prefix is empty and the column is the join column).
+func (r *Relation) Join(o *Relation, leftCol, rightCol, clashPrefix string) (*Relation, error) {
+	li := r.schema.Ordinal(leftCol)
+	if li < 0 {
+		return nil, fmt.Errorf("relational: join: no left column %q", leftCol)
+	}
+	ri := o.schema.Ordinal(rightCol)
+	if ri < 0 {
+		return nil, fmt.Errorf("relational: join: no right column %q", rightCol)
+	}
+	// Result schema: all of r, then all of o except the join column,
+	// renaming clashes.
+	cols := make([]Column, 0, len(r.schema.Columns)+len(o.schema.Columns)-1)
+	cols = append(cols, r.schema.Columns...)
+	rightKeep := make([]int, 0, len(o.schema.Columns)-1)
+	for j, c := range o.schema.Columns {
+		if j == ri {
+			continue
+		}
+		name := c.Name
+		if r.schema.Ordinal(name) >= 0 {
+			if clashPrefix == "" {
+				return nil, fmt.Errorf("relational: join: ambiguous column %q (no clash prefix)", name)
+			}
+			name = clashPrefix + name
+		}
+		cols = append(cols, Column{Name: name, Type: c.Type, Nullable: c.Nullable})
+		rightKeep = append(rightKeep, j)
+	}
+	js, err := NewSchema(cols)
+	if err != nil {
+		return nil, err
+	}
+	// Build on the right side.
+	build := make(map[uint64][]Row, o.Len())
+	for _, row := range o.rows {
+		h := hashValues([]Value{row[ri]})
+		build[h] = append(build[h], row)
+	}
+	var out []Row
+	for _, lrow := range r.rows {
+		k := lrow[li]
+		if k.IsNull() {
+			continue
+		}
+		for _, rrow := range build[hashValues([]Value{k})] {
+			if !rrow[ri].Equal(k) {
+				continue
+			}
+			joined := make(Row, 0, len(cols))
+			joined = append(joined, lrow...)
+			for _, j := range rightKeep {
+				joined = append(joined, rrow[j])
+			}
+			out = append(out, joined)
+		}
+	}
+	return &Relation{schema: js, rows: out}, nil
+}
+
+// Sort returns the relation ordered by the named columns ascending.
+func (r *Relation) Sort(cols ...string) (*Relation, error) {
+	ordinals := make([]int, len(cols))
+	for i, c := range cols {
+		o := r.schema.Ordinal(c)
+		if o < 0 {
+			return nil, fmt.Errorf("relational: sort: no column %q", c)
+		}
+		ordinals[i] = o
+	}
+	rows := make([]Row, len(r.rows))
+	copy(rows, r.rows)
+	sort.SliceStable(rows, func(a, b int) bool {
+		for _, o := range ordinals {
+			if c := rows[a][o].Compare(rows[b][o]); c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	return &Relation{schema: r.schema, rows: rows}, nil
+}
+
+// Extend returns a relation with an additional computed column appended.
+func (r *Relation) Extend(name string, t Type, fn func(Row) Value) (*Relation, error) {
+	cols := make([]Column, len(r.schema.Columns)+1)
+	copy(cols, r.schema.Columns)
+	cols[len(cols)-1] = Column{Name: name, Type: t, Nullable: true}
+	es, err := NewSchema(cols, r.schema.KeyNames()...)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Row, len(r.rows))
+	for i, row := range r.rows {
+		nr := make(Row, len(row)+1)
+		copy(nr, row)
+		nr[len(row)] = fn(row)
+		rows[i] = nr
+	}
+	return &Relation{schema: es, rows: rows}, nil
+}
+
+// AggSpec describes one aggregate in a GroupBy.
+type AggSpec struct {
+	Func string // "count", "sum", "min", "max", "avg"
+	Col  string // input column ("" allowed for count)
+	As   string // output column name
+}
+
+// GroupBy groups rows by the named columns and computes the aggregates.
+// It backs the materialized view OrdersMV refresh of the DIPBench scenario.
+func (r *Relation) GroupBy(groupCols []string, aggs []AggSpec) (*Relation, error) {
+	gOrd := make([]int, len(groupCols))
+	for i, c := range groupCols {
+		o := r.schema.Ordinal(c)
+		if o < 0 {
+			return nil, fmt.Errorf("relational: group: no column %q", c)
+		}
+		gOrd[i] = o
+	}
+	aOrd := make([]int, len(aggs))
+	cols := make([]Column, 0, len(groupCols)+len(aggs))
+	for _, o := range gOrd {
+		cols = append(cols, r.schema.Columns[o])
+	}
+	for i, a := range aggs {
+		switch a.Func {
+		case "count":
+			// COUNT(*) counts rows; COUNT(col) counts non-NULL values.
+			aOrd[i] = -1
+			if a.Col != "" {
+				o := r.schema.Ordinal(a.Col)
+				if o < 0 {
+					return nil, fmt.Errorf("relational: agg: no column %q", a.Col)
+				}
+				aOrd[i] = o
+			}
+			cols = append(cols, Column{Name: a.As, Type: TypeInt})
+		case "sum", "min", "max", "avg":
+			o := r.schema.Ordinal(a.Col)
+			if o < 0 {
+				return nil, fmt.Errorf("relational: agg: no column %q", a.Col)
+			}
+			aOrd[i] = o
+			t := r.schema.Columns[o].Type
+			if a.Func == "avg" {
+				t = TypeFloat
+			}
+			cols = append(cols, Column{Name: a.As, Type: t, Nullable: true})
+		default:
+			return nil, fmt.Errorf("relational: unknown aggregate %q", a.Func)
+		}
+	}
+	gs, err := NewSchema(cols, groupCols...)
+	if err != nil {
+		return nil, err
+	}
+	type acc struct {
+		key    []Value
+		count  int64
+		sums   []float64
+		isums  []int64
+		mins   []Value
+		maxs   []Value
+		counts []int64
+	}
+	groups := make(map[uint64][]*acc)
+	var order []*acc
+	for _, row := range r.rows {
+		key := row.pick(gOrd)
+		h := hashValues(key)
+		var g *acc
+		for _, cand := range groups[h] {
+			if Row(cand.key).Equal(Row(key)) {
+				g = cand
+				break
+			}
+		}
+		if g == nil {
+			g = &acc{
+				key:    key,
+				sums:   make([]float64, len(aggs)),
+				isums:  make([]int64, len(aggs)),
+				mins:   make([]Value, len(aggs)),
+				maxs:   make([]Value, len(aggs)),
+				counts: make([]int64, len(aggs)),
+			}
+			groups[h] = append(groups[h], g)
+			order = append(order, g)
+		}
+		g.count++
+		for i, a := range aggs {
+			if aOrd[i] < 0 {
+				continue
+			}
+			v := row[aOrd[i]]
+			if v.IsNull() {
+				continue
+			}
+			g.counts[i]++
+			switch a.Func {
+			case "sum", "avg":
+				if v.Type() == TypeInt {
+					g.isums[i] += v.Int()
+				}
+				g.sums[i] += v.Float()
+			case "min":
+				if g.mins[i].IsNull() || v.Compare(g.mins[i]) < 0 {
+					g.mins[i] = v
+				}
+			case "max":
+				if g.maxs[i].IsNull() || v.Compare(g.maxs[i]) > 0 {
+					g.maxs[i] = v
+				}
+			}
+		}
+	}
+	out := make([]Row, 0, len(order))
+	for _, g := range order {
+		row := make(Row, 0, len(cols))
+		row = append(row, g.key...)
+		for i, a := range aggs {
+			switch a.Func {
+			case "count":
+				if a.Col != "" {
+					row = append(row, NewInt(g.counts[i]))
+				} else {
+					row = append(row, NewInt(g.count))
+				}
+			case "sum":
+				if g.counts[i] == 0 {
+					row = append(row, Null)
+				} else if r.schema.Columns[aOrd[i]].Type == TypeInt {
+					row = append(row, NewInt(g.isums[i]))
+				} else {
+					row = append(row, NewFloat(g.sums[i]))
+				}
+			case "avg":
+				if g.counts[i] == 0 {
+					row = append(row, Null)
+				} else {
+					row = append(row, NewFloat(g.sums[i]/float64(g.counts[i])))
+				}
+			case "min":
+				row = append(row, g.mins[i])
+			case "max":
+				row = append(row, g.maxs[i])
+			}
+		}
+		out = append(out, row)
+	}
+	return &Relation{schema: gs, rows: out}, nil
+}
+
+// String renders a small ASCII table; intended for debugging and examples.
+func (r *Relation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s [%d rows]\n", r.schema, len(r.rows))
+	n := len(r.rows)
+	const max = 10
+	for i := 0; i < n && i < max; i++ {
+		parts := make([]string, len(r.rows[i]))
+		for j, v := range r.rows[i] {
+			parts[j] = v.String()
+		}
+		b.WriteString("  " + strings.Join(parts, " | ") + "\n")
+	}
+	if n > max {
+		fmt.Fprintf(&b, "  ... (%d more)\n", n-max)
+	}
+	return b.String()
+}

@@ -1,0 +1,232 @@
+package relational
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Column describes one attribute of a relation.
+type Column struct {
+	Name     string
+	Type     Type
+	Nullable bool
+}
+
+// Col is shorthand for a non-nullable column.
+func Col(name string, t Type) Column { return Column{Name: name, Type: t} }
+
+// NullableCol is shorthand for a nullable column.
+func NullableCol(name string, t Type) Column {
+	return Column{Name: name, Type: t, Nullable: true}
+}
+
+// Schema describes the attributes of a relation together with an optional
+// primary key. Column name lookup is case-insensitive, matching common SQL
+// engines; the declared spelling is preserved for display.
+type Schema struct {
+	Columns []Column
+	// Key lists the ordinal positions of the primary-key columns,
+	// in key order. Empty means the relation has no primary key.
+	Key []int
+
+	byName map[string]int // lower-cased name -> ordinal
+}
+
+// NewSchema builds a schema from columns and primary-key column names.
+func NewSchema(cols []Column, keyNames ...string) (*Schema, error) {
+	s := &Schema{Columns: cols, byName: make(map[string]int, len(cols))}
+	for i, c := range cols {
+		lc := strings.ToLower(c.Name)
+		if _, dup := s.byName[lc]; dup {
+			return nil, fmt.Errorf("relational: duplicate column %q", c.Name)
+		}
+		s.byName[lc] = i
+	}
+	for _, k := range keyNames {
+		i, ok := s.byName[strings.ToLower(k)]
+		if !ok {
+			return nil, fmt.Errorf("relational: key column %q not in schema", k)
+		}
+		s.Key = append(s.Key, i)
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema that panics on error; for static schema literals.
+func MustSchema(cols []Column, keyNames ...string) *Schema {
+	s, err := NewSchema(cols, keyNames...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Ordinal returns the position of the named column, or -1 if absent.
+func (s *Schema) Ordinal(name string) int {
+	if i, ok := s.byName[strings.ToLower(name)]; ok {
+		return i
+	}
+	return -1
+}
+
+// MustOrdinal is Ordinal that panics when the column is missing.
+func (s *Schema) MustOrdinal(name string) int {
+	i := s.Ordinal(name)
+	if i < 0 {
+		panic(fmt.Sprintf("relational: no column %q in schema %s", name, s))
+	}
+	return i
+}
+
+// ColumnNames returns the declared column names in order.
+func (s *Schema) ColumnNames() []string {
+	names := make([]string, len(s.Columns))
+	for i, c := range s.Columns {
+		names[i] = c.Name
+	}
+	return names
+}
+
+// HasKey reports whether the schema declares a primary key.
+func (s *Schema) HasKey() bool { return len(s.Key) > 0 }
+
+// KeyNames returns the primary-key column names in key order.
+func (s *Schema) KeyNames() []string {
+	names := make([]string, len(s.Key))
+	for i, k := range s.Key {
+		names[i] = s.Columns[k].Name
+	}
+	return names
+}
+
+// Project returns a new schema containing only the named columns, in the
+// given order. The primary key is dropped unless all key columns survive.
+func (s *Schema) Project(names ...string) (*Schema, error) {
+	cols := make([]Column, 0, len(names))
+	kept := make(map[int]bool, len(names))
+	for _, n := range names {
+		i := s.Ordinal(n)
+		if i < 0 {
+			return nil, fmt.Errorf("relational: project: no column %q", n)
+		}
+		cols = append(cols, s.Columns[i])
+		kept[i] = true
+	}
+	keyNames := make([]string, 0, len(s.Key))
+	for _, k := range s.Key {
+		if !kept[k] {
+			keyNames = keyNames[:0]
+			break
+		}
+		keyNames = append(keyNames, s.Columns[k].Name)
+	}
+	return NewSchema(cols, keyNames...)
+}
+
+// Rename returns a new schema with the column old renamed to new.
+func (s *Schema) Rename(old, new string) (*Schema, error) {
+	i := s.Ordinal(old)
+	if i < 0 {
+		return nil, fmt.Errorf("relational: rename: no column %q", old)
+	}
+	cols := make([]Column, len(s.Columns))
+	copy(cols, s.Columns)
+	cols[i].Name = new
+	return NewSchema(cols, renameKeyNames(s, old, new)...)
+}
+
+func renameKeyNames(s *Schema, old, new string) []string {
+	names := s.KeyNames()
+	for i, n := range names {
+		if strings.EqualFold(n, old) {
+			names[i] = new
+		}
+	}
+	return names
+}
+
+// Equal reports whether two schemas have identical column names (case
+// insensitive) and types in the same order. Primary keys are not compared;
+// set operations only require union-compatible headers.
+func (s *Schema) Equal(o *Schema) bool {
+	if len(s.Columns) != len(o.Columns) {
+		return false
+	}
+	for i := range s.Columns {
+		if !strings.EqualFold(s.Columns[i].Name, o.Columns[i].Name) ||
+			s.Columns[i].Type != o.Columns[i].Type {
+			return false
+		}
+	}
+	return true
+}
+
+// CheckRow validates that the row conforms to the schema: correct arity,
+// matching types, and no NULLs in non-nullable columns.
+func (s *Schema) CheckRow(row Row) error {
+	if len(row) != len(s.Columns) {
+		return fmt.Errorf("relational: row arity %d != schema arity %d", len(row), len(s.Columns))
+	}
+	for i, v := range row {
+		c := s.Columns[i]
+		if v.IsNull() {
+			if !c.Nullable {
+				return fmt.Errorf("relational: NULL in non-nullable column %q", c.Name)
+			}
+			continue
+		}
+		if v.Type() != c.Type {
+			return fmt.Errorf("relational: column %q expects %s, got %s",
+				c.Name, c.Type, v.Type())
+		}
+	}
+	return nil
+}
+
+// String renders the schema header, e.g. "(Custkey BIGINT, Name VARCHAR)".
+func (s *Schema) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, c := range s.Columns {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(c.Name)
+		b.WriteByte(' ')
+		b.WriteString(c.Type.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Row is a tuple of values positionally aligned with a Schema.
+type Row []Value
+
+// Clone returns a copy of the row.
+func (r Row) Clone() Row {
+	c := make(Row, len(r))
+	copy(c, r)
+	return c
+}
+
+// Equal reports positional value equality with another row.
+func (r Row) Equal(o Row) bool {
+	if len(r) != len(o) {
+		return false
+	}
+	for i := range r {
+		if !r[i].Equal(o[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// pick extracts the values at the given ordinals.
+func (r Row) pick(ordinals []int) []Value {
+	vs := make([]Value, len(ordinals))
+	for i, o := range ordinals {
+		vs[i] = r[o]
+	}
+	return vs
+}

@@ -1,0 +1,135 @@
+package relational
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer tokens of the SQL subset.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokSymbol // ( ) , * = < > <= >= <> . ;
+)
+
+// token is one lexical unit with its source position for error messages.
+type token struct {
+	kind tokenKind
+	text string // keywords are upper-cased; identifiers keep their spelling
+	pos  int
+}
+
+// sqlKeywords is the reserved-word set of the supported SQL subset.
+var sqlKeywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "AND": true, "OR": true,
+	"NOT": true, "INSERT": true, "INTO": true, "VALUES": true, "DELETE": true,
+	"UPDATE": true, "SET": true, "CREATE": true, "TABLE": true, "PRIMARY": true,
+	"KEY": true, "NULL": true, "TRUE": true, "FALSE": true, "ORDER": true,
+	"BY": true, "LIKE": true, "IS": true, "DROP": true, "TRUNCATE": true,
+	"BIGINT": true, "DOUBLE": true, "VARCHAR": true, "BOOLEAN": true,
+	"TIMESTAMP": true, "DISTINCT": true, "UNION": true, "LIMIT": true,
+	"ASC": true, "DESC": true, "CALL": true, "GROUP": true, "AS": true, "IN": true,
+}
+
+// lexSQL tokenizes a SQL statement. Strings use single quotes with ”
+// escaping. Comments are not supported.
+func lexSQL(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			for {
+				if i >= n {
+					return nil, fmt.Errorf("sql: unterminated string at %d", start)
+				}
+				if src[i] == '\'' {
+					if i+1 < n && src[i+1] == '\'' {
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					i++
+					break
+				}
+				sb.WriteByte(src[i])
+				i++
+			}
+			toks = append(toks, token{tokString, sb.String(), start})
+		case c >= '0' && c <= '9' || (c == '-' && i+1 < n && src[i+1] >= '0' && src[i+1] <= '9' && startsNumberContext(toks)):
+			start := i
+			i++
+			for i < n && (src[i] >= '0' && src[i] <= '9' || src[i] == '.' || src[i] == 'e' || src[i] == 'E' ||
+				((src[i] == '+' || src[i] == '-') && (src[i-1] == 'e' || src[i-1] == 'E'))) {
+				i++
+			}
+			toks = append(toks, token{tokNumber, src[start:i], start})
+		case isIdentStart(rune(c)):
+			start := i
+			for i < n && isIdentPart(rune(src[i])) {
+				i++
+			}
+			word := src[start:i]
+			up := strings.ToUpper(word)
+			if sqlKeywords[up] {
+				toks = append(toks, token{tokKeyword, up, start})
+			} else {
+				toks = append(toks, token{tokIdent, word, start})
+			}
+		case c == '<' && i+1 < n && (src[i+1] == '=' || src[i+1] == '>'):
+			toks = append(toks, token{tokSymbol, src[i : i+2], i})
+			i += 2
+		case c == '>' && i+1 < n && src[i+1] == '=':
+			toks = append(toks, token{tokSymbol, ">=", i})
+			i += 2
+		case c == '!' && i+1 < n && src[i+1] == '=':
+			toks = append(toks, token{tokSymbol, "<>", i})
+			i += 2
+		case strings.ContainsRune("(),*=<>.;", rune(c)):
+			toks = append(toks, token{tokSymbol, string(c), i})
+			i++
+		default:
+			return nil, fmt.Errorf("sql: unexpected character %q at %d", c, i)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", n})
+	return toks, nil
+}
+
+// startsNumberContext reports whether a '-' here begins a negative literal
+// rather than an operator: after '(', ',', '=', comparison ops or keywords.
+func startsNumberContext(toks []token) bool {
+	if len(toks) == 0 {
+		return true
+	}
+	last := toks[len(toks)-1]
+	switch last.kind {
+	case tokSymbol:
+		return last.text != ")"
+	case tokKeyword:
+		return true
+	default:
+		return false
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

@@ -1,0 +1,263 @@
+package relational
+
+import (
+	"strings"
+	"testing"
+)
+
+func newTestDB(t *testing.T) *Database {
+	t.Helper()
+	db := NewDatabase("test")
+	db.MustExec(`CREATE TABLE Orders (
+		Ordkey BIGINT NOT NULL,
+		Custkey BIGINT,
+		Status VARCHAR(16),
+		Total DOUBLE,
+		PRIMARY KEY (Ordkey)
+	)`)
+	return db
+}
+
+func TestSQLCreateInsertSelect(t *testing.T) {
+	db := newTestDB(t)
+	r := db.MustExec(`INSERT INTO Orders VALUES (1, 10, 'OPEN', 100.5), (2, 20, 'SHIPPED', 50)`)
+	if r.Get(0, "affected").Int() != 2 {
+		t.Fatalf("insert affected = %v", r.Get(0, "affected"))
+	}
+	got := db.MustExec(`SELECT * FROM Orders WHERE Status = 'OPEN'`)
+	if got.Len() != 1 || got.Get(0, "Ordkey").Int() != 1 {
+		t.Fatalf("select: %v", got)
+	}
+}
+
+func TestSQLSelectProjection(t *testing.T) {
+	db := newTestDB(t)
+	db.MustExec(`INSERT INTO Orders VALUES (1, 10, 'OPEN', 100.5)`)
+	got := db.MustExec(`SELECT Custkey, Total FROM Orders`)
+	if len(got.Schema().Columns) != 2 || got.Get(0, "Total").Float() != 100.5 {
+		t.Fatalf("projection: %v schema %s", got.Row(0), got.Schema())
+	}
+}
+
+func TestSQLWherePrecedence(t *testing.T) {
+	db := newTestDB(t)
+	db.MustExec(`INSERT INTO Orders VALUES
+		(1, 10, 'OPEN', 10), (2, 10, 'CLOSED', 20),
+		(3, 20, 'OPEN', 30), (4, 20, 'CLOSED', 40)`)
+	// AND binds tighter than OR: matches (custkey=10 AND status=OPEN) or ordkey=4.
+	got := db.MustExec(`SELECT * FROM Orders WHERE Custkey = 10 AND Status = 'OPEN' OR Ordkey = 4`)
+	if got.Len() != 2 {
+		t.Fatalf("precedence: got %d rows, want 2", got.Len())
+	}
+	// Parentheses override.
+	got = db.MustExec(`SELECT * FROM Orders WHERE Custkey = 10 AND (Status = 'OPEN' OR Ordkey = 4)`)
+	if got.Len() != 1 {
+		t.Fatalf("parens: got %d rows, want 1", got.Len())
+	}
+}
+
+func TestSQLOrderByAndLimit(t *testing.T) {
+	db := newTestDB(t)
+	db.MustExec(`INSERT INTO Orders VALUES (1,1,'A',30), (2,1,'B',10), (3,1,'C',20)`)
+	got := db.MustExec(`SELECT * FROM Orders ORDER BY Total`)
+	if got.Get(0, "Total").Float() != 10 || got.Get(2, "Total").Float() != 30 {
+		t.Fatalf("order by: %v", got)
+	}
+	got = db.MustExec(`SELECT * FROM Orders ORDER BY Total DESC LIMIT 1`)
+	if got.Len() != 1 || got.Get(0, "Total").Float() != 30 {
+		t.Fatalf("desc limit: %v", got)
+	}
+}
+
+func TestSQLUpdate(t *testing.T) {
+	db := newTestDB(t)
+	db.MustExec(`INSERT INTO Orders VALUES (1, 10, 'OPEN', 100)`)
+	r := db.MustExec(`UPDATE Orders SET Status = 'CLOSED', Total = 0 WHERE Ordkey = 1`)
+	if r.Get(0, "affected").Int() != 1 {
+		t.Fatalf("update affected: %v", r)
+	}
+	got := db.MustExec(`SELECT Status, Total FROM Orders`)
+	if got.Get(0, "Status").Str() != "CLOSED" || got.Get(0, "Total").Float() != 0 {
+		t.Fatalf("update result: %v", got.Row(0))
+	}
+}
+
+func TestSQLDelete(t *testing.T) {
+	db := newTestDB(t)
+	db.MustExec(`INSERT INTO Orders VALUES (1,1,'A',1),(2,2,'B',2),(3,3,'C',3)`)
+	r := db.MustExec(`DELETE FROM Orders WHERE Ordkey >= 2`)
+	if r.Get(0, "affected").Int() != 2 {
+		t.Fatalf("delete affected: %v", r)
+	}
+	if db.Table("Orders").Len() != 1 {
+		t.Fatalf("remaining: %d", db.Table("Orders").Len())
+	}
+}
+
+func TestSQLTruncateAndDrop(t *testing.T) {
+	db := newTestDB(t)
+	db.MustExec(`INSERT INTO Orders VALUES (1,1,'A',1)`)
+	db.MustExec(`TRUNCATE TABLE Orders`)
+	if db.Table("Orders").Len() != 0 {
+		t.Fatal("truncate failed")
+	}
+	db.MustExec(`DROP TABLE Orders`)
+	if db.Table("Orders") != nil {
+		t.Fatal("drop failed")
+	}
+}
+
+func TestSQLPrimaryKeyViolation(t *testing.T) {
+	db := newTestDB(t)
+	db.MustExec(`INSERT INTO Orders VALUES (1,1,'A',1)`)
+	if _, err := db.Exec(`INSERT INTO Orders VALUES (1,2,'B',2)`); err == nil {
+		t.Fatal("expected duplicate key error")
+	}
+}
+
+func TestSQLNullHandling(t *testing.T) {
+	db := newTestDB(t)
+	db.MustExec(`INSERT INTO Orders VALUES (1, NULL, 'A', 1), (2, 5, 'B', 2)`)
+	got := db.MustExec(`SELECT * FROM Orders WHERE Custkey IS NULL`)
+	if got.Len() != 1 || got.Get(0, "Ordkey").Int() != 1 {
+		t.Fatalf("IS NULL: %v", got)
+	}
+	got = db.MustExec(`SELECT * FROM Orders WHERE Custkey IS NOT NULL`)
+	if got.Len() != 1 || got.Get(0, "Ordkey").Int() != 2 {
+		t.Fatalf("IS NOT NULL: %v", got)
+	}
+	// NULL never compares equal.
+	got = db.MustExec(`SELECT * FROM Orders WHERE Custkey = 5`)
+	if got.Len() != 1 {
+		t.Fatalf("= with NULL present: %v", got)
+	}
+}
+
+func TestSQLLike(t *testing.T) {
+	db := newTestDB(t)
+	db.MustExec(`INSERT INTO Orders VALUES (1,1,'OPEN',1),(2,2,'REOPENED',2),(3,3,'CLOSED',3)`)
+	got := db.MustExec(`SELECT * FROM Orders WHERE Status LIKE '%OPEN%'`)
+	if got.Len() != 2 {
+		t.Fatalf("LIKE: got %d, want 2", got.Len())
+	}
+}
+
+func TestSQLStringEscaping(t *testing.T) {
+	db := newTestDB(t)
+	db.MustExec(`INSERT INTO Orders VALUES (1, 1, 'O''Brien', 1)`)
+	got := db.MustExec(`SELECT * FROM Orders WHERE Status = 'O''Brien'`)
+	if got.Len() != 1 {
+		t.Fatalf("escaped string: %v", got)
+	}
+}
+
+func TestSQLNegativeNumbers(t *testing.T) {
+	db := newTestDB(t)
+	db.MustExec(`INSERT INTO Orders VALUES (1, -5, 'A', -1.5)`)
+	got := db.MustExec(`SELECT * FROM Orders WHERE Custkey = -5`)
+	if got.Len() != 1 || got.Get(0, "Total").Float() != -1.5 {
+		t.Fatalf("negative numbers: %v", got)
+	}
+}
+
+func TestSQLColumnColumnComparison(t *testing.T) {
+	db := newTestDB(t)
+	db.MustExec(`INSERT INTO Orders VALUES (1, 1, 'A', 1), (2, 99, 'B', 2)`)
+	got := db.MustExec(`SELECT * FROM Orders WHERE Ordkey = Custkey`)
+	if got.Len() != 1 || got.Get(0, "Ordkey").Int() != 1 {
+		t.Fatalf("col=col: %v", got)
+	}
+}
+
+func TestSQLCallProcedure(t *testing.T) {
+	db := newTestDB(t)
+	db.RegisterProcedure("sp_echo", func(_ *Database, args []Value) (*Relation, error) {
+		s := MustSchema([]Column{Col("arg", TypeInt)})
+		return NewRelation(s, []Row{{args[0]}})
+	})
+	got := db.MustExec(`CALL sp_echo(42)`)
+	if got.Get(0, "arg").Int() != 42 {
+		t.Fatalf("call: %v", got)
+	}
+}
+
+func TestSQLErrors(t *testing.T) {
+	db := newTestDB(t)
+	bad := []string{
+		`SELECT * FROM Missing`,
+		`SELECT Nope FROM Orders`,
+		`INSERT INTO Orders VALUES (1)`,
+		`BOGUS STATEMENT`,
+		`SELECT * FROM Orders WHERE`,
+		`INSERT INTO Orders VALUES (1, 2, 'x', 'not-a-float')`,
+		`CREATE TABLE Orders (X BIGINT)`, // already exists
+		`SELECT * FROM Orders TRAILING GARBAGE`,
+		`UPDATE Orders SET Nope = 1`,
+		`CALL sp_missing()`,
+	}
+	for _, q := range bad {
+		if _, err := db.Exec(q); err == nil {
+			t.Errorf("expected error for %q", q)
+		}
+	}
+}
+
+func TestSQLUnterminatedString(t *testing.T) {
+	db := newTestDB(t)
+	if _, err := db.Exec(`SELECT * FROM Orders WHERE Status = 'oops`); err == nil ||
+		!strings.Contains(err.Error(), "unterminated") {
+		t.Fatalf("unterminated string: %v", err)
+	}
+}
+
+func TestSQLInPredicate(t *testing.T) {
+	db := newTestDB(t)
+	db.MustExec(`INSERT INTO Orders VALUES (1,1,'A',1),(2,2,'B',2),(3,3,'C',3),(4,4,'D',4)`)
+	got := db.MustExec(`SELECT * FROM Orders WHERE Ordkey IN (1, 3)`)
+	if got.Len() != 2 {
+		t.Fatalf("IN: got %d rows", got.Len())
+	}
+	got = db.MustExec(`SELECT * FROM Orders WHERE Status IN ('B', 'D', 'Z')`)
+	if got.Len() != 2 {
+		t.Fatalf("string IN: got %d rows", got.Len())
+	}
+	// NOT IN via NOT.
+	got = db.MustExec(`SELECT * FROM Orders WHERE NOT Ordkey IN (1, 2, 3)`)
+	if got.Len() != 1 || got.Get(0, "Ordkey").Int() != 4 {
+		t.Fatalf("NOT IN: %v", got)
+	}
+	if _, err := db.Exec(`SELECT * FROM Orders WHERE Ordkey IN ()`); err == nil {
+		t.Error("empty IN list accepted")
+	}
+	if _, err := db.Exec(`SELECT * FROM Orders WHERE Ordkey IN (1, 2`); err == nil {
+		t.Error("unclosed IN list accepted")
+	}
+}
+
+func TestSQLCaseInsensitiveKeywordsAndColumns(t *testing.T) {
+	db := newTestDB(t)
+	db.MustExec(`insert into Orders values (1, 1, 'A', 1)`)
+	got := db.MustExec(`select ORDKEY from orders where CUSTKEY = 1`)
+	if got.Len() != 1 {
+		t.Fatalf("case insensitivity: %v", got)
+	}
+}
+
+func TestSQLVarcharLengthIgnored(t *testing.T) {
+	db := NewDatabase("t2")
+	db.MustExec(`CREATE TABLE T (A VARCHAR(255) NOT NULL, PRIMARY KEY (A))`)
+	db.MustExec(`INSERT INTO T VALUES ('x')`)
+	if db.Table("T").Len() != 1 {
+		t.Fatal("varchar length handling")
+	}
+}
+
+func TestSQLTimestampCoercion(t *testing.T) {
+	db := NewDatabase("t3")
+	db.MustExec(`CREATE TABLE E (ID BIGINT NOT NULL, At TIMESTAMP, PRIMARY KEY (ID))`)
+	db.MustExec(`INSERT INTO E VALUES (1, '2008-04-07T12:00:00Z')`)
+	got := db.MustExec(`SELECT At FROM E`)
+	if got.Get(0, "At").Time().Year() != 2008 {
+		t.Fatalf("timestamp coercion: %v", got.Row(0))
+	}
+}

@@ -1,0 +1,424 @@
+package relational
+
+import (
+	"fmt"
+	"sync"
+)
+
+// TriggerEvent identifies the mutation a trigger fires on.
+type TriggerEvent uint8
+
+// Trigger events. Only row-level AFTER triggers are supported; this is all
+// the DIPBench reference implementation needs (Fig. 9: insert trigger on
+// the message queue table).
+const (
+	OnInsert TriggerEvent = iota
+	OnUpdate
+	OnDelete
+)
+
+// String names the trigger event.
+func (e TriggerEvent) String() string {
+	switch e {
+	case OnInsert:
+		return "INSERT"
+	case OnUpdate:
+		return "UPDATE"
+	case OnDelete:
+		return "DELETE"
+	default:
+		return "?"
+	}
+}
+
+// Trigger is a row-level AFTER trigger. For updates, old holds the previous
+// row image; for inserts old is nil; for deletes new is nil.
+type Trigger func(table *Table, old, new Row) error
+
+// Table is a mutable stored relation with a primary-key hash index,
+// optional secondary hash indexes and AFTER triggers. All methods are safe
+// for concurrent use.
+type Table struct {
+	name   string
+	schema *Schema
+
+	mu       sync.RWMutex
+	rows     []Row
+	free     []int            // tombstoned slots available for reuse
+	pk       map[uint64][]int // hash of key tuple -> candidate slots
+	indexes  map[string]*hashIndex
+	triggers map[TriggerEvent][]Trigger
+
+	inserts uint64 // statistics: total successful inserts
+	deletes uint64
+	updates uint64
+}
+
+// hashIndex is a non-unique secondary hash index over one column.
+type hashIndex struct {
+	ordinal int
+	buckets map[uint64][]int
+}
+
+// NewTable creates an empty table.
+func NewTable(name string, schema *Schema) *Table {
+	return &Table{
+		name:     name,
+		schema:   schema,
+		pk:       make(map[uint64][]int),
+		indexes:  make(map[string]*hashIndex),
+		triggers: make(map[TriggerEvent][]Trigger),
+	}
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns the table schema.
+func (t *Table) Schema() *Schema { return t.schema }
+
+// CreateIndex adds a secondary hash index on the named column. Existing
+// rows are indexed immediately.
+func (t *Table) CreateIndex(col string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	o := t.schema.Ordinal(col)
+	if o < 0 {
+		return fmt.Errorf("relational: index: no column %q on %s", col, t.name)
+	}
+	idx := &hashIndex{ordinal: o, buckets: make(map[uint64][]int)}
+	for slot, row := range t.rows {
+		if row == nil {
+			continue
+		}
+		h := hashValues([]Value{row[o]})
+		idx.buckets[h] = append(idx.buckets[h], slot)
+	}
+	t.indexes[lower(col)] = idx
+	return nil
+}
+
+// AddTrigger registers a row-level AFTER trigger for the event.
+func (t *Table) AddTrigger(e TriggerEvent, tr Trigger) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.triggers[e] = append(t.triggers[e], tr)
+}
+
+// Len returns the number of live rows.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rows) - len(t.free)
+}
+
+// Stats returns cumulative insert/update/delete counters.
+func (t *Table) Stats() (inserts, updates, deletes uint64) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.inserts, t.updates, t.deletes
+}
+
+// Insert adds one row, enforcing the primary key if the schema declares
+// one, then fires AFTER INSERT triggers (outside the table lock, so
+// triggers may access the table).
+func (t *Table) Insert(row Row) error {
+	if err := t.schema.CheckRow(row); err != nil {
+		return fmt.Errorf("relational: insert into %s: %w", t.name, err)
+	}
+	row = row.Clone()
+	t.mu.Lock()
+	if t.schema.HasKey() {
+		key := row.pick(t.schema.Key)
+		h := hashValues(key)
+		for _, slot := range t.pk[h] {
+			if ex := t.rows[slot]; ex != nil && Row(ex.pick(t.schema.Key)).Equal(Row(key)) {
+				t.mu.Unlock()
+				return &KeyError{Table: t.name, Key: key}
+			}
+		}
+		slot := t.claimSlot(row)
+		t.pk[h] = append(t.pk[h], slot)
+		t.indexRow(slot, row)
+	} else {
+		slot := t.claimSlot(row)
+		t.indexRow(slot, row)
+	}
+	t.inserts++
+	trs := t.triggers[OnInsert]
+	t.mu.Unlock()
+	for _, tr := range trs {
+		if err := tr(t, nil, row); err != nil {
+			return fmt.Errorf("relational: AFTER INSERT trigger on %s: %w", t.name, err)
+		}
+	}
+	return nil
+}
+
+// InsertAll inserts every row of the relation; it stops on the first error.
+func (t *Table) InsertAll(r *Relation) error {
+	if !t.schema.Equal(r.Schema()) {
+		return fmt.Errorf("relational: insert into %s: schema mismatch %s vs %s",
+			t.name, t.schema, r.Schema())
+	}
+	for i := 0; i < r.Len(); i++ {
+		if err := t.Insert(r.Row(i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Upsert inserts the row or, if a row with the same primary key exists,
+// replaces it. It requires a primary key.
+func (t *Table) Upsert(row Row) error {
+	if !t.schema.HasKey() {
+		return fmt.Errorf("relational: upsert on keyless table %s", t.name)
+	}
+	if err := t.schema.CheckRow(row); err != nil {
+		return fmt.Errorf("relational: upsert into %s: %w", t.name, err)
+	}
+	row = row.Clone()
+	key := row.pick(t.schema.Key)
+	h := hashValues(key)
+	t.mu.Lock()
+	var old Row
+	updated := false
+	for _, slot := range t.pk[h] {
+		if ex := t.rows[slot]; ex != nil && Row(ex.pick(t.schema.Key)).Equal(Row(key)) {
+			old = ex
+			t.unindexRow(slot, ex)
+			t.rows[slot] = row
+			t.indexRow(slot, row)
+			t.updates++
+			updated = true
+			break
+		}
+	}
+	var trs []Trigger
+	if !updated {
+		slot := t.claimSlot(row)
+		t.pk[h] = append(t.pk[h], slot)
+		t.indexRow(slot, row)
+		t.inserts++
+		trs = t.triggers[OnInsert]
+	} else {
+		trs = t.triggers[OnUpdate]
+	}
+	t.mu.Unlock()
+	for _, tr := range trs {
+		if err := tr(t, old, row); err != nil {
+			return fmt.Errorf("relational: trigger on %s: %w", t.name, err)
+		}
+	}
+	return nil
+}
+
+// Lookup returns the row with the given primary-key values, or nil.
+func (t *Table) Lookup(key ...Value) Row {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if !t.schema.HasKey() || len(key) != len(t.schema.Key) {
+		return nil
+	}
+	h := hashValues(key)
+	for _, slot := range t.pk[h] {
+		if ex := t.rows[slot]; ex != nil && Row(ex.pick(t.schema.Key)).Equal(Row(key)) {
+			return ex
+		}
+	}
+	return nil
+}
+
+// Delete removes all rows matching the predicate and returns the count.
+// AFTER DELETE triggers fire once per removed row.
+func (t *Table) Delete(pred Predicate) (int, error) {
+	t.mu.Lock()
+	var removed []Row
+	for slot, row := range t.rows {
+		if row == nil {
+			continue
+		}
+		ok, err := pred.Eval(t.schema, row)
+		if err != nil {
+			t.mu.Unlock()
+			return 0, err
+		}
+		if !ok {
+			continue
+		}
+		t.unindexRow(slot, row)
+		t.unkeyRow(slot, row)
+		t.rows[slot] = nil
+		t.free = append(t.free, slot)
+		t.deletes++
+		removed = append(removed, row)
+	}
+	trs := t.triggers[OnDelete]
+	t.mu.Unlock()
+	for _, row := range removed {
+		for _, tr := range trs {
+			if err := tr(t, row, nil); err != nil {
+				return len(removed), fmt.Errorf("relational: AFTER DELETE trigger on %s: %w", t.name, err)
+			}
+		}
+	}
+	return len(removed), nil
+}
+
+// Update rewrites every row matching the predicate through fn and returns
+// the number of rows changed. fn receives a copy it may mutate and return.
+func (t *Table) Update(pred Predicate, fn func(Row) Row) (int, error) {
+	t.mu.Lock()
+	type change struct{ old, new Row }
+	var changes []change
+	for slot, row := range t.rows {
+		if row == nil {
+			continue
+		}
+		ok, err := pred.Eval(t.schema, row)
+		if err != nil {
+			t.mu.Unlock()
+			return 0, err
+		}
+		if !ok {
+			continue
+		}
+		nr := fn(row.Clone())
+		if err := t.schema.CheckRow(nr); err != nil {
+			t.mu.Unlock()
+			return 0, fmt.Errorf("relational: update on %s: %w", t.name, err)
+		}
+		if t.schema.HasKey() && !Row(nr.pick(t.schema.Key)).Equal(Row(row.pick(t.schema.Key))) {
+			t.mu.Unlock()
+			return 0, fmt.Errorf("relational: update on %s may not change the primary key", t.name)
+		}
+		t.unindexRow(slot, row)
+		t.rows[slot] = nr
+		t.indexRow(slot, nr)
+		t.updates++
+		changes = append(changes, change{row, nr})
+	}
+	trs := t.triggers[OnUpdate]
+	t.mu.Unlock()
+	for _, c := range changes {
+		for _, tr := range trs {
+			if err := tr(t, c.old, c.new); err != nil {
+				return len(changes), fmt.Errorf("relational: AFTER UPDATE trigger on %s: %w", t.name, err)
+			}
+		}
+	}
+	return len(changes), nil
+}
+
+// Truncate removes all rows without firing triggers (DDL-style reset used
+// by the per-period uninitialization of the benchmark).
+func (t *Table) Truncate() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rows = nil
+	t.free = nil
+	t.pk = make(map[uint64][]int)
+	for _, idx := range t.indexes {
+		idx.buckets = make(map[uint64][]int)
+	}
+}
+
+// Scan materializes the current contents as an immutable Relation.
+func (t *Table) Scan() *Relation {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	rows := make([]Row, 0, len(t.rows)-len(t.free))
+	for _, row := range t.rows {
+		if row != nil {
+			rows = append(rows, row)
+		}
+	}
+	return &Relation{schema: t.schema, rows: rows}
+}
+
+// SelectWhere scans with a predicate, using a secondary index when the
+// predicate is a single equality on an indexed column.
+func (t *Table) SelectWhere(pred Predicate) (*Relation, error) {
+	if cp, ok := pred.(cmpPred); ok && cp.op == OpEq {
+		t.mu.RLock()
+		if idx, ok := t.indexes[lower(cp.col)]; ok {
+			h := hashValues([]Value{cp.val})
+			var rows []Row
+			for _, slot := range idx.buckets[h] {
+				row := t.rows[slot]
+				if row != nil && row[idx.ordinal].Equal(cp.val) {
+					rows = append(rows, row)
+				}
+			}
+			t.mu.RUnlock()
+			return &Relation{schema: t.schema, rows: rows}, nil
+		}
+		t.mu.RUnlock()
+	}
+	return t.Scan().Select(pred)
+}
+
+// claimSlot stores the row in a free slot or appends. Caller holds mu.
+func (t *Table) claimSlot(row Row) int {
+	if n := len(t.free); n > 0 {
+		slot := t.free[n-1]
+		t.free = t.free[:n-1]
+		t.rows[slot] = row
+		return slot
+	}
+	t.rows = append(t.rows, row)
+	return len(t.rows) - 1
+}
+
+// indexRow adds the row to all secondary indexes. Caller holds mu.
+func (t *Table) indexRow(slot int, row Row) {
+	for _, idx := range t.indexes {
+		h := hashValues([]Value{row[idx.ordinal]})
+		idx.buckets[h] = append(idx.buckets[h], slot)
+	}
+}
+
+// unindexRow removes the slot from all secondary indexes. Caller holds mu.
+func (t *Table) unindexRow(slot int, row Row) {
+	for _, idx := range t.indexes {
+		h := hashValues([]Value{row[idx.ordinal]})
+		idx.buckets[h] = removeSlot(idx.buckets[h], slot)
+		if len(idx.buckets[h]) == 0 {
+			delete(idx.buckets, h)
+		}
+	}
+}
+
+// unkeyRow removes the slot from the PK index. Caller holds mu.
+func (t *Table) unkeyRow(slot int, row Row) {
+	if !t.schema.HasKey() {
+		return
+	}
+	h := hashValues(row.pick(t.schema.Key))
+	t.pk[h] = removeSlot(t.pk[h], slot)
+	if len(t.pk[h]) == 0 {
+		delete(t.pk, h)
+	}
+}
+
+func removeSlot(slots []int, slot int) []int {
+	for i, s := range slots {
+		if s == slot {
+			slots[i] = slots[len(slots)-1]
+			return slots[:len(slots)-1]
+		}
+	}
+	return slots
+}
+
+// KeyError reports a primary-key violation.
+type KeyError struct {
+	Table string
+	Key   []Value
+}
+
+// Error implements the error interface.
+func (e *KeyError) Error() string {
+	return fmt.Sprintf("relational: duplicate key %v in table %s", e.Key, e.Table)
+}

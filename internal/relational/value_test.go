@@ -1,0 +1,193 @@
+package relational
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	if v := NewInt(42); v.Type() != TypeInt || v.Int() != 42 {
+		t.Errorf("NewInt: got %v", v)
+	}
+	if v := NewFloat(2.5); v.Type() != TypeFloat || v.Float() != 2.5 {
+		t.Errorf("NewFloat: got %v", v)
+	}
+	if v := NewString("abc"); v.Type() != TypeString || v.Str() != "abc" {
+		t.Errorf("NewString: got %v", v)
+	}
+	if v := NewBool(true); v.Type() != TypeBool || !v.Bool() {
+		t.Errorf("NewBool: got %v", v)
+	}
+	ts := time.Date(2008, 4, 7, 12, 0, 0, 0, time.UTC)
+	if v := NewTime(ts); v.Type() != TypeTime || !v.Time().Equal(ts) {
+		t.Errorf("NewTime: got %v", v)
+	}
+	if !Null.IsNull() || Null.Type() != TypeNull {
+		t.Errorf("Null is not null")
+	}
+}
+
+func TestValueAccessorPanicsOnWrongType(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic from Int() on string value")
+		}
+	}()
+	_ = NewString("x").Int()
+}
+
+func TestValueFloatAcceptsInt(t *testing.T) {
+	if got := NewInt(7).Float(); got != 7.0 {
+		t.Errorf("Float() on int: got %v", got)
+	}
+}
+
+func TestValueCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{NewInt(1), NewInt(2), -1},
+		{NewInt(2), NewInt(2), 0},
+		{NewInt(3), NewInt(2), 1},
+		{NewInt(1), NewFloat(1.5), -1},
+		{NewFloat(1.5), NewInt(1), 1},
+		{NewFloat(2.0), NewInt(2), 0},
+		{NewString("a"), NewString("b"), -1},
+		{NewString("b"), NewString("b"), 0},
+		{NewBool(false), NewBool(true), -1},
+		{Null, NewInt(0), -1},
+		{NewInt(0), Null, 1},
+		{Null, Null, 0},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("Compare(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestValueCompareAntisymmetric(t *testing.T) {
+	f := func(a, b int64) bool {
+		va, vb := NewInt(a), NewInt(b)
+		return va.Compare(vb) == -vb.Compare(va)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueStringRoundTrip(t *testing.T) {
+	vals := []Value{
+		NewInt(-12345),
+		NewFloat(3.14159),
+		NewFloat(math.MaxFloat64),
+		NewString("hello world"),
+		NewBool(true),
+		NewBool(false),
+		NewTime(time.Date(2008, 4, 7, 8, 30, 0, 123456789, time.UTC)),
+	}
+	for _, v := range vals {
+		got, err := ParseValue(v.Type(), v.String())
+		if err != nil {
+			t.Errorf("ParseValue(%v): %v", v, err)
+			continue
+		}
+		if !got.Equal(v) {
+			t.Errorf("round trip %v -> %q -> %v", v, v.String(), got)
+		}
+	}
+}
+
+func TestParseValueNull(t *testing.T) {
+	v, err := ParseValue(TypeInt, "NULL")
+	if err != nil || !v.IsNull() {
+		t.Errorf("ParseValue NULL: %v, %v", v, err)
+	}
+	// For strings, "NULL" is a legitimate payload.
+	v, err = ParseValue(TypeString, "NULL")
+	if err != nil || v.Str() != "NULL" {
+		t.Errorf("ParseValue string NULL: %v, %v", v, err)
+	}
+}
+
+func TestParseValueErrors(t *testing.T) {
+	if _, err := ParseValue(TypeInt, "abc"); err == nil {
+		t.Error("expected error parsing int from abc")
+	}
+	if _, err := ParseValue(TypeFloat, "xyz"); err == nil {
+		t.Error("expected error parsing float from xyz")
+	}
+	if _, err := ParseValue(TypeBool, "maybe"); err == nil {
+		t.Error("expected error parsing bool from maybe")
+	}
+	if _, err := ParseValue(TypeTime, "not-a-time"); err == nil {
+		t.Error("expected error parsing time")
+	}
+}
+
+func TestIntStringRoundTripProperty(t *testing.T) {
+	f := func(i int64) bool {
+		v := NewInt(i)
+		got, err := ParseValue(TypeInt, v.String())
+		return err == nil && got.Equal(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFloatStringRoundTripProperty(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		v := NewFloat(x)
+		got, err := ParseValue(TypeFloat, v.String())
+		return err == nil && got.Equal(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashValuesConsistentWithEquality(t *testing.T) {
+	f := func(a int64, s string) bool {
+		x := []Value{NewInt(a), NewString(s)}
+		y := []Value{NewInt(a), NewString(s)}
+		return hashValues(x) == hashValues(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashValuesDiscriminates(t *testing.T) {
+	// Not a strict requirement (collisions are legal), but these obvious
+	// cases should hash differently for index efficiency.
+	pairs := [][2][]Value{
+		{{NewInt(1)}, {NewInt(2)}},
+		{{NewString("a")}, {NewString("b")}},
+		{{NewInt(1)}, {NewString("1")}},
+		{{NewBool(true)}, {NewBool(false)}},
+	}
+	for _, p := range pairs {
+		if hashValues(p[0]) == hashValues(p[1]) {
+			t.Errorf("hash collision between %v and %v", p[0], p[1])
+		}
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	want := map[Type]string{
+		TypeNull: "NULL", TypeInt: "BIGINT", TypeFloat: "DOUBLE",
+		TypeString: "VARCHAR", TypeBool: "BOOLEAN", TypeTime: "TIMESTAMP",
+	}
+	for typ, name := range want {
+		if typ.String() != name {
+			t.Errorf("Type(%d).String() = %q, want %q", typ, typ.String(), name)
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package scenario
+
+import (
+	"fmt"
+
+	rel "repro/internal/relational"
+	x "repro/internal/xmlmsg"
+)
+
+// Gateway implements mtm.External over the scenario topology: database
+// systems are reached through server connections (paying the configured
+// round-trip latency), web-service systems through real HTTP calls.
+type Gateway struct {
+	s *Scenario
+}
+
+// Gateway returns the external-system gateway of the topology.
+func (s *Scenario) Gateway() *Gateway { return &Gateway{s: s} }
+
+// Query implements mtm.External.
+func (g *Gateway) Query(system, table string, pred rel.Predicate) (*rel.Relation, error) {
+	if IsWebService(system) {
+		// Web services ship whole tables; predicates apply client-side
+		// (the generic result-set interface has no filter pushdown).
+		r, err := g.s.WSClient(system).QueryRelation(table)
+		if err != nil {
+			return nil, err
+		}
+		if pred == nil {
+			return r, nil
+		}
+		return r.Select(pred)
+	}
+	if g.s.remote != nil {
+		return g.s.dbClient(system).Query(table, pred)
+	}
+	conn, err := g.s.ES.Connect(system)
+	if err != nil {
+		return nil, err
+	}
+	if pred == nil {
+		pred = rel.True()
+	}
+	return conn.Query(table, pred)
+}
+
+// FetchXML implements mtm.External.
+func (g *Gateway) FetchXML(system, table string) (*x.Node, error) {
+	if IsWebService(system) {
+		return g.s.WSClient(system).Query(table)
+	}
+	if g.s.remote != nil {
+		r, err := g.s.dbClient(system).Query(table, nil)
+		if err != nil {
+			return nil, err
+		}
+		return x.FromRelation(table, r), nil
+	}
+	// Databases can also serve XML result sets (export path).
+	conn, err := g.s.ES.Connect(system)
+	if err != nil {
+		return nil, err
+	}
+	r, err := conn.Scan(table)
+	if err != nil {
+		return nil, err
+	}
+	return x.FromRelation(table, r), nil
+}
+
+// Insert implements mtm.External.
+func (g *Gateway) Insert(system, table string, r *rel.Relation) error {
+	if IsWebService(system) {
+		return g.s.WSClient(system).UpdateRelation(table, r)
+	}
+	if g.s.remote != nil {
+		return g.s.dbClient(system).Insert(table, r)
+	}
+	conn, err := g.s.ES.Connect(system)
+	if err != nil {
+		return err
+	}
+	return conn.InsertBulk(table, r)
+}
+
+// Upsert implements mtm.External.
+func (g *Gateway) Upsert(system, table string, r *rel.Relation) error {
+	if IsWebService(system) {
+		return g.s.WSClient(system).UpdateRelation(table, r)
+	}
+	if g.s.remote != nil {
+		return g.s.dbClient(system).Upsert(table, r)
+	}
+	conn, err := g.s.ES.Connect(system)
+	if err != nil {
+		return err
+	}
+	return conn.UpsertBulk(table, r)
+}
+
+// Delete implements mtm.External.
+func (g *Gateway) Delete(system, table string, pred rel.Predicate) (int, error) {
+	if IsWebService(system) {
+		return 0, fmt.Errorf("scenario: web service %s does not support delete", system)
+	}
+	if g.s.remote != nil {
+		return g.s.dbClient(system).Delete(table, pred)
+	}
+	conn, err := g.s.ES.Connect(system)
+	if err != nil {
+		return 0, err
+	}
+	if pred == nil {
+		pred = rel.True()
+	}
+	return conn.Delete(table, pred)
+}
+
+// Update implements mtm.External.
+func (g *Gateway) Update(system, table string, pred rel.Predicate, set map[string]rel.Value) (int, error) {
+	if IsWebService(system) {
+		return 0, fmt.Errorf("scenario: web service %s does not support update", system)
+	}
+	if g.s.remote != nil {
+		return g.s.dbClient(system).Update(table, pred, set)
+	}
+	conn, err := g.s.ES.Connect(system)
+	if err != nil {
+		return 0, err
+	}
+	if pred == nil {
+		pred = rel.True()
+	}
+	// Resolve ordinals once against the table schema.
+	db := conn.Database()
+	t := db.Table(table)
+	if t == nil {
+		return 0, fmt.Errorf("scenario: no table %s.%s", system, table)
+	}
+	type assignment struct {
+		ordinal int
+		val     rel.Value
+	}
+	assigns := make([]assignment, 0, len(set))
+	for col, val := range set {
+		o := t.Schema().Ordinal(col)
+		if o < 0 {
+			return 0, fmt.Errorf("scenario: update %s.%s: no column %q", system, table, col)
+		}
+		assigns = append(assigns, assignment{o, val})
+	}
+	return conn.Update(table, pred, func(r rel.Row) rel.Row {
+		for _, a := range assigns {
+			r[a.ordinal] = a.val
+		}
+		return r
+	})
+}
+
+// Call implements mtm.External.
+func (g *Gateway) Call(system, proc string, args ...rel.Value) (*rel.Relation, error) {
+	if IsWebService(system) {
+		return nil, fmt.Errorf("scenario: web service %s does not support procedure calls", system)
+	}
+	if g.s.remote != nil {
+		return g.s.dbClient(system).Call(proc, args...)
+	}
+	conn, err := g.s.ES.Connect(system)
+	if err != nil {
+		return nil, err
+	}
+	return conn.Call(proc, args...)
+}
+
+// Send implements mtm.External.
+func (g *Gateway) Send(system string, doc *x.Node) error {
+	if !IsWebService(system) {
+		return fmt.Errorf("scenario: %s does not accept entity messages", system)
+	}
+	return g.s.WSClient(system).Update(doc)
+}

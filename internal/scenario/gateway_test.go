@@ -1,0 +1,79 @@
+package scenario
+
+import (
+	"testing"
+
+	rel "repro/internal/relational"
+	"repro/internal/schema"
+)
+
+func TestGatewayUpdateFlagsRows(t *testing.T) {
+	s := newScenario(t)
+	gw := s.Gateway()
+	cdb := s.DB(schema.SysCDB)
+	mk := func(key int64) rel.Row {
+		return rel.Row{
+			rel.NewInt(key), rel.NewString("N"), rel.NewString("a"), rel.NewString("p"),
+			rel.NewString("Berlin"), rel.NewString("Germany"), rel.NewString("Europe"),
+			rel.NewString("s"), rel.NewBool(false),
+		}
+	}
+	for k := int64(1); k <= 3; k++ {
+		if err := cdb.MustTable("Customer").Insert(mk(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The P12 flagging pattern: set Integrated=true on unflagged rows.
+	n, err := gw.Update(schema.SysCDB, "Customer",
+		rel.ColEq("Integrated", rel.NewBool(false)),
+		map[string]rel.Value{"Integrated": rel.NewBool(true)})
+	if err != nil || n != 3 {
+		t.Fatalf("update: n=%d err=%v", n, err)
+	}
+	ic := schema.CDBCustomer.MustOrdinal("Integrated")
+	custs := cdb.MustTable("Customer").Scan()
+	for i := 0; i < custs.Len(); i++ {
+		if !custs.Row(i)[ic].Bool() {
+			t.Fatal("row not flagged")
+		}
+	}
+	// Second pass matches nothing.
+	n, err = gw.Update(schema.SysCDB, "Customer",
+		rel.ColEq("Integrated", rel.NewBool(false)),
+		map[string]rel.Value{"Integrated": rel.NewBool(true)})
+	if err != nil || n != 0 {
+		t.Fatalf("idempotent update: n=%d err=%v", n, err)
+	}
+}
+
+func TestGatewayUpdateErrors(t *testing.T) {
+	s := newScenario(t)
+	gw := s.Gateway()
+	if _, err := gw.Update(schema.SysBeijing, "Customers", nil, nil); err == nil {
+		t.Error("WS update should fail")
+	}
+	if _, err := gw.Update("Atlantis", "T", nil, nil); err == nil {
+		t.Error("unknown system")
+	}
+	if _, err := gw.Update(schema.SysCDB, "NoTable", nil, nil); err == nil {
+		t.Error("missing table")
+	}
+	if _, err := gw.Update(schema.SysCDB, "Customer", nil,
+		map[string]rel.Value{"NoColumn": rel.NewBool(true)}); err == nil {
+		t.Error("missing column")
+	}
+}
+
+func TestGatewayNilPredicateUpdatesAll(t *testing.T) {
+	s := newScenario(t)
+	gw := s.Gateway()
+	cdb := s.DB(schema.SysCDB)
+	_ = cdb.MustTable("FailedMessages").Insert(rel.Row{
+		rel.NewInt(1), rel.NewString("x"), rel.NewString("r"), rel.NewString("p"),
+	})
+	n, err := gw.Update(schema.SysCDB, "FailedMessages", nil,
+		map[string]rel.Value{"Reason": rel.NewString("updated")})
+	if err != nil || n != 1 {
+		t.Fatalf("nil pred: %d %v", n, err)
+	}
+}

@@ -1,0 +1,61 @@
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+
+	rel "repro/internal/relational"
+	"repro/internal/ws"
+	x "repro/internal/xmlmsg"
+)
+
+// xNode aliases the XML node type for the handler signatures.
+type xNode = x.Node
+
+// msgCols describes how a master-data entity message maps onto the
+// service's Customers table: element name per column, in schema order.
+type msgCols struct {
+	table    string
+	elements []string
+}
+
+var beijingMsgCols = msgCols{
+	table:    "Customers",
+	elements: []string{"Cust_ID", "Cust_Name", "Cust_Addr", "Cust_City", "Cust_Phone"},
+}
+
+var seoulMsgCols = msgCols{
+	table:    "Customers",
+	elements: []string{"CID", "CNAME", "CADDR", "CCITY", "CPHONE"},
+}
+
+// upsertCustomerFromMsg converts an entity message into a row of the
+// service's customer table and upserts it — the receiving half of the P01
+// master-data exchange.
+func upsertCustomerFromMsg(svc *ws.Service, doc *xNode, cols msgCols) error {
+	t := svc.Database().Table(cols.table)
+	if t == nil {
+		return fmt.Errorf("scenario: %s has no table %s", svc.Name(), cols.table)
+	}
+	schemaCols := t.Schema().Columns
+	if len(schemaCols) != len(cols.elements) {
+		return fmt.Errorf("scenario: message mapping arity mismatch for %s", svc.Name())
+	}
+	row := make(rel.Row, len(cols.elements))
+	for i, el := range cols.elements {
+		text := doc.PathText(el)
+		switch schemaCols[i].Type {
+		case rel.TypeInt:
+			v, err := strconv.ParseInt(text, 10, 64)
+			if err != nil {
+				return fmt.Errorf("scenario: %s message element %s: %w", doc.Name, el, err)
+			}
+			row[i] = rel.NewInt(v)
+		case rel.TypeString:
+			row[i] = rel.NewString(text)
+		default:
+			return fmt.Errorf("scenario: unsupported column type in message mapping")
+		}
+	}
+	return t.Upsert(row)
+}

@@ -1,0 +1,140 @@
+package scenario
+
+import (
+	"time"
+
+	rel "repro/internal/relational"
+)
+
+// Stored procedures of the consolidation layer. Process P12 invokes
+// sp_runMasterDataCleansing, P13 invokes sp_runMovementDataCleansing and
+// sp_refreshOrdersMV (on the warehouse); P15 refreshes the marts' views.
+
+// registerCDBProcedures installs the cleansing procedures on the
+// consolidated database.
+func registerCDBProcedures(db *rel.Database) {
+	db.RegisterProcedure("sp_runMasterDataCleansing", spRunMasterDataCleansing)
+	db.RegisterProcedure("sp_runMovementDataCleansing", spRunMovementDataCleansing)
+}
+
+// registerMVProcedure installs the OrdersMV refresh on a warehouse or
+// data-mart instance.
+func registerMVProcedure(db *rel.Database) {
+	db.RegisterProcedure("sp_refreshOrdersMV", spRefreshOrdersMV)
+}
+
+// cleansingResult wraps removal counts as a one-row result relation.
+func cleansingResult(removed int) (*rel.Relation, error) {
+	s := rel.MustSchema([]rel.Column{rel.Col("removed", rel.TypeInt)})
+	return rel.NewRelation(s, []rel.Row{{rel.NewInt(int64(removed))}})
+}
+
+// spRunMasterDataCleansing eliminates error-prone master data within the
+// consolidated database: customers without a name or with malformed phone
+// numbers, products without a name or with non-positive prices.
+// (Duplicate keys are already collapsed by the upsert-based load paths.)
+func spRunMasterDataCleansing(db *rel.Database, _ []rel.Value) (*rel.Relation, error) {
+	removed := 0
+	n, err := db.MustTable("Customer").Delete(rel.Or(
+		rel.ColEq("Name", rel.NewString("")),
+		rel.ColEq("Phone", rel.NewString("INVALID")),
+	))
+	if err != nil {
+		return nil, err
+	}
+	removed += n
+	n, err = db.MustTable("Product").Delete(rel.Or(
+		rel.ColEq("Name", rel.NewString("")),
+		rel.Cmp("Price", rel.OpLe, rel.NewFloat(0)),
+	))
+	if err != nil {
+		return nil, err
+	}
+	removed += n
+	return cleansingResult(removed)
+}
+
+// spRunMovementDataCleansing eliminates movement-data errors within the
+// consolidated database: orders with corrupted (non-positive) totals and
+// orderlines orphaned by that removal.
+func spRunMovementDataCleansing(db *rel.Database, _ []rel.Value) (*rel.Relation, error) {
+	orders := db.MustTable("Orders")
+	bad, err := orders.SelectWhere(rel.Cmp("Totalprice", rel.OpLe, rel.NewFloat(0)))
+	if err != nil {
+		return nil, err
+	}
+	removed := 0
+	lines := db.MustTable("Orderline")
+	for i := 0; i < bad.Len(); i++ {
+		key := bad.Get(i, "Ordkey")
+		n, err := orders.Delete(rel.ColEq("Ordkey", key))
+		if err != nil {
+			return nil, err
+		}
+		removed += n
+		n, err = lines.Delete(rel.ColEq("Ordkey", key))
+		if err != nil {
+			return nil, err
+		}
+		removed += n
+	}
+	return cleansingResult(removed)
+}
+
+// spRefreshOrdersMV recomputes the materialized view OrdersMV from the
+// Orders fact table: orders aggregated per (Year, Month, Custkey) using
+// the built-in time functions of the Fig. 3 Time dimension.
+func spRefreshOrdersMV(db *rel.Database, _ []rel.Value) (*rel.Relation, error) {
+	orders := db.MustTable("Orders").Scan()
+	withTime, err := orders.Extend("Year", rel.TypeInt, func(r rel.Row) rel.Value {
+		return rel.NewInt(int64(yearOf(r, orders)))
+	})
+	if err != nil {
+		return nil, err
+	}
+	withTime, err = withTime.Extend("Month", rel.TypeInt, func(r rel.Row) rel.Value {
+		return rel.NewInt(int64(monthOf(r, orders)))
+	})
+	if err != nil {
+		return nil, err
+	}
+	agg, err := withTime.GroupBy([]string{"Year", "Month", "Custkey"}, []rel.AggSpec{
+		{Func: "count", As: "OrderCount"},
+		{Func: "sum", Col: "Totalprice", As: "TotalSum"},
+	})
+	if err != nil {
+		return nil, err
+	}
+	mv := db.MustTable("OrdersMV")
+	mv.Truncate()
+	for i := 0; i < agg.Len(); i++ {
+		row := agg.Row(i)
+		sum := row[agg.Schema().MustOrdinal("TotalSum")]
+		if sum.IsNull() {
+			sum = rel.NewFloat(0)
+		}
+		if err := mv.Insert(rel.Row{
+			row[agg.Schema().MustOrdinal("Year")],
+			row[agg.Schema().MustOrdinal("Month")],
+			row[agg.Schema().MustOrdinal("Custkey")],
+			row[agg.Schema().MustOrdinal("OrderCount")],
+			sum,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	s := rel.MustSchema([]rel.Column{rel.Col("groups", rel.TypeInt)})
+	return rel.NewRelation(s, []rel.Row{{rel.NewInt(int64(agg.Len()))}})
+}
+
+func yearOf(r rel.Row, orders *rel.Relation) int {
+	return dateOf(r, orders).Year()
+}
+
+func monthOf(r rel.Row, orders *rel.Relation) int {
+	return int(dateOf(r, orders).Month())
+}
+
+func dateOf(r rel.Row, orders *rel.Relation) time.Time {
+	return r[orders.Schema().MustOrdinal("Orderdate")].Time()
+}

@@ -1,0 +1,295 @@
+// Package scenario wires up the complete DIPBench ETL topology of Fig. 1:
+// eleven relational database instances on the external-system server, the
+// three Asian web services on an application server (HTTP registry), the
+// stored procedures of the consolidation layer, and the per-period
+// (un)initialization lifecycle of the benchmark execution.
+//
+// Layers:
+//  1. sources — Berlin_Paris, Trondheim (Europe schema), Chicago,
+//     Baltimore, Madison (TPC-H), the web services Beijing, Seoul,
+//     Hongkong, and the message-emitting applications Vienna, MDM_Europe
+//     and San_Diego (realized by the workload Client);
+//  2. consolidated database Sales_Cleaning (staging area) plus the local
+//     consolidated database US_Eastcoast;
+//  3. data warehouse DWH;
+//  4. data marts DM_Europe, DM_United_States, DM_Asia.
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/dbproto"
+	rel "repro/internal/relational"
+	"repro/internal/schema"
+	"repro/internal/ws"
+)
+
+// Options configures the topology.
+type Options struct {
+	// DBLatency is the simulated round-trip latency per database call.
+	DBLatency time.Duration
+	// WSDelay is the artificial extra delay per web-service call (on top
+	// of the real loopback HTTP round trip).
+	WSDelay time.Duration
+	// RemoteDB places the database server behind a real HTTP boundary
+	// (internal/dbproto), reproducing the paper's separate
+	// external-system machine: every database call of the integration
+	// system becomes a genuine network round trip.
+	RemoteDB bool
+}
+
+// Scenario is the instantiated topology.
+type Scenario struct {
+	// ES is the external-system database server.
+	ES *rel.Server
+	// WS is the application server hosting the Asian web services.
+	WS *ws.Registry
+
+	wsURL  string
+	remote *dbproto.Remote // non-nil when Options.RemoteDB
+}
+
+// DatabaseSystems lists the systems realized as database instances, in
+// layer order.
+var DatabaseSystems = []string{
+	schema.SysBerlinParis, schema.SysTrondheim,
+	schema.SysChicago, schema.SysBaltimore, schema.SysMadison,
+	schema.SysUSEastcoast,
+	schema.SysCDB,
+	schema.SysDWH,
+	schema.SysDMEur, schema.SysDMUS, schema.SysDMAsia,
+}
+
+// WebServiceSystems lists the systems realized as web services.
+var WebServiceSystems = []string{schema.SysBeijing, schema.SysSeoul, schema.SysHongkong}
+
+// SourceSystems lists the systems re-initialized with generated data at
+// the start of every benchmark period.
+var SourceSystems = []string{
+	schema.SysBerlinParis, schema.SysTrondheim,
+	schema.SysChicago, schema.SysBaltimore, schema.SysMadison,
+	schema.SysBeijing, schema.SysSeoul, schema.SysHongkong,
+}
+
+// New builds and starts the topology.
+func New(opts Options) (*Scenario, error) {
+	s := &Scenario{
+		ES: rel.NewServer(opts.DBLatency),
+		WS: ws.NewRegistry(opts.WSDelay),
+	}
+	// Layer 1: European and American database sources.
+	schema.SetupEuropeDB(s.ES.CreateInstance(schema.SysBerlinParis))
+	schema.SetupEuropeDB(s.ES.CreateInstance(schema.SysTrondheim))
+	schema.SetupTPCHDB(s.ES.CreateInstance(schema.SysChicago))
+	schema.SetupTPCHDB(s.ES.CreateInstance(schema.SysBaltimore))
+	schema.SetupTPCHDB(s.ES.CreateInstance(schema.SysMadison))
+	// Layer 2: local and global consolidated databases.
+	schema.SetupTPCHDB(s.ES.CreateInstance(schema.SysUSEastcoast))
+	cdb := s.ES.CreateInstance(schema.SysCDB)
+	schema.SetupCDB(cdb)
+	registerCDBProcedures(cdb)
+	// Layer 3: warehouse.
+	dwh := s.ES.CreateInstance(schema.SysDWH)
+	schema.SetupDWH(dwh)
+	registerMVProcedure(dwh)
+	// Layer 4: data marts.
+	for _, v := range schema.Marts {
+		db := s.ES.CreateInstance(v.Name)
+		schema.SetupDataMart(db, v)
+		registerMVProcedure(db)
+	}
+	// Application server: Asian web services backed by their own local
+	// databases.
+	for _, name := range WebServiceSystems {
+		db := rel.NewDatabase(name)
+		switch name {
+		case schema.SysBeijing:
+			schema.SetupBeijingDB(db)
+		case schema.SysSeoul:
+			schema.SetupSeoulDB(db)
+		case schema.SysHongkong:
+			schema.SetupHongkongDB(db)
+		}
+		svc := ws.NewService(name, db)
+		registerEntityHandlers(svc)
+		s.WS.Register(svc)
+	}
+	url, err := s.WS.Start()
+	if err != nil {
+		return nil, fmt.Errorf("scenario: start web services: %w", err)
+	}
+	s.wsURL = url
+	if opts.RemoteDB {
+		remote, err := dbproto.Serve(s.ES)
+		if err != nil {
+			_ = s.WS.Stop()
+			return nil, fmt.Errorf("scenario: start database protocol: %w", err)
+		}
+		s.remote = remote
+	}
+	if err := s.loadReferenceData(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(opts Options) *Scenario {
+	s, err := New(opts)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Close shuts the web-service server and the database protocol endpoint
+// down.
+func (s *Scenario) Close() error {
+	if s.remote != nil {
+		_ = s.remote.Close()
+	}
+	return s.WS.Stop()
+}
+
+// RemoteDB reports whether the database server sits behind the HTTP
+// protocol boundary.
+func (s *Scenario) RemoteDB() bool { return s.remote != nil }
+
+// dbClient returns a protocol client for the instance (RemoteDB only).
+func (s *Scenario) dbClient(instance string) *dbproto.Client {
+	return dbproto.NewClient(s.remote.BaseURL(), instance)
+}
+
+// WSBaseURL returns the application server's base URL.
+func (s *Scenario) WSBaseURL() string { return s.wsURL }
+
+// DB returns the named database instance (nil for web-service systems).
+func (s *Scenario) DB(system string) *rel.Database {
+	return s.ES.Instance(system)
+}
+
+// WSClient returns a client for the named web service.
+func (s *Scenario) WSClient(system string) *ws.Client {
+	return ws.NewClient(s.wsURL, system)
+}
+
+// IsWebService reports whether the system is fronted by a web service.
+func IsWebService(system string) bool {
+	for _, n := range WebServiceSystems {
+		if n == system {
+			return true
+		}
+	}
+	return false
+}
+
+// registerEntityHandlers installs the master-data message handlers of the
+// P01 exchange: Seoul accepts SKCustomer messages, Beijing BJCustomer.
+func registerEntityHandlers(svc *ws.Service) {
+	switch svc.Name() {
+	case schema.SysSeoul:
+		svc.HandleMessage("SKCustomer", func(doc *xNode) error {
+			return upsertCustomerFromMsg(svc, doc, seoulMsgCols)
+		})
+	case schema.SysBeijing:
+		svc.HandleMessage("BJCustomer", func(doc *xNode) error {
+			return upsertCustomerFromMsg(svc, doc, beijingMsgCols)
+		})
+	}
+}
+
+// Uninitialize truncates all external systems — the first step of every
+// benchmark period (Fig. 7) — and reloads the dimension reference data of
+// the consolidation layers.
+func (s *Scenario) Uninitialize() error {
+	for _, name := range DatabaseSystems {
+		s.ES.Instance(name).TruncateAll()
+	}
+	for _, name := range WebServiceSystems {
+		s.WS.Service(name).Database().TruncateAll()
+	}
+	return s.loadReferenceData()
+}
+
+// loadReferenceData loads the fixed location and product hierarchies into
+// the CDB, the warehouse and the marts' normalized dimensions.
+func (s *Scenario) loadReferenceData() error {
+	for _, name := range []string{schema.SysCDB, schema.SysDWH} {
+		db := s.ES.Instance(name)
+		if err := schema.LoadLocationDims(db); err != nil {
+			return fmt.Errorf("scenario: reference data for %s: %w", name, err)
+		}
+		if err := schema.LoadProductDims(db); err != nil {
+			return fmt.Errorf("scenario: reference data for %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// InitializeSources loads the generator's per-period datasets into all
+// source systems — the second step of every benchmark period.
+func (s *Scenario) InitializeSources(g *datagen.Generator) error {
+	for _, name := range []string{schema.SysBerlinParis, schema.SysTrondheim} {
+		ds, err := g.Europe(name)
+		if err != nil {
+			return err
+		}
+		db := s.ES.Instance(name)
+		for table, r := range map[string]*rel.Relation{
+			"City": ds.City, "Company": ds.Company, "Customer": ds.Customer,
+			"Orders": ds.Orders, "Orderline": ds.Orderline,
+			"Product": ds.Product, "ProductGroup": ds.ProductGroup,
+		} {
+			if err := db.MustTable(table).InsertAll(r); err != nil {
+				return fmt.Errorf("scenario: init %s.%s: %w", name, table, err)
+			}
+		}
+	}
+	for _, name := range []string{schema.SysChicago, schema.SysBaltimore, schema.SysMadison} {
+		ds, err := g.TPCH(name)
+		if err != nil {
+			return err
+		}
+		db := s.ES.Instance(name)
+		for table, r := range map[string]*rel.Relation{
+			"Customer": ds.Customer, "Orders": ds.Orders,
+			"Lineitem": ds.Lineitem, "Part": ds.Part,
+		} {
+			if err := db.MustTable(table).InsertAll(r); err != nil {
+				return fmt.Errorf("scenario: init %s.%s: %w", name, table, err)
+			}
+		}
+	}
+	for _, name := range WebServiceSystems {
+		ds, err := g.Asia(name)
+		if err != nil {
+			return err
+		}
+		db := s.WS.Service(name).Database()
+		for table, r := range map[string]*rel.Relation{
+			"Customers": ds.Customers, "Products": ds.Products,
+			"Orders": ds.Orders, "OrderItems": ds.OrderItems,
+		} {
+			if err := db.MustTable(table).InsertAll(r); err != nil {
+				return fmt.Errorf("scenario: init %s.%s: %w", name, table, err)
+			}
+		}
+	}
+	return nil
+}
+
+// TotalSourceRows counts the rows currently loaded in all source systems;
+// a sanity statistic for the Initializer tool.
+func (s *Scenario) TotalSourceRows() int {
+	n := 0
+	for _, name := range []string{schema.SysBerlinParis, schema.SysTrondheim,
+		schema.SysChicago, schema.SysBaltimore, schema.SysMadison} {
+		n += s.ES.Instance(name).TotalRows()
+	}
+	for _, name := range WebServiceSystems {
+		n += s.WS.Service(name).Database().TotalRows()
+	}
+	return n
+}

@@ -1,0 +1,32 @@
+package schedule_test
+
+import (
+	"fmt"
+
+	"repro/internal/datagen"
+	"repro/internal/schedule"
+)
+
+// ExamplePeriodPlan shows the Table II schedule of one benchmark period.
+func ExamplePeriodPlan() {
+	sf := schedule.ScaleFactors{Datasize: 0.05, Time: 1, Dist: datagen.Uniform}
+	plan, _ := schedule.PeriodPlan(0, sf)
+	counts := plan.CountByProcess()
+	fmt.Printf("period 0 at d=0.05: %d events\n", plan.TotalEvents())
+	fmt.Printf("P01 x%d, P04 x%d, P08 x%d, P10 x%d\n",
+		counts["P01"], counts["P04"], counts["P08"], counts["P10"])
+	fmt.Printf("one tu at t=%g lasts %v\n", sf.Time, sf.TU(1))
+	// Output:
+	// period 0 at d=0.05: 177 events
+	// P01 x6, P04 x56, P08 x46, P10 x53
+	// one tu at t=1 lasts 1ms
+}
+
+// ExampleFig8Left shows the decreasing P01 instance counts over the
+// benchmark periods (Fig. 8, left).
+func ExampleFig8Left() {
+	series := schedule.Fig8Left(0.05)
+	fmt.Printf("k=0: %d, k=50: %d, k=99: %d\n", series[0], series[50], series[99])
+	// Output:
+	// k=0: 6, k=50: 3, k=99: 1
+}

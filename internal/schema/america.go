@@ -1,0 +1,80 @@
+package schema
+
+import rel "repro/internal/relational"
+
+// Region America "follows exactly the normalized TPC-H schema". The three
+// source systems Chicago, Baltimore and Madison, and the local consolidated
+// database US_Eastcoast, all use the subset of TPC-H tables the benchmark
+// processes touch: CUSTOMER, ORDERS, LINEITEM and PART (process P03 unions
+// Orders, Customer and Part; P11 ships everything to the global CDB).
+
+// TPCHCustomer is the TPC-H CUSTOMER table.
+var TPCHCustomer = rel.MustSchema([]rel.Column{
+	rel.Col("C_Custkey", rel.TypeInt),
+	rel.Col("C_Name", rel.TypeString),
+	rel.Col("C_Address", rel.TypeString),
+	rel.Col("C_Nationkey", rel.TypeInt),
+	rel.Col("C_Phone", rel.TypeString),
+	rel.Col("C_Acctbal", rel.TypeFloat),
+	rel.Col("C_Mktsegment", rel.TypeString),
+}, "C_Custkey")
+
+// TPCHOrders is the TPC-H ORDERS table.
+var TPCHOrders = rel.MustSchema([]rel.Column{
+	rel.Col("O_Orderkey", rel.TypeInt),
+	rel.Col("O_Custkey", rel.TypeInt),
+	rel.Col("O_Orderstatus", rel.TypeString), // "O" | "F" | "P"
+	rel.Col("O_Totalprice", rel.TypeFloat),
+	rel.Col("O_Orderdate", rel.TypeTime),
+	rel.Col("O_Orderpriority", rel.TypeString), // "1-URGENT" .. "5-LOW"
+}, "O_Orderkey")
+
+// TPCHLineitem is the TPC-H LINEITEM table (the columns the scenario uses).
+var TPCHLineitem = rel.MustSchema([]rel.Column{
+	rel.Col("L_Orderkey", rel.TypeInt),
+	rel.Col("L_Linenumber", rel.TypeInt),
+	rel.Col("L_Partkey", rel.TypeInt),
+	rel.Col("L_Quantity", rel.TypeInt),
+	rel.Col("L_Extendedprice", rel.TypeFloat),
+	rel.Col("L_Discount", rel.TypeFloat),
+}, "L_Orderkey", "L_Linenumber")
+
+// TPCHPart is the TPC-H PART table (the columns the scenario uses).
+var TPCHPart = rel.MustSchema([]rel.Column{
+	rel.Col("P_Partkey", rel.TypeInt),
+	rel.Col("P_Name", rel.TypeString),
+	rel.Col("P_Brand", rel.TypeString),
+	rel.Col("P_Retailprice", rel.TypeFloat),
+}, "P_Partkey")
+
+// SetupTPCHDB creates the TPC-H tables in a database instance; used for
+// Chicago, Baltimore, Madison and the local consolidated US_Eastcoast.
+func SetupTPCHDB(db *rel.Database) {
+	db.MustCreateTable("Customer", TPCHCustomer)
+	db.MustCreateTable("Orders", TPCHOrders)
+	db.MustCreateTable("Lineitem", TPCHLineitem)
+	db.MustCreateTable("Part", TPCHPart)
+}
+
+// TPCHOrderStates maps TPC-H order status codes to the canonical warehouse
+// values ("F" fulfilled -> CLOSED, "P" partially shipped -> SHIPPED).
+var TPCHOrderStates = map[string]string{
+	"O": "OPEN",
+	"P": "SHIPPED",
+	"F": "CLOSED",
+}
+
+// TPCHPriorityToText maps TPC-H order priorities ("1-URGENT") to the
+// canonical warehouse priority flags.
+func TPCHPriorityToText(p string) string {
+	switch p {
+	case "1-URGENT":
+		return "URGENT"
+	case "2-HIGH":
+		return "HIGH"
+	case "3-MEDIUM":
+		return "MEDIUM"
+	default:
+		return "LOW"
+	}
+}

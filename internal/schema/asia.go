@@ -1,0 +1,211 @@
+package schema
+
+import rel "repro/internal/relational"
+
+// Region Asia "follows a generic approach, where all schemas are expressed
+// with default result set XSDs. This implicates that these three Web
+// services are simply data sources hidden by Web services." Each service
+// fronts a local database whose tables use service-specific column
+// spellings — the syntactic heterogeneity the translation steps of P01,
+// P08 and P09 must bridge.
+
+// BeijingCustomer is the Beijing web service's customer table.
+var BeijingCustomer = rel.MustSchema([]rel.Column{
+	rel.Col("Cust_ID", rel.TypeInt),
+	rel.Col("Cust_Name", rel.TypeString),
+	rel.Col("Cust_Addr", rel.TypeString),
+	rel.Col("Cust_City", rel.TypeString),
+	rel.Col("Cust_Phone", rel.TypeString),
+}, "Cust_ID")
+
+// BeijingProduct is the Beijing web service's product table.
+var BeijingProduct = rel.MustSchema([]rel.Column{
+	rel.Col("Prod_ID", rel.TypeInt),
+	rel.Col("Prod_Name", rel.TypeString),
+	rel.Col("Prod_Price", rel.TypeFloat),
+	rel.Col("Prod_Group", rel.TypeInt),
+}, "Prod_ID")
+
+// BeijingOrders is the Beijing web service's orders table.
+var BeijingOrders = rel.MustSchema([]rel.Column{
+	rel.Col("Ord_ID", rel.TypeInt),
+	rel.Col("Cust_ID", rel.TypeInt),
+	rel.Col("Ord_Date", rel.TypeTime),
+	rel.Col("Ord_State", rel.TypeString), // OPEN | SHIPPED | CLOSED
+	rel.Col("Ord_Prio", rel.TypeString),
+	rel.Col("Ord_Total", rel.TypeFloat),
+}, "Ord_ID")
+
+// BeijingOrderItems is the Beijing web service's order line table.
+var BeijingOrderItems = rel.MustSchema([]rel.Column{
+	rel.Col("Ord_ID", rel.TypeInt),
+	rel.Col("Item_No", rel.TypeInt),
+	rel.Col("Prod_ID", rel.TypeInt),
+	rel.Col("Qty", rel.TypeInt),
+	rel.Col("Amount", rel.TypeFloat),
+}, "Ord_ID", "Item_No")
+
+// SeoulCustomer is the Seoul web service's customer table.
+var SeoulCustomer = rel.MustSchema([]rel.Column{
+	rel.Col("CID", rel.TypeInt),
+	rel.Col("CNAME", rel.TypeString),
+	rel.Col("CADDR", rel.TypeString),
+	rel.Col("CCITY", rel.TypeString),
+	rel.Col("CPHONE", rel.TypeString),
+}, "CID")
+
+// SeoulProduct is the Seoul web service's product table.
+var SeoulProduct = rel.MustSchema([]rel.Column{
+	rel.Col("PID", rel.TypeInt),
+	rel.Col("PNAME", rel.TypeString),
+	rel.Col("PPRICE", rel.TypeFloat),
+	rel.Col("PGRP", rel.TypeInt),
+}, "PID")
+
+// SeoulOrders is the Seoul web service's orders table.
+var SeoulOrders = rel.MustSchema([]rel.Column{
+	rel.Col("OID", rel.TypeInt),
+	rel.Col("CID", rel.TypeInt),
+	rel.Col("ODATE", rel.TypeTime),
+	rel.Col("OSTATE", rel.TypeString),
+	rel.Col("OPRIO", rel.TypeString),
+	rel.Col("OTOTAL", rel.TypeFloat),
+}, "OID")
+
+// SeoulOrderItems is the Seoul web service's order line table.
+var SeoulOrderItems = rel.MustSchema([]rel.Column{
+	rel.Col("OID", rel.TypeInt),
+	rel.Col("POS", rel.TypeInt),
+	rel.Col("PID", rel.TypeInt),
+	rel.Col("QTY", rel.TypeInt),
+	rel.Col("AMT", rel.TypeFloat),
+}, "OID", "POS")
+
+// HongkongCustomer / orders: Hongkong manages its master data locally and
+// pushes order messages; its backing tables use a third spelling.
+var HongkongCustomer = rel.MustSchema([]rel.Column{
+	rel.Col("CustNo", rel.TypeInt),
+	rel.Col("CustName", rel.TypeString),
+	rel.Col("CustAddr", rel.TypeString),
+	rel.Col("CustCity", rel.TypeString),
+	rel.Col("CustPhone", rel.TypeString),
+}, "CustNo")
+
+// HongkongProduct is the Hongkong service's product table.
+var HongkongProduct = rel.MustSchema([]rel.Column{
+	rel.Col("ProdNo", rel.TypeInt),
+	rel.Col("ProdName", rel.TypeString),
+	rel.Col("ProdPrice", rel.TypeFloat),
+	rel.Col("ProdGroup", rel.TypeInt),
+}, "ProdNo")
+
+// HongkongOrders is the Hongkong service's orders table.
+var HongkongOrders = rel.MustSchema([]rel.Column{
+	rel.Col("OrdNo", rel.TypeInt),
+	rel.Col("CustNo", rel.TypeInt),
+	rel.Col("OrdDate", rel.TypeTime),
+	rel.Col("OrdState", rel.TypeString),
+	rel.Col("OrdPrio", rel.TypeString),
+	rel.Col("OrdTotal", rel.TypeFloat),
+}, "OrdNo")
+
+// HongkongOrderItems is the Hongkong service's order line table.
+var HongkongOrderItems = rel.MustSchema([]rel.Column{
+	rel.Col("OrdNo", rel.TypeInt),
+	rel.Col("ItemNo", rel.TypeInt),
+	rel.Col("ProdNo", rel.TypeInt),
+	rel.Col("Qty", rel.TypeInt),
+	rel.Col("Amt", rel.TypeFloat),
+}, "OrdNo", "ItemNo")
+
+// SetupBeijingDB creates the tables behind the Beijing web service.
+func SetupBeijingDB(db *rel.Database) {
+	db.MustCreateTable("Customers", BeijingCustomer)
+	db.MustCreateTable("Products", BeijingProduct)
+	db.MustCreateTable("Orders", BeijingOrders)
+	db.MustCreateTable("OrderItems", BeijingOrderItems)
+}
+
+// SetupSeoulDB creates the tables behind the Seoul web service.
+func SetupSeoulDB(db *rel.Database) {
+	db.MustCreateTable("Customers", SeoulCustomer)
+	db.MustCreateTable("Products", SeoulProduct)
+	db.MustCreateTable("Orders", SeoulOrders)
+	db.MustCreateTable("OrderItems", SeoulOrderItems)
+}
+
+// SetupHongkongDB creates the tables behind the Hongkong web service.
+func SetupHongkongDB(db *rel.Database) {
+	db.MustCreateTable("Customers", HongkongCustomer)
+	db.MustCreateTable("Products", HongkongProduct)
+	db.MustCreateTable("Orders", HongkongOrders)
+	db.MustCreateTable("OrderItems", HongkongOrderItems)
+}
+
+// BeijingCustomerToSeoul maps Beijing customer columns to Seoul spelling;
+// the schema translation of the P01 master data exchange.
+var BeijingCustomerToSeoul = map[string]string{
+	"Cust_ID":    "CID",
+	"Cust_Name":  "CNAME",
+	"Cust_Addr":  "CADDR",
+	"Cust_City":  "CCITY",
+	"Cust_Phone": "CPHONE",
+}
+
+// BeijingOrdersToCDB maps Beijing order columns to the consolidated
+// schema (P09 translation, Beijing stylesheet).
+var BeijingOrdersToCDB = map[string]string{
+	"Ord_ID":    "Ordkey",
+	"Cust_ID":   "Custkey",
+	"Ord_Date":  "Orderdate",
+	"Ord_State": "Status",
+	"Ord_Prio":  "Priority",
+	"Ord_Total": "Totalprice",
+}
+
+// BeijingCustomerToCDB maps Beijing customer columns to the consolidated
+// schema (P09 translation).
+var BeijingCustomerToCDB = map[string]string{
+	"Cust_ID":    "Custkey",
+	"Cust_Name":  "Name",
+	"Cust_Addr":  "Address",
+	"Cust_City":  "City",
+	"Cust_Phone": "Phone",
+}
+
+// BeijingProductToCDB maps Beijing product columns to the consolidated
+// schema (P09 translation).
+var BeijingProductToCDB = map[string]string{
+	"Prod_ID":    "Prodkey",
+	"Prod_Name":  "Name",
+	"Prod_Price": "Price",
+	"Prod_Group": "Groupkey",
+}
+
+// SeoulOrdersToCDB maps Seoul order columns to the consolidated schema
+// (P09 translation, Seoul stylesheet).
+var SeoulOrdersToCDB = map[string]string{
+	"OID":    "Ordkey",
+	"CID":    "Custkey",
+	"ODATE":  "Orderdate",
+	"OSTATE": "Status",
+	"OPRIO":  "Priority",
+	"OTOTAL": "Totalprice",
+}
+
+// SeoulCustomerToCDB maps Seoul customer columns to the consolidated schema.
+var SeoulCustomerToCDB = map[string]string{
+	"CID":    "Custkey",
+	"CNAME":  "Name",
+	"CADDR":  "Address",
+	"CCITY":  "City",
+	"CPHONE": "Phone",
+}
+
+// SeoulProductToCDB maps Seoul product columns to the consolidated schema.
+var SeoulProductToCDB = map[string]string{
+	"PID":    "Prodkey",
+	"PNAME":  "Name",
+	"PPRICE": "Price",
+	"PGRP":   "Groupkey",
+}

@@ -1,0 +1,114 @@
+package schema
+
+import rel "repro/internal/relational"
+
+// Region Europe uses a self-defined, normalized data schema (Fig. 2):
+// companies, customers, orders, orderlines, products, product groups and
+// cities. The Berlin/Paris instance additionally carries a Location column
+// on Customer and Orders, because both locations share one physical DBMS
+// and the extraction processes P05/P06 filter by location. The Trondheim
+// instance holds the same tables without requiring the filter.
+//
+// Semantic heterogeneities vs. the warehouse schema (resolved during
+// consolidation):
+//   - order states are single letters ("O", "S", "C") instead of words;
+//   - priority is an integer 1..5 instead of the warehouse's text flags.
+
+// EuropeCity is the City table of the Europe schema.
+var EuropeCity = rel.MustSchema([]rel.Column{
+	rel.Col("Citykey", rel.TypeInt),
+	rel.Col("Name", rel.TypeString),
+	rel.Col("Country", rel.TypeString),
+}, "Citykey")
+
+// EuropeCompany is the Company table of the Europe schema.
+var EuropeCompany = rel.MustSchema([]rel.Column{
+	rel.Col("Compkey", rel.TypeInt),
+	rel.Col("Name", rel.TypeString),
+	rel.Col("Citykey", rel.TypeInt),
+}, "Compkey")
+
+// EuropeCustomer is the Customer table. Location distinguishes Berlin and
+// Paris within the shared instance.
+var EuropeCustomer = rel.MustSchema([]rel.Column{
+	rel.Col("Custkey", rel.TypeInt),
+	rel.Col("Name", rel.TypeString),
+	rel.Col("Address", rel.TypeString),
+	rel.Col("Compkey", rel.TypeInt),
+	rel.Col("Citykey", rel.TypeInt),
+	rel.Col("Phone", rel.TypeString),
+	rel.Col("Location", rel.TypeString),
+}, "Custkey")
+
+// EuropeOrders is the Orders table. State and Prio carry the region's
+// semantic heterogeneities.
+var EuropeOrders = rel.MustSchema([]rel.Column{
+	rel.Col("Ordkey", rel.TypeInt),
+	rel.Col("Custkey", rel.TypeInt),
+	rel.Col("Orderdate", rel.TypeTime),
+	rel.Col("State", rel.TypeString), // "O" | "S" | "C"
+	rel.Col("Total", rel.TypeFloat),
+	rel.Col("Prio", rel.TypeInt), // 1 (highest) .. 5 (lowest)
+	rel.Col("Location", rel.TypeString),
+}, "Ordkey")
+
+// EuropeOrderline is the Orderline table.
+var EuropeOrderline = rel.MustSchema([]rel.Column{
+	rel.Col("Ordkey", rel.TypeInt),
+	rel.Col("Pos", rel.TypeInt),
+	rel.Col("Prodkey", rel.TypeInt),
+	rel.Col("Amount", rel.TypeInt),
+	rel.Col("Price", rel.TypeFloat),
+}, "Ordkey", "Pos")
+
+// EuropeProduct is the Product table.
+var EuropeProduct = rel.MustSchema([]rel.Column{
+	rel.Col("Prodkey", rel.TypeInt),
+	rel.Col("Name", rel.TypeString),
+	rel.Col("Price", rel.TypeFloat),
+	rel.Col("Groupkey", rel.TypeInt),
+}, "Prodkey")
+
+// EuropeProductGroup is the ProductGroup table.
+var EuropeProductGroup = rel.MustSchema([]rel.Column{
+	rel.Col("Groupkey", rel.TypeInt),
+	rel.Col("Name", rel.TypeString),
+}, "Groupkey")
+
+// SetupEuropeDB creates the Fig. 2 tables in a database instance; used for
+// both the Berlin/Paris and the Trondheim instances.
+func SetupEuropeDB(db *rel.Database) {
+	db.MustCreateTable("City", EuropeCity)
+	db.MustCreateTable("Company", EuropeCompany)
+	db.MustCreateTable("Customer", EuropeCustomer)
+	db.MustCreateTable("Orders", EuropeOrders)
+	db.MustCreateTable("Orderline", EuropeOrderline)
+	db.MustCreateTable("Product", EuropeProduct)
+	db.MustCreateTable("ProductGroup", EuropeProductGroup)
+	// The extraction processes filter by location; index the hot columns.
+	_ = db.MustTable("Customer").CreateIndex("Location")
+	_ = db.MustTable("Orders").CreateIndex("Location")
+}
+
+// EuropeOrderStates maps the Europe order-state codes to the canonical
+// warehouse order status values (semantic mapping).
+var EuropeOrderStates = map[string]string{
+	"O": "OPEN",
+	"S": "SHIPPED",
+	"C": "CLOSED",
+}
+
+// EuropePrioToText maps the Europe integer priority to the canonical
+// warehouse priority flags (semantic mapping).
+func EuropePrioToText(p int64) string {
+	switch {
+	case p <= 1:
+		return "URGENT"
+	case p == 2:
+		return "HIGH"
+	case p == 3:
+		return "MEDIUM"
+	default:
+		return "LOW"
+	}
+}

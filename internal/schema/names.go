@@ -1,0 +1,53 @@
+// Package schema defines every data schema of the DIPBench scenario:
+// the normalized self-defined schema of region Europe (Fig. 2), the TPC-H
+// schema of region America, the generic result-set layout of region Asia,
+// the snowflake schema of the consolidated database and data warehouse
+// (Fig. 3), the three data-mart variants, and the XML message schemas of
+// the proprietary applications Vienna, MDM_Europe, San Diego and of the
+// Asian web services.
+package schema
+
+// System names of the Fig. 1 topology. Databases and web services are
+// addressed by these identifiers throughout the benchmark.
+const (
+	// Region Europe source systems.
+	SysBerlinParis = "Berlin_Paris" // one DBMS instance for Berlin and Paris
+	SysTrondheim   = "Trondheim"
+	SysVienna      = "Vienna"     // proprietary application (XML messages)
+	SysMDMEurope   = "MDM_Europe" // master data management application
+
+	// Region Asia source systems (web services).
+	SysBeijing  = "Beijing"
+	SysSeoul    = "Seoul"
+	SysHongkong = "Hongkong"
+
+	// Region America source systems.
+	SysChicago     = "Chicago"
+	SysBaltimore   = "Baltimore"
+	SysMadison     = "Madison"
+	SysUSEastcoast = "US_Eastcoast" // local consolidated database
+	SysSanDiego    = "San_Diego"    // proprietary, error-prone application
+
+	// Layers 2-4.
+	SysCDB    = "Sales_Cleaning" // global consolidated database (staging)
+	SysDWH    = "DWH"            // data warehouse
+	SysDMEur  = "DM_Europe"
+	SysDMUS   = "DM_United_States"
+	SysDMAsia = "DM_Asia"
+)
+
+// Location names used for the Berlin/Paris shared instance.
+const (
+	LocBerlin = "Berlin"
+	LocParis  = "Paris"
+)
+
+// Region names; data marts are partitioned by these.
+const (
+	RegionEurope  = "Europe"
+	RegionAsia    = "Asia"
+	RegionAmerica = "America"
+)
+
+// Regions lists all regions in display order.
+var Regions = []string{RegionEurope, RegionAsia, RegionAmerica}

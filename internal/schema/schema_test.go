@@ -1,0 +1,433 @@
+package schema
+
+import (
+	"testing"
+
+	rel "repro/internal/relational"
+	x "repro/internal/xmlmsg"
+)
+
+func TestEuropeSchema(t *testing.T) {
+	// Fig. 2: the normalized Europe schema.
+	db := rel.NewDatabase("eu")
+	SetupEuropeDB(db)
+	want := []string{"City", "Company", "Customer", "Orderline", "Orders", "Product", "ProductGroup"}
+	got := db.TableNames()
+	if len(got) != len(want) {
+		t.Fatalf("tables: %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("table %d: %q, want %q", i, got[i], want[i])
+		}
+	}
+	if !db.MustTable("Customer").Schema().HasKey() {
+		t.Error("Customer needs a key")
+	}
+	// Orderline has a composite key.
+	if len(db.MustTable("Orderline").Schema().Key) != 2 {
+		t.Error("Orderline needs a composite key")
+	}
+	// Location columns present on the shared-instance tables.
+	for _, tab := range []string{"Customer", "Orders"} {
+		if db.MustTable(tab).Schema().Ordinal("Location") < 0 {
+			t.Errorf("%s missing Location column", tab)
+		}
+	}
+}
+
+func TestTPCHSchema(t *testing.T) {
+	db := rel.NewDatabase("us")
+	SetupTPCHDB(db)
+	for _, tab := range []string{"Customer", "Orders", "Lineitem", "Part"} {
+		if db.Table(tab) == nil {
+			t.Errorf("missing TPC-H table %s", tab)
+		}
+	}
+	// TPC-H column naming conventions.
+	if db.MustTable("Orders").Schema().Ordinal("O_Orderkey") != 0 {
+		t.Error("TPC-H orders should use O_ prefix")
+	}
+	if db.MustTable("Customer").Schema().Ordinal("C_Mktsegment") < 0 {
+		t.Error("TPC-H customer missing C_Mktsegment")
+	}
+}
+
+func TestWarehouseSnowflakeSchema(t *testing.T) {
+	// Fig. 3: snowflake with denormalized customer dimension and OrdersMV.
+	db := rel.NewDatabase("dwh")
+	SetupDWH(db)
+	for _, tab := range []string{"Region", "Nation", "City", "ProductLine",
+		"ProductGroup", "Product", "Customer", "Orders", "Orderline", "OrdersMV"} {
+		if db.Table(tab) == nil {
+			t.Errorf("missing DWH table %s", tab)
+		}
+	}
+	// Customer dimension is denormalized: city/nation/region as names.
+	cs := db.MustTable("Customer").Schema()
+	for _, col := range []string{"City", "Nation", "Region"} {
+		if cs.Ordinal(col) < 0 || cs.Columns[cs.MustOrdinal(col)].Type != rel.TypeString {
+			t.Errorf("Customer dimension should carry denormalized %s name", col)
+		}
+	}
+	// No staging columns in the warehouse.
+	if cs.Ordinal("Integrated") >= 0 || cs.Ordinal("SrcSystem") >= 0 {
+		t.Error("warehouse customer must not carry staging columns")
+	}
+}
+
+func TestCDBMatchesWarehousePlusStaging(t *testing.T) {
+	// "the schema of the consolidated database is equal to the data
+	// warehouse schema, except for the materialized view OrdersMV" —
+	// plus the staging provenance additions.
+	cdb := rel.NewDatabase("cdb")
+	SetupCDB(cdb)
+	if cdb.Table("OrdersMV") != nil {
+		t.Error("CDB must not have OrdersMV")
+	}
+	if cdb.Table("FailedMessages") == nil {
+		t.Error("CDB needs the failed-data destination for P10")
+	}
+	cs := cdb.MustTable("Customer").Schema()
+	if cs.Ordinal("Integrated") < 0 || cs.Ordinal("SrcSystem") < 0 {
+		t.Error("CDB customer needs staging columns")
+	}
+	// Projecting away the staging columns yields exactly the DWH schema.
+	proj, err := rel.Empty(cs).Project("Custkey", "Name", "Address", "Phone", "City", "Nation", "Region")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !proj.Schema().Equal(WHCustomer) {
+		t.Errorf("CDB customer minus staging != DWH customer:\n%s\n%s", proj.Schema(), WHCustomer)
+	}
+	po, err := rel.Empty(CDBOrders).Project("Ordkey", "Custkey", "Citykey", "Orderdate", "Status", "Priority", "Totalprice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !po.Schema().Equal(WHOrders) {
+		t.Errorf("CDB orders minus staging != DWH orders:\n%s\n%s", po.Schema(), WHOrders)
+	}
+}
+
+func TestDataMartVariants(t *testing.T) {
+	// "The data mart Europe comprises denormalized product and location
+	// dimensions, while the data mart Asia only has the product dimension
+	// denormalized and United_States has a denormalized location
+	// dimension."
+	for _, v := range Marts {
+		db := rel.NewDatabase(v.Name)
+		SetupDataMart(db, v)
+		if db.Table("OrdersMV") == nil {
+			t.Errorf("%s missing OrdersMV", v.Name)
+		}
+		prodDenorm := db.MustTable("Product").Schema().Ordinal("GroupName") >= 0
+		if prodDenorm != v.DenormProducts {
+			t.Errorf("%s product denormalization: got %v want %v", v.Name, prodDenorm, v.DenormProducts)
+		}
+		locDenorm := db.Table("Location") != nil
+		if locDenorm != v.DenormLocations {
+			t.Errorf("%s location denormalization: got %v want %v", v.Name, locDenorm, v.DenormLocations)
+		}
+		if v.DenormProducts && db.Table("ProductGroup") != nil {
+			t.Errorf("%s has both denormalized and normalized product dims", v.Name)
+		}
+		if !v.DenormLocations && db.Table("City") == nil {
+			t.Errorf("%s missing normalized location dims", v.Name)
+		}
+	}
+	if MartByName(SysDMEur) == nil || MartByName("nope") != nil {
+		t.Error("MartByName lookup broken")
+	}
+}
+
+func TestMartsCoverAllRegionsUniquely(t *testing.T) {
+	seen := map[string]bool{}
+	for _, v := range Marts {
+		if seen[v.Region] {
+			t.Errorf("region %s covered twice", v.Region)
+		}
+		seen[v.Region] = true
+	}
+	for _, r := range Regions {
+		if !seen[r] {
+			t.Errorf("region %s not covered by any mart", r)
+		}
+	}
+}
+
+func TestLocationCatalogResolution(t *testing.T) {
+	if CityByName("Berlin") == nil || CityByName("Atlantis") != nil {
+		t.Error("CityByName")
+	}
+	cases := map[string]string{
+		"Berlin": RegionEurope, "Paris": RegionEurope, "Trondheim": RegionEurope,
+		"Vienna": RegionEurope, "Beijing": RegionAsia, "Seoul": RegionAsia,
+		"Hongkong": RegionAsia, "Chicago": RegionAmerica, "Baltimore": RegionAmerica,
+		"Madison": RegionAmerica, "San Diego": RegionAmerica,
+	}
+	for city, region := range cases {
+		c := CityByName(city)
+		if c == nil {
+			t.Errorf("missing catalog city %s", city)
+			continue
+		}
+		if got := CityRegionName(c.Key); got != region {
+			t.Errorf("region of %s = %q, want %q", city, got, region)
+		}
+		if CityNationName(c.Key) == "" {
+			t.Errorf("nation of %s unresolved", city)
+		}
+	}
+	if CityRegionName(-1) != "" || CityNationName(-1) != "" {
+		t.Error("unknown city key should resolve to empty")
+	}
+}
+
+func TestCitiesInRegion(t *testing.T) {
+	eu := CitiesInRegion(RegionEurope)
+	if len(eu) != 4 {
+		t.Errorf("Europe cities: %d, want 4", len(eu))
+	}
+	if len(CitiesInRegion("Atlantis")) != 0 {
+		t.Error("unknown region should have no cities")
+	}
+}
+
+func TestProductCatalogIntegrity(t *testing.T) {
+	for _, g := range ProductGroupCatalog {
+		if LineByKey(g.LineKey) == nil {
+			t.Errorf("group %s references missing line %d", g.Name, g.LineKey)
+		}
+	}
+	if GroupByKey(10) == nil || GroupByKey(-1) != nil {
+		t.Error("GroupByKey lookup")
+	}
+}
+
+func TestNationCatalogIntegrity(t *testing.T) {
+	for _, n := range NationCatalog {
+		if RegionByKey(n.RegionKey) == nil {
+			t.Errorf("nation %s references missing region %d", n.Name, n.RegionKey)
+		}
+	}
+	for _, c := range CityCatalog {
+		if NationByKey(c.NationKey) == nil {
+			t.Errorf("city %s references missing nation %d", c.Name, c.NationKey)
+		}
+	}
+}
+
+func TestLoadDims(t *testing.T) {
+	db := rel.NewDatabase("dwh")
+	SetupDWH(db)
+	if err := LoadLocationDims(db); err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadProductDims(db); err != nil {
+		t.Fatal(err)
+	}
+	if db.MustTable("City").Len() != len(CityCatalog) {
+		t.Errorf("City rows: %d", db.MustTable("City").Len())
+	}
+	if db.MustTable("ProductGroup").Len() != len(ProductGroupCatalog) {
+		t.Errorf("ProductGroup rows: %d", db.MustTable("ProductGroup").Len())
+	}
+	// Loading twice violates the primary keys.
+	if err := LoadLocationDims(db); err == nil {
+		t.Error("double load should fail on primary keys")
+	}
+}
+
+func TestCustomerKeyRangesRespectP02Switch(t *testing.T) {
+	// Fig. 4: Custkey < 1,000,000 routes to Berlin/Paris, else Trondheim.
+	bp := CustKeys[SysBerlinParis]
+	tr := CustKeys[SysTrondheim]
+	if bp.Hi > 1_000_000 {
+		t.Errorf("Berlin/Paris range %v crosses the switch boundary", bp)
+	}
+	if tr.Lo < 1_000_000 {
+		t.Errorf("Trondheim range %v crosses the switch boundary", tr)
+	}
+}
+
+func TestKeyRangesOverlapWhereDedupIsRequired(t *testing.T) {
+	overlap := func(a, b KeyRange) bool { return a.Lo < b.Hi && b.Lo < a.Hi }
+	// P03 unions Chicago/Baltimore/Madison: adjacent pairs must overlap.
+	if !overlap(CustKeys[SysChicago], CustKeys[SysBaltimore]) ||
+		!overlap(CustKeys[SysBaltimore], CustKeys[SysMadison]) {
+		t.Error("American customer ranges should overlap for P03 dedup")
+	}
+	// P09 unions Beijing/Seoul.
+	if !overlap(CustKeys[SysBeijing], CustKeys[SysSeoul]) {
+		t.Error("Beijing/Seoul ranges should overlap for P09 dedup")
+	}
+	// Regions must not collide with each other.
+	if overlap(CustKeys[SysTrondheim], CustKeys[SysBeijing]) ||
+		overlap(CustKeys[SysHongkong], CustKeys[SysChicago]) {
+		t.Error("cross-region customer ranges must be disjoint")
+	}
+}
+
+func TestKeyRangeHelpers(t *testing.T) {
+	r := KeyRange{10, 20}
+	if !r.Contains(10) || r.Contains(20) || r.Contains(9) {
+		t.Error("Contains")
+	}
+	if r.Span() != 10 {
+		t.Error("Span")
+	}
+}
+
+func TestSemanticMappings(t *testing.T) {
+	if EuropeOrderStates["O"] != "OPEN" || EuropeOrderStates["C"] != "CLOSED" {
+		t.Error("Europe order states")
+	}
+	if EuropePrioToText(1) != "URGENT" || EuropePrioToText(5) != "LOW" || EuropePrioToText(3) != "MEDIUM" {
+		t.Error("Europe priority mapping")
+	}
+	if TPCHOrderStates["F"] != "CLOSED" || TPCHOrderStates["P"] != "SHIPPED" {
+		t.Error("TPC-H order states")
+	}
+	if TPCHPriorityToText("1-URGENT") != "URGENT" || TPCHPriorityToText("5-LOW") != "LOW" {
+		t.Error("TPC-H priority mapping")
+	}
+}
+
+func TestAsiaSchemasAndMappings(t *testing.T) {
+	for name, setup := range map[string]func(*rel.Database){
+		SysBeijing: SetupBeijingDB, SysSeoul: SetupSeoulDB, SysHongkong: SetupHongkongDB,
+	} {
+		db := rel.NewDatabase(name)
+		setup(db)
+		for _, tab := range []string{"Customers", "Products", "Orders", "OrderItems"} {
+			if db.Table(tab) == nil {
+				t.Errorf("%s missing table %s", name, tab)
+			}
+		}
+	}
+	// Every translation map must cover exactly the source schema columns
+	// and produce columns of the target schema.
+	checkMapping := func(name string, m map[string]string, src, dst *rel.Schema) {
+		for from, to := range m {
+			if src.Ordinal(from) < 0 {
+				t.Errorf("%s: source column %q missing", name, from)
+			}
+			if dst.Ordinal(to) < 0 {
+				t.Errorf("%s: target column %q missing", name, to)
+			}
+		}
+	}
+	checkMapping("BeijingCustomerToSeoul", BeijingCustomerToSeoul, BeijingCustomer, SeoulCustomer)
+	checkMapping("BeijingOrdersToCDB", BeijingOrdersToCDB, BeijingOrders, CDBOrders)
+	checkMapping("BeijingCustomerToCDB", BeijingCustomerToCDB, BeijingCustomer, CDBCustomer)
+	checkMapping("BeijingProductToCDB", BeijingProductToCDB, BeijingProduct, CDBProduct)
+	checkMapping("SeoulOrdersToCDB", SeoulOrdersToCDB, SeoulOrders, CDBOrders)
+	checkMapping("SeoulCustomerToCDB", SeoulCustomerToCDB, SeoulCustomer, CDBCustomer)
+	checkMapping("SeoulProductToCDB", SeoulProductToCDB, SeoulProduct, CDBProduct)
+}
+
+func viennaSample() *x.Node {
+	return x.New("ViennaOrder",
+		x.New("Head",
+			x.NewText("OrderDate", "2008-04-07T10:00:00Z"),
+			x.NewText("CustRef", "4711"),
+			x.NewText("Priority", "2"),
+			x.NewText("State", "O"),
+			x.NewText("Total", "120.50"),
+		),
+		x.New("Lines",
+			x.New("Line",
+				x.NewText("ProdRef", "1001"),
+				x.NewText("Qty", "3"),
+				x.NewText("Price", "40.1"),
+			).SetAttr("pos", "1"),
+		),
+	).SetAttr("id", "15000001")
+}
+
+func sanDiegoSample() *x.Node {
+	return x.New("SDOrder",
+		x.NewText("OrderNo", "50000001"),
+		x.NewText("Customer", "5000001"),
+		x.NewText("Placed", "2008-04-07T10:00:00Z"),
+		x.NewText("Status", "OPEN"),
+		x.NewText("Priority", "HIGH"),
+		x.NewText("Sum", "99.5"),
+		x.New("Items",
+			x.New("Item",
+				x.NewText("PartNo", "3001"),
+				x.NewText("Count", "2"),
+				x.NewText("Value", "49.75"),
+			).SetAttr("no", "1"),
+		),
+	)
+}
+
+func hongkongSample() *x.Node {
+	return x.New("HKOrder",
+		x.NewText("OrdNo", "27000001"),
+		x.NewText("CustNo", "2700001"),
+		x.NewText("OrdDate", "2008-04-07T10:00:00Z"),
+		x.NewText("OrdState", "OPEN"),
+		x.NewText("OrdPrio", "LOW"),
+		x.NewText("OrdTotal", "10"),
+		x.New("Positions",
+			x.New("Pos",
+				x.NewText("ProdNo", "2001"),
+				x.NewText("Qty", "1"),
+				x.NewText("Amt", "10"),
+			).SetAttr("no", "1"),
+		),
+	)
+}
+
+func TestXMLSchemasValidateTheirOwnSamples(t *testing.T) {
+	if errs := XSDVienna.Validate(viennaSample()); len(errs) != 0 {
+		t.Errorf("Vienna sample invalid: %v", errs)
+	}
+	if errs := XSDSanDiego.Validate(sanDiegoSample()); len(errs) != 0 {
+		t.Errorf("San Diego sample invalid: %v", errs)
+	}
+	if errs := XSDHongkong.Validate(hongkongSample()); len(errs) != 0 {
+		t.Errorf("Hongkong sample invalid: %v", errs)
+	}
+	mdm := x.New("MasterData",
+		x.New("Customer",
+			x.NewText("Name", "Ada"),
+			x.NewText("Address", "Street 1"),
+			x.NewText("City", "Berlin"),
+			x.NewText("Phone", "123"),
+		).SetAttr("custkey", "42"),
+	)
+	if errs := XSDMDM.Validate(mdm); len(errs) != 0 {
+		t.Errorf("MDM sample invalid: %v", errs)
+	}
+	bj := x.New("BJCustomer",
+		x.NewText("Cust_ID", "2000001"),
+		x.NewText("Cust_Name", "Li"),
+		x.NewText("Cust_Addr", "Road 9"),
+		x.NewText("Cust_City", "Beijing"),
+		x.NewText("Cust_Phone", "555"),
+	)
+	if errs := XSDBeijing.Validate(bj); len(errs) != 0 {
+		t.Errorf("Beijing sample invalid: %v", errs)
+	}
+}
+
+func TestXMLSchemasRejectTypeErrors(t *testing.T) {
+	doc := viennaSample()
+	doc.Child("Head").Child("CustRef").Text = "abc"
+	if XSDVienna.Valid(doc) {
+		t.Error("Vienna schema accepted bad CustRef")
+	}
+	sd := sanDiegoSample()
+	sd.Child("Sum").Text = "not-a-number"
+	if XSDSanDiego.Valid(sd) {
+		t.Error("San Diego schema accepted bad Sum")
+	}
+	sd2 := sanDiegoSample()
+	sd2.Children = sd2.Children[1:] // drop OrderNo
+	if XSDSanDiego.Valid(sd2) {
+		t.Error("San Diego schema accepted missing OrderNo")
+	}
+}

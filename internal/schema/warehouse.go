@@ -1,0 +1,267 @@
+package schema
+
+import rel "repro/internal/relational"
+
+// The consolidated database (layer 2), the data warehouse (layer 3) and
+// the data marts (layer 4) share the snowflake schema of Fig. 3:
+//
+//	Orders (fact) --- Orderline (fact)
+//	  |- Dimension Customer (denormalized)
+//	  |- Dimension Time (built-in functions over Orderdate)
+//	  |- Dimension Location: City -> Nation -> Region (normalized)
+//	Orderline
+//	  |- Dimension Product: Product -> ProductGroup -> ProductLine (normalized)
+//	Materialized View OrdersMV (warehouse and data marts only)
+//
+// The consolidated database is "equal to the data warehouse schema, except
+// for the materialized view OrdersMV"; as the staging area, its master
+// tables additionally carry SrcSystem provenance and an Integrated flag
+// (P12 flags master data as integrated but does not remove it physically),
+// its movement tables carry SrcSystem, and it owns the failed-data
+// destinations for the error-prone San Diego messages (P10).
+
+// WHRegion is the Region dimension table.
+var WHRegion = rel.MustSchema([]rel.Column{
+	rel.Col("Regionkey", rel.TypeInt),
+	rel.Col("Name", rel.TypeString),
+}, "Regionkey")
+
+// WHNation is the Nation dimension table.
+var WHNation = rel.MustSchema([]rel.Column{
+	rel.Col("Nationkey", rel.TypeInt),
+	rel.Col("Name", rel.TypeString),
+	rel.Col("Regionkey", rel.TypeInt),
+}, "Nationkey")
+
+// WHCity is the City dimension table.
+var WHCity = rel.MustSchema([]rel.Column{
+	rel.Col("Citykey", rel.TypeInt),
+	rel.Col("Name", rel.TypeString),
+	rel.Col("Nationkey", rel.TypeInt),
+}, "Citykey")
+
+// WHProductLine is the ProductLine dimension table.
+var WHProductLine = rel.MustSchema([]rel.Column{
+	rel.Col("Linekey", rel.TypeInt),
+	rel.Col("Name", rel.TypeString),
+}, "Linekey")
+
+// WHProductGroup is the ProductGroup dimension table.
+var WHProductGroup = rel.MustSchema([]rel.Column{
+	rel.Col("Groupkey", rel.TypeInt),
+	rel.Col("Name", rel.TypeString),
+	rel.Col("Linekey", rel.TypeInt),
+}, "Groupkey")
+
+// WHProduct is the Product dimension table (warehouse form).
+var WHProduct = rel.MustSchema([]rel.Column{
+	rel.Col("Prodkey", rel.TypeInt),
+	rel.Col("Name", rel.TypeString),
+	rel.Col("Price", rel.TypeFloat),
+	rel.Col("Groupkey", rel.TypeInt),
+}, "Prodkey")
+
+// WHCustomer is the denormalized Customer dimension (city, nation and
+// region resolved to names).
+var WHCustomer = rel.MustSchema([]rel.Column{
+	rel.Col("Custkey", rel.TypeInt),
+	rel.Col("Name", rel.TypeString),
+	rel.Col("Address", rel.TypeString),
+	rel.Col("Phone", rel.TypeString),
+	rel.Col("City", rel.TypeString),
+	rel.Col("Nation", rel.TypeString),
+	rel.Col("Region", rel.TypeString),
+}, "Custkey")
+
+// WHOrders is the Orders fact table. Citykey links into the Location
+// dimension; the Time dimension is realized with built-in functions over
+// Orderdate (Fig. 3), so no surrogate time key is stored.
+var WHOrders = rel.MustSchema([]rel.Column{
+	rel.Col("Ordkey", rel.TypeInt),
+	rel.Col("Custkey", rel.TypeInt),
+	rel.Col("Citykey", rel.TypeInt),
+	rel.Col("Orderdate", rel.TypeTime),
+	rel.Col("Status", rel.TypeString),   // OPEN | SHIPPED | CLOSED
+	rel.Col("Priority", rel.TypeString), // URGENT | HIGH | MEDIUM | LOW
+	rel.Col("Totalprice", rel.TypeFloat),
+}, "Ordkey")
+
+// WHOrderline is the Orderline fact table.
+var WHOrderline = rel.MustSchema([]rel.Column{
+	rel.Col("Ordkey", rel.TypeInt),
+	rel.Col("Pos", rel.TypeInt),
+	rel.Col("Prodkey", rel.TypeInt),
+	rel.Col("Quantity", rel.TypeInt),
+	rel.Col("Extendedprice", rel.TypeFloat),
+}, "Ordkey", "Pos")
+
+// WHOrdersMV is the materialized view OrdersMV: orders aggregated per
+// (Year, Month, Custkey) using the built-in time functions of Fig. 3.
+var WHOrdersMV = rel.MustSchema([]rel.Column{
+	rel.Col("Year", rel.TypeInt),
+	rel.Col("Month", rel.TypeInt),
+	rel.Col("Custkey", rel.TypeInt),
+	rel.Col("OrderCount", rel.TypeInt),
+	rel.Col("TotalSum", rel.TypeFloat),
+}, "Year", "Month", "Custkey")
+
+// --- Consolidated database (staging) variants -------------------------
+
+// CDBCustomer is WHCustomer plus staging provenance columns.
+var CDBCustomer = rel.MustSchema([]rel.Column{
+	rel.Col("Custkey", rel.TypeInt),
+	rel.Col("Name", rel.TypeString),
+	rel.Col("Address", rel.TypeString),
+	rel.Col("Phone", rel.TypeString),
+	rel.Col("City", rel.TypeString),
+	rel.Col("Nation", rel.TypeString),
+	rel.Col("Region", rel.TypeString),
+	rel.Col("SrcSystem", rel.TypeString),
+	rel.Col("Integrated", rel.TypeBool),
+}, "Custkey")
+
+// CDBProduct is WHProduct plus staging provenance columns.
+var CDBProduct = rel.MustSchema([]rel.Column{
+	rel.Col("Prodkey", rel.TypeInt),
+	rel.Col("Name", rel.TypeString),
+	rel.Col("Price", rel.TypeFloat),
+	rel.Col("Groupkey", rel.TypeInt),
+	rel.Col("SrcSystem", rel.TypeString),
+	rel.Col("Integrated", rel.TypeBool),
+}, "Prodkey")
+
+// CDBOrders is WHOrders plus the source-system provenance column.
+var CDBOrders = rel.MustSchema([]rel.Column{
+	rel.Col("Ordkey", rel.TypeInt),
+	rel.Col("Custkey", rel.TypeInt),
+	rel.Col("Citykey", rel.TypeInt),
+	rel.Col("Orderdate", rel.TypeTime),
+	rel.Col("Status", rel.TypeString),
+	rel.Col("Priority", rel.TypeString),
+	rel.Col("Totalprice", rel.TypeFloat),
+	rel.Col("SrcSystem", rel.TypeString),
+}, "Ordkey")
+
+// CDBOrderline is WHOrderline plus the source-system provenance column.
+var CDBOrderline = rel.MustSchema([]rel.Column{
+	rel.Col("Ordkey", rel.TypeInt),
+	rel.Col("Pos", rel.TypeInt),
+	rel.Col("Prodkey", rel.TypeInt),
+	rel.Col("Quantity", rel.TypeInt),
+	rel.Col("Extendedprice", rel.TypeFloat),
+	rel.Col("SrcSystem", rel.TypeString),
+}, "Ordkey", "Pos")
+
+// CDBFailedMessages is the special destination for data that fails the
+// San Diego validation in P10 and the load validations in P12/P13.
+var CDBFailedMessages = rel.MustSchema([]rel.Column{
+	rel.Col("FailID", rel.TypeInt),
+	rel.Col("Source", rel.TypeString),
+	rel.Col("Reason", rel.TypeString),
+	rel.Col("Payload", rel.TypeString),
+}, "FailID")
+
+// SetupCDB creates the consolidated-database catalog.
+func SetupCDB(db *rel.Database) {
+	db.MustCreateTable("Region", WHRegion)
+	db.MustCreateTable("Nation", WHNation)
+	db.MustCreateTable("City", WHCity)
+	db.MustCreateTable("ProductLine", WHProductLine)
+	db.MustCreateTable("ProductGroup", WHProductGroup)
+	db.MustCreateTable("Product", CDBProduct)
+	db.MustCreateTable("Customer", CDBCustomer)
+	db.MustCreateTable("Orders", CDBOrders)
+	db.MustCreateTable("Orderline", CDBOrderline)
+	db.MustCreateTable("FailedMessages", CDBFailedMessages)
+	_ = db.MustTable("Customer").CreateIndex("Integrated")
+	_ = db.MustTable("Product").CreateIndex("Integrated")
+	_ = db.MustTable("Orderline").CreateIndex("Ordkey")
+}
+
+// SetupDWH creates the data-warehouse catalog (snowflake plus OrdersMV).
+func SetupDWH(db *rel.Database) {
+	db.MustCreateTable("Region", WHRegion)
+	db.MustCreateTable("Nation", WHNation)
+	db.MustCreateTable("City", WHCity)
+	db.MustCreateTable("ProductLine", WHProductLine)
+	db.MustCreateTable("ProductGroup", WHProductGroup)
+	db.MustCreateTable("Product", WHProduct)
+	db.MustCreateTable("Customer", WHCustomer)
+	db.MustCreateTable("Orders", WHOrders)
+	db.MustCreateTable("Orderline", WHOrderline)
+	db.MustCreateTable("OrdersMV", WHOrdersMV)
+	_ = db.MustTable("Orderline").CreateIndex("Ordkey")
+	_ = db.MustTable("Orders").CreateIndex("Custkey")
+}
+
+// --- Data marts ---------------------------------------------------------
+
+// DMProductDenorm is the denormalized Product dimension (group and line
+// resolved to names) used by the Europe and Asia marts.
+var DMProductDenorm = rel.MustSchema([]rel.Column{
+	rel.Col("Prodkey", rel.TypeInt),
+	rel.Col("Name", rel.TypeString),
+	rel.Col("Price", rel.TypeFloat),
+	rel.Col("GroupName", rel.TypeString),
+	rel.Col("LineName", rel.TypeString),
+}, "Prodkey")
+
+// DMLocationDenorm is the denormalized Location dimension (nation and
+// region resolved to names) used by the Europe and United States marts.
+var DMLocationDenorm = rel.MustSchema([]rel.Column{
+	rel.Col("Citykey", rel.TypeInt),
+	rel.Col("City", rel.TypeString),
+	rel.Col("Nation", rel.TypeString),
+	rel.Col("Region", rel.TypeString),
+}, "Citykey")
+
+// MartVariant selects a data mart's dimension layout: "the data mart
+// Europe comprises denormalized product and location dimensions, while the
+// data mart Asia only has the product dimension denormalized and
+// United_States has a denormalized location dimension."
+type MartVariant struct {
+	Name            string
+	Region          string // region whose data the mart holds
+	DenormProducts  bool
+	DenormLocations bool
+}
+
+// Marts lists the three data-mart variants of the scenario.
+var Marts = []MartVariant{
+	{Name: SysDMEur, Region: RegionEurope, DenormProducts: true, DenormLocations: true},
+	{Name: SysDMAsia, Region: RegionAsia, DenormProducts: true, DenormLocations: false},
+	{Name: SysDMUS, Region: RegionAmerica, DenormProducts: false, DenormLocations: true},
+}
+
+// MartByName returns the variant for a mart name, or nil.
+func MartByName(name string) *MartVariant {
+	for i := range Marts {
+		if Marts[i].Name == name {
+			return &Marts[i]
+		}
+	}
+	return nil
+}
+
+// SetupDataMart creates a mart's catalog according to its variant.
+func SetupDataMart(db *rel.Database, v MartVariant) {
+	db.MustCreateTable("Customer", WHCustomer)
+	db.MustCreateTable("Orders", WHOrders)
+	db.MustCreateTable("Orderline", WHOrderline)
+	db.MustCreateTable("OrdersMV", WHOrdersMV)
+	if v.DenormProducts {
+		db.MustCreateTable("Product", DMProductDenorm)
+	} else {
+		db.MustCreateTable("Product", WHProduct)
+		db.MustCreateTable("ProductGroup", WHProductGroup)
+		db.MustCreateTable("ProductLine", WHProductLine)
+	}
+	if v.DenormLocations {
+		db.MustCreateTable("Location", DMLocationDenorm)
+	} else {
+		db.MustCreateTable("City", WHCity)
+		db.MustCreateTable("Nation", WHNation)
+		db.MustCreateTable("Region", WHRegion)
+	}
+	_ = db.MustTable("Orderline").CreateIndex("Ordkey")
+}

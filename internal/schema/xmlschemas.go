@@ -1,0 +1,147 @@
+package schema
+
+import x "repro/internal/xmlmsg"
+
+// XML message schemas of the proprietary applications and web services.
+// Vienna, MDM_Europe and San Diego "use specific deep-structured XML
+// schemas"; the San Diego application "is very error-prone, which requires
+// a detailed validation process when receiving such messages" (P10).
+
+// XSDVienna is the deep-structured order message of the Vienna
+// application (event type E1 into P04). The customer reference must be
+// enriched with master data before the order can be consolidated.
+var XSDVienna = x.NewSchema("XSD_Vienna",
+	x.Elem("ViennaOrder",
+		x.Elem("Head",
+			x.Leaf("OrderDate", x.DTDateTime),
+			x.Leaf("CustRef", x.DTInt),
+			x.Leaf("Priority", x.DTInt), // European 1..5 priority
+			x.Leaf("State", x.DTString), // European O/S/C state codes
+			x.Leaf("Total", x.DTDecimal),
+		),
+		x.Elem("Lines",
+			x.Elem("Line",
+				x.Leaf("ProdRef", x.DTInt),
+				x.Leaf("Qty", x.DTInt),
+				x.Leaf("Price", x.DTDecimal),
+			).Optional().Repeated().WithAttrs("pos"),
+		),
+	).WithAttrs("id"),
+)
+
+// XSDMDM is the master-data message of the MDM_Europe application
+// (event type E1 into P02): one customer per message.
+var XSDMDM = x.NewSchema("XSD_MDM",
+	x.Elem("MasterData",
+		x.Elem("Customer",
+			x.Leaf("Name", x.DTString),
+			x.Leaf("Address", x.DTString),
+			x.Leaf("City", x.DTString),
+			x.Leaf("Phone", x.DTString),
+			x.Leaf("Company", x.DTInt).Optional(),
+		).WithAttrs("custkey"),
+	),
+)
+
+// XSDSanDiego is the deep-structured order message of the error-prone
+// San Diego application (event type E1 into P10). The element spellings
+// differ from Vienna's on purpose.
+var XSDSanDiego = x.NewSchema("XSD_SanDiego",
+	x.Elem("SDOrder",
+		x.Leaf("OrderNo", x.DTInt),
+		x.Leaf("Customer", x.DTInt),
+		x.Leaf("Placed", x.DTDateTime),
+		x.Leaf("Status", x.DTString),
+		x.Leaf("Priority", x.DTString),
+		x.Leaf("Sum", x.DTDecimal),
+		x.Elem("Items",
+			x.Elem("Item",
+				x.Leaf("PartNo", x.DTInt),
+				x.Leaf("Count", x.DTInt),
+				x.Leaf("Value", x.DTDecimal),
+			).Optional().Repeated().WithAttrs("no"),
+		),
+	),
+)
+
+// XSDHongkong is the order message the Hongkong web service pushes
+// (event type E1 into P08).
+var XSDHongkong = x.NewSchema("XSD_Hongkong",
+	x.Elem("HKOrder",
+		x.Leaf("OrdNo", x.DTInt),
+		x.Leaf("CustNo", x.DTInt),
+		x.Leaf("OrdDate", x.DTDateTime),
+		x.Leaf("OrdState", x.DTString),
+		x.Leaf("OrdPrio", x.DTString),
+		x.Leaf("OrdTotal", x.DTDecimal),
+		x.Elem("Positions",
+			x.Elem("Pos",
+				x.Leaf("ProdNo", x.DTInt),
+				x.Leaf("Qty", x.DTInt),
+				x.Leaf("Amt", x.DTDecimal),
+			).Optional().Repeated().WithAttrs("no"),
+		),
+	),
+)
+
+// XSDBeijing is the master-data exchange message the Beijing web service
+// emits (event type E1 into P01): one customer per message, in Beijing
+// column spelling.
+var XSDBeijing = x.NewSchema("XSD_Beijing",
+	x.Elem("BJCustomer",
+		x.Leaf("Cust_ID", x.DTInt),
+		x.Leaf("Cust_Name", x.DTString),
+		x.Leaf("Cust_Addr", x.DTString),
+		x.Leaf("Cust_City", x.DTString),
+		x.Leaf("Cust_Phone", x.DTString),
+	),
+)
+
+// XSDSeoul is the same master-data message in Seoul spelling — the target
+// of the P01 STX translation.
+var XSDSeoul = x.NewSchema("XSD_Seoul",
+	x.Elem("SKCustomer",
+		x.Leaf("CID", x.DTInt),
+		x.Leaf("CNAME", x.DTString),
+		x.Leaf("CADDR", x.DTString),
+		x.Leaf("CCITY", x.DTString),
+		x.Leaf("CPHONE", x.DTString),
+	),
+)
+
+// XSDCDBOrder is the canonical consolidated-database order message: the
+// common target the translations of P04, P08 and P10 produce before the
+// load into Sales_Cleaning.
+var XSDCDBOrder = x.NewSchema("XSD_CDBOrder",
+	x.Elem("CDBOrder",
+		x.Leaf("Ordkey", x.DTInt),
+		x.Leaf("Custkey", x.DTInt),
+		x.Leaf("Citykey", x.DTInt),
+		x.Leaf("Orderdate", x.DTDateTime),
+		x.Leaf("Status", x.DTString),
+		x.Leaf("Priority", x.DTString),
+		x.Leaf("Totalprice", x.DTDecimal),
+		x.Leaf("SrcSystem", x.DTString),
+		x.Elem("Lines",
+			x.Elem("Line",
+				x.Leaf("Pos", x.DTInt),
+				x.Leaf("Prodkey", x.DTInt),
+				x.Leaf("Quantity", x.DTInt),
+				x.Leaf("Extendedprice", x.DTDecimal),
+			).Optional().Repeated(),
+		),
+	),
+)
+
+// XSDEuropeCustomer is the canonical Europe-schema customer message: the
+// target of the P02 MDM translation, consumed by the update operations on
+// Berlin/Paris and Trondheim.
+var XSDEuropeCustomer = x.NewSchema("XSD_EuropeCustomer",
+	x.Elem("EUCustomer",
+		x.Leaf("Custkey", x.DTInt),
+		x.Leaf("Name", x.DTString),
+		x.Leaf("Address", x.DTString),
+		x.Leaf("City", x.DTString),
+		x.Leaf("Phone", x.DTString),
+	),
+)

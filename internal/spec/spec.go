@@ -1,0 +1,259 @@
+// Package spec renders the complete, platform-independent DIPBench
+// specification as a text document: the scenario topology with every data
+// schema, the 15 process type definitions as operator trees, the Table II
+// scheduling series and the scale factors. The paper publishes this as a
+// separate specification document ([25]); here it is generated from the
+// executable definitions, so it can never drift from the implementation.
+package spec
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/mtm"
+	"repro/internal/processes"
+	rel "repro/internal/relational"
+	"repro/internal/scenario"
+	"repro/internal/schema"
+)
+
+// Render writes the full specification document.
+func Render(w io.Writer) error {
+	s, err := scenario.New(scenario.Options{})
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	defs, err := processes.New()
+	if err != nil {
+		return err
+	}
+	sections := []func(io.Writer, *scenario.Scenario, *processes.Definitions) error{
+		renderHeader,
+		renderTopology,
+		renderSchemas,
+		renderProcesses,
+		renderSchedule,
+	}
+	for _, section := range sections {
+		if err := section(w, s, defs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func renderHeader(w io.Writer, _ *scenario.Scenario, _ *processes.Definitions) error {
+	_, err := fmt.Fprint(w, `DIPBench - Data-Intensive Integration Process Benchmark
+=========================================================
+Platform-independent specification, generated from the executable
+definitions (Boehm, Habich, Lehner, Wloka: ICDE Workshops 2008).
+
+Scale factors:
+  datasize d  (continuous) scales dataset sizes and E1 event counts
+  time t      (continuous) compresses the schedule: 1 tu = 1/t ms
+  distribution f (discrete) uniform | skewed source data values
+
+Execution: 100 periods; each period uninitializes all external systems,
+initializes the source systems, then runs stream A || stream B, then
+stream C, then stream D (Fig. 7).
+
+Metric: NAVG+(P) = NAVG(NC(p)) + sigma+(NC(p)) over concurrency-
+normalized per-instance costs, split into Cc (communication), Cm
+(internal management) and Cp (processing).
+
+`)
+	return err
+}
+
+func renderTopology(w io.Writer, s *scenario.Scenario, _ *processes.Definitions) error {
+	if _, err := fmt.Fprint(w, "1. Scenario topology (Fig. 1)\n-----------------------------\n"); err != nil {
+		return err
+	}
+	layers := []struct {
+		name    string
+		systems []string
+	}{
+		{"Layer 1 - sources (Europe)", []string{schema.SysBerlinParis, schema.SysTrondheim}},
+		{"Layer 1 - sources (America)", []string{schema.SysChicago, schema.SysBaltimore, schema.SysMadison}},
+		{"Layer 1 - web services (Asia)", scenario.WebServiceSystems},
+		{"Layer 1 - message applications", []string{schema.SysVienna, schema.SysMDMEurope, schema.SysSanDiego}},
+		{"Layer 2 - consolidation", []string{schema.SysUSEastcoast, schema.SysCDB}},
+		{"Layer 3 - warehouse", []string{schema.SysDWH}},
+		{"Layer 4 - data marts", []string{schema.SysDMEur, schema.SysDMUS, schema.SysDMAsia}},
+	}
+	for _, l := range layers {
+		if _, err := fmt.Fprintf(w, "  %-32s %s\n", l.name+":", strings.Join(l.systems, ", ")); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+func renderSchemas(w io.Writer, s *scenario.Scenario, _ *processes.Definitions) error {
+	if _, err := fmt.Fprint(w, "2. Data schemas (Figs. 2, 3)\n----------------------------\n"); err != nil {
+		return err
+	}
+	for _, name := range scenario.DatabaseSystems {
+		if err := renderDatabase(w, name, s.DB(name)); err != nil {
+			return err
+		}
+	}
+	for _, name := range scenario.WebServiceSystems {
+		if err := renderDatabase(w, name+" (web service)", s.WS.Service(name).Database()); err != nil {
+			return err
+		}
+	}
+	xmlSchemas := []struct {
+		name string
+		desc string
+	}{
+		{"XSD_Vienna", "deep-structured order message of the Vienna application (P04)"},
+		{"XSD_MDM", "master-data message of MDM_Europe (P02)"},
+		{"XSD_SanDiego", "error-prone order message of San Diego (P10)"},
+		{"XSD_Hongkong", "order message pushed by the Hongkong web service (P08)"},
+		{"XSD_Beijing / XSD_Seoul", "master-data exchange messages (P01)"},
+		{"XSD_ResultSet", "generic result-set layout of the Asian web services (P09)"},
+	}
+	if _, err := fmt.Fprintln(w, "  XML message schemas:"); err != nil {
+		return err
+	}
+	for _, x := range xmlSchemas {
+		if _, err := fmt.Fprintf(w, "    %-24s %s\n", x.name, x.desc); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+func renderDatabase(w io.Writer, name string, db *rel.Database) error {
+	if _, err := fmt.Fprintf(w, "  %s:\n", name); err != nil {
+		return err
+	}
+	tables := db.TableNames()
+	sort.Strings(tables)
+	for _, tn := range tables {
+		t := db.MustTable(tn)
+		cols := make([]string, len(t.Schema().Columns))
+		for i, c := range t.Schema().Columns {
+			cols[i] = c.Name + " " + c.Type.String()
+		}
+		key := ""
+		if t.Schema().HasKey() {
+			key = " PK(" + strings.Join(t.Schema().KeyNames(), ",") + ")"
+		}
+		if _, err := fmt.Fprintf(w, "    %-14s (%s)%s\n", tn, strings.Join(cols, ", "), key); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func renderProcesses(w io.Writer, _ *scenario.Scenario, defs *processes.Definitions) error {
+	if _, err := fmt.Fprint(w, "3. Process types (Table I)\n--------------------------\n"); err != nil {
+		return err
+	}
+	for _, p := range defs.All() {
+		if _, err := fmt.Fprintf(w, "  %s [%s, group %s, %d operators]: %s\n",
+			p.ID, p.Event, p.Group, p.OperatorCount(), p.Name); err != nil {
+			return err
+		}
+		if err := renderOps(w, p.Ops, 2); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+func renderOps(w io.Writer, ops []mtm.Operator, depth int) error {
+	indent := strings.Repeat("  ", depth)
+	for _, op := range ops {
+		label := op.Kind()
+		if inv, ok := op.(mtm.Invoke); ok {
+			target := inv.Service
+			if inv.Table != "" {
+				target += "." + inv.Table
+			}
+			label = fmt.Sprintf("INVOKE %s %s", target, inv.Operation)
+		}
+		if _, err := fmt.Fprintf(w, "%s- %s [%s]\n", indent, label, op.Category()); err != nil {
+			return err
+		}
+		switch o := op.(type) {
+		case mtm.Switch:
+			for i, c := range o.Cases {
+				if _, err := fmt.Fprintf(w, "%s  case %d:\n", indent, i+1); err != nil {
+					return err
+				}
+				if err := renderOps(w, c.Ops, depth+2); err != nil {
+					return err
+				}
+			}
+			if len(o.Else) > 0 {
+				if _, err := fmt.Fprintf(w, "%s  else:\n", indent); err != nil {
+					return err
+				}
+				if err := renderOps(w, o.Else, depth+2); err != nil {
+					return err
+				}
+			}
+		case mtm.Fork:
+			for i, b := range o.Branches {
+				if _, err := fmt.Fprintf(w, "%s  branch %d:\n", indent, i+1); err != nil {
+					return err
+				}
+				if err := renderOps(w, b, depth+2); err != nil {
+					return err
+				}
+			}
+		case mtm.Validate:
+			if _, err := fmt.Fprintf(w, "%s  valid:\n", indent); err != nil {
+				return err
+			}
+			if err := renderOps(w, o.Valid, depth+2); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s  invalid:\n", indent); err != nil {
+				return err
+			}
+			if err := renderOps(w, o.Invalid, depth+2); err != nil {
+				return err
+			}
+		case mtm.Subprocess:
+			if _, err := fmt.Fprintf(w, "%s  subprocess %s:\n", indent, o.Process.ID); err != nil {
+				return err
+			}
+			if err := renderOps(w, o.Process.Ops, depth+2); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func renderSchedule(w io.Writer, _ *scenario.Scenario, _ *processes.Definitions) error {
+	_, err := fmt.Fprint(w, `4. Scheduling series (Table II)
+-------------------------------
+  Stream A:  P01  T0(A)+2(m-1) tu,          1 <= m <= (100-k)*d+1
+             P02  T0(A)+2m tu,              1 <= m <= (100-k)*d+1
+             P03  tau1(P01) ^ tau1(P02)
+  Stream B:  P04  T0(B)+2(m-1) tu,          1 <= m <= 1100*d+1
+             P05  tau1(P04)
+             P06  tau1(P05)
+             P07  tau1(P06)
+             P08  T0(B)+2000+3(m-1) tu,     1 <= m <= 900*d+1
+             P09  tau1(P08)
+             P10  T0(B)+3000+2.5(m-1) tu,   1 <= m <= 1050*d+1
+             P11  tau1(P07) ^ tau1(P09) ^ tau1(P10) ^ tau1(P03)
+  Stream C:  P12  T0(C)
+             P13  T0(C)+10 tu, after tau1(P12)
+  Stream D:  P14  T0(D)
+             P15  tau1(P14)
+`)
+	return err
+}

@@ -1,0 +1,62 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderCompleteSpecification(t *testing.T) {
+	var b strings.Builder
+	if err := Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// Every section present.
+	for _, section := range []string{
+		"Scenario topology", "Data schemas", "Process types", "Scheduling series",
+	} {
+		if !strings.Contains(out, section) {
+			t.Errorf("missing section %q", section)
+		}
+	}
+	// All 15 process types with their operator trees.
+	for _, id := range []string{"P01", "P02", "P03", "P04", "P05", "P06", "P07",
+		"P08", "P09", "P10", "P11", "P12", "P13", "P14", "P15"} {
+		if !strings.Contains(out, id+" [") {
+			t.Errorf("missing process %s", id)
+		}
+	}
+	// Key structural elements.
+	for _, want := range []string{
+		"Sales_Cleaning",    // the CDB
+		"Orderline",         // fact tables
+		"PK(Custkey)",       // keys rendered
+		"INVOKE Seoul send", // P01 send invoke
+		"subprocess P14_S1", // P14's subprocess
+		"tau1(P04)",         // completion triggers
+		"XSD_SanDiego",      // XML schemas
+		"1 tu = 1/t ms",     // scale factor definition
+		"NAVG+(P)",          // metric definition
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+	// The document is substantial.
+	if len(out) < 5000 {
+		t.Errorf("specification suspiciously short: %d bytes", len(out))
+	}
+}
+
+func TestRenderDeterministic(t *testing.T) {
+	var a, b strings.Builder
+	if err := Render(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("specification rendering not deterministic")
+	}
+}

@@ -1,0 +1,63 @@
+package stx
+
+import (
+	"testing"
+
+	"repro/internal/xmlmsg"
+)
+
+func TestAttrValueMapRewritesColumnNames(t *testing.T) {
+	// The P09 result-set translation: Column/@name values are rewritten.
+	doc := xmlmsg.New("ResultSet",
+		xmlmsg.New("Metadata",
+			xmlmsg.New("Column").SetAttr("name", "Ord_ID").SetAttr("type", "BIGINT"),
+			xmlmsg.New("Column").SetAttr("name", "Cust_ID").SetAttr("type", "BIGINT"),
+			xmlmsg.New("Column").SetAttr("name", "Unmapped").SetAttr("type", "VARCHAR"),
+		),
+	).SetAttr("name", "Orders")
+	sheet := MustNew("rs", ActCopy, Rule{
+		Pattern: "Column",
+		Action:  ActCopy,
+		AttrValueMap: map[string]map[string]string{
+			"name": {"Ord_ID": "Ordkey", "Cust_ID": "Custkey"},
+		},
+	})
+	out, err := sheet.Transform(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols := out.Child("Metadata").ChildrenNamed("Column")
+	if cols[0].Attr("name") != "Ordkey" || cols[1].Attr("name") != "Custkey" {
+		t.Errorf("rewritten: %v %v", cols[0].Attrs, cols[1].Attrs)
+	}
+	// Unmapped values are kept.
+	if cols[2].Attr("name") != "Unmapped" {
+		t.Errorf("unmapped value changed: %v", cols[2].Attrs)
+	}
+	// Other attributes untouched.
+	if cols[0].Attr("type") != "BIGINT" {
+		t.Errorf("other attr changed: %v", cols[0].Attrs)
+	}
+	// The result-set name attribute is outside the rule's pattern.
+	if out.Attr("name") != "Orders" {
+		t.Errorf("root attr changed: %v", out.Attrs)
+	}
+}
+
+func TestAttrValueMapComposesWithAttrMap(t *testing.T) {
+	// AttrValueMap keys apply to the post-rename attribute names.
+	doc := xmlmsg.New("E").SetAttr("old", "v1")
+	sheet := MustNew("x", ActCopy, Rule{
+		Pattern:      "E",
+		Action:       ActCopy,
+		AttrMap:      map[string]string{"old": "new"},
+		AttrValueMap: map[string]map[string]string{"new": {"v1": "v2"}},
+	})
+	out, err := sheet.Transform(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Attr("new") != "v2" {
+		t.Errorf("compose: %v", out.Attrs)
+	}
+}

@@ -1,0 +1,73 @@
+package stx
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xmlmsg"
+)
+
+// TestTransformDeterministicProperty: the same stylesheet applied to the
+// same document must yield identical output — translation results feed
+// the deterministic verification.
+func TestTransformDeterministicProperty(t *testing.T) {
+	sheet := MustNew("det", ActCopy,
+		Rule{Pattern: "A", Action: ActRename, NewName: "B"},
+		Rule{Pattern: "Drop", Action: ActDrop},
+		Rule{Pattern: "Wrap", Action: ActUnwrap},
+	)
+	f := func(texts []string) bool {
+		doc := xmlmsg.New("A")
+		for i, text := range texts {
+			if i%3 == 0 {
+				doc.Add(xmlmsg.NewText("Drop", sanitize(text)))
+			} else if i%3 == 1 {
+				doc.Add(xmlmsg.New("Wrap", xmlmsg.NewText("Inner", sanitize(text))))
+			} else {
+				doc.Add(xmlmsg.NewText("Keep", sanitize(text)))
+			}
+		}
+		out1, err1 := sheet.Transform(doc)
+		out2, err2 := sheet.Transform(doc)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return out1.Equal(out2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTransformIdempotentForIdentity: applying the identity stylesheet
+// repeatedly never changes the document.
+func TestTransformIdempotentForIdentity(t *testing.T) {
+	identity := MustNew("id", ActCopy)
+	doc := xmlmsg.New("Root",
+		xmlmsg.NewText("A", "1"),
+		xmlmsg.New("B", xmlmsg.NewText("C", "2")).SetAttr("k", "v"),
+	)
+	cur := doc
+	for i := 0; i < 3; i++ {
+		out, err := identity.Transform(cur)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.Equal(doc) {
+			t.Fatalf("iteration %d diverged: %s", i, out)
+		}
+		cur = out
+	}
+}
+
+// sanitize keeps fuzzed text XML-safe and whitespace-normal the way the
+// parser normalizes.
+func sanitize(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		if r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' {
+			out = append(out, r)
+		}
+	}
+	return string(out)
+}

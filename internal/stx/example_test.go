@@ -1,0 +1,26 @@
+package stx_test
+
+import (
+	"fmt"
+
+	"repro/internal/stx"
+	x "repro/internal/xmlmsg"
+)
+
+// ExampleStylesheet_Transform shows the P01 master-data translation:
+// a Beijing-format customer message rewritten to the Seoul schema.
+func ExampleStylesheet_Transform() {
+	sheet := stx.MustNew("beijing-to-seoul", stx.ActCopy,
+		stx.Rule{Pattern: "BJCustomer", Action: stx.ActRename, NewName: "SKCustomer"},
+		stx.Rule{Pattern: "Cust_ID", Action: stx.ActRename, NewName: "CID"},
+		stx.Rule{Pattern: "Cust_Name", Action: stx.ActRename, NewName: "CNAME"},
+	)
+	in := x.New("BJCustomer",
+		x.NewText("Cust_ID", "2000001"),
+		x.NewText("Cust_Name", "Li Wei"),
+	)
+	out, _ := sheet.Transform(in)
+	fmt.Println(out)
+	// Output:
+	// <SKCustomer><CID>2000001</CID><CNAME>Li Wei</CNAME></SKCustomer>
+}

@@ -1,0 +1,209 @@
+// Package stx implements a streaming XML transformation language modelled
+// after STX (Streaming Transformations for XML), which the DIPBench paper
+// uses for all schema translations of XML messages (process types P01,
+// P02, P04, P08, P09, P10).
+//
+// A Stylesheet is an ordered list of Rules. Each rule matches element
+// paths (like STX templates match patterns) and emits output: renamed
+// elements, literal wrappers, reordered children or computed text. The
+// transformer walks the input document once, in document order, applying
+// the most specific matching rule at each element — a faithful analog of
+// STX's single-pass processing model without building an XSLT-style
+// node-set engine.
+package stx
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/xmlmsg"
+)
+
+// Action determines what a rule does with a matched element.
+type Action uint8
+
+// Rule actions.
+const (
+	// ActRename emits the element under a new name, recursing into children.
+	ActRename Action = iota
+	// ActCopy emits the element unchanged, recursing into children.
+	ActCopy
+	// ActDrop suppresses the element and its whole subtree.
+	ActDrop
+	// ActUnwrap drops the element but processes its children in place.
+	ActUnwrap
+	// ActText replaces the subtree with a leaf computed by TextFunc.
+	ActText
+)
+
+// Rule is one transformation template. Pattern is a /-separated element
+// path; it matches when the element's path ends with the pattern (so
+// "Order/Id" matches /Message/Order/Id). A lone element name matches that
+// element anywhere. More specific (longer) patterns win over shorter ones;
+// among equal lengths, the earlier rule wins.
+type Rule struct {
+	Pattern string
+	Action  Action
+	// NewName is the output element name for ActRename and ActText.
+	NewName string
+	// TextFunc computes the text for ActText from the matched element.
+	TextFunc func(*xmlmsg.Node) string
+	// AttrMap renames attributes (old -> new) for ActRename/ActCopy.
+	// Attributes not in the map are kept as-is; mapping to "" drops one.
+	AttrMap map[string]string
+	// AttrValueMap rewrites attribute values for ActRename/ActCopy:
+	// per attribute name (after AttrMap renaming), old value -> new value.
+	// Values not in the map are kept. This realizes result-set column
+	// translations, where column names live in "name" attributes.
+	AttrValueMap map[string]map[string]string
+
+	segments []string
+}
+
+// Stylesheet is a compiled set of transformation rules plus a default
+// action for unmatched elements.
+type Stylesheet struct {
+	Name    string
+	Rules   []Rule
+	Default Action // ActCopy (default) or ActDrop
+}
+
+// New compiles a stylesheet. It validates every rule eagerly so that
+// process deployment fails fast rather than at message time.
+func New(name string, defaultAction Action, rules ...Rule) (*Stylesheet, error) {
+	if defaultAction != ActCopy && defaultAction != ActDrop {
+		return nil, fmt.Errorf("stx: default action must be copy or drop")
+	}
+	for i := range rules {
+		r := &rules[i]
+		if r.Pattern == "" {
+			return nil, fmt.Errorf("stx: rule %d has empty pattern", i)
+		}
+		r.segments = strings.Split(strings.Trim(r.Pattern, "/"), "/")
+		switch r.Action {
+		case ActRename:
+			if r.NewName == "" {
+				return nil, fmt.Errorf("stx: rename rule %q needs NewName", r.Pattern)
+			}
+		case ActText:
+			if r.NewName == "" || r.TextFunc == nil {
+				return nil, fmt.Errorf("stx: text rule %q needs NewName and TextFunc", r.Pattern)
+			}
+		case ActCopy, ActDrop, ActUnwrap:
+		default:
+			return nil, fmt.Errorf("stx: rule %q has unknown action %d", r.Pattern, r.Action)
+		}
+	}
+	return &Stylesheet{Name: name, Rules: rules, Default: defaultAction}, nil
+}
+
+// MustNew is New that panics on error; for static stylesheet literals.
+func MustNew(name string, defaultAction Action, rules ...Rule) *Stylesheet {
+	s, err := New(name, defaultAction, rules...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Transform applies the stylesheet to a document and returns the output
+// document. The input is never mutated. A nil result with nil error means
+// the whole document was dropped.
+func (s *Stylesheet) Transform(doc *xmlmsg.Node) (*xmlmsg.Node, error) {
+	if doc == nil {
+		return nil, fmt.Errorf("stx: nil input document")
+	}
+	out := s.apply(doc, []string{doc.Name})
+	if len(out) == 0 {
+		return nil, nil
+	}
+	if len(out) > 1 {
+		// An unwrap at the root would produce a forest; wrap it to stay
+		// well-formed.
+		return xmlmsg.New("Result", out...), nil
+	}
+	return out[0], nil
+}
+
+// apply processes one element and returns zero or more output elements.
+func (s *Stylesheet) apply(n *xmlmsg.Node, path []string) []*xmlmsg.Node {
+	rule := s.match(path)
+	action, newName := s.Default, n.Name
+	var textFunc func(*xmlmsg.Node) string
+	var attrMap map[string]string
+	var attrValueMap map[string]map[string]string
+	if rule != nil {
+		action = rule.Action
+		textFunc = rule.TextFunc
+		attrMap = rule.AttrMap
+		attrValueMap = rule.AttrValueMap
+		if rule.NewName != "" {
+			newName = rule.NewName
+		}
+	}
+	switch action {
+	case ActDrop:
+		return nil
+	case ActText:
+		return []*xmlmsg.Node{xmlmsg.NewText(newName, textFunc(n))}
+	case ActUnwrap:
+		var out []*xmlmsg.Node
+		for _, c := range n.Children {
+			out = append(out, s.apply(c, append(path, c.Name))...)
+		}
+		return out
+	case ActCopy, ActRename:
+		out := &xmlmsg.Node{Name: newName, Text: n.Text}
+		for k, v := range n.Attrs {
+			nk, mapped := k, false
+			if attrMap != nil {
+				if m, ok := attrMap[k]; ok {
+					nk, mapped = m, true
+				}
+			}
+			if mapped && nk == "" {
+				continue
+			}
+			if vm, ok := attrValueMap[nk]; ok {
+				if nv, ok := vm[v]; ok {
+					v = nv
+				}
+			}
+			out.SetAttr(nk, v)
+		}
+		for _, c := range n.Children {
+			out.Children = append(out.Children, s.apply(c, append(path, c.Name))...)
+		}
+		return []*xmlmsg.Node{out}
+	default:
+		return nil
+	}
+}
+
+// match returns the most specific rule whose pattern is a suffix of path.
+func (s *Stylesheet) match(path []string) *Rule {
+	var best *Rule
+	for i := range s.Rules {
+		r := &s.Rules[i]
+		if !suffixMatch(path, r.segments) {
+			continue
+		}
+		if best == nil || len(r.segments) > len(best.segments) {
+			best = r
+		}
+	}
+	return best
+}
+
+func suffixMatch(path, pattern []string) bool {
+	if len(pattern) > len(path) {
+		return false
+	}
+	off := len(path) - len(pattern)
+	for i, seg := range pattern {
+		if seg != "*" && path[off+i] != seg {
+			return false
+		}
+	}
+	return true
+}

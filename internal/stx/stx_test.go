@@ -1,0 +1,238 @@
+package stx
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/xmlmsg"
+)
+
+func inputDoc() *xmlmsg.Node {
+	return xmlmsg.New("BeijingMsg",
+		xmlmsg.NewText("CustID", "7"),
+		xmlmsg.New("Details",
+			xmlmsg.NewText("FullName", "Ada Lovelace"),
+			xmlmsg.NewText("Internal", "secret"),
+		),
+	).SetAttr("v", "1")
+}
+
+func TestRenameRule(t *testing.T) {
+	sheet := MustNew("beijing-to-seoul", ActCopy,
+		Rule{Pattern: "BeijingMsg", Action: ActRename, NewName: "SeoulMsg"},
+		Rule{Pattern: "CustID", Action: ActRename, NewName: "CustomerKey"},
+	)
+	out, err := sheet.Transform(inputDoc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Name != "SeoulMsg" {
+		t.Errorf("root: %q", out.Name)
+	}
+	if out.Child("CustomerKey") == nil || out.Child("CustomerKey").Text != "7" {
+		t.Errorf("rename lost text: %s", out)
+	}
+	if out.Attr("v") != "1" {
+		t.Error("attributes not carried through rename")
+	}
+}
+
+func TestDropRule(t *testing.T) {
+	sheet := MustNew("drop-internal", ActCopy,
+		Rule{Pattern: "Internal", Action: ActDrop},
+	)
+	out, err := sheet.Transform(inputDoc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Path("Details/Internal") != nil {
+		t.Error("Internal not dropped")
+	}
+	if out.PathText("Details/FullName") != "Ada Lovelace" {
+		t.Error("sibling dropped too")
+	}
+}
+
+func TestUnwrapRule(t *testing.T) {
+	sheet := MustNew("flatten", ActCopy,
+		Rule{Pattern: "Details", Action: ActUnwrap},
+	)
+	out, err := sheet.Transform(inputDoc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Child("Details") != nil {
+		t.Error("Details not unwrapped")
+	}
+	if out.Child("FullName") == nil {
+		t.Errorf("children not hoisted: %s", out)
+	}
+}
+
+func TestTextRule(t *testing.T) {
+	sheet := MustNew("compute", ActCopy,
+		Rule{
+			Pattern: "Details",
+			Action:  ActText,
+			NewName: "Display",
+			TextFunc: func(n *xmlmsg.Node) string {
+				return strings.ToUpper(n.PathText("FullName"))
+			},
+		},
+	)
+	out, err := sheet.Transform(inputDoc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.PathText("Display"); got != "ADA LOVELACE" {
+		t.Errorf("text rule: %q", got)
+	}
+}
+
+func TestDefaultDrop(t *testing.T) {
+	sheet := MustNew("allowlist", ActDrop,
+		Rule{Pattern: "BeijingMsg", Action: ActCopy},
+		Rule{Pattern: "CustID", Action: ActCopy},
+	)
+	out, err := sheet.Transform(inputDoc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Child("CustID") == nil || out.Child("Details") != nil {
+		t.Errorf("allowlist transform: %s", out)
+	}
+}
+
+func TestWholeDocumentDropped(t *testing.T) {
+	sheet := MustNew("nuke", ActCopy, Rule{Pattern: "BeijingMsg", Action: ActDrop})
+	out, err := sheet.Transform(inputDoc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		t.Errorf("expected nil output, got %s", out)
+	}
+}
+
+func TestPathSpecificityWins(t *testing.T) {
+	// A longer pattern must beat a shorter one regardless of order.
+	doc := xmlmsg.New("A",
+		xmlmsg.New("B", xmlmsg.NewText("X", "inner")),
+		xmlmsg.NewText("X", "outer"),
+	)
+	sheet := MustNew("spec", ActCopy,
+		Rule{Pattern: "X", Action: ActRename, NewName: "Generic"},
+		Rule{Pattern: "B/X", Action: ActRename, NewName: "Specific"},
+	)
+	out, err := sheet.Transform(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Path("B/Specific") == nil {
+		t.Errorf("specific rule lost: %s", out)
+	}
+	if out.Child("Generic") == nil {
+		t.Errorf("generic rule lost: %s", out)
+	}
+}
+
+func TestWildcardSegment(t *testing.T) {
+	doc := xmlmsg.New("R",
+		xmlmsg.New("A", xmlmsg.NewText("Id", "1")),
+		xmlmsg.New("B", xmlmsg.NewText("Id", "2")),
+	)
+	sheet := MustNew("wild", ActCopy,
+		Rule{Pattern: "*/Id", Action: ActRename, NewName: "Key"},
+	)
+	out, err := sheet.Transform(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Path("A/Key") == nil || out.Path("B/Key") == nil {
+		t.Errorf("wildcard: %s", out)
+	}
+}
+
+func TestAttrMap(t *testing.T) {
+	doc := xmlmsg.New("E").SetAttr("old", "v").SetAttr("gone", "x").SetAttr("keep", "y")
+	sheet := MustNew("attrs", ActCopy,
+		Rule{Pattern: "E", Action: ActCopy, AttrMap: map[string]string{"old": "new", "gone": ""}},
+	)
+	out, err := sheet.Transform(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Attr("new") != "v" || out.Attr("keep") != "y" {
+		t.Errorf("attr map: %v", out.Attrs)
+	}
+	if _, exists := out.Attrs["gone"]; exists {
+		t.Error("attr not dropped")
+	}
+	if _, exists := out.Attrs["old"]; exists {
+		t.Error("old attr name kept")
+	}
+}
+
+func TestInputNotMutated(t *testing.T) {
+	doc := inputDoc()
+	snapshot := doc.Clone()
+	sheet := MustNew("t", ActCopy,
+		Rule{Pattern: "BeijingMsg", Action: ActRename, NewName: "Other"},
+		Rule{Pattern: "Internal", Action: ActDrop},
+	)
+	if _, err := sheet.Transform(doc); err != nil {
+		t.Fatal(err)
+	}
+	if !doc.Equal(snapshot) {
+		t.Error("transform mutated its input")
+	}
+}
+
+func TestUnwrapAtRootWrapsForest(t *testing.T) {
+	doc := xmlmsg.New("Root", xmlmsg.NewText("A", "1"), xmlmsg.NewText("B", "2"))
+	sheet := MustNew("u", ActCopy, Rule{Pattern: "Root", Action: ActUnwrap})
+	out, err := sheet.Transform(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Name != "Result" || len(out.Children) != 2 {
+		t.Errorf("forest wrapping: %s", out)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	if _, err := New("x", ActCopy, Rule{Pattern: "", Action: ActCopy}); err == nil {
+		t.Error("empty pattern accepted")
+	}
+	if _, err := New("x", ActCopy, Rule{Pattern: "A", Action: ActRename}); err == nil {
+		t.Error("rename without NewName accepted")
+	}
+	if _, err := New("x", ActCopy, Rule{Pattern: "A", Action: ActText, NewName: "B"}); err == nil {
+		t.Error("text rule without TextFunc accepted")
+	}
+	if _, err := New("x", ActRename); err == nil {
+		t.Error("bad default action accepted")
+	}
+	if _, err := New("x", ActCopy, Rule{Pattern: "A", Action: Action(99)}); err == nil {
+		t.Error("unknown action accepted")
+	}
+}
+
+func TestTransformNilInput(t *testing.T) {
+	sheet := MustNew("x", ActCopy)
+	if _, err := sheet.Transform(nil); err == nil {
+		t.Error("nil input accepted")
+	}
+}
+
+func TestIdentityTransformPreservesDocument(t *testing.T) {
+	sheet := MustNew("identity", ActCopy)
+	in := inputDoc()
+	out, err := sheet.Transform(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.Equal(out) {
+		t.Errorf("identity: %s != %s", in, out)
+	}
+}

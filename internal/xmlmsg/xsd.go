@@ -1,0 +1,219 @@
+package xmlmsg
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// DataType enumerates the simple types of the XSD-lite validator.
+type DataType uint8
+
+// Simple content types.
+const (
+	DTAny DataType = iota
+	DTString
+	DTInt
+	DTDecimal
+	DTBool
+	DTDateTime
+)
+
+// String names the data type as in XML Schema.
+func (t DataType) String() string {
+	switch t {
+	case DTAny:
+		return "xs:anyType"
+	case DTString:
+		return "xs:string"
+	case DTInt:
+		return "xs:long"
+	case DTDecimal:
+		return "xs:decimal"
+	case DTBool:
+		return "xs:boolean"
+	case DTDateTime:
+		return "xs:dateTime"
+	default:
+		return "?"
+	}
+}
+
+// ElementDecl describes one element of an XSD-lite schema: its simple
+// content type (for leaves), occurrence bounds, required attributes and
+// child declarations in order.
+type ElementDecl struct {
+	Name      string
+	Type      DataType
+	MinOccurs int // default 1
+	MaxOccurs int // -1 = unbounded; default 1
+	ReqAttrs  []string
+	Children  []*ElementDecl
+
+	// Ordered, when true, requires children to appear grouped in
+	// declaration order (xs:sequence); otherwise any order (xs:all).
+	Ordered bool
+}
+
+// Elem builds a required single-occurrence complex element declaration.
+func Elem(name string, children ...*ElementDecl) *ElementDecl {
+	return &ElementDecl{Name: name, MinOccurs: 1, MaxOccurs: 1, Children: children, Ordered: true}
+}
+
+// Leaf builds a required single-occurrence leaf element of the given type.
+func Leaf(name string, t DataType) *ElementDecl {
+	return &ElementDecl{Name: name, Type: t, MinOccurs: 1, MaxOccurs: 1}
+}
+
+// Optional marks the declaration minOccurs=0 and returns it.
+func (d *ElementDecl) Optional() *ElementDecl {
+	d.MinOccurs = 0
+	return d
+}
+
+// Repeated marks the declaration maxOccurs=unbounded and returns it.
+func (d *ElementDecl) Repeated() *ElementDecl {
+	d.MaxOccurs = -1
+	return d
+}
+
+// WithAttrs declares required attributes and returns the declaration.
+func (d *ElementDecl) WithAttrs(names ...string) *ElementDecl {
+	d.ReqAttrs = append(d.ReqAttrs, names...)
+	return d
+}
+
+// Unordered relaxes child ordering (xs:all) and returns the declaration.
+func (d *ElementDecl) Unordered() *ElementDecl {
+	d.Ordered = false
+	return d
+}
+
+// Schema is an XSD-lite document schema: a named root element declaration.
+type Schema struct {
+	Name string // schema identifier, e.g. "XSD_Beijing"
+	Root *ElementDecl
+}
+
+// NewSchema builds a schema.
+func NewSchema(name string, root *ElementDecl) *Schema {
+	return &Schema{Name: name, Root: root}
+}
+
+// ValidationError describes one validation failure with its element path.
+type ValidationError struct {
+	Path   string
+	Reason string
+}
+
+// Error implements the error interface.
+func (e *ValidationError) Error() string {
+	return fmt.Sprintf("xmlmsg: validation at %s: %s", e.Path, e.Reason)
+}
+
+// Validate checks the document against the schema and returns all
+// violations (empty means valid). This implements the VALIDATE operator of
+// the MTM used by process types P10, P12 and P13.
+func (s *Schema) Validate(doc *Node) []*ValidationError {
+	if doc == nil {
+		return []*ValidationError{{Path: "/", Reason: "empty document"}}
+	}
+	var errs []*ValidationError
+	if doc.Name != s.Root.Name {
+		errs = append(errs, &ValidationError{
+			Path:   "/" + doc.Name,
+			Reason: fmt.Sprintf("root element %q, schema expects %q", doc.Name, s.Root.Name),
+		})
+		return errs
+	}
+	validateNode(doc, s.Root, "/"+doc.Name, &errs)
+	return errs
+}
+
+// Valid reports whether the document has no violations.
+func (s *Schema) Valid(doc *Node) bool { return len(s.Validate(doc)) == 0 }
+
+func validateNode(n *Node, d *ElementDecl, path string, errs *[]*ValidationError) {
+	for _, a := range d.ReqAttrs {
+		if _, ok := n.Attrs[a]; !ok {
+			*errs = append(*errs, &ValidationError{path, fmt.Sprintf("missing attribute %q", a)})
+		}
+	}
+	if len(d.Children) == 0 {
+		if len(n.Children) > 0 {
+			*errs = append(*errs, &ValidationError{path, "unexpected child elements in leaf"})
+			return
+		}
+		if reason := checkSimpleType(n.Text, d.Type); reason != "" {
+			*errs = append(*errs, &ValidationError{path, reason})
+		}
+		return
+	}
+	decls := make(map[string]*ElementDecl, len(d.Children))
+	counts := make(map[string]int, len(d.Children))
+	for _, cd := range d.Children {
+		decls[cd.Name] = cd
+	}
+	lastDeclIdx := -1
+	declIdx := make(map[string]int, len(d.Children))
+	for i, cd := range d.Children {
+		declIdx[cd.Name] = i
+	}
+	for _, c := range n.Children {
+		cd, ok := decls[c.Name]
+		cpath := path + "/" + c.Name
+		if !ok {
+			*errs = append(*errs, &ValidationError{cpath, "undeclared element"})
+			continue
+		}
+		if d.Ordered {
+			if idx := declIdx[c.Name]; idx < lastDeclIdx {
+				*errs = append(*errs, &ValidationError{cpath, "element out of sequence"})
+			} else {
+				lastDeclIdx = idx
+			}
+		}
+		counts[c.Name]++
+		validateNode(c, cd, cpath, errs)
+	}
+	for _, cd := range d.Children {
+		got := counts[cd.Name]
+		if got < cd.MinOccurs {
+			*errs = append(*errs, &ValidationError{
+				path + "/" + cd.Name,
+				fmt.Sprintf("occurs %d times, minimum %d", got, cd.MinOccurs),
+			})
+		}
+		if cd.MaxOccurs >= 0 && got > cd.MaxOccurs {
+			*errs = append(*errs, &ValidationError{
+				path + "/" + cd.Name,
+				fmt.Sprintf("occurs %d times, maximum %d", got, cd.MaxOccurs),
+			})
+		}
+	}
+}
+
+func checkSimpleType(text string, t DataType) string {
+	switch t {
+	case DTAny, DTString:
+		return ""
+	case DTInt:
+		if _, err := strconv.ParseInt(strings.TrimSpace(text), 10, 64); err != nil {
+			return fmt.Sprintf("%q is not a valid %s", text, t)
+		}
+	case DTDecimal:
+		if _, err := strconv.ParseFloat(strings.TrimSpace(text), 64); err != nil {
+			return fmt.Sprintf("%q is not a valid %s", text, t)
+		}
+	case DTBool:
+		if _, err := strconv.ParseBool(strings.TrimSpace(text)); err != nil {
+			return fmt.Sprintf("%q is not a valid %s", text, t)
+		}
+	case DTDateTime:
+		if _, err := time.Parse(time.RFC3339, strings.TrimSpace(text)); err != nil {
+			return fmt.Sprintf("%q is not a valid %s", text, t)
+		}
+	}
+	return ""
+}

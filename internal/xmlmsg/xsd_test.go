@@ -1,0 +1,166 @@
+package xmlmsg
+
+import (
+	"strings"
+	"testing"
+)
+
+func orderSchema() *Schema {
+	return NewSchema("XSD_Order",
+		Elem("Order",
+			Leaf("Id", DTInt),
+			Elem("Customer",
+				Leaf("Name", DTString),
+				Leaf("City", DTString).Optional(),
+			),
+			Leaf("Total", DTDecimal),
+			Leaf("Line", DTString).Optional().Repeated(),
+		).WithAttrs("priority"),
+	)
+}
+
+func validOrder() *Node {
+	return New("Order",
+		NewText("Id", "42"),
+		New("Customer", NewText("Name", "Ada"), NewText("City", "Berlin")),
+		NewText("Total", "99.5"),
+	).SetAttr("priority", "high")
+}
+
+func TestValidateAccepts(t *testing.T) {
+	s := orderSchema()
+	if errs := s.Validate(validOrder()); len(errs) != 0 {
+		t.Fatalf("valid doc rejected: %v", errs)
+	}
+	if !s.Valid(validOrder()) {
+		t.Fatal("Valid() false for valid doc")
+	}
+}
+
+func TestValidateOptionalAndRepeated(t *testing.T) {
+	s := orderSchema()
+	d := New("Order",
+		NewText("Id", "1"),
+		New("Customer", NewText("Name", "Bob")), // City omitted (optional)
+		NewText("Total", "1"),
+		NewText("Line", "a"), NewText("Line", "b"), NewText("Line", "c"),
+	).SetAttr("priority", "low")
+	if errs := s.Validate(d); len(errs) != 0 {
+		t.Fatalf("optional/repeated rejected: %v", errs)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	s := orderSchema()
+	cases := []struct {
+		name   string
+		mutate func(*Node)
+		want   string
+	}{
+		{"wrong root", func(d *Node) { d.Name = "Bad" }, "root element"},
+		{"missing attr", func(d *Node) { delete(d.Attrs, "priority") }, "missing attribute"},
+		{"missing required child", func(d *Node) { d.Children = d.Children[1:] }, "occurs 0 times"},
+		{"bad int", func(d *Node) { d.Child("Id").Text = "abc" }, "not a valid xs:long"},
+		{"bad decimal", func(d *Node) { d.Child("Total").Text = "x" }, "not a valid xs:decimal"},
+		{"undeclared element", func(d *Node) { d.Add(NewText("Extra", "x")) }, "undeclared"},
+		{"duplicate single child", func(d *Node) { d.Add(NewText("Total", "1")) }, "maximum 1"},
+		{"children in leaf", func(d *Node) { d.Child("Id").Add(NewText("X", "1")) }, "leaf"},
+	}
+	for _, c := range cases {
+		d := validOrder()
+		c.mutate(d)
+		errs := s.Validate(d)
+		if len(errs) == 0 {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		found := false
+		for _, e := range errs {
+			if strings.Contains(e.Error(), c.want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: errors %v do not mention %q", c.name, errs, c.want)
+		}
+	}
+}
+
+func TestValidateSequenceOrdering(t *testing.T) {
+	s := orderSchema()
+	d := New("Order",
+		New("Customer", NewText("Name", "Ada")),
+		NewText("Id", "1"), // out of sequence: Id declared before Customer
+		NewText("Total", "1"),
+	).SetAttr("priority", "x")
+	errs := s.Validate(d)
+	found := false
+	for _, e := range errs {
+		if strings.Contains(e.Reason, "out of sequence") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("sequence violation not reported: %v", errs)
+	}
+	// An unordered schema accepts the same document.
+	unordered := NewSchema("XSD_All",
+		Elem("Order",
+			Leaf("Id", DTInt),
+			Elem("Customer", Leaf("Name", DTString)),
+			Leaf("Total", DTDecimal),
+		).WithAttrs("priority").Unordered(),
+	)
+	if errs := unordered.Validate(d); len(errs) != 0 {
+		t.Errorf("unordered schema rejected: %v", errs)
+	}
+}
+
+func TestValidateNilDocument(t *testing.T) {
+	if errs := orderSchema().Validate(nil); len(errs) != 1 {
+		t.Fatalf("nil doc: %v", errs)
+	}
+}
+
+func TestValidateSimpleTypes(t *testing.T) {
+	cases := []struct {
+		t    DataType
+		ok   []string
+		fail []string
+	}{
+		{DTInt, []string{"0", "-7", " 42 "}, []string{"", "x", "1.5"}},
+		{DTDecimal, []string{"1.5", "-0.1", "3"}, []string{"", "abc"}},
+		{DTBool, []string{"true", "false", "1", "0"}, []string{"", "yes"}},
+		{DTDateTime, []string{"2008-04-07T12:00:00Z"}, []string{"", "2008-04-07"}},
+		{DTString, []string{"", "anything"}, nil},
+		{DTAny, []string{"", "anything"}, nil},
+	}
+	for _, c := range cases {
+		for _, s := range c.ok {
+			if reason := checkSimpleType(s, c.t); reason != "" {
+				t.Errorf("%s should accept %q: %s", c.t, s, reason)
+			}
+		}
+		for _, s := range c.fail {
+			if reason := checkSimpleType(s, c.t); reason == "" {
+				t.Errorf("%s should reject %q", c.t, s)
+			}
+		}
+	}
+}
+
+func TestValidationErrorPaths(t *testing.T) {
+	s := orderSchema()
+	d := validOrder()
+	d.Child("Customer").Child("Name").Name = "Nom"
+	errs := s.Validate(d)
+	foundPath := false
+	for _, e := range errs {
+		if strings.HasPrefix(e.Path, "/Order/Customer/") {
+			foundPath = true
+		}
+	}
+	if !foundPath {
+		t.Errorf("error paths not descriptive: %v", errs)
+	}
+}
