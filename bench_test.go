@@ -497,6 +497,88 @@ func BenchmarkCostNormalization(b *testing.B) {
 	}
 }
 
+// BenchmarkPeriodInit measures the end-to-end wall clock of a multi-period
+// run at d=0.1 — the harness-overhead benchmark of the pipelined period
+// initialization (generation of period k+1 overlaps execution of period k,
+// and the independent source systems load in parallel).
+func BenchmarkPeriodInit(b *testing.B) {
+	for _, eng := range []string{core.EnginePipeline, core.EngineFederated} {
+		b.Run(eng, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				runPeriods(b, core.Config{
+					Datasize: 0.1, TimeScale: 1, Distribution: "uniform",
+					Periods: 4, Seed: 42, Engine: eng, FastClock: true,
+				})
+			}
+		})
+		b.Run(eng+"_d005", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				runPeriods(b, core.Config{
+					Datasize: 0.05, TimeScale: 1, Distribution: "uniform",
+					Periods: 4, Seed: 42, Engine: eng, FastClock: true,
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkIndexedSelect measures the three access paths of the relational
+// layer over a realistic orders table: equality on the primary key,
+// equality on a secondary-indexed column, and the non-indexed scan
+// fallback.
+func BenchmarkIndexedSelect(b *testing.B) {
+	g := datagen.MustNew(datagen.Config{Seed: 1, Datasize: 1, Dist: datagen.Uniform})
+	ds, err := g.Europe("Berlin_Paris")
+	if err != nil {
+		b.Fatal(err)
+	}
+	newOrders := func(b *testing.B, secondary bool) *rel.Table {
+		b.Helper()
+		tbl := rel.NewTable("Orders", ds.Orders.Schema())
+		if secondary {
+			if err := tbl.CreateIndex("Custkey"); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := tbl.InsertAll(ds.Orders); err != nil {
+			b.Fatal(err)
+		}
+		return tbl
+	}
+	b.Run("pk_equality", func(b *testing.B) {
+		tbl := newOrders(b, false)
+		key := ds.Orders.Row(ds.Orders.Len() / 2)[0]
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			out, err := tbl.SelectWhere(rel.ColEq("Ordkey", key))
+			if err != nil || out.Len() != 1 {
+				b.Fatalf("want 1 row, got %d (%v)", out.Len(), err)
+			}
+		}
+	})
+	b.Run("indexed_equality", func(b *testing.B) {
+		tbl := newOrders(b, true)
+		cust := ds.Orders.Row(ds.Orders.Len() / 2)[1]
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			out, err := tbl.SelectWhere(rel.ColEq("Custkey", cust))
+			if err != nil || out.Len() == 0 {
+				b.Fatalf("empty selection (%v)", err)
+			}
+		}
+	})
+	b.Run("scan_fallback", func(b *testing.B) {
+		tbl := newOrders(b, false)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			out, err := tbl.SelectWhere(rel.ColEq("Location", rel.NewString("Berlin")))
+			if err != nil || out.Len() == 0 {
+				b.Fatalf("empty selection (%v)", err)
+			}
+		}
+	})
+}
+
 // BenchmarkRelationalSelect measures the predicate scan of the relational
 // substrate over a realistic Europe orders table.
 func BenchmarkRelationalSelect(b *testing.B) {

@@ -28,6 +28,8 @@
 //	-records path write the raw per-instance records CSV
 //	-series path  write the per-period NAVG series CSV
 //	-trace path   write the dispatched-event trace CSV
+//	-cpuprofile path  write a CPU profile of the run
+//	-memprofile path  write a heap profile at exit
 //
 // Ctrl-C cancels a running benchmark gracefully.
 package main
@@ -38,6 +40,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/core"
 	"repro/internal/processes"
@@ -68,8 +72,35 @@ func main() {
 		fig8    = flag.Bool("fig8", false, "print the Fig. 8 scale factor series and exit")
 		qual    = flag.Bool("quality", false, "print the per-system data quality report after the run")
 		specOut = flag.Bool("spec", false, "print the full generated benchmark specification and exit")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the run to this path")
+		memProf = flag.String("memprofile", "", "write a heap profile at exit to this path")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		fh, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		defer fh.Close()
+		if err := pprof.StartCPUProfile(fh); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			fh, err := os.Create(*memProf)
+			if err != nil {
+				fatal(err)
+			}
+			defer fh.Close()
+			runtime.GC() // settle the heap so the profile reflects live data
+			if err := pprof.WriteHeapProfile(fh); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 
 	if *specOut {
 		if err := spec.Render(os.Stdout); err != nil {

@@ -88,16 +88,34 @@ func (c *Client) Run() (*RunStats, error) {
 // in-flight period stops dispatching (queued events are abandoned, running
 // instances finish), the partial statistics are returned together with the
 // context's error, and no verification runs.
+//
+// Periods are pipelined: while period k's streams execute, period k+1's
+// datasets and schedule are already being computed in the background
+// (double-buffered through a channel of depth one). Only the pure
+// generation overlaps — loading into the external systems still happens
+// strictly inside period k+1, after period k finished and the stores were
+// truncated — so the externally visible per-period state is identical to a
+// sequential run.
 func (c *Client) RunContext(ctx context.Context) (*RunStats, error) {
 	start := time.Now()
 	stats := &RunStats{}
 	var lastGen *datagen.Generator
+	prepCh := make(chan prepared, 1)
+	go func() { prepCh <- c.prepare(0) }()
 	for k := 0; k < c.cfg.Periods; k++ {
+		prep := <-prepCh
+		if k+1 < c.cfg.Periods {
+			go func(next int) { prepCh <- c.prepare(next) }(k + 1)
+		}
 		if err := ctx.Err(); err != nil {
 			stats.Elapsed = time.Since(start)
 			return stats, err
 		}
-		gen, events, failures, err := c.runPeriod(ctx, k)
+		if prep.err != nil {
+			stats.Elapsed = time.Since(start)
+			return stats, fmt.Errorf("driver: period %d: %w", k, prep.err)
+		}
+		events, failures, err := c.runPeriod(ctx, k, prep)
 		stats.Events += events
 		stats.Failures += failures
 		if err != nil {
@@ -108,7 +126,7 @@ func (c *Client) RunContext(ctx context.Context) (*RunStats, error) {
 			return stats, fmt.Errorf("driver: period %d: %w", k, err)
 		}
 		stats.Periods++
-		lastGen = gen
+		lastGen = prep.gen
 		if c.cfg.OnPeriod != nil {
 			c.cfg.OnPeriod(k, events, failures)
 		}
@@ -119,6 +137,38 @@ func (c *Client) RunContext(ctx context.Context) (*RunStats, error) {
 		stats.Verification = v
 	}
 	return stats, nil
+}
+
+// prepared is the precomputed, side-effect-free initialization state of
+// one period: the generator, its datasets, and the event schedule.
+type prepared struct {
+	gen  *datagen.Generator
+	data *scenario.SourceData
+	plan *schedule.Plan
+	err  error
+}
+
+// prepare computes a period's prepared state. It is pure (no store is
+// touched), so it can run concurrently with the previous period's streams.
+func (c *Client) prepare(k int) prepared {
+	gen, err := datagen.New(datagen.Config{
+		Seed:     c.cfg.Seed,
+		Datasize: c.cfg.Scale.Datasize,
+		Dist:     c.cfg.Scale.Dist,
+		Period:   k,
+	})
+	if err != nil {
+		return prepared{err: err}
+	}
+	data, err := scenario.GenerateSourceData(gen)
+	if err != nil {
+		return prepared{gen: gen, err: err}
+	}
+	plan, err := schedule.PeriodPlan(k, c.cfg.Scale)
+	if err != nil {
+		return prepared{gen: gen, err: err}
+	}
+	return prepared{gen: gen, data: data, plan: plan}
 }
 
 // latch tracks the completion of all instances of one process type within
@@ -146,28 +196,16 @@ func (l *latch) complete() {
 	}
 }
 
-// runPeriod executes one benchmark period k: uninitialize, initialize the
-// sources, then dispatch the four streams.
-func (c *Client) runPeriod(ctx context.Context, k int) (*datagen.Generator, int, int, error) {
+// runPeriod executes one benchmark period k: uninitialize, load the
+// pre-generated source datasets, then dispatch the four streams.
+func (c *Client) runPeriod(ctx context.Context, k int, prep prepared) (int, int, error) {
 	if err := c.s.Uninitialize(); err != nil {
-		return nil, 0, 0, err
+		return 0, 0, err
 	}
 	c.eng.ResetQueues()
-	gen, err := datagen.New(datagen.Config{
-		Seed:     c.cfg.Seed,
-		Datasize: c.cfg.Scale.Datasize,
-		Dist:     c.cfg.Scale.Dist,
-		Period:   k,
-	})
-	if err != nil {
-		return nil, 0, 0, err
-	}
-	if err := c.s.InitializeSources(gen); err != nil {
-		return nil, 0, 0, err
-	}
-	plan, err := schedule.PeriodPlan(k, c.cfg.Scale)
-	if err != nil {
-		return nil, 0, 0, err
+	gen, plan := prep.gen, prep.plan
+	if err := c.s.LoadSources(prep.data); err != nil {
+		return 0, 0, err
 	}
 
 	latches := make(map[string]*latch)
@@ -194,16 +232,13 @@ func (c *Client) runPeriod(ctx context.Context, k int) (*datagen.Generator, int,
 			}
 		}
 		dispatched := time.Since(epoch)
-		var msg *x.Node
-		var genErr error
-		if m, ok := c.messageFor(gen, in.Process, in.Seq); ok {
-			msg = m
-		} else if isE1(in.Process) {
+		msg, ok, genErr := c.messageFor(gen, in.Process, in.Seq)
+		if genErr == nil && !ok && isE1(in.Process) {
 			genErr = fmt.Errorf("no message generator for %s", in.Process)
 		}
 		var err error
 		if genErr != nil {
-			err = genErr
+			err = genErr // generator fault: an instance failure, not a dispatch
 		} else {
 			err = c.eng.Execute(in.Process, msg, k)
 		}
@@ -239,9 +274,9 @@ func (c *Client) runPeriod(ctx context.Context, k int) (*datagen.Generator, int,
 	runStreams(schedule.StreamD)
 
 	if err := ctx.Err(); err != nil {
-		return gen, executed, failures, err
+		return executed, failures, err
 	}
-	return gen, executed, failures, nil
+	return executed, failures, nil
 }
 
 // isE1 reports whether the process type is message-initiated.
@@ -254,21 +289,30 @@ func isE1(id string) bool {
 	}
 }
 
-// messageFor generates the E1 input message of an instance.
-func (c *Client) messageFor(gen *datagen.Generator, process string, seq int) (*x.Node, bool) {
+// messageFor generates the E1 input message of an instance. ok reports
+// whether the process type has a message generator at all; err reports a
+// generator fault, which the dispatcher records as an instance failure
+// instead of handing the engine a nil message.
+func (c *Client) messageFor(gen *datagen.Generator, process string, seq int) (msg *x.Node, ok bool, err error) {
 	switch process {
 	case "P01":
-		return gen.BeijingCustomerMsg(seq), true
+		return gen.BeijingCustomerMsg(seq), true, nil
 	case "P02":
-		return gen.MDMCustomer(seq), true
+		return gen.MDMCustomer(seq), true, nil
 	case "P04":
-		return gen.ViennaOrder(seq), true
+		return gen.ViennaOrder(seq), true, nil
 	case "P08":
-		return gen.HongkongOrder(seq), true
+		return gen.HongkongOrder(seq), true, nil
 	case "P10":
+		// The second return flags an intentionally injected schema
+		// violation (P10's validation diverts those instances); it is not a
+		// generator fault. A missing document is.
 		doc, _ := gen.SanDiegoOrder(seq)
-		return doc, true
+		if doc == nil {
+			return nil, true, fmt.Errorf("driver: San Diego generator produced no message for seq %d", seq)
+		}
+		return doc, true, nil
 	default:
-		return nil, false
+		return nil, false, nil
 	}
 }

@@ -91,6 +91,16 @@ func (b *batcher) flush(batch []batchRequest) {
 	}
 }
 
+// drain flushes any pending partial batch without closing the batcher —
+// the period-boundary hook (ResetQueues) uses it so no message crosses
+// into the next period's accounting.
+func (b *batcher) drain() {
+	b.mu.Lock()
+	batch := b.take()
+	b.mu.Unlock()
+	b.flush(batch)
+}
+
 // close drains the batcher: queued messages are flushed, later submits
 // fail.
 func (b *batcher) close() {

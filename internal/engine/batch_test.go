@@ -128,6 +128,46 @@ func TestBatchCloseDrainsAndRejects(t *testing.T) {
 	}
 }
 
+func TestResetQueuesDrainsPartialBatch(t *testing.T) {
+	f := newFixture(t)
+	mon := monitor.New(1)
+	e, err := New("b", Options{PlanCache: true, BatchSize: 100, BatchTimeout: time.Hour},
+		processes.MustNew(), f.s.Gateway(), mon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	// A lone message of period 0 sits in a partial batch (the timeout is
+	// far away); the period boundary must push it out.
+	done := make(chan error, 1)
+	go func() { done <- e.Execute("P08", f.g.HongkongOrder(0), 0) }()
+	time.Sleep(20 * time.Millisecond) // let the message enter the batch
+	e.ResetQueues()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drained message failed: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("period boundary did not drain the partial batch")
+	}
+	recs := mon.Records()
+	if len(recs) != 1 || recs[0].Period != 0 {
+		t.Fatalf("record under wrong period: %+v", recs)
+	}
+	// The batcher stays usable for the next period.
+	go func() { done <- e.Execute("P08", f.g.HongkongOrder(1), 1) }()
+	time.Sleep(20 * time.Millisecond)
+	e.ResetQueues()
+	if err := <-done; err != nil {
+		t.Fatalf("submit after drain: %v", err)
+	}
+	recs = mon.Records()
+	if len(recs) != 2 || recs[1].Period != 1 {
+		t.Fatalf("second period record wrong: %+v", recs)
+	}
+}
+
 func TestBatchingRecordsPerInstanceCosts(t *testing.T) {
 	f := newFixture(t)
 	mon := monitor.New(1)

@@ -26,8 +26,9 @@
 package engine
 
 import (
+	"bytes"
 	"fmt"
-	"strings"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -300,23 +301,60 @@ func (e *Engine) Execute(processID string, input *x.Node, period int) error {
 	return e.runInstanceRecorded(p, nil, period)
 }
 
+// sqlBufPool recycles the scratch buffers executeViaQueue serializes into;
+// the E1 path runs once per message, so per-message allocations add up.
+var sqlBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 4096)
+	return &b
+}}
+
 // executeViaQueue realizes the Fig. 9 a) path: serialize the message,
 // INSERT it into the process's queue table through the SQL layer, and let
-// the insert trigger run the process.
+// the insert trigger run the process. The INSERT statement is assembled on
+// a pooled buffer.
 func (e *Engine) executeViaQueue(p *mtm.Process, input *x.Node, period int) error {
 	rec := e.mon.StartInstance(p.ID, period)
 	e.instances.Add(1)
 	serStart := time.Now()
-	payload := input.String()
 	tid := e.queueSeq.Add(1)
-	sql := fmt.Sprintf("INSERT INTO %s_Queue VALUES (%d, '%s')",
-		p.ID, tid, strings.ReplaceAll(payload, "'", "''"))
+	bp := sqlBufPool.Get().(*[]byte)
+	buf := append((*bp)[:0], "INSERT INTO "...)
+	buf = append(buf, p.ID...)
+	buf = append(buf, "_Queue VALUES ("...)
+	buf = strconv.AppendInt(buf, tid, 10)
+	buf = append(buf, ", '"...)
+	buf = appendSQLQuoted(buf, input)
+	buf = append(buf, "')"...)
+	sql := string(buf)
+	*bp = buf[:0]
+	sqlBufPool.Put(bp)
 	rec.Record(mtm.CostProc, time.Since(serStart))
 	e.pending.Store(tid, rec)
 	defer e.pending.Delete(tid)
 	_, err := e.internal.Exec(sql)
 	rec.Finish(err)
 	return err
+}
+
+// appendSQLQuoted serializes the message onto dst with SQL string-literal
+// quoting ('' for '). Serialized XML escapes apostrophes as &#39;, so the
+// doubling pass is almost always a straight copy.
+func appendSQLQuoted(dst []byte, input *x.Node) []byte {
+	xp := sqlBufPool.Get().(*[]byte)
+	payload := input.AppendXML((*xp)[:0])
+	for {
+		i := bytes.IndexByte(payload, '\'')
+		if i < 0 {
+			dst = append(dst, payload...)
+			break
+		}
+		dst = append(dst, payload[:i]...)
+		dst = append(dst, '\'', '\'')
+		payload = payload[i+1:]
+	}
+	*xp = (*xp)[:0]
+	sqlBufPool.Put(xp)
+	return dst
 }
 
 // runInstanceRecorded wraps runInstance with a fresh monitor record.
@@ -355,9 +393,20 @@ func (e *Engine) QueueDepth() int {
 	return e.internal.TotalRows()
 }
 
-// ResetQueues truncates the engine-internal queue tables (between
-// benchmark periods).
+// ResetQueues marks a period boundary: pending micro-batches are drained —
+// a partial batch submitted in period k must execute and be recorded under
+// period k, not under k+1 — and the engine-internal queue tables are
+// truncated.
 func (e *Engine) ResetQueues() {
+	e.mu.Lock()
+	batchers := make([]*batcher, 0, len(e.batchers))
+	for _, b := range e.batchers {
+		batchers = append(batchers, b)
+	}
+	e.mu.Unlock()
+	for _, b := range batchers {
+		b.drain()
+	}
 	if e.opts.QueueTrigger {
 		e.internal.TruncateAll()
 	}

@@ -63,7 +63,7 @@ func (r *Relation) Clone() *Relation {
 
 // Select returns the rows satisfying the predicate.
 func (r *Relation) Select(pred Predicate) (*Relation, error) {
-	out := make([]Row, 0, len(r.rows)/2+1)
+	var out []Row
 	for _, row := range r.rows {
 		ok, err := pred.Eval(r.schema, row)
 		if err != nil {
@@ -146,15 +146,14 @@ func (r *Relation) UnionDistinct(keyCols []string, others ...*Relation) (*Relati
 	seen := make(map[uint64]*bucket, r.Len())
 	var out []Row
 	add := func(row Row) {
-		key := row.pick(ordinals)
-		h := hashValues(key)
+		h := hashRowOn(row, ordinals)
 		b := seen[h]
 		if b == nil {
 			b = &bucket{}
 			seen[h] = b
 		}
 		for _, prev := range b.rows {
-			if Row(prev.pick(ordinals)).Equal(Row(key)) {
+			if keyEqual(prev, row, ordinals) {
 				return // duplicate key: first occurrence wins
 			}
 		}
@@ -211,7 +210,7 @@ func (r *Relation) Join(o *Relation, leftCol, rightCol, clashPrefix string) (*Re
 	// Build on the right side.
 	build := make(map[uint64][]Row, o.Len())
 	for _, row := range o.rows {
-		h := hashValues([]Value{row[ri]})
+		h := hashValue(row[ri])
 		build[h] = append(build[h], row)
 	}
 	var out []Row
@@ -220,7 +219,7 @@ func (r *Relation) Join(o *Relation, leftCol, rightCol, clashPrefix string) (*Re
 		if k.IsNull() {
 			continue
 		}
-		for _, rrow := range build[hashValues([]Value{k})] {
+		for _, rrow := range build[hashValue(k)] {
 			if !rrow[ri].Equal(k) {
 				continue
 			}
@@ -272,6 +271,28 @@ func (r *Relation) Extend(name string, t Type, fn func(Row) Value) (*Relation, e
 		nr := make(Row, len(row)+1)
 		copy(nr, row)
 		nr[len(row)] = fn(row)
+		rows[i] = nr
+	}
+	return &Relation{schema: es, rows: rows}, nil
+}
+
+// ExtendMany appends several computed columns in a single pass. fn fills
+// out (one slot per added column) for each input row; it is the n-column
+// form of Extend and avoids re-copying the relation once per column.
+func (r *Relation) ExtendMany(cols []Column, fn func(row Row, out []Value)) (*Relation, error) {
+	all := make([]Column, len(r.schema.Columns)+len(cols))
+	copy(all, r.schema.Columns)
+	copy(all[len(r.schema.Columns):], cols)
+	es, err := NewSchema(all, r.schema.KeyNames()...)
+	if err != nil {
+		return nil, err
+	}
+	k := len(r.schema.Columns)
+	rows := make([]Row, len(r.rows))
+	for i, row := range r.rows {
+		nr := make(Row, len(all))
+		copy(nr, row)
+		fn(row, nr[k:])
 		rows[i] = nr
 	}
 	return &Relation{schema: es, rows: rows}, nil
@@ -332,36 +353,33 @@ func (r *Relation) GroupBy(groupCols []string, aggs []AggSpec) (*Relation, error
 	if err != nil {
 		return nil, err
 	}
+	// One accumulator struct per aggregate keeps the per-group bookkeeping
+	// in a single allocation instead of five parallel slices.
+	type aggAcc struct {
+		sum   float64
+		isum  int64
+		min   Value
+		max   Value
+		count int64
+	}
 	type acc struct {
-		key    []Value
-		count  int64
-		sums   []float64
-		isums  []int64
-		mins   []Value
-		maxs   []Value
-		counts []int64
+		key   []Value
+		count int64
+		aggs  []aggAcc
 	}
 	groups := make(map[uint64][]*acc)
 	var order []*acc
 	for _, row := range r.rows {
-		key := row.pick(gOrd)
-		h := hashValues(key)
+		h := hashRowOn(row, gOrd)
 		var g *acc
 		for _, cand := range groups[h] {
-			if Row(cand.key).Equal(Row(key)) {
+			if keyMatches(row, gOrd, cand.key) {
 				g = cand
 				break
 			}
 		}
 		if g == nil {
-			g = &acc{
-				key:    key,
-				sums:   make([]float64, len(aggs)),
-				isums:  make([]int64, len(aggs)),
-				mins:   make([]Value, len(aggs)),
-				maxs:   make([]Value, len(aggs)),
-				counts: make([]int64, len(aggs)),
-			}
+			g = &acc{key: row.pick(gOrd), aggs: make([]aggAcc, len(aggs))}
 			groups[h] = append(groups[h], g)
 			order = append(order, g)
 		}
@@ -374,20 +392,21 @@ func (r *Relation) GroupBy(groupCols []string, aggs []AggSpec) (*Relation, error
 			if v.IsNull() {
 				continue
 			}
-			g.counts[i]++
+			st := &g.aggs[i]
+			st.count++
 			switch a.Func {
 			case "sum", "avg":
 				if v.Type() == TypeInt {
-					g.isums[i] += v.Int()
+					st.isum += v.Int()
 				}
-				g.sums[i] += v.Float()
+				st.sum += v.Float()
 			case "min":
-				if g.mins[i].IsNull() || v.Compare(g.mins[i]) < 0 {
-					g.mins[i] = v
+				if st.min.IsNull() || v.Compare(st.min) < 0 {
+					st.min = v
 				}
 			case "max":
-				if g.maxs[i].IsNull() || v.Compare(g.maxs[i]) > 0 {
-					g.maxs[i] = v
+				if st.max.IsNull() || v.Compare(st.max) > 0 {
+					st.max = v
 				}
 			}
 		}
@@ -397,31 +416,32 @@ func (r *Relation) GroupBy(groupCols []string, aggs []AggSpec) (*Relation, error
 		row := make(Row, 0, len(cols))
 		row = append(row, g.key...)
 		for i, a := range aggs {
+			st := g.aggs[i]
 			switch a.Func {
 			case "count":
 				if a.Col != "" {
-					row = append(row, NewInt(g.counts[i]))
+					row = append(row, NewInt(st.count))
 				} else {
 					row = append(row, NewInt(g.count))
 				}
 			case "sum":
-				if g.counts[i] == 0 {
+				if st.count == 0 {
 					row = append(row, Null)
 				} else if r.schema.Columns[aOrd[i]].Type == TypeInt {
-					row = append(row, NewInt(g.isums[i]))
+					row = append(row, NewInt(st.isum))
 				} else {
-					row = append(row, NewFloat(g.sums[i]))
+					row = append(row, NewFloat(st.sum))
 				}
 			case "avg":
-				if g.counts[i] == 0 {
+				if st.count == 0 {
 					row = append(row, Null)
 				} else {
-					row = append(row, NewFloat(g.sums[i]/float64(g.counts[i])))
+					row = append(row, NewFloat(st.sum/float64(st.count)))
 				}
 			case "min":
-				row = append(row, g.mins[i])
+				row = append(row, st.min)
 			case "max":
-				row = append(row, g.maxs[i])
+				row = append(row, st.max)
 			}
 		}
 		out = append(out, row)

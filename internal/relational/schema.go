@@ -34,13 +34,18 @@ type Schema struct {
 
 // NewSchema builds a schema from columns and primary-key column names.
 func NewSchema(cols []Column, keyNames ...string) (*Schema, error) {
-	s := &Schema{Columns: cols, byName: make(map[string]int, len(cols))}
+	s := &Schema{Columns: cols, byName: make(map[string]int, 2*len(cols))}
 	for i, c := range cols {
 		lc := strings.ToLower(c.Name)
 		if _, dup := s.byName[lc]; dup {
 			return nil, fmt.Errorf("relational: duplicate column %q", c.Name)
 		}
 		s.byName[lc] = i
+		// Also map the declared spelling so lookups with it skip the
+		// ToLower allocation (predicates resolve columns per row).
+		if c.Name != lc {
+			s.byName[c.Name] = i
+		}
 	}
 	for _, k := range keyNames {
 		i, ok := s.byName[strings.ToLower(k)]
@@ -62,7 +67,12 @@ func MustSchema(cols []Column, keyNames ...string) *Schema {
 }
 
 // Ordinal returns the position of the named column, or -1 if absent.
+// Matching is case-insensitive; the declared spelling and the all-lowercase
+// form hit the map directly, other spellings fold case first.
 func (s *Schema) Ordinal(name string) int {
+	if i, ok := s.byName[name]; ok {
+		return i
+	}
 	if i, ok := s.byName[strings.ToLower(name)]; ok {
 		return i
 	}

@@ -3,6 +3,7 @@ package relational
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // TriggerEvent identifies the mutation a trigger fires on.
@@ -52,6 +53,10 @@ type Table struct {
 	inserts uint64 // statistics: total successful inserts
 	deletes uint64
 	updates uint64
+
+	scanCount     atomic.Uint64 // statistics: access paths taken
+	pkProbeCount  atomic.Uint64
+	idxProbeCount atomic.Uint64
 }
 
 // hashIndex is a non-unique secondary hash index over one column.
@@ -129,12 +134,11 @@ func (t *Table) Insert(row Row) error {
 	row = row.Clone()
 	t.mu.Lock()
 	if t.schema.HasKey() {
-		key := row.pick(t.schema.Key)
-		h := hashValues(key)
+		h := t.hashKey(row)
 		for _, slot := range t.pk[h] {
-			if ex := t.rows[slot]; ex != nil && Row(ex.pick(t.schema.Key)).Equal(Row(key)) {
+			if ex := t.rows[slot]; ex != nil && keyEqual(ex, row, t.schema.Key) {
 				t.mu.Unlock()
-				return &KeyError{Table: t.name, Key: key}
+				return &KeyError{Table: t.name, Key: row.pick(t.schema.Key)}
 			}
 		}
 		slot := t.claimSlot(row)
@@ -161,10 +165,45 @@ func (t *Table) InsertAll(r *Relation) error {
 		return fmt.Errorf("relational: insert into %s: schema mismatch %s vs %s",
 			t.name, t.schema, r.Schema())
 	}
-	for i := 0; i < r.Len(); i++ {
-		if err := t.Insert(r.Row(i)); err != nil {
-			return err
+	t.mu.Lock()
+	if len(t.triggers[OnInsert]) > 0 {
+		// Triggers observe the table between rows; keep the row-at-a-time
+		// path so their view is unchanged.
+		t.mu.Unlock()
+		for i := 0; i < r.Len(); i++ {
+			if err := t.Insert(r.Row(i)); err != nil {
+				return err
+			}
 		}
+		return nil
+	}
+	defer t.mu.Unlock()
+	// Set-oriented load: one lock acquisition for the whole batch (bulk
+	// loads dominate period initialization). Rows are shared with the
+	// relation rather than copied — Relations are immutable throughout the
+	// engine, and the table only ever replaces stored rows, never mutates
+	// them in place.
+	n := r.Len()
+	for i := 0; i < n; i++ {
+		row := r.Row(i)
+		if err := t.schema.CheckRow(row); err != nil {
+			return fmt.Errorf("relational: insert into %s: %w", t.name, err)
+		}
+		if t.schema.HasKey() {
+			h := t.hashKey(row)
+			for _, slot := range t.pk[h] {
+				if ex := t.rows[slot]; ex != nil && keyEqual(ex, row, t.schema.Key) {
+					return &KeyError{Table: t.name, Key: row.pick(t.schema.Key)}
+				}
+			}
+			slot := t.claimSlot(row)
+			t.pk[h] = append(t.pk[h], slot)
+			t.indexRow(slot, row)
+		} else {
+			slot := t.claimSlot(row)
+			t.indexRow(slot, row)
+		}
+		t.inserts++
 	}
 	return nil
 }
@@ -179,13 +218,12 @@ func (t *Table) Upsert(row Row) error {
 		return fmt.Errorf("relational: upsert into %s: %w", t.name, err)
 	}
 	row = row.Clone()
-	key := row.pick(t.schema.Key)
-	h := hashValues(key)
+	h := t.hashKey(row)
 	t.mu.Lock()
 	var old Row
 	updated := false
 	for _, slot := range t.pk[h] {
-		if ex := t.rows[slot]; ex != nil && Row(ex.pick(t.schema.Key)).Equal(Row(key)) {
+		if ex := t.rows[slot]; ex != nil && keyEqual(ex, row, t.schema.Key) {
 			old = ex
 			t.unindexRow(slot, ex)
 			t.rows[slot] = row
@@ -223,7 +261,7 @@ func (t *Table) Lookup(key ...Value) Row {
 	}
 	h := hashValues(key)
 	for _, slot := range t.pk[h] {
-		if ex := t.rows[slot]; ex != nil && Row(ex.pick(t.schema.Key)).Equal(Row(key)) {
+		if ex := t.rows[slot]; ex != nil && keyMatches(ex, t.schema.Key, key) {
 			return ex
 		}
 	}
@@ -231,21 +269,19 @@ func (t *Table) Lookup(key ...Value) Row {
 }
 
 // Delete removes all rows matching the predicate and returns the count.
-// AFTER DELETE triggers fire once per removed row.
+// AFTER DELETE triggers fire once per removed row. Equality predicates on
+// the primary key or an indexed column probe the hash index instead of
+// scanning (see Explain).
 func (t *Table) Delete(pred Predicate) (int, error) {
 	t.mu.Lock()
 	var removed []Row
-	for slot, row := range t.rows {
+	del := func(slot int, row Row) error {
 		if row == nil {
-			continue
+			return nil
 		}
 		ok, err := pred.Eval(t.schema, row)
-		if err != nil {
-			t.mu.Unlock()
-			return 0, err
-		}
-		if !ok {
-			continue
+		if err != nil || !ok {
+			return err
 		}
 		t.unindexRow(slot, row)
 		t.unkeyRow(slot, row)
@@ -253,6 +289,24 @@ func (t *Table) Delete(pred Predicate) (int, error) {
 		t.free = append(t.free, slot)
 		t.deletes++
 		removed = append(removed, row)
+		return nil
+	}
+	path, slots := t.chooseLocked(pred)
+	t.countPath(path)
+	if path.Kind == AccessScan {
+		for slot, row := range t.rows {
+			if err := del(slot, row); err != nil {
+				t.mu.Unlock()
+				return 0, err
+			}
+		}
+	} else {
+		for _, slot := range slots {
+			if err := del(slot, t.rows[slot]); err != nil {
+				t.mu.Unlock()
+				return 0, err
+			}
+		}
 	}
 	trs := t.triggers[OnDelete]
 	t.mu.Unlock()
@@ -268,36 +322,50 @@ func (t *Table) Delete(pred Predicate) (int, error) {
 
 // Update rewrites every row matching the predicate through fn and returns
 // the number of rows changed. fn receives a copy it may mutate and return.
+// Equality predicates on the primary key or an indexed column probe the
+// hash index instead of scanning (see Explain).
 func (t *Table) Update(pred Predicate, fn func(Row) Row) (int, error) {
 	t.mu.Lock()
 	type change struct{ old, new Row }
 	var changes []change
-	for slot, row := range t.rows {
+	upd := func(slot int, row Row) error {
 		if row == nil {
-			continue
+			return nil
 		}
 		ok, err := pred.Eval(t.schema, row)
-		if err != nil {
-			t.mu.Unlock()
-			return 0, err
-		}
-		if !ok {
-			continue
+		if err != nil || !ok {
+			return err
 		}
 		nr := fn(row.Clone())
 		if err := t.schema.CheckRow(nr); err != nil {
-			t.mu.Unlock()
-			return 0, fmt.Errorf("relational: update on %s: %w", t.name, err)
+			return fmt.Errorf("relational: update on %s: %w", t.name, err)
 		}
-		if t.schema.HasKey() && !Row(nr.pick(t.schema.Key)).Equal(Row(row.pick(t.schema.Key))) {
-			t.mu.Unlock()
-			return 0, fmt.Errorf("relational: update on %s may not change the primary key", t.name)
+		if t.schema.HasKey() && !keyEqual(nr, row, t.schema.Key) {
+			return fmt.Errorf("relational: update on %s may not change the primary key", t.name)
 		}
 		t.unindexRow(slot, row)
 		t.rows[slot] = nr
 		t.indexRow(slot, nr)
 		t.updates++
 		changes = append(changes, change{row, nr})
+		return nil
+	}
+	path, slots := t.chooseLocked(pred)
+	t.countPath(path)
+	if path.Kind == AccessScan {
+		for slot, row := range t.rows {
+			if err := upd(slot, row); err != nil {
+				t.mu.Unlock()
+				return 0, err
+			}
+		}
+	} else {
+		for _, slot := range slots {
+			if err := upd(slot, t.rows[slot]); err != nil {
+				t.mu.Unlock()
+				return 0, err
+			}
+		}
 	}
 	trs := t.triggers[OnUpdate]
 	t.mu.Unlock()
@@ -312,15 +380,19 @@ func (t *Table) Update(pred Predicate, fn func(Row) Row) (int, error) {
 }
 
 // Truncate removes all rows without firing triggers (DDL-style reset used
-// by the per-period uninitialization of the benchmark).
+// by the per-period uninitialization of the benchmark). The slot array and
+// hash-map buckets keep their capacity: the next period reloads a dataset
+// of roughly the same shape, so releasing them would just re-pay the growth
+// and rehashing cost every period.
 func (t *Table) Truncate() {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.rows = nil
-	t.free = nil
-	t.pk = make(map[uint64][]int)
+	clear(t.rows)
+	t.rows = t.rows[:0]
+	t.free = t.free[:0]
+	clear(t.pk)
 	for _, idx := range t.indexes {
-		idx.buckets = make(map[uint64][]int)
+		clear(idx.buckets)
 	}
 }
 
@@ -337,26 +409,52 @@ func (t *Table) Scan() *Relation {
 	return &Relation{schema: t.schema, rows: rows}
 }
 
-// SelectWhere scans with a predicate, using a secondary index when the
-// predicate is a single equality on an indexed column.
+// SelectWhere scans with a predicate. Equality predicates on the primary
+// key or a CreateIndex'ed column (alone or as conjuncts of an AND) probe
+// the hash index and apply the full predicate only to the bucket's
+// candidates; everything else falls back to the full scan. Explain reports
+// the choice without running it.
 func (t *Table) SelectWhere(pred Predicate) (*Relation, error) {
-	if cp, ok := pred.(cmpPred); ok && cp.op == OpEq {
-		t.mu.RLock()
-		if idx, ok := t.indexes[lower(cp.col)]; ok {
-			h := hashValues([]Value{cp.val})
-			var rows []Row
-			for _, slot := range idx.buckets[h] {
-				row := t.rows[slot]
-				if row != nil && row[idx.ordinal].Equal(cp.val) {
-					rows = append(rows, row)
-				}
-			}
-			t.mu.RUnlock()
-			return &Relation{schema: t.schema, rows: rows}, nil
-		}
+	t.mu.RLock()
+	path, slots := t.chooseLocked(pred)
+	if path.Kind == AccessScan {
 		t.mu.RUnlock()
+		t.scanCount.Add(1)
+		return t.Scan().Select(pred)
 	}
-	return t.Scan().Select(pred)
+	// Snapshot the candidate rows, then evaluate the predicate outside the
+	// lock (predicates may be arbitrary user functions).
+	cands := make([]Row, 0, len(slots))
+	for _, slot := range slots {
+		if row := t.rows[slot]; row != nil {
+			cands = append(cands, row)
+		}
+	}
+	t.mu.RUnlock()
+	t.countPath(path)
+	var rows []Row
+	for _, row := range cands {
+		ok, err := pred.Eval(t.schema, row)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			rows = append(rows, row)
+		}
+	}
+	return &Relation{schema: t.schema, rows: rows}, nil
+}
+
+// countPath bumps the access-path statistic for the chosen path.
+func (t *Table) countPath(path AccessPath) {
+	switch path.Kind {
+	case AccessPKProbe:
+		t.pkProbeCount.Add(1)
+	case AccessIndexProbe:
+		t.idxProbeCount.Add(1)
+	default:
+		t.scanCount.Add(1)
+	}
 }
 
 // claimSlot stores the row in a free slot or appends. Caller holds mu.
@@ -374,7 +472,7 @@ func (t *Table) claimSlot(row Row) int {
 // indexRow adds the row to all secondary indexes. Caller holds mu.
 func (t *Table) indexRow(slot int, row Row) {
 	for _, idx := range t.indexes {
-		h := hashValues([]Value{row[idx.ordinal]})
+		h := hashValue(row[idx.ordinal])
 		idx.buckets[h] = append(idx.buckets[h], slot)
 	}
 }
@@ -382,7 +480,7 @@ func (t *Table) indexRow(slot int, row Row) {
 // unindexRow removes the slot from all secondary indexes. Caller holds mu.
 func (t *Table) unindexRow(slot int, row Row) {
 	for _, idx := range t.indexes {
-		h := hashValues([]Value{row[idx.ordinal]})
+		h := hashValue(row[idx.ordinal])
 		idx.buckets[h] = removeSlot(idx.buckets[h], slot)
 		if len(idx.buckets[h]) == 0 {
 			delete(idx.buckets, h)
@@ -395,11 +493,34 @@ func (t *Table) unkeyRow(slot int, row Row) {
 	if !t.schema.HasKey() {
 		return
 	}
-	h := hashValues(row.pick(t.schema.Key))
+	h := t.hashKey(row)
 	t.pk[h] = removeSlot(t.pk[h], slot)
 	if len(t.pk[h]) == 0 {
 		delete(t.pk, h)
 	}
+}
+
+// hashKey hashes the row's primary-key columns in place.
+func (t *Table) hashKey(row Row) uint64 { return hashRowOn(row, t.schema.Key) }
+
+// keyEqual reports whether two rows agree on the given key ordinals.
+func keyEqual(a, b Row, ords []int) bool {
+	for _, o := range ords {
+		if !a[o].Equal(b[o]) {
+			return false
+		}
+	}
+	return true
+}
+
+// keyMatches reports whether the row's key ordinals equal the key tuple.
+func keyMatches(row Row, ords []int, key []Value) bool {
+	for i, o := range ords {
+		if !row[o].Equal(key[i]) {
+			return false
+		}
+	}
+	return true
 }
 
 func removeSlot(slots []int, slot int) []int {

@@ -316,6 +316,23 @@ func (h *fnv64) writeString(s string) {
 // sum returns the accumulated hash.
 func (h fnv64) sum() uint64 { return uint64(h) }
 
+// hashValue hashes a single value without the tuple-slice allocation.
+func hashValue(v Value) uint64 {
+	h := newFNV()
+	v.hash(&h)
+	return h.sum()
+}
+
+// hashRowOn hashes the row's values at the given ordinals in place — the
+// same digest as hashValues(row.pick(ords)) without materializing a tuple.
+func hashRowOn(row Row, ords []int) uint64 {
+	h := newFNV()
+	for _, o := range ords {
+		row[o].hash(&h)
+	}
+	return h.sum()
+}
+
 // hashValues hashes a tuple of values (used by set operations and indexes).
 func hashValues(vs []Value) uint64 {
 	h := newFNV()

@@ -1,8 +1,6 @@
 package scenario
 
 import (
-	"time"
-
 	rel "repro/internal/relational"
 )
 
@@ -86,14 +84,14 @@ func spRunMovementDataCleansing(db *rel.Database, _ []rel.Value) (*rel.Relation,
 // the built-in time functions of the Fig. 3 Time dimension.
 func spRefreshOrdersMV(db *rel.Database, _ []rel.Value) (*rel.Relation, error) {
 	orders := db.MustTable("Orders").Scan()
-	withTime, err := orders.Extend("Year", rel.TypeInt, func(r rel.Row) rel.Value {
-		return rel.NewInt(int64(yearOf(r, orders)))
-	})
-	if err != nil {
-		return nil, err
-	}
-	withTime, err = withTime.Extend("Month", rel.TypeInt, func(r rel.Row) rel.Value {
-		return rel.NewInt(int64(monthOf(r, orders)))
+	dateOrd := orders.Schema().MustOrdinal("Orderdate")
+	withTime, err := orders.ExtendMany([]rel.Column{
+		{Name: "Year", Type: rel.TypeInt, Nullable: true},
+		{Name: "Month", Type: rel.TypeInt, Nullable: true},
+	}, func(row rel.Row, out []rel.Value) {
+		d := row[dateOrd].Time()
+		out[0] = rel.NewInt(int64(d.Year()))
+		out[1] = rel.NewInt(int64(d.Month()))
 	})
 	if err != nil {
 		return nil, err
@@ -107,34 +105,30 @@ func spRefreshOrdersMV(db *rel.Database, _ []rel.Value) (*rel.Relation, error) {
 	}
 	mv := db.MustTable("OrdersMV")
 	mv.Truncate()
-	for i := 0; i < agg.Len(); i++ {
+	as := agg.Schema()
+	var (
+		yOrd = as.MustOrdinal("Year")
+		mOrd = as.MustOrdinal("Month")
+		cOrd = as.MustOrdinal("Custkey")
+		nOrd = as.MustOrdinal("OrderCount")
+		tOrd = as.MustOrdinal("TotalSum")
+	)
+	rows := make([]rel.Row, agg.Len())
+	for i := range rows {
 		row := agg.Row(i)
-		sum := row[agg.Schema().MustOrdinal("TotalSum")]
+		sum := row[tOrd]
 		if sum.IsNull() {
 			sum = rel.NewFloat(0)
 		}
-		if err := mv.Insert(rel.Row{
-			row[agg.Schema().MustOrdinal("Year")],
-			row[agg.Schema().MustOrdinal("Month")],
-			row[agg.Schema().MustOrdinal("Custkey")],
-			row[agg.Schema().MustOrdinal("OrderCount")],
-			sum,
-		}); err != nil {
-			return nil, err
-		}
+		rows[i] = rel.Row{row[yOrd], row[mOrd], row[cOrd], row[nOrd], sum}
+	}
+	batch, err := rel.NewRelation(mv.Schema(), rows)
+	if err != nil {
+		return nil, err
+	}
+	if err := mv.InsertAll(batch); err != nil {
+		return nil, err
 	}
 	s := rel.MustSchema([]rel.Column{rel.Col("groups", rel.TypeInt)})
 	return rel.NewRelation(s, []rel.Row{{rel.NewInt(int64(agg.Len()))}})
-}
-
-func yearOf(r rel.Row, orders *rel.Relation) int {
-	return dateOf(r, orders).Year()
-}
-
-func monthOf(r rel.Row, orders *rel.Relation) int {
-	return int(dateOf(r, orders).Month())
-}
-
-func dateOf(r rel.Row, orders *rel.Relation) time.Time {
-	return r[orders.Schema().MustOrdinal("Orderdate")].Time()
 }

@@ -17,6 +17,8 @@ package scenario
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/datagen"
@@ -200,15 +202,69 @@ func registerEntityHandlers(svc *ws.Service) {
 	}
 }
 
+// initWorkers bounds the worker pool used for parallel source
+// (un)initialization. The stores are independent instances, so the bound
+// only caps memory pressure, not correctness.
+const initWorkers = 4
+
+// runBounded runs fn(0..n-1) on a bounded worker pool and returns the
+// first error encountered.
+func runBounded(n, workers int, fn func(int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
 // Uninitialize truncates all external systems — the first step of every
 // benchmark period (Fig. 7) — and reloads the dimension reference data of
-// the consolidation layers.
+// the consolidation layers. Instances are truncated in parallel; they are
+// independent stores.
 func (s *Scenario) Uninitialize() error {
-	for _, name := range DatabaseSystems {
-		s.ES.Instance(name).TruncateAll()
-	}
-	for _, name := range WebServiceSystems {
-		s.WS.Service(name).Database().TruncateAll()
+	systems := len(DatabaseSystems)
+	if err := runBounded(systems+len(WebServiceSystems), initWorkers, func(i int) error {
+		if i < systems {
+			s.ES.Instance(DatabaseSystems[i]).TruncateAll()
+		} else {
+			s.WS.Service(WebServiceSystems[i-systems]).Database().TruncateAll()
+		}
+		return nil
+	}); err != nil {
+		return err
 	}
 	return s.loadReferenceData()
 }
@@ -228,56 +284,124 @@ func (s *Scenario) loadReferenceData() error {
 	return nil
 }
 
+// SourceData is the complete set of per-period datasets for the source
+// systems, generated ahead of loading. It is a pure value: producing one
+// touches no store, so the driver can compute period k+1's SourceData while
+// period k's streams are still running.
+type SourceData struct {
+	Europe map[string]*datagen.EuropeDataset
+	TPCH   map[string]*datagen.TPCHDataset
+	Asia   map[string]*datagen.AsiaDataset
+}
+
+// GenerateSourceData produces the datasets of every source system for the
+// generator's period. Sources generate in parallel; each dataset is a pure
+// function of (seed, period, source), so the result is independent of
+// worker scheduling.
+func GenerateSourceData(g *datagen.Generator) (*SourceData, error) {
+	data := &SourceData{
+		Europe: make(map[string]*datagen.EuropeDataset, 2),
+		TPCH:   make(map[string]*datagen.TPCHDataset, 3),
+		Asia:   make(map[string]*datagen.AsiaDataset, 3),
+	}
+	var mu sync.Mutex
+	err := runBounded(len(SourceSystems), initWorkers, func(i int) error {
+		name := SourceSystems[i]
+		switch {
+		case name == schema.SysBerlinParis || name == schema.SysTrondheim:
+			ds, err := g.Europe(name)
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			data.Europe[name] = ds
+			mu.Unlock()
+		case IsWebService(name):
+			ds, err := g.Asia(name)
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			data.Asia[name] = ds
+			mu.Unlock()
+		default:
+			ds, err := g.TPCH(name)
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			data.TPCH[name] = ds
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+// LoadSources loads pre-generated datasets into the source stores, one
+// worker per source (bounded). The stores are independent instances and
+// each table's rows keep their relation order, so the loaded state is
+// byte-identical to a sequential load.
+func (s *Scenario) LoadSources(data *SourceData) error {
+	return runBounded(len(SourceSystems), initWorkers, func(i int) error {
+		name := SourceSystems[i]
+		var tables map[string]*rel.Relation
+		var db *rel.Database
+		switch {
+		case name == schema.SysBerlinParis || name == schema.SysTrondheim:
+			ds := data.Europe[name]
+			if ds == nil {
+				return fmt.Errorf("scenario: no generated data for %s", name)
+			}
+			db = s.ES.Instance(name)
+			tables = map[string]*rel.Relation{
+				"City": ds.City, "Company": ds.Company, "Customer": ds.Customer,
+				"Orders": ds.Orders, "Orderline": ds.Orderline,
+				"Product": ds.Product, "ProductGroup": ds.ProductGroup,
+			}
+		case IsWebService(name):
+			ds := data.Asia[name]
+			if ds == nil {
+				return fmt.Errorf("scenario: no generated data for %s", name)
+			}
+			db = s.WS.Service(name).Database()
+			tables = map[string]*rel.Relation{
+				"Customers": ds.Customers, "Products": ds.Products,
+				"Orders": ds.Orders, "OrderItems": ds.OrderItems,
+			}
+		default:
+			ds := data.TPCH[name]
+			if ds == nil {
+				return fmt.Errorf("scenario: no generated data for %s", name)
+			}
+			db = s.ES.Instance(name)
+			tables = map[string]*rel.Relation{
+				"Customer": ds.Customer, "Orders": ds.Orders,
+				"Lineitem": ds.Lineitem, "Part": ds.Part,
+			}
+		}
+		for table, r := range tables {
+			if err := db.MustTable(table).InsertAll(r); err != nil {
+				return fmt.Errorf("scenario: init %s.%s: %w", name, table, err)
+			}
+		}
+		return nil
+	})
+}
+
 // InitializeSources loads the generator's per-period datasets into all
-// source systems — the second step of every benchmark period.
+// source systems — the second step of every benchmark period. It is
+// GenerateSourceData followed by LoadSources; callers that can generate
+// ahead of time (the pipelined driver) invoke the two halves themselves.
 func (s *Scenario) InitializeSources(g *datagen.Generator) error {
-	for _, name := range []string{schema.SysBerlinParis, schema.SysTrondheim} {
-		ds, err := g.Europe(name)
-		if err != nil {
-			return err
-		}
-		db := s.ES.Instance(name)
-		for table, r := range map[string]*rel.Relation{
-			"City": ds.City, "Company": ds.Company, "Customer": ds.Customer,
-			"Orders": ds.Orders, "Orderline": ds.Orderline,
-			"Product": ds.Product, "ProductGroup": ds.ProductGroup,
-		} {
-			if err := db.MustTable(table).InsertAll(r); err != nil {
-				return fmt.Errorf("scenario: init %s.%s: %w", name, table, err)
-			}
-		}
+	data, err := GenerateSourceData(g)
+	if err != nil {
+		return err
 	}
-	for _, name := range []string{schema.SysChicago, schema.SysBaltimore, schema.SysMadison} {
-		ds, err := g.TPCH(name)
-		if err != nil {
-			return err
-		}
-		db := s.ES.Instance(name)
-		for table, r := range map[string]*rel.Relation{
-			"Customer": ds.Customer, "Orders": ds.Orders,
-			"Lineitem": ds.Lineitem, "Part": ds.Part,
-		} {
-			if err := db.MustTable(table).InsertAll(r); err != nil {
-				return fmt.Errorf("scenario: init %s.%s: %w", name, table, err)
-			}
-		}
-	}
-	for _, name := range WebServiceSystems {
-		ds, err := g.Asia(name)
-		if err != nil {
-			return err
-		}
-		db := s.WS.Service(name).Database()
-		for table, r := range map[string]*rel.Relation{
-			"Customers": ds.Customers, "Products": ds.Products,
-			"Orders": ds.Orders, "OrderItems": ds.OrderItems,
-		} {
-			if err := db.MustTable(table).InsertAll(r); err != nil {
-				return fmt.Errorf("scenario: init %s.%s: %w", name, table, err)
-			}
-		}
-	}
-	return nil
+	return s.LoadSources(data)
 }
 
 // TotalSourceRows counts the rows currently loaded in all source systems;

@@ -195,7 +195,7 @@ func (r *Registry) dispatch(w http.ResponseWriter, req *http.Request) {
 		http.Error(w, "read: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	doc, err := x.Parse(bytes.NewReader(body))
+	doc, err := x.ParseBytes(body)
 	if err != nil {
 		http.Error(w, "parse: "+err.Error(), http.StatusBadRequest)
 		return
@@ -267,7 +267,7 @@ func (c *Client) Query(table string) (*x.Node, error) {
 	if err != nil {
 		return nil, err
 	}
-	return x.Parse(bytes.NewReader(body))
+	return x.ParseBytes(body)
 }
 
 // QueryRelation fetches a whole table materialized as a relation.

@@ -160,16 +160,20 @@ func (n *Node) CountElements() int {
 }
 
 // WriteXML serializes the tree. Attributes are written in sorted key order
-// so output is deterministic.
+// so output is deterministic. The bytes are produced by AppendXML on a
+// pooled buffer and written in one call; encodeStd remains as the reference
+// implementation the tests compare against.
 func (n *Node) WriteXML(w io.Writer) error {
-	enc := xml.NewEncoder(w)
-	if err := n.encode(enc); err != nil {
-		return err
-	}
-	return enc.Flush()
+	bp := bufPool.Get().(*[]byte)
+	b := n.AppendXML((*bp)[:0])
+	_, err := w.Write(b)
+	*bp = b[:0]
+	bufPool.Put(bp)
+	return err
 }
 
-func (n *Node) encode(enc *xml.Encoder) error {
+// encodeStd is the encoding/xml serialization AppendXML must byte-match.
+func (n *Node) encodeStd(enc *xml.Encoder) error {
 	start := xml.StartElement{Name: xml.Name{Local: n.Name}}
 	if len(n.Attrs) > 0 {
 		keys := make([]string, 0, len(n.Attrs))
@@ -186,7 +190,7 @@ func (n *Node) encode(enc *xml.Encoder) error {
 	}
 	if len(n.Children) > 0 {
 		for _, c := range n.Children {
-			if err := c.encode(enc); err != nil {
+			if err := c.encodeStd(enc); err != nil {
 				return err
 			}
 		}
@@ -198,18 +202,34 @@ func (n *Node) encode(enc *xml.Encoder) error {
 	return enc.EncodeToken(start.End())
 }
 
-// String serializes the tree to a string; it panics only on encoder bugs.
+// String serializes the tree to a string.
 func (n *Node) String() string {
-	var b strings.Builder
-	if err := n.WriteXML(&b); err != nil {
-		return fmt.Sprintf("<!-- encode error: %v -->", err)
-	}
-	return b.String()
+	bp := bufPool.Get().(*[]byte)
+	b := n.AppendXML((*bp)[:0])
+	s := string(b)
+	*bp = b[:0]
+	bufPool.Put(bp)
+	return s
 }
 
 // Parse reads one XML document into a Node tree. Whitespace-only text is
-// dropped; mixed content keeps only the concatenated non-child text.
+// dropped; mixed content keeps only the concatenated non-child text. The
+// input is buffered and handed to the pooled fast decoder; documents
+// outside its subset take the encoding/xml path below.
 func Parse(r io.Reader) (*Node, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("xmlmsg: parse: %w", err)
+	}
+	d := decoderPool.Get().(*Decoder)
+	n, err := d.ParseString(string(data))
+	decoderPool.Put(d)
+	return n, err
+}
+
+// parseStd is the encoding/xml reference parser; its behavior (accepted
+// documents and error messages) defines Parse's contract.
+func parseStd(r io.Reader) (*Node, error) {
 	dec := xml.NewDecoder(r)
 	var stack []*Node
 	var root *Node
@@ -262,7 +282,16 @@ func Parse(r io.Reader) (*Node, error) {
 	return root, nil
 }
 
-// ParseString is Parse over a string.
+// ParseString is Parse over a string. It runs on a pooled Decoder, so the
+// common case — a well-formed data-centric document — skips encoding/xml.
 func ParseString(s string) (*Node, error) {
-	return Parse(strings.NewReader(s))
+	d := decoderPool.Get().(*Decoder)
+	n, err := d.ParseString(s)
+	decoderPool.Put(d)
+	return n, err
+}
+
+// ParseBytes is Parse over a byte slice without intermediate buffering.
+func ParseBytes(b []byte) (*Node, error) {
+	return ParseString(string(b))
 }
