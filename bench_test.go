@@ -579,6 +579,158 @@ func BenchmarkIndexedSelect(b *testing.B) {
 	})
 }
 
+// tileRelation concatenates n copies of r, shifting the named integer
+// key columns by a disjoint per-copy offset so uniqueness (and join
+// fan-out) is preserved while the row count scales past the morsel
+// threshold of the parallel kernels.
+func tileRelation(b *testing.B, r *rel.Relation, n int, keyCols ...string) *rel.Relation {
+	b.Helper()
+	ords := make([]int, len(keyCols))
+	for i, c := range keyCols {
+		ords[i] = r.Schema().MustOrdinal(c)
+	}
+	rows := make([]rel.Row, 0, r.Len()*n)
+	for c := 0; c < n; c++ {
+		off := int64(c) * 10_000_000
+		for i := 0; i < r.Len(); i++ {
+			row := append(rel.Row(nil), r.Row(i)...)
+			for _, o := range ords {
+				row[o] = rel.NewInt(row[o].Int() + off)
+			}
+			rows = append(rows, row)
+		}
+	}
+	out, err := rel.NewRelation(r.Schema(), rows)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return out
+}
+
+// BenchmarkParallelOperators A/B-compares the sequential relational
+// kernels against the morsel-driven parallel ones over the realistic
+// Europe orders/orderline datasets. The par=N sub-benchmarks force the
+// worker pool past GOMAXPROCS so the partitioned code path runs even on
+// the single-core CI leg; real speedups need multiple cores (run with
+// GOMAXPROCS>=4 to reproduce the archived numbers).
+func BenchmarkParallelOperators(b *testing.B) {
+	g := datagen.MustNew(datagen.Config{Seed: 1, Datasize: 1, Dist: datagen.Uniform})
+	ds, err := g.Europe("Berlin_Paris")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds2, err := g.Europe("Trondheim")
+	if err != nil {
+		b.Fatal(err)
+	}
+	// The d=1 Europe tables sit below one morsel (4096 rows); tile them
+	// with disjoint key ranges so the kernels genuinely partition.
+	const copies = 12
+	orders := tileRelation(b, ds.Orders, copies, "Ordkey")
+	orderline := tileRelation(b, ds.Orderline, copies, "Ordkey")
+	orders2 := tileRelation(b, ds2.Orders, copies, "Ordkey")
+	pred := rel.ColEq("Location", rel.NewString("Berlin"))
+	degrees := []int{0, 4}
+	restore := rel.MaxWorkers()
+	rel.SetMaxWorkers(8)
+	b.Cleanup(func() { rel.SetMaxWorkers(restore) })
+	for _, par := range degrees {
+		name := fmt.Sprintf("par_%d", par)
+		if par == 0 {
+			name = "seq"
+		}
+		b.Run("select/"+name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				out, err := orders.SelectPar(par, pred)
+				if err != nil || out.Len() == 0 {
+					b.Fatal("empty selection")
+				}
+			}
+		})
+		b.Run("join/"+name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				out, err := orderline.JoinPar(par, orders, "Ordkey", "Ordkey", "o_")
+				if err != nil || out.Len() == 0 {
+					b.Fatal("empty join")
+				}
+			}
+		})
+		b.Run("groupby/"+name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				out, err := orders.GroupByPar(par, []string{"Custkey"}, []rel.AggSpec{
+					{Func: "count", As: "N"},
+					{Func: "sum", Col: "Total", As: "Sum"},
+				})
+				if err != nil || out.Len() == 0 {
+					b.Fatalf("empty aggregation (%v)", err)
+				}
+			}
+		})
+		b.Run("union/"+name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				out, err := orders.UnionDistinctPar(par, []string{"Ordkey"}, orders2)
+				if err != nil || out.Len() == 0 {
+					b.Fatal("empty union")
+				}
+			}
+		})
+		b.Run("sort/"+name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				out, err := orders.SortPar(par, "Custkey", "Ordkey")
+				if err != nil || out.Len() == 0 {
+					b.Fatal("empty sort")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStreamCD measures the serialized warehouse-load (stream C:
+// P12-P13) and mart-refresh (stream D: P14-P15) chain end to end —
+// the critical path the morsel kernels target — sequential vs. with
+// intra-operator parallelism. At d=0.1 the warehouse facts stay below
+// one morsel (the kernels take their sequential fallback, so the two
+// variants must be at parity); at d=4 the fact tables span 3-8 morsels
+// and the partitioned paths genuinely run.
+func BenchmarkStreamCD(b *testing.B) {
+	for _, d := range []float64{0.1, 4} {
+		for _, par := range []int{0, 4} {
+			name := fmt.Sprintf("d_%g/par_%d", d, par)
+			if par == 0 {
+				name = fmt.Sprintf("d_%g/seq", d)
+			}
+			b.Run(name, func(b *testing.B) {
+				restore := rel.MaxWorkers()
+				rel.SetMaxWorkers(8)
+				b.Cleanup(func() { rel.SetMaxWorkers(restore) })
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					s, _ := benchScenario(b, d)
+					opts := engine.Options{PlanCache: true, Parallelism: par}
+					eng, err := engine.New("streamcd", opts, processes.MustNew(), s.Gateway(), nil)
+					if err != nil {
+						b.Fatal(err)
+					}
+					s.SetParallelism(par)
+					// Prerequisites: the extraction processes that populate the
+					// staging tables streams C/D consume.
+					for _, pre := range []string{"P05", "P06", "P07"} {
+						if err := eng.Execute(pre, nil, 0); err != nil {
+							b.Fatal(err)
+						}
+					}
+					b.StartTimer()
+					for _, id := range []string{"P12", "P13", "P14", "P15"} {
+						if err := eng.Execute(id, nil, 0); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkRelationalSelect measures the predicate scan of the relational
 // substrate over a realistic Europe orders table.
 func BenchmarkRelationalSelect(b *testing.B) {

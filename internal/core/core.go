@@ -157,6 +157,11 @@ func New(cfg Config) (*Benchmark, error) {
 		_ = scn.Close()
 		return nil, err
 	}
+	// The warehouse-layer stored procedures (OrdersMV refresh) run inside
+	// the external systems; give them the engine's parallel degree so the
+	// optimized engines' C/D streams parallelize end to end while the
+	// federated reference keeps them sequential.
+	scn.SetParallelism(eng.Options().Parallelism)
 	var clock driver.Clock
 	if cfg.FastClock {
 		clock = driver.FastClock{}

@@ -28,6 +28,7 @@ package engine
 import (
 	"bytes"
 	"fmt"
+	"runtime"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -65,6 +66,12 @@ type Options struct {
 	BatchSize int
 	// BatchTimeout flushes a partial batch; defaults to 2ms.
 	BatchTimeout time.Duration
+	// Parallelism enables morsel-driven intra-operator parallelism in the
+	// relational kernels (degree = Parallelism workers per operator). 0 or
+	// 1 keeps every operator on the sequential path — the federated
+	// "System A" engine must stay sequential so its measured profile
+	// matches the paper's reference implementation.
+	Parallelism int
 }
 
 // Engine executes process instances and records their costs.
@@ -80,7 +87,7 @@ type Engine struct {
 	pending  sync.Map      // queue TID -> *monitor.InstanceRecorder
 	workers  chan struct{} // worker-pool semaphore (nil when unbounded)
 
-	mu       sync.Mutex
+	mu       sync.RWMutex
 	plans    map[string]*plan
 	batchers map[string]*batcher
 	closed   bool
@@ -117,6 +124,9 @@ func New(name string, opts Options, defs *processes.Definitions, ext mtm.Externa
 	}
 	if opts.BatchSize < 0 {
 		return nil, fmt.Errorf("engine: BatchSize must be non-negative, got %d", opts.BatchSize)
+	}
+	if opts.Parallelism < 0 {
+		return nil, fmt.Errorf("engine: Parallelism must be non-negative, got %d", opts.Parallelism)
 	}
 	if opts.BatchSize > 1 && opts.QueueTrigger {
 		return nil, fmt.Errorf("engine: BatchSize and QueueTrigger are mutually exclusive")
@@ -163,15 +173,24 @@ func (e *Engine) batchTimeout() time.Duration {
 	return 2 * time.Millisecond
 }
 
-// batcherFor returns (creating on demand) the process's batcher.
+// batcherFor returns (creating on demand) the process's batcher. Every E1
+// submit of a batching engine passes through here, so the steady state — the
+// batcher already exists — takes only a read lock; concurrent streams then
+// proceed without serializing on e.mu.
 func (e *Engine) batcherFor(p *mtm.Process) *batcher {
+	e.mu.RLock()
+	b, ok := e.batchers[p.ID]
+	e.mu.RUnlock()
+	if ok {
+		return b
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	b, ok := e.batchers[p.ID]
-	if !ok {
-		b = newBatcher(e, p)
-		e.batchers[p.ID] = b
+	if b, ok := e.batchers[p.ID]; ok { // lost the creation race
+		return b
 	}
+	b = newBatcher(e, p)
+	e.batchers[p.ID] = b
 	return b
 }
 
@@ -182,10 +201,15 @@ func NewFederated(defs *processes.Definitions, ext mtm.External, mon *monitor.Mo
 	}, defs, ext, mon)
 }
 
+// DefaultParallelism is the intra-operator parallel degree the optimized
+// engine presets use: one worker per available core.
+func DefaultParallelism() int { return runtime.GOMAXPROCS(0) }
+
 // NewPipeline creates the optimized pipelined engine.
 func NewPipeline(defs *processes.Definitions, ext mtm.External, mon *monitor.Monitor) (*Engine, error) {
 	return New("pipeline", Options{
 		PlanCache: true, Materialize: false, QueueTrigger: false,
+		Parallelism: DefaultParallelism(),
 	}, defs, ext, mon)
 }
 
@@ -200,6 +224,7 @@ const DefaultEAIWorkers = 4
 func NewEAI(defs *processes.Definitions, ext mtm.External, mon *monitor.Monitor) (*Engine, error) {
 	return New("eai", Options{
 		PlanCache: true, QueueTrigger: true, MaxWorkers: DefaultEAIWorkers,
+		Parallelism: DefaultParallelism(),
 	}, defs, ext, mon)
 }
 
@@ -213,6 +238,7 @@ const DefaultETLBatch = 8
 func NewETL(defs *processes.Definitions, ext mtm.External, mon *monitor.Monitor) (*Engine, error) {
 	return New("etl", Options{
 		PlanCache: true, BatchSize: DefaultETLBatch,
+		Parallelism: DefaultParallelism(),
 	}, defs, ext, mon)
 }
 
@@ -380,6 +406,7 @@ func (e *Engine) runInstance(p *mtm.Process, input *mtm.Message, rec *monitor.In
 		rec.Record(mtm.CostMgmt, time.Since(mgmtStart))
 	}
 	ctx := mtm.NewContext(e.ext, input, costRec)
+	ctx.SetParallelism(e.opts.Parallelism)
 	return mtm.Run(pl.process, ctx)
 }
 
@@ -398,12 +425,12 @@ func (e *Engine) QueueDepth() int {
 // period k, not under k+1 — and the engine-internal queue tables are
 // truncated.
 func (e *Engine) ResetQueues() {
-	e.mu.Lock()
+	e.mu.RLock()
 	batchers := make([]*batcher, 0, len(e.batchers))
 	for _, b := range e.batchers {
 		batchers = append(batchers, b)
 	}
-	e.mu.Unlock()
+	e.mu.RUnlock()
 	for _, b := range batchers {
 		b.drain()
 	}

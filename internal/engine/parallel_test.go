@@ -1,0 +1,77 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/processes"
+)
+
+// TestPresetParallelism pins the Parallelism knob of the named engine
+// configurations: the federated "System A" reference must stay sequential
+// (its measured profile is the paper's baseline), while the optimized
+// engines enable the morsel kernels.
+func TestPresetParallelism(t *testing.T) {
+	f := newFixture(t)
+	defs := processes.MustNew()
+
+	fed := f.federated(t)
+	if got := fed.Options().Parallelism; got != 0 {
+		t.Errorf("federated Parallelism = %d, want 0 (sequential reference)", got)
+	}
+	pipe := f.pipeline(t)
+	if got := pipe.Options().Parallelism; got != DefaultParallelism() {
+		t.Errorf("pipeline Parallelism = %d, want %d", got, DefaultParallelism())
+	}
+	eai, err := NewEAI(defs, f.s.Gateway(), f.mon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := eai.Options().Parallelism; got != DefaultParallelism() {
+		t.Errorf("eai Parallelism = %d, want %d", got, DefaultParallelism())
+	}
+	etl, err := NewETL(defs, f.s.Gateway(), f.mon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer etl.Close()
+	if got := etl.Options().Parallelism; got != DefaultParallelism() {
+		t.Errorf("etl Parallelism = %d, want %d", got, DefaultParallelism())
+	}
+
+	if _, err := New("bad", Options{Parallelism: -1}, defs, f.s.Gateway(), f.mon); err == nil {
+		t.Error("negative Parallelism accepted")
+	}
+}
+
+// TestBatcherForConcurrent hammers the read-mostly batcher lookup from many
+// goroutines; with the double-checked fast path every caller must get the
+// same batcher instance and no creation may be lost (run under -race for
+// the memory-model check).
+func TestBatcherForConcurrent(t *testing.T) {
+	f := newFixture(t)
+	e, err := NewETL(processes.MustNew(), f.s.Gateway(), f.mon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	p := e.defs.ByID("P08")
+	const goroutines = 16
+	got := make([]*batcher, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				got[i] = e.batcherFor(p)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < goroutines; i++ {
+		if got[i] != got[0] {
+			t.Fatalf("goroutine %d got a different batcher instance", i)
+		}
+	}
+}

@@ -22,12 +22,12 @@ type plan struct {
 // type; without it, every instance recompiles.
 func (e *Engine) plan(p *mtm.Process) *plan {
 	if e.opts.PlanCache {
-		e.mu.Lock()
-		if pl, ok := e.plans[p.ID]; ok {
-			e.mu.Unlock()
+		e.mu.RLock()
+		pl, ok := e.plans[p.ID]
+		e.mu.RUnlock()
+		if ok {
 			return pl
 		}
-		e.mu.Unlock()
 	}
 	pl := e.compile(p)
 	if e.opts.PlanCache {

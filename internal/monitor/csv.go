@@ -54,9 +54,7 @@ func ReadRecordsCSV(r io.Reader, timeScale float64) (*Monitor, error) {
 		if row[8] == "1" {
 			rec.Err = fmt.Errorf("instance failed (from csv)")
 		}
-		m.mu.Lock()
-		m.records = append(m.records, rec)
-		m.mu.Unlock()
+		m.addRecord(rec)
 	}
 	return m, nil
 }

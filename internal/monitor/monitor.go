@@ -25,26 +25,47 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/mtm"
 )
 
 // Monitor collects instance records for one benchmark run.
+//
+// Locking: the activity ledger (a step function of how many instances run
+// concurrently) must stay global — normalization divides by concurrency
+// over ALL instances — so it keeps its own small mutex, held only for the
+// ledger arithmetic. The finished records are sharded per process type and
+// merged on read, and the operator aggregation has a separate lock, so the
+// concurrent streams A/B do not funnel every measurement through a single
+// mutex.
 type Monitor struct {
 	timeScale float64 // scale factor t: 1 tu = 1/t ms
 
-	mu        sync.Mutex
+	mu        sync.Mutex // guards the activity ledger only
 	active    int
 	lastEvent time.Time
 	area      float64 // integral of active instances over seconds
-	records   []*Record
 	started   bool
-	opTotals  map[opKey]*opCell // per (process, operator kind) aggregation
+
+	seq     atomic.Uint64 // global record order for merge-on-read
+	shardMu sync.RWMutex  // guards the shard map (not the shards)
+	shards  map[string]*recordShard
+
+	opMu     sync.Mutex
+	opTotals map[opKey]*opCell // per (process, operator kind) aggregation
+}
+
+// recordShard holds the finished records of one process type.
+type recordShard struct {
+	mu      sync.Mutex
+	records []*Record
 }
 
 // Record is the measurement of one finished process instance.
 type Record struct {
+	seq     uint64 // global finish order (merge-on-read key)
 	Process string
 	Period  int
 	Start   time.Time
@@ -73,7 +94,35 @@ func New(timeScale float64) *Monitor {
 	if timeScale <= 0 {
 		timeScale = 1
 	}
-	return &Monitor{timeScale: timeScale}
+	return &Monitor{timeScale: timeScale, shards: make(map[string]*recordShard)}
+}
+
+// shard returns (creating on demand) the process type's record shard. The
+// steady state takes only a read lock.
+func (m *Monitor) shard(process string) *recordShard {
+	m.shardMu.RLock()
+	s := m.shards[process]
+	m.shardMu.RUnlock()
+	if s != nil {
+		return s
+	}
+	m.shardMu.Lock()
+	defer m.shardMu.Unlock()
+	if s := m.shards[process]; s != nil {
+		return s
+	}
+	s = &recordShard{}
+	m.shards[process] = s
+	return s
+}
+
+// addRecord stamps the record's global order and files it in its shard.
+func (m *Monitor) addRecord(rec *Record) {
+	rec.seq = m.seq.Add(1)
+	s := m.shard(rec.Process)
+	s.mu.Lock()
+	s.records = append(s.records, rec)
+	s.mu.Unlock()
 }
 
 // TimeScale returns the configured scale factor t.
@@ -143,7 +192,6 @@ func (r *InstanceRecorder) Finish(err error) {
 
 	m := r.m
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	m.advance(now)
 	m.active--
 	lifetime := now.Sub(r.rec.Start).Seconds()
@@ -152,15 +200,26 @@ func (r *InstanceRecorder) Finish(err error) {
 	} else {
 		r.rec.AvgConc = float64(m.active + 1)
 	}
-	m.records = append(m.records, r.rec)
+	m.mu.Unlock()
+	m.addRecord(r.rec)
 }
 
-// Records returns a snapshot of all finished instance records.
+// Records returns a snapshot of all finished instance records, merged
+// from the per-process shards in global finish order.
 func (m *Monitor) Records() []*Record {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make([]*Record, len(m.records))
-	copy(out, m.records)
+	m.shardMu.RLock()
+	shards := make([]*recordShard, 0, len(m.shards))
+	for _, s := range m.shards {
+		shards = append(shards, s)
+	}
+	m.shardMu.RUnlock()
+	var out []*Record
+	for _, s := range shards {
+		s.mu.Lock()
+		out = append(out, s.records...)
+		s.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
 	return out
 }
 

@@ -29,8 +29,8 @@ func (r *InstanceRecorder) RecordOp(kind string, d time.Duration) {
 var _ mtm.OpRecorder = (*InstanceRecorder)(nil)
 
 func (m *Monitor) recordOp(process, kind string, d time.Duration) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.opMu.Lock()
+	defer m.opMu.Unlock()
 	if m.opTotals == nil {
 		m.opTotals = make(map[opKey]*opCell)
 	}
@@ -64,8 +64,8 @@ type OperatorStat struct {
 // OperatorBreakdown returns the per-kind totals of one process type,
 // ordered by descending total time.
 func (m *Monitor) OperatorBreakdown(process string) []OperatorStat {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.opMu.Lock()
+	defer m.opMu.Unlock()
 	var out []OperatorStat
 	for key, cell := range m.opTotals {
 		if key.process != process {
@@ -89,12 +89,12 @@ func (m *Monitor) WriteOperatorCSV(w io.Writer) error {
 	if _, err := fmt.Fprintln(w, "process,operator,executions,total_tu,avg_tu"); err != nil {
 		return err
 	}
-	m.mu.Lock()
+	m.opMu.Lock()
 	procs := map[string]bool{}
 	for key := range m.opTotals {
 		procs[key.process] = true
 	}
-	m.mu.Unlock()
+	m.opMu.Unlock()
 	ids := make([]string, 0, len(procs))
 	for id := range procs {
 		ids = append(ids, id)

@@ -1,0 +1,88 @@
+package monitor
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/mtm"
+)
+
+// TestConcurrentRecordingAcrossProcessTypes exercises the sharded ledger:
+// many process types start, record and finish concurrently (as streams A/B
+// do). Every record must land exactly once and Records() must return them
+// in a consistent global finish order.
+func TestConcurrentRecordingAcrossProcessTypes(t *testing.T) {
+	m := New(1)
+	const procs = 8
+	const perProc = 50
+	var wg sync.WaitGroup
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			name := fmt.Sprintf("P%02d", p+1)
+			for i := 0; i < perProc; i++ {
+				rec := m.StartInstance(name, i%3)
+				rec.Record(mtm.CostProc, time.Microsecond)
+				rec.RecordOp("INVOKE", time.Microsecond)
+				rec.Finish(nil)
+			}
+		}(p)
+	}
+	wg.Wait()
+	records := m.Records()
+	if len(records) != procs*perProc {
+		t.Fatalf("got %d records, want %d", len(records), procs*perProc)
+	}
+	// Merge-on-read order: strictly increasing global sequence.
+	for i := 1; i < len(records); i++ {
+		if records[i-1].seq >= records[i].seq {
+			t.Fatalf("records out of order at %d: seq %d then %d", i, records[i-1].seq, records[i].seq)
+		}
+	}
+	perType := map[string]int{}
+	for _, r := range records {
+		perType[r.Process]++
+	}
+	for p := 0; p < procs; p++ {
+		name := fmt.Sprintf("P%02d", p+1)
+		if perType[name] != perProc {
+			t.Errorf("%s: %d records, want %d", name, perType[name], perProc)
+		}
+	}
+	if m.Active() != 0 {
+		t.Errorf("active after all finished: %d", m.Active())
+	}
+	// The operator aggregation saw every execution.
+	total := 0
+	for p := 0; p < procs; p++ {
+		for _, st := range m.OperatorBreakdown(fmt.Sprintf("P%02d", p+1)) {
+			total += st.Executions
+		}
+	}
+	if total != procs*perProc {
+		t.Errorf("operator executions: %d, want %d", total, procs*perProc)
+	}
+}
+
+// TestRecordsPreserveFinishOrderSequential pins the merge order to the
+// actual finish order when instances finish one after another.
+func TestRecordsPreserveFinishOrderSequential(t *testing.T) {
+	m := New(1)
+	names := []string{"P03", "P01", "P03", "P02", "P01"}
+	for i, n := range names {
+		rec := m.StartInstance(n, i)
+		rec.Finish(nil)
+	}
+	records := m.Records()
+	if len(records) != len(names) {
+		t.Fatalf("got %d records", len(records))
+	}
+	for i, r := range records {
+		if r.Process != names[i] || r.Period != i {
+			t.Fatalf("record %d is %s/%d, want %s/%d", i, r.Process, r.Period, names[i], i)
+		}
+	}
+}

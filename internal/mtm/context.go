@@ -89,6 +89,7 @@ type Context struct {
 	Input *Message
 
 	rec  CostRecorder
+	par  int
 	mu   sync.Mutex
 	vars map[string]*Message
 }
@@ -100,6 +101,14 @@ func NewContext(ext External, input *Message, rec CostRecorder) *Context {
 	}
 	return &Context{Ext: ext, Input: input, rec: rec, vars: make(map[string]*Message)}
 }
+
+// SetParallelism sets the intra-operator parallel degree the dataset
+// operators request from the relational kernels; <= 1 keeps every operator
+// sequential. Set once before Run — it is not synchronized.
+func (c *Context) SetParallelism(par int) { c.par = par }
+
+// Parallelism returns the intra-operator parallel degree.
+func (c *Context) Parallelism() int { return c.par }
 
 // Get returns the variable binding, or nil.
 func (c *Context) Get(name string) *Message {

@@ -277,7 +277,7 @@ func (o Selection) Execute(ctx *Context) error {
 	if err != nil {
 		return err
 	}
-	out, err := r.Select(o.Pred)
+	out, err := r.SelectPar(ctx.Parallelism(), o.Pred)
 	if err != nil {
 		return fmt.Errorf("mtm: SELECTION: %w", err)
 	}
@@ -305,7 +305,7 @@ func (o Projection) Execute(ctx *Context) error {
 	if err != nil {
 		return err
 	}
-	out, err := r.Project(o.Cols...)
+	out, err := r.ProjectPar(ctx.Parallelism(), o.Cols...)
 	if err != nil {
 		return fmt.Errorf("mtm: PROJECTION: %w", err)
 	}
@@ -345,7 +345,7 @@ func (o UnionDistinct) Execute(ctx *Context) error {
 		}
 		rest = append(rest, r)
 	}
-	out, err := first.UnionDistinct(o.KeyCols, rest...)
+	out, err := first.UnionDistinctPar(ctx.Parallelism(), o.KeyCols, rest...)
 	if err != nil {
 		return fmt.Errorf("mtm: UNION_DISTINCT: %w", err)
 	}
@@ -380,7 +380,7 @@ func (o Join) Execute(ctx *Context) error {
 	if err != nil {
 		return err
 	}
-	out, err := l.Join(r, o.LeftCol, o.RightCol, o.ClashPrefix)
+	out, err := l.JoinPar(ctx.Parallelism(), r, o.LeftCol, o.RightCol, o.ClashPrefix)
 	if err != nil {
 		return fmt.Errorf("mtm: JOIN: %w", err)
 	}

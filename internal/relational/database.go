@@ -27,6 +27,7 @@ type Database struct {
 	mu     sync.RWMutex
 	tables map[string]*Table
 	procs  map[string]Procedure
+	par    int
 }
 
 // NewDatabase creates an empty database instance.
@@ -40,6 +41,23 @@ func NewDatabase(name string) *Database {
 
 // Name returns the instance name.
 func (db *Database) Name() string { return db.name }
+
+// SetParallelism sets the parallel degree stored procedures on this
+// instance pass to the relational kernels (e.g. the OrdersMV refresh);
+// <= 1 keeps them sequential.
+func (db *Database) SetParallelism(par int) {
+	db.mu.Lock()
+	db.par = par
+	db.mu.Unlock()
+}
+
+// Parallelism returns the instance's parallel degree for stored
+// procedures.
+func (db *Database) Parallelism() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.par
+}
 
 // CreateTable adds a table to the catalog.
 func (db *Database) CreateTable(name string, schema *Schema) (*Table, error) {

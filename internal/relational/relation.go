@@ -117,12 +117,10 @@ func (r *Relation) RenameAll(mapping map[string]string) (*Relation, error) {
 	return out, nil
 }
 
-// UnionDistinct merges relations with union-compatible schemas and removes
-// duplicates with respect to the named key columns. If no key columns are
-// given, whole-row duplicates are removed. The first occurrence wins,
-// scanning r first and the others in order — the UNION DISTINCT operator of
-// process types P03 and P09.
-func (r *Relation) UnionDistinct(keyCols []string, others ...*Relation) (*Relation, error) {
+// unionOrdinals validates union compatibility and resolves the key columns
+// (all columns when none are named) — shared by the sequential and the
+// parallel union kernels.
+func (r *Relation) unionOrdinals(keyCols []string, others []*Relation) ([]int, error) {
 	for _, o := range others {
 		if !r.schema.Equal(o.schema) {
 			return nil, fmt.Errorf("relational: union of incompatible schemas %s and %s",
@@ -141,6 +139,19 @@ func (r *Relation) UnionDistinct(keyCols []string, others ...*Relation) (*Relati
 		for i := range r.schema.Columns {
 			ordinals = append(ordinals, i)
 		}
+	}
+	return ordinals, nil
+}
+
+// UnionDistinct merges relations with union-compatible schemas and removes
+// duplicates with respect to the named key columns. If no key columns are
+// given, whole-row duplicates are removed. The first occurrence wins,
+// scanning r first and the others in order — the UNION DISTINCT operator of
+// process types P03 and P09.
+func (r *Relation) UnionDistinct(keyCols []string, others ...*Relation) (*Relation, error) {
+	ordinals, err := r.unionOrdinals(keyCols, others)
+	if err != nil {
+		return nil, err
 	}
 	type bucket struct{ rows []Row }
 	seen := make(map[uint64]*bucket, r.Len())
@@ -171,11 +182,18 @@ func (r *Relation) UnionDistinct(keyCols []string, others ...*Relation) (*Relati
 	return &Relation{schema: r.schema, rows: out}, nil
 }
 
-// Join computes the natural equi-join of r and o on leftCol = rightCol
-// using a hash join (build on the smaller input). Columns of o that clash
-// with columns of r are prefixed with the given prefix (or dropped if the
-// prefix is empty and the column is the join column).
-func (r *Relation) Join(o *Relation, leftCol, rightCol, clashPrefix string) (*Relation, error) {
+// joinSpec is the validated compilation of a Join invocation: the join
+// ordinals, the output schema, and the kept right-side ordinals. It is
+// shared by the sequential and the parallel join kernels so the two cannot
+// diverge.
+type joinSpec struct {
+	li, ri    int
+	schema    *Schema
+	rightKeep []int
+}
+
+// joinSpec validates a join call against both schemas.
+func (r *Relation) joinSpec(o *Relation, leftCol, rightCol, clashPrefix string) (*joinSpec, error) {
 	li := r.schema.Ordinal(leftCol)
 	if li < 0 {
 		return nil, fmt.Errorf("relational: join: no left column %q", leftCol)
@@ -207,6 +225,29 @@ func (r *Relation) Join(o *Relation, leftCol, rightCol, clashPrefix string) (*Re
 	if err != nil {
 		return nil, err
 	}
+	return &joinSpec{li: li, ri: ri, schema: js, rightKeep: rightKeep}, nil
+}
+
+// joinRow assembles one output row from a matching left/right pair.
+func (s *joinSpec) joinRow(lrow, rrow Row) Row {
+	joined := make(Row, 0, len(s.schema.Columns))
+	joined = append(joined, lrow...)
+	for _, j := range s.rightKeep {
+		joined = append(joined, rrow[j])
+	}
+	return joined
+}
+
+// Join computes the natural equi-join of r and o on leftCol = rightCol
+// using a hash join (build on the smaller input). Columns of o that clash
+// with columns of r are prefixed with the given prefix (or dropped if the
+// prefix is empty and the column is the join column).
+func (r *Relation) Join(o *Relation, leftCol, rightCol, clashPrefix string) (*Relation, error) {
+	spec, err := r.joinSpec(o, leftCol, rightCol, clashPrefix)
+	if err != nil {
+		return nil, err
+	}
+	li, ri := spec.li, spec.ri
 	// Build on the right side.
 	build := make(map[uint64][]Row, o.Len())
 	for _, row := range o.rows {
@@ -223,19 +264,14 @@ func (r *Relation) Join(o *Relation, leftCol, rightCol, clashPrefix string) (*Re
 			if !rrow[ri].Equal(k) {
 				continue
 			}
-			joined := make(Row, 0, len(cols))
-			joined = append(joined, lrow...)
-			for _, j := range rightKeep {
-				joined = append(joined, rrow[j])
-			}
-			out = append(out, joined)
+			out = append(out, spec.joinRow(lrow, rrow))
 		}
 	}
-	return &Relation{schema: js, rows: out}, nil
+	return &Relation{schema: spec.schema, rows: out}, nil
 }
 
-// Sort returns the relation ordered by the named columns ascending.
-func (r *Relation) Sort(cols ...string) (*Relation, error) {
+// sortOrdinals resolves the sort columns to ordinals.
+func (r *Relation) sortOrdinals(cols []string) ([]int, error) {
 	ordinals := make([]int, len(cols))
 	for i, c := range cols {
 		o := r.schema.Ordinal(c)
@@ -244,15 +280,29 @@ func (r *Relation) Sort(cols ...string) (*Relation, error) {
 		}
 		ordinals[i] = o
 	}
+	return ordinals, nil
+}
+
+// compareRowsOn compares two rows on the given ordinals, in order.
+func compareRowsOn(a, b Row, ordinals []int) int {
+	for _, o := range ordinals {
+		if c := a[o].Compare(b[o]); c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+// Sort returns the relation ordered by the named columns ascending.
+func (r *Relation) Sort(cols ...string) (*Relation, error) {
+	ordinals, err := r.sortOrdinals(cols)
+	if err != nil {
+		return nil, err
+	}
 	rows := make([]Row, len(r.rows))
 	copy(rows, r.rows)
 	sort.SliceStable(rows, func(a, b int) bool {
-		for _, o := range ordinals {
-			if c := rows[a][o].Compare(rows[b][o]); c != 0 {
-				return c < 0
-			}
-		}
-		return false
+		return compareRowsOn(rows[a], rows[b], ordinals) < 0
 	})
 	return &Relation{schema: r.schema, rows: rows}, nil
 }
@@ -305,9 +355,21 @@ type AggSpec struct {
 	As   string // output column name
 }
 
-// GroupBy groups rows by the named columns and computes the aggregates.
-// It backs the materialized view OrdersMV refresh of the DIPBench scenario.
-func (r *Relation) GroupBy(groupCols []string, aggs []AggSpec) (*Relation, error) {
+// groupSpec is the validated compilation of a GroupBy invocation: group
+// and aggregate input ordinals plus the output schema. The sequential and
+// the parallel grouping kernels share it — together with aggAcc/groupAcc —
+// so the two paths fold rows through identical arithmetic and cannot
+// diverge (bit-identical float sums included).
+type groupSpec struct {
+	in   *Schema
+	gOrd []int
+	aOrd []int
+	aggs []AggSpec
+	out  *Schema
+}
+
+// groupSpec validates group columns and aggregate specs.
+func (r *Relation) groupSpec(groupCols []string, aggs []AggSpec) (*groupSpec, error) {
 	gOrd := make([]int, len(groupCols))
 	for i, c := range groupCols {
 		o := r.schema.Ordinal(c)
@@ -353,100 +415,130 @@ func (r *Relation) GroupBy(groupCols []string, aggs []AggSpec) (*Relation, error
 	if err != nil {
 		return nil, err
 	}
-	// One accumulator struct per aggregate keeps the per-group bookkeeping
-	// in a single allocation instead of five parallel slices.
-	type aggAcc struct {
-		sum   float64
-		isum  int64
-		min   Value
-		max   Value
-		count int64
+	return &groupSpec{in: r.schema, gOrd: gOrd, aOrd: aOrd, aggs: aggs, out: gs}, nil
+}
+
+// aggAcc is the running state of one aggregate within one group. One
+// accumulator struct per aggregate keeps the per-group bookkeeping in a
+// single allocation instead of five parallel slices.
+type aggAcc struct {
+	sum   float64
+	isum  int64
+	min   Value
+	max   Value
+	count int64
+}
+
+// groupAcc is the accumulator of one group.
+type groupAcc struct {
+	key   []Value
+	count int64
+	aggs  []aggAcc
+}
+
+// newAcc creates the accumulator for the group a row opens.
+func (s *groupSpec) newAcc(row Row) *groupAcc {
+	return &groupAcc{key: row.pick(s.gOrd), aggs: make([]aggAcc, len(s.aggs))}
+}
+
+// update folds one input row into the group's accumulators. Rows must be
+// folded in relation order for bit-identical float sums.
+func (s *groupSpec) update(g *groupAcc, row Row) {
+	g.count++
+	for i, a := range s.aggs {
+		if s.aOrd[i] < 0 {
+			continue
+		}
+		v := row[s.aOrd[i]]
+		if v.IsNull() {
+			continue
+		}
+		st := &g.aggs[i]
+		st.count++
+		switch a.Func {
+		case "sum", "avg":
+			if v.Type() == TypeInt {
+				st.isum += v.Int()
+			}
+			st.sum += v.Float()
+		case "min":
+			if st.min.IsNull() || v.Compare(st.min) < 0 {
+				st.min = v
+			}
+		case "max":
+			if st.max.IsNull() || v.Compare(st.max) > 0 {
+				st.max = v
+			}
+		}
 	}
-	type acc struct {
-		key   []Value
-		count int64
-		aggs  []aggAcc
+}
+
+// emit renders one group's output row.
+func (s *groupSpec) emit(g *groupAcc) Row {
+	row := make(Row, 0, len(s.out.Columns))
+	row = append(row, g.key...)
+	for i, a := range s.aggs {
+		st := g.aggs[i]
+		switch a.Func {
+		case "count":
+			if a.Col != "" {
+				row = append(row, NewInt(st.count))
+			} else {
+				row = append(row, NewInt(g.count))
+			}
+		case "sum":
+			if st.count == 0 {
+				row = append(row, Null)
+			} else if s.in.Columns[s.aOrd[i]].Type == TypeInt {
+				row = append(row, NewInt(st.isum))
+			} else {
+				row = append(row, NewFloat(st.sum))
+			}
+		case "avg":
+			if st.count == 0 {
+				row = append(row, Null)
+			} else {
+				row = append(row, NewFloat(st.sum/float64(st.count)))
+			}
+		case "min":
+			row = append(row, st.min)
+		case "max":
+			row = append(row, st.max)
+		}
 	}
-	groups := make(map[uint64][]*acc)
-	var order []*acc
+	return row
+}
+
+// GroupBy groups rows by the named columns and computes the aggregates.
+// It backs the materialized view OrdersMV refresh of the DIPBench scenario.
+func (r *Relation) GroupBy(groupCols []string, aggs []AggSpec) (*Relation, error) {
+	spec, err := r.groupSpec(groupCols, aggs)
+	if err != nil {
+		return nil, err
+	}
+	groups := make(map[uint64][]*groupAcc)
+	var order []*groupAcc
 	for _, row := range r.rows {
-		h := hashRowOn(row, gOrd)
-		var g *acc
+		h := hashRowOn(row, spec.gOrd)
+		var g *groupAcc
 		for _, cand := range groups[h] {
-			if keyMatches(row, gOrd, cand.key) {
+			if keyMatches(row, spec.gOrd, cand.key) {
 				g = cand
 				break
 			}
 		}
 		if g == nil {
-			g = &acc{key: row.pick(gOrd), aggs: make([]aggAcc, len(aggs))}
+			g = spec.newAcc(row)
 			groups[h] = append(groups[h], g)
 			order = append(order, g)
 		}
-		g.count++
-		for i, a := range aggs {
-			if aOrd[i] < 0 {
-				continue
-			}
-			v := row[aOrd[i]]
-			if v.IsNull() {
-				continue
-			}
-			st := &g.aggs[i]
-			st.count++
-			switch a.Func {
-			case "sum", "avg":
-				if v.Type() == TypeInt {
-					st.isum += v.Int()
-				}
-				st.sum += v.Float()
-			case "min":
-				if st.min.IsNull() || v.Compare(st.min) < 0 {
-					st.min = v
-				}
-			case "max":
-				if st.max.IsNull() || v.Compare(st.max) > 0 {
-					st.max = v
-				}
-			}
-		}
+		spec.update(g, row)
 	}
 	out := make([]Row, 0, len(order))
 	for _, g := range order {
-		row := make(Row, 0, len(cols))
-		row = append(row, g.key...)
-		for i, a := range aggs {
-			st := g.aggs[i]
-			switch a.Func {
-			case "count":
-				if a.Col != "" {
-					row = append(row, NewInt(st.count))
-				} else {
-					row = append(row, NewInt(g.count))
-				}
-			case "sum":
-				if st.count == 0 {
-					row = append(row, Null)
-				} else if r.schema.Columns[aOrd[i]].Type == TypeInt {
-					row = append(row, NewInt(st.isum))
-				} else {
-					row = append(row, NewFloat(st.sum))
-				}
-			case "avg":
-				if st.count == 0 {
-					row = append(row, Null)
-				} else {
-					row = append(row, NewFloat(st.sum/float64(st.count)))
-				}
-			case "min":
-				row = append(row, st.min)
-			case "max":
-				row = append(row, st.max)
-			}
-		}
-		out = append(out, row)
+		out = append(out, spec.emit(g))
 	}
-	return &Relation{schema: gs, rows: out}, nil
+	return &Relation{schema: spec.out, rows: out}, nil
 }
 
 // String renders a small ASCII table; intended for debugging and examples.

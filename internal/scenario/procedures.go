@@ -83,9 +83,10 @@ func spRunMovementDataCleansing(db *rel.Database, _ []rel.Value) (*rel.Relation,
 // Orders fact table: orders aggregated per (Year, Month, Custkey) using
 // the built-in time functions of the Fig. 3 Time dimension.
 func spRefreshOrdersMV(db *rel.Database, _ []rel.Value) (*rel.Relation, error) {
+	par := db.Parallelism()
 	orders := db.MustTable("Orders").Scan()
 	dateOrd := orders.Schema().MustOrdinal("Orderdate")
-	withTime, err := orders.ExtendMany([]rel.Column{
+	withTime, err := orders.ExtendManyPar(par, []rel.Column{
 		{Name: "Year", Type: rel.TypeInt, Nullable: true},
 		{Name: "Month", Type: rel.TypeInt, Nullable: true},
 	}, func(row rel.Row, out []rel.Value) {
@@ -96,7 +97,7 @@ func spRefreshOrdersMV(db *rel.Database, _ []rel.Value) (*rel.Relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	agg, err := withTime.GroupBy([]string{"Year", "Month", "Custkey"}, []rel.AggSpec{
+	agg, err := withTime.GroupByPar(par, []string{"Year", "Month", "Custkey"}, []rel.AggSpec{
 		{Func: "count", As: "OrderCount"},
 		{Func: "sum", Col: "Totalprice", As: "TotalSum"},
 	})

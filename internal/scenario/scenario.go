@@ -172,6 +172,17 @@ func (s *Scenario) DB(system string) *rel.Database {
 	return s.ES.Instance(system)
 }
 
+// SetParallelism propagates the integration engine's intra-operator
+// parallel degree to the stored procedures of the warehouse and data-mart
+// layers (the OrdersMV refreshes of P13/P15). The federated engine leaves
+// the degree at 0, so its measured profile is unaffected.
+func (s *Scenario) SetParallelism(par int) {
+	s.ES.Instance(schema.SysDWH).SetParallelism(par)
+	for _, v := range schema.Marts {
+		s.ES.Instance(v.Name).SetParallelism(par)
+	}
+}
+
 // WSClient returns a client for the named web service.
 func (s *Scenario) WSClient(system string) *ws.Client {
 	return ws.NewClient(s.wsURL, system)

@@ -148,11 +148,18 @@ func PeriodPlan(k int, sf ScaleFactors) (*Plan, error) {
 	if k < 0 || k >= Periods {
 		return nil, fmt.Errorf("schedule: period %d out of range [0,%d)", k, Periods)
 	}
-	p := &Plan{Period: k}
+	// Instance counts are closed-form in (k, d); size the plan exactly so
+	// the per-period hot path of the driver allocates once.
+	nA := CountP01(k, sf.Datasize)
+	total := 2*nA + 1 + // P01, P02, P03
+		CountP04(sf.Datasize) + 3 + // P04, P05..P07
+		CountP08(sf.Datasize) + 1 + // P08, P09
+		CountP10(sf.Datasize) + 1 + // P10, P11
+		2 + 2 // P12, P13; P14, P15
+	p := &Plan{Period: k, Instances: make([]Instance, 0, total)}
 	add := func(in Instance) { p.Instances = append(p.Instances, in) }
 
 	// Stream A.
-	nA := CountP01(k, sf.Datasize)
 	for m := 1; m <= nA; m++ {
 		add(Instance{Process: "P01", Stream: StreamA, Seq: m - 1, OffsetTU: 2 * float64(m-1)})
 	}
@@ -193,9 +200,12 @@ func PeriodPlan(k int, sf ScaleFactors) (*Plan, error) {
 	return p, nil
 }
 
+// processTypes is the number of distinct process types a plan can contain.
+const processTypes = 15
+
 // CountByProcess tallies the plan's instances per process type.
 func (p *Plan) CountByProcess() map[string]int {
-	counts := make(map[string]int)
+	counts := make(map[string]int, processTypes)
 	for _, in := range p.Instances {
 		counts[in.Process]++
 	}
@@ -203,8 +213,18 @@ func (p *Plan) CountByProcess() map[string]int {
 }
 
 // ByStream returns the plan's instances of one stream, in schedule order.
+// Two passes — count, then fill — allocate the result exactly once.
 func (p *Plan) ByStream(s Stream) []Instance {
-	var out []Instance
+	n := 0
+	for _, in := range p.Instances {
+		if in.Stream == s {
+			n++
+		}
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]Instance, 0, n)
 	for _, in := range p.Instances {
 		if in.Stream == s {
 			out = append(out, in)
