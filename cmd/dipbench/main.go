@@ -22,6 +22,9 @@
 //	-fast         dispatch without schedule waiting (functional mode)
 //	-remote       database server behind a real HTTP protocol boundary
 //	-verify       run the post-phase functional verification
+//	-fault-rate p deterministic fault injection probability per external call
+//	-fault-seed n fault plan seed (defaults to -seed)
+//	-chaos-verify verify the integrated data against a fault-free twin run
 //	-quality      print the per-system data quality report after the run
 //	-csv path     write the per-process report as CSV
 //	-dat path     write the gnuplot data file
@@ -42,8 +45,10 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 
 	"repro/internal/core"
+	"repro/internal/driver"
 	"repro/internal/processes"
 	"repro/internal/quality"
 	"repro/internal/schedule"
@@ -61,6 +66,9 @@ func main() {
 		fast    = flag.Bool("fast", false, "skip schedule waiting (functional mode)")
 		remote  = flag.Bool("remote", false, "place the database server behind a real HTTP boundary")
 		verify  = flag.Bool("verify", false, "run the post-phase verification")
+		fltRate = flag.Float64("fault-rate", 0, "deterministic fault injection probability per external call (0 disables)")
+		fltSeed = flag.Uint64("fault-seed", 0, "fault plan seed (defaults to -seed)")
+		chaos   = flag.Bool("chaos-verify", false, "after a faulty run, verify the integrated data against a fault-free twin run")
 		warmup  = flag.Int("warmup", 0, "discard the first N periods from the metric")
 		csvPath = flag.String("csv", "", "write report CSV to this path")
 		datPath = flag.String("dat", "", "write gnuplot data file to this path")
@@ -117,10 +125,21 @@ func main() {
 		return
 	}
 
-	progress := func(k, events, failures int) {
+	progress := func(k int, s driver.PeriodStats) {
 		if *periods >= 10 && (k+1)%10 == 0 {
-			fmt.Printf("  period %d/%d done (%d events, %d failures)\n",
-				k+1, *periods, events, failures)
+			line := fmt.Sprintf("  period %d/%d done (%d events, %d failures",
+				k+1, *periods, s.Events, s.Failures)
+			if len(s.FailuresByProcess) > 0 {
+				ids := make([]string, 0, len(s.FailuresByProcess))
+				for id := range s.FailuresByProcess {
+					ids = append(ids, id)
+				}
+				sort.Strings(ids)
+				for _, id := range ids {
+					line += fmt.Sprintf(" %s:%d", id, s.FailuresByProcess[id])
+				}
+			}
+			fmt.Println(line + ")")
 		}
 	}
 	b, err := core.New(core.Config{
@@ -135,6 +154,9 @@ func main() {
 		RemoteDB:     *remote,
 		Trace:        *trcPath != "",
 		OnPeriod:     progress,
+		FaultRate:    *fltRate,
+		FaultSeed:    *fltSeed,
+		ChaosVerify:  *chaos,
 	})
 	if err != nil {
 		fatal(err)
@@ -167,6 +189,27 @@ func main() {
 		fmt.Println()
 		fmt.Print(res.Stats.Verification)
 		if !res.Stats.Verification.OK() {
+			defer os.Exit(1)
+		}
+	}
+	if *fltRate > 0 {
+		retries, trips := uint64(0), uint64(0)
+		if r := b.Engine().Resilient(); r != nil {
+			retries, trips = r.Stats()
+		}
+		_, dropped := b.Engine().DeadLetters()
+		fmt.Printf("\nFault injection: rate=%g seed=%d injected=%d retries=%d breaker-trips=%d dlq=%d",
+			*fltRate, effectiveFaultSeed(*fltSeed, *seed), b.FaultPlan().Injections(),
+			retries, trips, b.Engine().DLQDepth())
+		if dropped > 0 {
+			fmt.Printf(" dlq-dropped=%d", dropped)
+		}
+		fmt.Println()
+	}
+	if res.Chaos != nil {
+		fmt.Println()
+		fmt.Print(res.Chaos)
+		if !res.Chaos.OK() {
 			defer os.Exit(1)
 		}
 	}
@@ -225,6 +268,15 @@ func printFig8(d float64) {
 		}
 		fmt.Println()
 	}
+}
+
+// effectiveFaultSeed mirrors core's fallback: the fault plan derives from
+// the generation seed unless a dedicated seed is given.
+func effectiveFaultSeed(fltSeed, seed uint64) uint64 {
+	if fltSeed != 0 {
+		return fltSeed
+	}
+	return seed
 }
 
 func fatal(err error) {

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/driver"
+	"repro/internal/fault"
+)
+
+// chaosRun executes one small faulty benchmark and returns everything the
+// determinism comparison needs.
+type chaosRun struct {
+	stats    *driver.RunStats
+	trace    []fault.Injection
+	snapshot string
+	retries  uint64
+}
+
+func runChaos(t *testing.T, cfg Config) chaosRun {
+	t.Helper()
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	res, err := b.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	retries, _ := b.Engine().Resilient().Stats()
+	return chaosRun{
+		stats:    res.Stats,
+		trace:    b.FaultPlan().Trace(),
+		snapshot: driver.SnapshotIntegrated(b.Scenario()),
+		retries:  retries,
+	}
+}
+
+// TestChaosDeterminism is the ISSUE acceptance criterion: two runs with
+// the same fault seed must inject the identical fault trace and produce
+// identical run statistics and identical integrated data.
+func TestChaosDeterminism(t *testing.T) {
+	cfg := Config{
+		Datasize: 0.004, Periods: 2, Seed: 42, FastClock: true,
+		FaultRate: 0.1, FaultSeed: 7,
+	}
+	a := runChaos(t, cfg)
+	if len(a.trace) == 0 {
+		t.Fatal("no faults injected — rate/workload too small for the test to mean anything")
+	}
+	b := runChaos(t, cfg)
+	if !reflect.DeepEqual(a.trace, b.trace) {
+		t.Errorf("fault traces diverge: %d vs %d injections", len(a.trace), len(b.trace))
+	}
+	if a.stats.Events != b.stats.Events || a.stats.Failures != b.stats.Failures ||
+		!reflect.DeepEqual(a.stats.FailuresByProcess, b.stats.FailuresByProcess) {
+		t.Errorf("run stats diverge: %+v vs %+v", a.stats, b.stats)
+	}
+	if a.snapshot != b.snapshot {
+		t.Error("integrated data diverges between same-seed faulty runs")
+	}
+}
+
+func TestChaosDifferentSeedsDiffer(t *testing.T) {
+	base := Config{
+		Datasize: 0.004, Periods: 1, Seed: 42, FastClock: true, FaultRate: 0.2,
+	}
+	a := base
+	a.FaultSeed = 7
+	b := base
+	b.FaultSeed = 8
+	ra, rb := runChaos(t, a), runChaos(t, b)
+	if reflect.DeepEqual(ra.trace, rb.trace) {
+		t.Error("different fault seeds produced identical traces")
+	}
+}
+
+// TestChaosVerifyTransparentRecovery asserts the tentpole's end-to-end
+// property: a run whose transient faults were absorbed by retries leaves
+// the warehouse and marts byte-identical to a fault-free run.
+func TestChaosVerifyTransparentRecovery(t *testing.T) {
+	b, err := New(Config{
+		Datasize: 0.004, Periods: 2, Seed: 42, FastClock: true,
+		FaultRate: 0.15, FaultSeed: 7, Verify: true, ChaosVerify: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	res, err := b.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Failures != 0 {
+		t.Errorf("faulty run lost %d instances despite resilience: %v",
+			res.Stats.Failures, res.Stats.FailuresByProcess)
+	}
+	if res.Stats.Verification == nil || !res.Stats.Verification.OK() {
+		t.Errorf("functional verification failed under faults:\n%v", res.Stats.Verification)
+	}
+	if res.Chaos == nil {
+		t.Fatal("chaos verification missing")
+	}
+	if !res.Chaos.OK() {
+		t.Fatalf("faulty run not transparent:\n%v", res.Chaos)
+	}
+	if b.FaultPlan().Injections() == 0 {
+		t.Error("no faults injected — the transparency claim is vacuous")
+	}
+	if retries, _ := b.Engine().Resilient().Stats(); retries == 0 {
+		t.Error("no retries recorded — resilience layer never engaged")
+	}
+}
+
+func TestFaultKnobsOffByDefault(t *testing.T) {
+	b, err := New(Config{Datasize: 0.004, FastClock: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if b.FaultPlan() != nil {
+		t.Error("fault plan present without FaultRate")
+	}
+	if b.Engine().Resilient() != nil {
+		t.Error("resilience wrapper installed without a policy")
+	}
+	res, err := b.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Chaos != nil {
+		t.Error("chaos verification ran without ChaosVerify")
+	}
+}
+
+func TestExplicitResiliencePolicyWithoutFaults(t *testing.T) {
+	// Resilience can protect a fault-free run too (and must not disturb it).
+	b, err := New(Config{
+		Datasize: 0.004, FastClock: true, Verify: true,
+		Resilience: &fault.Policy{MaxAttempts: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if b.Engine().Resilient() == nil {
+		t.Fatal("explicit policy not installed")
+	}
+	res, err := b.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Failures != 0 || !res.Stats.Verification.OK() {
+		t.Errorf("resilient fault-free run: %+v", res.Stats)
+	}
+}

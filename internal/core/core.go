@@ -25,6 +25,7 @@ import (
 	"repro/internal/datagen"
 	"repro/internal/driver"
 	"repro/internal/engine"
+	"repro/internal/fault"
 	"repro/internal/monitor"
 	"repro/internal/processes"
 	"repro/internal/scenario"
@@ -85,7 +86,26 @@ type Config struct {
 	// (retrieve it with Benchmark.Trace).
 	Trace bool
 	// OnPeriod, when non-nil, receives per-period progress callbacks.
-	OnPeriod func(k, events, failures int)
+	OnPeriod func(k int, s driver.PeriodStats)
+
+	// FaultRate > 0 enables deterministic fault injection at every
+	// external-system boundary: each external call draws from the
+	// seed-derived fault plan with this probability.
+	FaultRate float64
+	// FaultSeed drives the fault plan (defaults to Seed when 0).
+	FaultSeed uint64
+	// FaultLatency is the nominal injected latency spike (fault package
+	// default when 0).
+	FaultLatency time.Duration
+	// Resilience overrides the engine's resilience policy. When nil and
+	// FaultRate > 0, the default policy is installed — a faulty run
+	// without a consuming-side recovery layer would only measure losses.
+	Resilience *fault.Policy
+	// ChaosVerify, after a successful faulty run, executes a fault-free
+	// twin of the same configuration and asserts the integrated data is
+	// byte-identical — transient faults absorbed by retries must be
+	// invisible in the warehouse and marts.
+	ChaosVerify bool
 }
 
 // withDefaults fills unset fields.
@@ -113,6 +133,7 @@ type Benchmark struct {
 	mon    *monitor.Monitor
 	client *driver.Client
 	trace  *driver.Trace
+	plan   *fault.Plan // non-nil when FaultRate > 0
 }
 
 // New builds the full benchmark stack from a configuration.
@@ -162,6 +183,23 @@ func New(cfg Config) (*Benchmark, error) {
 	// optimized engines' C/D streams parallelize end to end while the
 	// federated reference keeps them sequential.
 	scn.SetParallelism(eng.Options().Parallelism)
+	var plan *fault.Plan
+	if cfg.FaultRate > 0 {
+		seed := cfg.FaultSeed
+		if seed == 0 {
+			seed = cfg.Seed
+		}
+		plan = fault.NewPlan(fault.Config{
+			Seed: seed, Rate: cfg.FaultRate, LatencySpike: cfg.FaultLatency,
+		})
+		scn.InstallFaultPlan(plan)
+		if cfg.Resilience == nil {
+			cfg.Resilience = fault.DefaultPolicy()
+		}
+	}
+	if cfg.Resilience != nil && eng.Resilient() == nil {
+		eng.SetResilience(cfg.Resilience, mon.Resilience())
+	}
 	var clock driver.Clock
 	if cfg.FastClock {
 		clock = driver.FastClock{}
@@ -183,11 +221,15 @@ func New(cfg Config) (*Benchmark, error) {
 		_ = scn.Close()
 		return nil, err
 	}
-	return &Benchmark{cfg: cfg, scn: scn, eng: eng, mon: mon, client: client, trace: trace}, nil
+	return &Benchmark{cfg: cfg, scn: scn, eng: eng, mon: mon, client: client, trace: trace, plan: plan}, nil
 }
 
 // Trace returns the event trace (nil unless Config.Trace was set).
 func (b *Benchmark) Trace() *driver.Trace { return b.trace }
+
+// FaultPlan returns the deterministic fault plan (nil unless FaultRate
+// was set).
+func (b *Benchmark) FaultPlan() *fault.Plan { return b.plan }
 
 // Config returns the effective (defaulted) configuration.
 func (b *Benchmark) Config() Config { return b.cfg }
@@ -207,6 +249,9 @@ type Result struct {
 	Stats *driver.RunStats
 	// Report is the analyzed NAVG+ performance report.
 	Report *monitor.Report
+	// Chaos is the fault-transparency verification against the fault-free
+	// twin run (nil unless Config.ChaosVerify).
+	Chaos *driver.VerificationResult
 }
 
 // Run executes the benchmark (work phase, plus post-phase verification
@@ -223,7 +268,39 @@ func (b *Benchmark) RunContext(ctx context.Context) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Stats: stats, Report: b.mon.Analyze()}, nil
+	res := &Result{Stats: stats, Report: b.mon.Analyze()}
+	if b.cfg.ChaosVerify {
+		chaos, cerr := b.runChaosTwin(ctx)
+		if cerr != nil {
+			return nil, fmt.Errorf("core: chaos twin run: %w", cerr)
+		}
+		res.Chaos = chaos
+	}
+	return res, nil
+}
+
+// runChaosTwin executes a fault-free twin of this benchmark's
+// configuration (same seed, scale, engine, periods; no injection, fast
+// clock, no tracing) and compares the integrated data of both runs.
+func (b *Benchmark) runChaosTwin(ctx context.Context) (*driver.VerificationResult, error) {
+	twinCfg := b.cfg
+	twinCfg.FaultRate = 0
+	twinCfg.FaultSeed = 0
+	twinCfg.Resilience = nil
+	twinCfg.ChaosVerify = false
+	twinCfg.FastClock = true
+	twinCfg.Verify = false
+	twinCfg.Trace = false
+	twinCfg.OnPeriod = nil
+	twin, err := New(twinCfg)
+	if err != nil {
+		return nil, err
+	}
+	defer twin.Close()
+	if _, err := twin.RunContext(ctx); err != nil {
+		return nil, err
+	}
+	return driver.VerifyChaos(b.scn, twin.scn), nil
 }
 
 // Close releases the benchmark's resources: the engine's batchers and the

@@ -3,6 +3,8 @@ package core
 import (
 	"strings"
 	"testing"
+
+	"repro/internal/driver"
 )
 
 func TestTraceOptionWiresThrough(t *testing.T) {
@@ -45,10 +47,10 @@ func TestOnPeriodCallback(t *testing.T) {
 	var periods []int
 	b, err := New(Config{
 		Datasize: 0.004, Periods: 3, FastClock: true,
-		OnPeriod: func(k, events, failures int) {
+		OnPeriod: func(k int, s driver.PeriodStats) {
 			periods = append(periods, k)
-			if events == 0 || failures != 0 {
-				t.Errorf("period %d: events=%d failures=%d", k, events, failures)
+			if s.Events == 0 || s.Failures != 0 {
+				t.Errorf("period %d: events=%d failures=%d", k, s.Events, s.Failures)
 			}
 		},
 	})

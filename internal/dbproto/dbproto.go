@@ -21,17 +21,51 @@ package dbproto
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
+	"repro/internal/fault"
 	rel "repro/internal/relational"
 	x "repro/internal/xmlmsg"
 )
+
+// Timeouts bounds how long the endpoint waits on a single connection;
+// they protect the server from hung or slow-drip peers.
+type Timeouts struct {
+	Read  time.Duration // full-request read deadline
+	Write time.Duration // response write deadline
+	Idle  time.Duration // keep-alive idle deadline
+}
+
+// DefaultTimeouts returns the endpoint's standard peer-protection
+// deadlines.
+func DefaultTimeouts() Timeouts {
+	return Timeouts{Read: 15 * time.Second, Write: 30 * time.Second, Idle: 60 * time.Second}
+}
+
+// withDefaults fills unset fields from DefaultTimeouts.
+func (t Timeouts) withDefaults() Timeouts {
+	d := DefaultTimeouts()
+	if t.Read <= 0 {
+		t.Read = d.Read
+	}
+	if t.Write <= 0 {
+		t.Write = d.Write
+	}
+	if t.Idle <= 0 {
+		t.Idle = d.Idle
+	}
+	return t
+}
 
 // Remote is a running database protocol endpoint.
 type Remote struct {
@@ -39,21 +73,57 @@ type Remote struct {
 	http     *http.Server
 	listener net.Listener
 	baseURL  string
+	timeouts Timeouts
+
+	mu   sync.RWMutex
+	plan *fault.Plan
 }
 
-// Serve binds a loopback listener for the relational server and starts
-// answering protocol requests.
+// Serve binds a loopback listener for the relational server with the
+// default peer-protection timeouts and starts answering protocol
+// requests.
 func Serve(server *rel.Server) (*Remote, error) {
+	return ServeWith(server, DefaultTimeouts())
+}
+
+// ServeWith is Serve with explicit connection timeouts (zero fields fall
+// back to the defaults).
+func ServeWith(server *rel.Server, to Timeouts) (*Remote, error) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, fmt.Errorf("dbproto: listen: %w", err)
 	}
-	r := &Remote{server: server, listener: ln, baseURL: "http://" + ln.Addr().String()}
+	to = to.withDefaults()
+	r := &Remote{server: server, listener: ln, baseURL: "http://" + ln.Addr().String(), timeouts: to}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/db/", r.dispatch)
-	r.http = &http.Server{Handler: mux}
+	r.http = &http.Server{
+		Handler:      mux,
+		ReadTimeout:  to.Read,
+		WriteTimeout: to.Write,
+		IdleTimeout:  to.Idle,
+	}
 	go func() { _ = r.http.Serve(ln) }()
 	return r, nil
+}
+
+// Timeouts returns the endpoint's effective connection deadlines.
+func (r *Remote) Timeouts() Timeouts { return r.timeouts }
+
+// SetFaultPlan installs (or, with nil, removes) the deterministic fault
+// plan consulted before every dispatched request.
+func (r *Remote) SetFaultPlan(p *fault.Plan) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.plan = p
+}
+
+// faultPlan returns the installed plan (possibly nil; Plan methods are
+// nil-safe).
+func (r *Remote) faultPlan() *fault.Plan {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.plan
 }
 
 // BaseURL returns the endpoint's base URL.
@@ -83,6 +153,9 @@ func (r *Remote) dispatch(w http.ResponseWriter, req *http.Request) {
 		http.Error(w, "read: "+err.Error(), http.StatusBadRequest)
 		return
 	}
+	if !fault.InjectHTTP(w, req, r.faultPlan(), "db/"+strings.ToLower(parts[1]), parts[2], body) {
+		return
+	}
 	doc, err := x.Parse(bytes.NewReader(body))
 	if err != nil {
 		http.Error(w, "parse: "+err.Error(), http.StatusBadRequest)
@@ -107,6 +180,13 @@ func (r *Remote) dispatch(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	if err != nil {
+		// Injected store faults are transient unavailability, not protocol
+		// misuse — answer 503 so clients classify and retry them.
+		var te *fault.TransientError
+		if errors.As(err, &te) {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
@@ -278,90 +358,130 @@ func NewClient(baseURL, instance string) *Client {
 		http: &http.Client{Timeout: 60 * time.Second}}
 }
 
-// post sends a document and parses the XML response.
-func (c *Client) post(op string, doc *x.Node) (*x.Node, error) {
+// post sends a document under the context and parses the XML response.
+// Non-200 responses surface as a wrapped fault.HTTPStatusError so the
+// resilience layer can classify 5xx answers as transient.
+func (c *Client) post(ctx context.Context, op string, doc *x.Node) (*x.Node, error) {
 	var buf bytes.Buffer
 	if err := doc.WriteXML(&buf); err != nil {
 		return nil, err
 	}
 	url := fmt.Sprintf("%s/db/%s/%s", c.baseURL, c.instance, op)
-	resp, err := c.http.Post(url, "application/xml", &buf)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, &buf)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/xml")
+	resp, err := c.http.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("dbproto: %s %s: %w", c.instance, op, err)
 	}
 	defer resp.Body.Close()
 	body, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("dbproto: %s %s: %w", c.instance, op, err)
 	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("dbproto: %s %s: HTTP %d: %s",
-			c.instance, op, resp.StatusCode, strings.TrimSpace(string(body)))
+		return nil, fmt.Errorf("dbproto: %s %s: %w", c.instance, op,
+			&fault.HTTPStatusError{Status: resp.StatusCode, Body: strings.TrimSpace(string(body))})
 	}
 	return x.Parse(bytes.NewReader(body))
 }
 
-// Query reads matching rows of a table.
-func (c *Client) Query(table string, pred rel.Predicate) (*rel.Relation, error) {
+// QueryContext reads matching rows of a table.
+func (c *Client) QueryContext(ctx context.Context, table string, pred rel.Predicate) (*rel.Relation, error) {
 	q := x.New("Query").SetAttr("table", table)
 	if pred != nil {
 		q.SetAttr("where", pred.String())
 	}
-	doc, err := c.post("query", q)
+	doc, err := c.post(ctx, "query", q)
 	if err != nil {
 		return nil, err
 	}
 	return x.ToRelation(doc)
 }
 
-// Insert appends the relation to the table.
+// Query is QueryContext under context.Background.
+func (c *Client) Query(table string, pred rel.Predicate) (*rel.Relation, error) {
+	return c.QueryContext(context.Background(), table, pred)
+}
+
+// InsertContext appends the relation to the table.
+func (c *Client) InsertContext(ctx context.Context, table string, r *rel.Relation) error {
+	_, err := c.post(ctx, "insert", x.FromRelation(table, r))
+	return err
+}
+
+// Insert is InsertContext under context.Background.
 func (c *Client) Insert(table string, r *rel.Relation) error {
-	_, err := c.post("insert", x.FromRelation(table, r))
+	return c.InsertContext(context.Background(), table, r)
+}
+
+// UpsertContext inserts-or-replaces the relation by primary key.
+func (c *Client) UpsertContext(ctx context.Context, table string, r *rel.Relation) error {
+	_, err := c.post(ctx, "upsert", x.FromRelation(table, r))
 	return err
 }
 
-// Upsert inserts-or-replaces the relation by primary key.
+// Upsert is UpsertContext under context.Background.
 func (c *Client) Upsert(table string, r *rel.Relation) error {
-	_, err := c.post("upsert", x.FromRelation(table, r))
-	return err
+	return c.UpsertContext(context.Background(), table, r)
 }
 
-// Delete removes matching rows and returns the count.
-func (c *Client) Delete(table string, pred rel.Predicate) (int, error) {
+// DeleteContext removes matching rows and returns the count.
+func (c *Client) DeleteContext(ctx context.Context, table string, pred rel.Predicate) (int, error) {
 	d := x.New("Delete").SetAttr("table", table)
 	if pred != nil {
 		d.SetAttr("where", pred.String())
 	}
-	doc, err := c.post("delete", d)
+	doc, err := c.post(ctx, "delete", d)
 	if err != nil {
 		return 0, err
 	}
 	return affectedCount(doc)
 }
 
-// Update sets columns on matching rows and returns the count.
-func (c *Client) Update(table string, pred rel.Predicate, set map[string]rel.Value) (int, error) {
+// Delete is DeleteContext under context.Background.
+func (c *Client) Delete(table string, pred rel.Predicate) (int, error) {
+	return c.DeleteContext(context.Background(), table, pred)
+}
+
+// UpdateContext sets columns on matching rows and returns the count. The
+// Set elements are emitted in sorted column order so the wire body of a
+// given logical update is byte-stable — the fault plan keys its decisions
+// on a digest of the request body.
+func (c *Client) UpdateContext(ctx context.Context, table string, pred rel.Predicate, set map[string]rel.Value) (int, error) {
 	u := x.New("Update").SetAttr("table", table)
 	if pred != nil {
 		u.SetAttr("where", pred.String())
 	}
-	for col, v := range set {
-		u.Add(encodeValue("Set", v).SetAttr("col", col))
+	cols := make([]string, 0, len(set))
+	for col := range set {
+		cols = append(cols, col)
 	}
-	doc, err := c.post("update", u)
+	sort.Strings(cols)
+	for _, col := range cols {
+		u.Add(encodeValue("Set", set[col]).SetAttr("col", col))
+	}
+	doc, err := c.post(ctx, "update", u)
 	if err != nil {
 		return 0, err
 	}
 	return affectedCount(doc)
 }
 
-// Call invokes a stored procedure.
-func (c *Client) Call(proc string, args ...rel.Value) (*rel.Relation, error) {
+// Update is UpdateContext under context.Background.
+func (c *Client) Update(table string, pred rel.Predicate, set map[string]rel.Value) (int, error) {
+	return c.UpdateContext(context.Background(), table, pred, set)
+}
+
+// CallContext invokes a stored procedure.
+func (c *Client) CallContext(ctx context.Context, proc string, args ...rel.Value) (*rel.Relation, error) {
 	call := x.New("Call").SetAttr("proc", proc)
 	for _, a := range args {
 		call.Add(encodeValue("Arg", a))
 	}
-	doc, err := c.post("call", call)
+	doc, err := c.post(ctx, "call", call)
 	if err != nil {
 		return nil, err
 	}
@@ -369,6 +489,11 @@ func (c *Client) Call(proc string, args ...rel.Value) (*rel.Relation, error) {
 		return nil, nil
 	}
 	return x.ToRelation(doc)
+}
+
+// Call is CallContext under context.Background.
+func (c *Client) Call(proc string, args ...rel.Value) (*rel.Relation, error) {
+	return c.CallContext(context.Background(), proc, args...)
 }
 
 func affectedCount(doc *x.Node) (int, error) {

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/datagen"
 	"repro/internal/engine"
+	"repro/internal/fault"
 	"repro/internal/scenario"
 	"repro/internal/schedule"
 	x "repro/internal/xmlmsg"
@@ -31,9 +32,18 @@ type Config struct {
 	// auditing.
 	Trace *Trace
 	// OnPeriod, when non-nil, is called after every completed period with
-	// the period index and its event/failure counts — progress reporting
-	// for long runs.
-	OnPeriod func(k, events, failures int)
+	// the period index and its statistics — progress reporting for long
+	// runs.
+	OnPeriod func(k int, s PeriodStats)
+}
+
+// PeriodStats summarizes one completed period.
+type PeriodStats struct {
+	Events   int
+	Failures int
+	// FailuresByProcess attributes the failures to process types (only
+	// types with failures appear).
+	FailuresByProcess map[string]int
 }
 
 // Validate checks the configuration.
@@ -73,7 +83,10 @@ type RunStats struct {
 	Periods  int
 	Events   int
 	Failures int
-	Elapsed  time.Duration
+	// FailuresByProcess attributes the failures to process types across
+	// all periods (only types with failures appear; nil when none).
+	FailuresByProcess map[string]int
+	Elapsed           time.Duration
 	// Verification holds the post-phase result (nil when disabled).
 	Verification *VerificationResult
 }
@@ -115,9 +128,15 @@ func (c *Client) RunContext(ctx context.Context) (*RunStats, error) {
 			stats.Elapsed = time.Since(start)
 			return stats, fmt.Errorf("driver: period %d: %w", k, prep.err)
 		}
-		events, failures, err := c.runPeriod(ctx, k, prep)
-		stats.Events += events
-		stats.Failures += failures
+		ps, err := c.runPeriod(ctx, k, prep)
+		stats.Events += ps.Events
+		stats.Failures += ps.Failures
+		for id, n := range ps.FailuresByProcess {
+			if stats.FailuresByProcess == nil {
+				stats.FailuresByProcess = make(map[string]int)
+			}
+			stats.FailuresByProcess[id] += n
+		}
 		if err != nil {
 			stats.Elapsed = time.Since(start)
 			if ctx.Err() != nil {
@@ -128,7 +147,7 @@ func (c *Client) RunContext(ctx context.Context) (*RunStats, error) {
 		stats.Periods++
 		lastGen = prep.gen
 		if c.cfg.OnPeriod != nil {
-			c.cfg.OnPeriod(k, events, failures)
+			c.cfg.OnPeriod(k, ps)
 		}
 	}
 	stats.Elapsed = time.Since(start)
@@ -198,14 +217,15 @@ func (l *latch) complete() {
 
 // runPeriod executes one benchmark period k: uninitialize, load the
 // pre-generated source datasets, then dispatch the four streams.
-func (c *Client) runPeriod(ctx context.Context, k int, prep prepared) (int, int, error) {
+func (c *Client) runPeriod(ctx context.Context, k int, prep prepared) (PeriodStats, error) {
+	var ps PeriodStats
 	if err := c.s.Uninitialize(); err != nil {
-		return 0, 0, err
+		return ps, err
 	}
 	c.eng.ResetQueues()
 	gen, plan := prep.gen, prep.plan
 	if err := c.s.LoadSources(prep.data); err != nil {
-		return 0, 0, err
+		return ps, err
 	}
 
 	latches := make(map[string]*latch)
@@ -213,9 +233,11 @@ func (c *Client) runPeriod(ctx context.Context, k int, prep prepared) (int, int,
 		latches[id] = newLatch(n)
 	}
 
+	pol := c.eng.Options().Resilience
 	var mu sync.Mutex
 	failures := 0
 	executed := 0
+	failuresBy := make(map[string]int)
 	dispatch := func(in schedule.Instance, epoch time.Time, wg *sync.WaitGroup) {
 		defer wg.Done()
 		defer latches[in.Process].complete()
@@ -240,12 +262,24 @@ func (c *Client) runPeriod(ctx context.Context, k int, prep prepared) (int, int,
 		if genErr != nil {
 			err = genErr // generator fault: an instance failure, not a dispatch
 		} else {
-			err = c.eng.Execute(in.Process, msg, k)
+			err = c.eng.ExecuteContext(ctx, in.Process, msg, k)
+			// E1 dispatch resilience: re-dispatch a transiently failed
+			// message, then dead-letter it instead of losing it silently.
+			if err != nil && msg != nil && pol != nil {
+				for a := 0; a < pol.DispatchRetries && err != nil && fault.IsTransient(err) && ctx.Err() == nil; a++ {
+					err = c.eng.ExecuteContext(ctx, in.Process, msg, k)
+				}
+				if err != nil {
+					c.eng.AddDeadLetter(in.Process, k, msg, err)
+					c.eng.Monitor().Resilience().CountDLQ(in.Process)
+				}
+			}
 		}
 		mu.Lock()
 		executed++
 		if err != nil {
 			failures++
+			failuresBy[in.Process]++
 		}
 		mu.Unlock()
 		if c.cfg.Trace != nil {
@@ -273,10 +307,14 @@ func (c *Client) runPeriod(ctx context.Context, k int, prep prepared) (int, int,
 	runStreams(schedule.StreamC)
 	runStreams(schedule.StreamD)
 
-	if err := ctx.Err(); err != nil {
-		return executed, failures, err
+	ps.Events, ps.Failures = executed, failures
+	if len(failuresBy) > 0 {
+		ps.FailuresByProcess = failuresBy
 	}
-	return executed, failures, nil
+	if err := ctx.Err(); err != nil {
+		return ps, err
+	}
+	return ps, nil
 }
 
 // isE1 reports whether the process type is message-initiated.

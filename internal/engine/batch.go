@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"sync"
 	"time"
 
@@ -83,10 +84,12 @@ func (b *batcher) timedFlush() {
 
 // flush processes a batch sequentially, recording each message as its own
 // process instance (the metric stays per-instance; the batching shows up
-// as reduced per-instance overhead and bursty completion times).
+// as reduced per-instance overhead and bursty completion times). Batches
+// execute detached from any submitter's context — one message's caller
+// must not cancel its batch-mates — so instances run under Background.
 func (b *batcher) flush(batch []batchRequest) {
 	for _, req := range batch {
-		err := b.e.runInstanceRecorded(b.process, mtm.XMLMessage(req.input), req.period)
+		err := b.e.runInstanceRecorded(context.Background(), b.process, mtm.XMLMessage(req.input), req.period)
 		req.done <- err
 	}
 }

@@ -27,6 +27,7 @@ package engine
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"runtime"
 	"strconv"
@@ -34,6 +35,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/monitor"
 	"repro/internal/mtm"
 	"repro/internal/processes"
@@ -72,6 +74,12 @@ type Options struct {
 	// "System A" engine must stay sequential so its measured profile
 	// matches the paper's reference implementation.
 	Parallelism int
+	// Resilience, when non-nil, wraps the external gateway in the fault
+	// package's resilience layer: capped exponential backoff with
+	// deterministic jitter, per-invoke deadlines, and a per-endpoint
+	// circuit breaker. Zero policy fields fall back to fault
+	// defaults.
+	Resilience *fault.Policy
 }
 
 // Engine executes process instances and records their costs.
@@ -84,16 +92,38 @@ type Engine struct {
 
 	internal *rel.Database // engine-internal storage (queue tables)
 	queueSeq atomic.Int64
-	pending  sync.Map      // queue TID -> *monitor.InstanceRecorder
+	pending  sync.Map      // queue TID -> pendingExec
 	workers  chan struct{} // worker-pool semaphore (nil when unbounded)
+
+	resilient *fault.Resilient // non-nil when Options.Resilience is set
 
 	mu       sync.RWMutex
 	plans    map[string]*plan
 	batchers map[string]*batcher
 	closed   bool
 
+	dlqMu      sync.Mutex
+	dlq        []DeadLetter
+	dlqDropped uint64
+
 	planBuilds atomic.Uint64 // statistics: number of plan compilations
 	instances  atomic.Uint64
+}
+
+// pendingExec carries the monitor record and cancellation context of a
+// queued E1 message across the SQL layer to the insert trigger.
+type pendingExec struct {
+	rec *monitor.InstanceRecorder
+	ctx context.Context
+}
+
+// DeadLetter is one E1 message that exhausted its dispatch retries; the
+// driver parks it here for post-run inspection instead of losing it.
+type DeadLetter struct {
+	Process string
+	Period  int
+	Message string // serialized XML of the triggering message
+	Err     error  // the final dispatch error
 }
 
 // New creates an engine with explicit options.
@@ -139,7 +169,65 @@ func New(name string, opts Options, defs *processes.Definitions, ext mtm.Externa
 			return nil, err
 		}
 	}
+	if opts.Resilience != nil {
+		e.SetResilience(opts.Resilience, mon.Resilience())
+	}
 	return e, nil
+}
+
+// SetResilience wraps the external gateway in the resilience layer. rec
+// may be nil to discard retry/trip counters. Call before the first
+// Execute; the wrap is not synchronized with in-flight instances.
+func (e *Engine) SetResilience(p *fault.Policy, rec fault.Recorder) {
+	if p == nil {
+		return
+	}
+	pol := *p
+	e.resilient = fault.NewResilient(e.ext, pol, rec)
+	e.ext = e.resilient
+	eff := e.resilient.Policy()
+	e.opts.Resilience = &eff
+}
+
+// Resilient returns the resilience wrapper (nil when resilience is off).
+func (e *Engine) Resilient() *fault.Resilient { return e.resilient }
+
+// AddDeadLetter parks an E1 message that exhausted its dispatch retries.
+// The queue is capped at the policy's DLQLimit (default 1024); beyond it
+// entries are counted but dropped.
+func (e *Engine) AddDeadLetter(process string, period int, msg *x.Node, err error) {
+	limit := 1024
+	if e.opts.Resilience != nil && e.opts.Resilience.DLQLimit > 0 {
+		limit = e.opts.Resilience.DLQLimit
+	}
+	var text string
+	if msg != nil {
+		text = string(msg.AppendXML(nil))
+	}
+	e.dlqMu.Lock()
+	defer e.dlqMu.Unlock()
+	if len(e.dlq) >= limit {
+		e.dlqDropped++
+		return
+	}
+	e.dlq = append(e.dlq, DeadLetter{Process: process, Period: period, Message: text, Err: err})
+}
+
+// DeadLetters returns a copy of the dead-letter queue and the count of
+// entries dropped over the cap.
+func (e *Engine) DeadLetters() ([]DeadLetter, uint64) {
+	e.dlqMu.Lock()
+	defer e.dlqMu.Unlock()
+	out := make([]DeadLetter, len(e.dlq))
+	copy(out, e.dlq)
+	return out, e.dlqDropped
+}
+
+// DLQDepth returns the number of parked dead letters.
+func (e *Engine) DLQDepth() int {
+	e.dlqMu.Lock()
+	defer e.dlqMu.Unlock()
+	return len(e.dlq)
 }
 
 // errEngineClosed reports submissions after Close.
@@ -277,8 +365,10 @@ func (e *Engine) setupQueues() error {
 		}
 		tbl.AddTrigger(rel.OnInsert, func(_ *rel.Table, _, new rel.Row) error {
 			var rec *monitor.InstanceRecorder
+			ctx := context.Background()
 			if v, ok := e.pending.Load(new[0].Int()); ok {
-				rec = v.(*monitor.InstanceRecorder)
+				pe := v.(pendingExec)
+				rec, ctx = pe.rec, pe.ctx
 			}
 			// The trigger evaluates the logical "inserted" row: re-parse
 			// the queued message — genuine per-message XML overhead of
@@ -291,7 +381,7 @@ func (e *Engine) setupQueues() error {
 			if err != nil {
 				return fmt.Errorf("engine: queued message: %w", err)
 			}
-			return e.runInstance(p, mtm.XMLMessage(doc), rec)
+			return e.runInstance(ctx, p, mtm.XMLMessage(doc), rec)
 		})
 	}
 	return nil
@@ -301,6 +391,13 @@ func (e *Engine) setupQueues() error {
 // its costs under the given benchmark period. input is the E1 message
 // (nil for E2 processes).
 func (e *Engine) Execute(processID string, input *x.Node, period int) error {
+	return e.ExecuteContext(context.Background(), processID, input, period)
+}
+
+// ExecuteContext is Execute under a caller-supplied context; cancelling
+// it aborts the instance's external calls (the resilience layer layers
+// its per-invoke deadline on top).
+func (e *Engine) ExecuteContext(ctx context.Context, processID string, input *x.Node, period int) error {
 	p := e.defs.ByID(processID)
 	if p == nil {
 		return fmt.Errorf("engine: unknown process %q", processID)
@@ -314,17 +411,17 @@ func (e *Engine) Execute(processID string, input *x.Node, period int) error {
 			return fmt.Errorf("engine: process %s requires an input message", processID)
 		}
 		if e.opts.QueueTrigger {
-			return e.executeViaQueue(p, input, period)
+			return e.executeViaQueue(ctx, p, input, period)
 		}
 		if e.opts.BatchSize > 1 {
 			return e.batcherFor(p).submit(input, period)
 		}
-		return e.runInstanceRecorded(p, mtm.XMLMessage(input), period)
+		return e.runInstanceRecorded(ctx, p, mtm.XMLMessage(input), period)
 	}
 	if input != nil {
 		return fmt.Errorf("engine: process %s is time-scheduled and takes no message", processID)
 	}
-	return e.runInstanceRecorded(p, nil, period)
+	return e.runInstanceRecorded(ctx, p, nil, period)
 }
 
 // sqlBufPool recycles the scratch buffers executeViaQueue serializes into;
@@ -338,7 +435,7 @@ var sqlBufPool = sync.Pool{New: func() any {
 // INSERT it into the process's queue table through the SQL layer, and let
 // the insert trigger run the process. The INSERT statement is assembled on
 // a pooled buffer.
-func (e *Engine) executeViaQueue(p *mtm.Process, input *x.Node, period int) error {
+func (e *Engine) executeViaQueue(ctx context.Context, p *mtm.Process, input *x.Node, period int) error {
 	rec := e.mon.StartInstance(p.ID, period)
 	e.instances.Add(1)
 	serStart := time.Now()
@@ -355,7 +452,7 @@ func (e *Engine) executeViaQueue(p *mtm.Process, input *x.Node, period int) erro
 	*bp = buf[:0]
 	sqlBufPool.Put(bp)
 	rec.Record(mtm.CostProc, time.Since(serStart))
-	e.pending.Store(tid, rec)
+	e.pending.Store(tid, pendingExec{rec: rec, ctx: ctx})
 	defer e.pending.Delete(tid)
 	_, err := e.internal.Exec(sql)
 	rec.Finish(err)
@@ -384,17 +481,17 @@ func appendSQLQuoted(dst []byte, input *x.Node) []byte {
 }
 
 // runInstanceRecorded wraps runInstance with a fresh monitor record.
-func (e *Engine) runInstanceRecorded(p *mtm.Process, input *mtm.Message, period int) error {
+func (e *Engine) runInstanceRecorded(ctx context.Context, p *mtm.Process, input *mtm.Message, period int) error {
 	rec := e.mon.StartInstance(p.ID, period)
 	e.instances.Add(1)
-	err := e.runInstance(p, input, rec)
+	err := e.runInstance(ctx, p, input, rec)
 	rec.Finish(err)
 	return err
 }
 
 // runInstance compiles (or fetches) the plan and executes the operators.
 // rec may be nil (costs discarded).
-func (e *Engine) runInstance(p *mtm.Process, input *mtm.Message, rec *monitor.InstanceRecorder) error {
+func (e *Engine) runInstance(goctx context.Context, p *mtm.Process, input *mtm.Message, rec *monitor.InstanceRecorder) error {
 	var costRec mtm.CostRecorder
 	if rec != nil {
 		costRec = rec
@@ -406,6 +503,7 @@ func (e *Engine) runInstance(p *mtm.Process, input *mtm.Message, rec *monitor.In
 		rec.Record(mtm.CostMgmt, time.Since(mgmtStart))
 	}
 	ctx := mtm.NewContext(e.ext, input, costRec)
+	ctx.SetContext(goctx)
 	ctx.SetParallelism(e.opts.Parallelism)
 	return mtm.Run(pl.process, ctx)
 }

@@ -1,0 +1,364 @@
+// Package fault provides the deterministic fault-injection and resilience
+// subsystem of the benchmark: a seed-driven chaos dimension for the
+// external-system boundaries (the loopback HTTP web services, the dbproto
+// remote-database protocol, and the in-process relational stores) plus the
+// consuming-side recovery policy (capped exponential backoff with
+// deterministic jitter, per-invoke deadlines, per-endpoint circuit
+// breakers and a dead-letter queue) threaded through the integration
+// engine and the workload driver.
+//
+// Determinism. Fault decisions follow the same RNG discipline as
+// internal/datagen: splitmix64 streams derived from (seed, endpoint,
+// request content, occurrence). A decision depends only on WHAT is asked
+// (the endpoint and a digest of the request) and HOW OFTEN that exact
+// request has been seen — never on wall-clock time or on the interleaving
+// of unrelated endpoints. Concurrent streams may reorder calls across
+// endpoints, but the multiset of injected faults is a pure function of
+// the seed and the workload, so two runs with the same seed produce
+// identical (canonically ordered) fault traces. A retry of a faulted
+// request advances the occurrence counter and draws a fresh decision,
+// which is what lets capped retries recover deterministically.
+package fault
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/datagen"
+)
+
+// Kind classifies an injected fault.
+type Kind uint8
+
+// Fault kinds.
+const (
+	// KindNone means the call proceeds unharmed.
+	KindNone Kind = iota
+	// KindHTTP500 answers an HTTP request with a 503 before processing.
+	KindHTTP500
+	// KindReset drops the TCP connection before writing a response.
+	KindReset
+	// KindLatency delays the call by a spike before processing.
+	KindLatency
+	// KindStoreError fails an in-process store round trip transiently.
+	KindStoreError
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNone:
+		return "none"
+	case KindHTTP500:
+		return "http500"
+	case KindReset:
+		return "reset"
+	case KindLatency:
+		return "latency"
+	case KindStoreError:
+		return "storeerr"
+	default:
+		return "?"
+	}
+}
+
+// Config parameterizes a fault plan.
+type Config struct {
+	// Seed drives every fault decision; same seed, same faults.
+	Seed uint64
+	// Rate is the per-call injection probability in [0,1].
+	Rate float64
+	// LatencySpike is the mean magnitude of injected latency spikes
+	// (default 2ms). Actual spikes are drawn in [spike/2, spike*3/2).
+	LatencySpike time.Duration
+	// Kinds optionally restricts injection to a subset of fault kinds
+	// (dialable adversity); empty means every kind applicable to the
+	// boundary.
+	Kinds []Kind
+}
+
+// defaultLatencySpike is the mean injected latency spike.
+const defaultLatencySpike = 2 * time.Millisecond
+
+// Decision is the outcome of one fault draw.
+type Decision struct {
+	Kind Kind
+	// Delay is the injected latency for KindLatency.
+	Delay time.Duration
+}
+
+// Injection is one recorded fault, identified by its deterministic
+// coordinates: the endpoint, the request-content key, and how many times
+// that exact request had been seen before.
+type Injection struct {
+	Endpoint   string
+	Key        uint64
+	Occurrence uint32
+	Kind       Kind
+}
+
+// String renders the injection as a trace line.
+func (i Injection) String() string {
+	return fmt.Sprintf("%s key=%016x occ=%d %s", i.Endpoint, i.Key, i.Occurrence, i.Kind)
+}
+
+// Plan is a deterministic, seed-driven fault plan. All methods are safe
+// for concurrent use and safe on a nil receiver (no faults).
+type Plan struct {
+	cfg Config
+
+	mu    sync.Mutex
+	occ   map[planKey]uint32
+	trace []Injection
+}
+
+type planKey struct {
+	endpoint string
+	key      uint64
+}
+
+// NewPlan creates a plan. A Rate of 0 yields a plan that never injects.
+func NewPlan(cfg Config) *Plan {
+	if cfg.LatencySpike <= 0 {
+		cfg.LatencySpike = defaultLatencySpike
+	}
+	return &Plan{cfg: cfg, occ: make(map[planKey]uint32)}
+}
+
+// Config returns the plan's configuration.
+func (p *Plan) Config() Config {
+	if p == nil {
+		return Config{}
+	}
+	return p.cfg
+}
+
+// httpKinds are the faults applicable to an HTTP boundary.
+var httpKinds = []Kind{KindHTTP500, KindReset, KindLatency}
+
+// storeKinds are the faults applicable to an in-process store boundary.
+var storeKinds = []Kind{KindStoreError, KindLatency}
+
+// DecideHTTP draws the fault decision for one HTTP request to the
+// endpoint, identified by a digest of its request content.
+func (p *Plan) DecideHTTP(endpoint string, key uint64) Decision {
+	return p.decide(endpoint, key, httpKinds)
+}
+
+// DecideStore draws the fault decision for one in-process store round
+// trip.
+func (p *Plan) DecideStore(endpoint string, key uint64) Decision {
+	return p.decide(endpoint, key, storeKinds)
+}
+
+// decide draws one decision from the deterministic stream of
+// (endpoint, key, occurrence).
+func (p *Plan) decide(endpoint string, key uint64, applicable []Kind) Decision {
+	if p == nil || p.cfg.Rate <= 0 {
+		return Decision{}
+	}
+	kinds := p.allowed(applicable)
+	if len(kinds) == 0 {
+		return Decision{}
+	}
+	pk := planKey{endpoint, key}
+	p.mu.Lock()
+	occ := p.occ[pk]
+	p.occ[pk] = occ + 1
+	// Derive an independent splitmix64 stream per (endpoint, key,
+	// occurrence) — the datagen discipline, so decisions are stable across
+	// Go versions and call interleavings.
+	state := datagen.DeriveSeed(p.cfg.Seed, "fault", endpoint)
+	state ^= key * 0x9E3779B97F4A7C15
+	state ^= (uint64(occ) + 1) * 0xBF58476D1CE4E5B9
+	rng := datagen.NewRNG(state)
+	if !rng.Bool(p.cfg.Rate) {
+		p.mu.Unlock()
+		return Decision{}
+	}
+	d := Decision{Kind: kinds[rng.Intn(len(kinds))]}
+	if d.Kind == KindLatency {
+		spike := int64(p.cfg.LatencySpike)
+		d.Delay = time.Duration(spike/2 + rng.Int63n(spike))
+	}
+	p.trace = append(p.trace, Injection{Endpoint: endpoint, Key: key, Occurrence: occ, Kind: d.Kind})
+	p.mu.Unlock()
+	return d
+}
+
+// allowed intersects the applicable kinds with the configured allowlist.
+func (p *Plan) allowed(applicable []Kind) []Kind {
+	if len(p.cfg.Kinds) == 0 {
+		return applicable
+	}
+	out := make([]Kind, 0, len(applicable))
+	for _, k := range applicable {
+		for _, want := range p.cfg.Kinds {
+			if k == want {
+				out = append(out, k)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Trace returns the injected faults in canonical order (endpoint, key,
+// occurrence) — comparable across runs regardless of scheduling.
+func (p *Plan) Trace() []Injection {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	out := make([]Injection, len(p.trace))
+	copy(out, p.trace)
+	p.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Endpoint != out[j].Endpoint {
+			return out[i].Endpoint < out[j].Endpoint
+		}
+		if out[i].Key != out[j].Key {
+			return out[i].Key < out[j].Key
+		}
+		return out[i].Occurrence < out[j].Occurrence
+	})
+	return out
+}
+
+// Injections returns the number of injected faults so far.
+func (p *Plan) Injections() int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.trace)
+}
+
+// Counts tallies the injected faults by kind.
+func (p *Plan) Counts() map[Kind]int {
+	out := make(map[Kind]int)
+	if p == nil {
+		return out
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, in := range p.trace {
+		out[in.Kind]++
+	}
+	return out
+}
+
+// Digest hashes request-identifying strings into a content key (FNV-1a).
+func Digest(parts ...string) uint64 {
+	h := uint64(0xCBF29CE484222325)
+	for _, p := range parts {
+		for i := 0; i < len(p); i++ {
+			h ^= uint64(p[i])
+			h *= 0x100000001B3
+		}
+		h ^= 0xFF // separator so ("ab","c") != ("a","bc")
+		h *= 0x100000001B3
+	}
+	return h
+}
+
+// DigestBytes hashes a request body into a content key (FNV-1a).
+func DigestBytes(b []byte) uint64 {
+	h := uint64(0xCBF29CE484222325)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 0x100000001B3
+	}
+	return h
+}
+
+// Sleep blocks for d or until the context is done, returning the context
+// error in the latter case. A non-positive d returns immediately.
+func Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// TransientError marks a failure as transient: retrying the operation may
+// succeed. Injected store faults and the resilience layer use it.
+type TransientError struct {
+	Endpoint string
+	Msg      string
+}
+
+// Error implements error.
+func (e *TransientError) Error() string {
+	return fmt.Sprintf("fault: transient failure at %s: %s", e.Endpoint, e.Msg)
+}
+
+// HTTPStatusError reports a non-200 HTTP response; 5xx statuses classify
+// as transient. The ws and dbproto clients wrap their status failures in
+// it so the resilience layer can tell an injected 503 from a genuine
+// request error.
+type HTTPStatusError struct {
+	Status int
+	Body   string
+}
+
+// Error implements error.
+func (e *HTTPStatusError) Error() string {
+	return fmt.Sprintf("HTTP %d: %s", e.Status, e.Body)
+}
+
+// IsTransient reports whether the error is worth retrying: injected
+// transient faults, 5xx responses, timeouts, and dropped connections.
+// Application-level failures (unknown table, schema mismatch, …) are not
+// transient — retrying cannot fix them.
+func IsTransient(err error) bool {
+	if err == nil {
+		return false
+	}
+	var te *TransientError
+	if errors.As(err, &te) {
+		return true
+	}
+	var he *HTTPStatusError
+	if errors.As(err, &he) {
+		return he.Status >= 500
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return true
+	}
+	if errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.EPIPE) ||
+		errors.Is(err, syscall.ECONNREFUSED) {
+		return true
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return true
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return true
+	}
+	// Transport errors that arrive stringly-typed from net/http.
+	msg := err.Error()
+	for _, s := range []string{"connection reset", "broken pipe", "unexpected EOF", "EOF"} {
+		if strings.Contains(msg, s) {
+			return true
+		}
+	}
+	return false
+}

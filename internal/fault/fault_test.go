@@ -1,0 +1,265 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// workload is a fixed multiset of (endpoint, key, occurrences) draws used
+// to compare traces across interleavings.
+var workload = func() []struct {
+	endpoint string
+	key      uint64
+	n        int
+} {
+	var w []struct {
+		endpoint string
+		key      uint64
+		n        int
+	}
+	for _, ep := range []string{"ws/supplier", "db/dwh", "es/vienna"} {
+		for k := 0; k < 40; k++ {
+			w = append(w, struct {
+				endpoint string
+				key      uint64
+				n        int
+			}{ep, Digest(ep, fmt.Sprint(k)), 3})
+		}
+	}
+	return w
+}()
+
+func runWorkload(p *Plan, perEndpoint bool) {
+	if !perEndpoint {
+		for _, w := range workload {
+			for i := 0; i < w.n; i++ {
+				p.DecideHTTP(w.endpoint, w.key)
+			}
+		}
+		return
+	}
+	// One goroutine per endpoint: cross-endpoint interleaving is arbitrary,
+	// per-(endpoint,key) occurrence order is preserved.
+	byEP := make(map[string][]struct {
+		key uint64
+		n   int
+	})
+	for _, w := range workload {
+		byEP[w.endpoint] = append(byEP[w.endpoint], struct {
+			key uint64
+			n   int
+		}{w.key, w.n})
+	}
+	var wg sync.WaitGroup
+	for ep, draws := range byEP {
+		wg.Add(1)
+		go func(ep string, draws []struct {
+			key uint64
+			n   int
+		}) {
+			defer wg.Done()
+			for _, d := range draws {
+				for i := 0; i < d.n; i++ {
+					p.DecideHTTP(ep, d.key)
+				}
+			}
+		}(ep, draws)
+	}
+	wg.Wait()
+}
+
+func tracesEqual(a, b []Injection) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestPlanDeterministicAcrossInterleavings(t *testing.T) {
+	cfg := Config{Seed: 7, Rate: 0.4}
+	sequential := NewPlan(cfg)
+	runWorkload(sequential, false)
+	if sequential.Injections() == 0 {
+		t.Fatal("no faults injected at rate 0.4 — workload too small?")
+	}
+	for round := 0; round < 4; round++ {
+		concurrent := NewPlan(cfg)
+		runWorkload(concurrent, true)
+		if !tracesEqual(sequential.Trace(), concurrent.Trace()) {
+			t.Fatalf("round %d: concurrent trace diverged from sequential trace", round)
+		}
+	}
+}
+
+func TestPlanSeedSensitivity(t *testing.T) {
+	a, b := NewPlan(Config{Seed: 1, Rate: 0.4}), NewPlan(Config{Seed: 2, Rate: 0.4})
+	runWorkload(a, false)
+	runWorkload(b, false)
+	if tracesEqual(a.Trace(), b.Trace()) {
+		t.Fatal("different seeds produced identical fault traces")
+	}
+}
+
+func TestNilPlanIsSafe(t *testing.T) {
+	var p *Plan
+	if d := p.DecideHTTP("ws/x", 1); d.Kind != KindNone {
+		t.Errorf("nil plan decided %v", d.Kind)
+	}
+	if d := p.DecideStore("es/x", 1); d.Kind != KindNone {
+		t.Errorf("nil plan decided %v", d.Kind)
+	}
+	if p.Trace() != nil || p.Injections() != 0 || len(p.Counts()) != 0 {
+		t.Error("nil plan reported injections")
+	}
+	if c := p.Config(); c.Rate != 0 {
+		t.Error("nil plan reported a config")
+	}
+}
+
+func TestZeroRateNeverInjects(t *testing.T) {
+	p := NewPlan(Config{Seed: 9, Rate: 0})
+	runWorkload(p, false)
+	if n := p.Injections(); n != 0 {
+		t.Fatalf("rate 0 injected %d faults", n)
+	}
+}
+
+func TestInjectionRateApproximate(t *testing.T) {
+	p := NewPlan(Config{Seed: 3, Rate: 0.3})
+	draws := 0
+	for k := uint64(0); k < 2000; k++ {
+		p.DecideHTTP("ws/x", k)
+		draws++
+	}
+	got := float64(p.Injections()) / float64(draws)
+	if got < 0.2 || got > 0.4 {
+		t.Fatalf("empirical rate %.3f too far from configured 0.3", got)
+	}
+}
+
+func TestKindsAllowlistAndLatencyBounds(t *testing.T) {
+	spike := 1 * time.Millisecond
+	p := NewPlan(Config{Seed: 5, Rate: 1, LatencySpike: spike, Kinds: []Kind{KindLatency}})
+	for k := uint64(0); k < 200; k++ {
+		d := p.DecideHTTP("ws/x", k)
+		if d.Kind != KindLatency {
+			t.Fatalf("allowlist [latency] produced %v", d.Kind)
+		}
+		if d.Delay < spike/2 || d.Delay >= spike*3/2 {
+			t.Fatalf("latency spike %v outside [%v, %v)", d.Delay, spike/2, spike*3/2)
+		}
+	}
+	if c := p.Counts(); c[KindLatency] != 200 || len(c) != 1 {
+		t.Fatalf("counts = %v", c)
+	}
+}
+
+func TestStoreKindsExcludeHTTPFaults(t *testing.T) {
+	p := NewPlan(Config{Seed: 5, Rate: 1})
+	for k := uint64(0); k < 200; k++ {
+		switch d := p.DecideStore("es/x", k); d.Kind {
+		case KindStoreError, KindLatency:
+		default:
+			t.Fatalf("store boundary drew HTTP fault %v", d.Kind)
+		}
+	}
+}
+
+func TestAllowlistDisjointFromBoundary(t *testing.T) {
+	// A reset-only plan has nothing applicable at a store boundary.
+	p := NewPlan(Config{Seed: 5, Rate: 1, Kinds: []Kind{KindReset}})
+	for k := uint64(0); k < 50; k++ {
+		if d := p.DecideStore("es/x", k); d.Kind != KindNone {
+			t.Fatalf("store boundary injected %v under reset-only allowlist", d.Kind)
+		}
+	}
+}
+
+func TestDigestSeparatesParts(t *testing.T) {
+	if Digest("ab", "c") == Digest("a", "bc") {
+		t.Error("digest does not separate parts")
+	}
+	if DigestBytes([]byte("abc")) != DigestBytes([]byte("abc")) {
+		t.Error("digest not stable")
+	}
+	if Digest() == Digest("") {
+		t.Error("empty part not distinguished from no parts")
+	}
+}
+
+func TestSleepHonoursCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	err := Sleep(ctx, 10*time.Second)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("sleep did not unblock on cancel (took %v)", elapsed)
+	}
+	if err := Sleep(context.Background(), 0); err != nil {
+		t.Errorf("zero sleep: %v", err)
+	}
+}
+
+func TestIsTransient(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"injected transient", &TransientError{Endpoint: "es/x", Msg: "injected"}, true},
+		{"wrapped transient", fmt.Errorf("gw: %w", &TransientError{Endpoint: "es/x"}), true},
+		{"http 503", &HTTPStatusError{Status: 503, Body: "injected fault"}, true},
+		{"http 500", &HTTPStatusError{Status: 500}, true},
+		{"http 404", &HTTPStatusError{Status: 404, Body: "no such table"}, false},
+		{"http 400", &HTTPStatusError{Status: 400}, false},
+		{"deadline", context.DeadlineExceeded, true},
+		{"conn reset", fmt.Errorf("write: %w", syscall.ECONNRESET), true},
+		{"broken pipe", fmt.Errorf("write: %w", syscall.EPIPE), true},
+		{"refused", syscall.ECONNREFUSED, true},
+		{"eof", io.EOF, true},
+		{"unexpected eof", io.ErrUnexpectedEOF, true},
+		{"stringly reset", errors.New("Post \"http://x\": read: connection reset by peer"), true},
+		{"application error", errors.New("mtm: unknown table Customers"), false},
+		{"exhausted transient", &ExhaustedError{Endpoint: "e", Attempts: 4, Err: &TransientError{}}, true},
+		{"breaker open", &OpenError{Endpoint: "e"}, false},
+		{"canceled", context.Canceled, false},
+	}
+	for _, c := range cases {
+		if got := IsTransient(c.err); got != c.want {
+			t.Errorf("%s: IsTransient(%v) = %v, want %v", c.name, c.err, got, c.want)
+		}
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindNone: "none", KindHTTP500: "http500", KindReset: "reset",
+		KindLatency: "latency", KindStoreError: "storeerr", Kind(99): "?",
+	} {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+	in := Injection{Endpoint: "ws/x", Key: 0xAB, Occurrence: 2, Kind: KindReset}
+	if in.String() != "ws/x key=00000000000000ab occ=2 reset" {
+		t.Errorf("injection string = %q", in.String())
+	}
+}

@@ -1,0 +1,47 @@
+package fault
+
+import (
+	"net"
+	"net/http"
+)
+
+// InjectHTTP consults the plan for one HTTP request and applies the drawn
+// fault: an injected 503, a dropped connection, or a latency spike. It
+// returns true when the handler should proceed with normal processing and
+// false when the fault already answered (or killed) the request. The
+// request is identified by a digest of its operation and body, so the
+// decision is deterministic regardless of call interleaving. A nil plan
+// always proceeds.
+func InjectHTTP(w http.ResponseWriter, req *http.Request, p *Plan, endpoint, op string, body []byte) bool {
+	if p == nil {
+		return true
+	}
+	d := p.DecideHTTP(endpoint, DigestBytes(body)^Digest(op))
+	switch d.Kind {
+	case KindHTTP500:
+		http.Error(w, "fault: injected unavailability", http.StatusServiceUnavailable)
+		return false
+	case KindReset:
+		// Drop the connection without a response — the client observes a
+		// mid-exchange connection reset.
+		if hj, ok := w.(http.Hijacker); ok {
+			if conn, _, err := hj.Hijack(); err == nil {
+				if tc, ok := conn.(*net.TCPConn); ok {
+					_ = tc.SetLinger(0) // RST instead of FIN
+				}
+				_ = conn.Close()
+				return false
+			}
+		}
+		// No hijack support: degrade to an injected 503.
+		http.Error(w, "fault: injected unavailability", http.StatusServiceUnavailable)
+		return false
+	case KindLatency:
+		if Sleep(req.Context(), d.Delay) != nil {
+			return false // client departed during the spike
+		}
+		return true
+	default:
+		return true
+	}
+}

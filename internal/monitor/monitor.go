@@ -55,6 +55,8 @@ type Monitor struct {
 
 	opMu     sync.Mutex
 	opTotals map[opKey]*opCell // per (process, operator kind) aggregation
+
+	res *ResilienceStats // retry/trip/DLQ audit of the resilience layer
 }
 
 // recordShard holds the finished records of one process type.
@@ -94,7 +96,8 @@ func New(timeScale float64) *Monitor {
 	if timeScale <= 0 {
 		timeScale = 1
 	}
-	return &Monitor{timeScale: timeScale, shards: make(map[string]*recordShard)}
+	return &Monitor{timeScale: timeScale, shards: make(map[string]*recordShard),
+		res: NewResilienceStats()}
 }
 
 // shard returns (creating on demand) the process type's record shard. The
@@ -258,6 +261,11 @@ type ProcessStats struct {
 type Report struct {
 	TimeScale float64
 	Stats     []ProcessStats // ordered by process id
+
+	// Resilience totals (0 when the resilience layer is off).
+	Retries     uint64
+	Trips       uint64
+	DeadLetters uint64
 }
 
 // Analyze aggregates all finished records into the benchmark report.
@@ -313,6 +321,7 @@ func (m *Monitor) AnalyzeFrom(minPeriod int) *Report {
 		}
 		rep.Stats = append(rep.Stats, st)
 	}
+	rep.Retries, rep.Trips, rep.DeadLetters = m.res.Totals()
 	return rep
 }
 
@@ -378,6 +387,10 @@ func (r *Report) String() string {
 	for _, s := range r.Stats {
 		out += fmt.Sprintf("%-6s %6d %5d %12.2f %12.2f %10.2f %10.2f %10.2f %8.2f\n",
 			s.Process, s.Instances, s.Failures, s.NAVG, s.NAVGPlus, s.AvgCc, s.AvgCm, s.AvgCp, s.AvgConc)
+	}
+	if r.Retries > 0 || r.Trips > 0 || r.DeadLetters > 0 {
+		out += fmt.Sprintf("Resilience: retries=%d breaker-trips=%d dead-letters=%d\n",
+			r.Retries, r.Trips, r.DeadLetters)
 	}
 	return out
 }

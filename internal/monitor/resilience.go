@@ -1,0 +1,114 @@
+package monitor
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ResilienceStats audits the resilience layer: how often external calls
+// were retried, how often an endpoint's circuit breaker tripped open, and
+// how many messages each process type dead-lettered. It implements the
+// fault package's Recorder interface structurally (no import needed). It
+// is safe for concurrent use.
+type ResilienceStats struct {
+	mu      sync.Mutex
+	retries map[string]uint64 // per endpoint
+	trips   map[string]uint64 // per endpoint
+	dlq     map[string]uint64 // per process type
+}
+
+// NewResilienceStats creates empty stats.
+func NewResilienceStats() *ResilienceStats {
+	return &ResilienceStats{
+		retries: make(map[string]uint64),
+		trips:   make(map[string]uint64),
+		dlq:     make(map[string]uint64),
+	}
+}
+
+// CountRetry implements fault.Recorder.
+func (s *ResilienceStats) CountRetry(endpoint string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.retries[endpoint]++
+}
+
+// CountTrip implements fault.Recorder.
+func (s *ResilienceStats) CountTrip(endpoint string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.trips[endpoint]++
+}
+
+// CountDLQ implements fault.Recorder.
+func (s *ResilienceStats) CountDLQ(process string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.dlq[process]++
+}
+
+// Totals returns the cumulative retry, trip and dead-letter counts.
+func (s *ResilienceStats) Totals() (retries, trips, dlq uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, n := range s.retries {
+		retries += n
+	}
+	for _, n := range s.trips {
+		trips += n
+	}
+	for _, n := range s.dlq {
+		dlq += n
+	}
+	return retries, trips, dlq
+}
+
+// Snapshot returns copies of the per-endpoint retry/trip maps and the
+// per-process dead-letter map.
+func (s *ResilienceStats) Snapshot() (retries, trips, dlq map[string]uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return copyCounts(s.retries), copyCounts(s.trips), copyCounts(s.dlq)
+}
+
+func copyCounts(m map[string]uint64) map[string]uint64 {
+	out := make(map[string]uint64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// String renders a one-line-per-entry summary ("" when nothing was
+// recorded), keys sorted for stable output.
+func (s *ResilienceStats) String() string {
+	retries, trips, dlq := s.Snapshot()
+	if len(retries) == 0 && len(trips) == 0 && len(dlq) == 0 {
+		return ""
+	}
+	out := "Resilience\n"
+	out += countLines("retries", retries)
+	out += countLines("breaker trips", trips)
+	out += countLines("dead letters", dlq)
+	return out
+}
+
+func countLines(label string, m map[string]uint64) string {
+	if len(m) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := ""
+	for _, k := range keys {
+		out += fmt.Sprintf("  %-14s %-20s %6d\n", label, k, m[k])
+	}
+	return out
+}
+
+// Resilience returns the monitor's resilience audit.
+func (m *Monitor) Resilience() *ResilienceStats { return m.res }

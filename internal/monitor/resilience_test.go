@@ -1,0 +1,76 @@
+package monitor
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestResilienceStatsCountsAndTotals(t *testing.T) {
+	s := NewResilienceStats()
+	if s.String() != "" {
+		t.Error("empty stats should render as empty string")
+	}
+	s.CountRetry("ws/beijing")
+	s.CountRetry("ws/beijing")
+	s.CountRetry("db/dwh")
+	s.CountTrip("ws/beijing")
+	s.CountDLQ("P08")
+	retries, trips, dlq := s.Totals()
+	if retries != 3 || trips != 1 || dlq != 1 {
+		t.Errorf("totals = %d/%d/%d", retries, trips, dlq)
+	}
+	r, tr, d := s.Snapshot()
+	if r["ws/beijing"] != 2 || r["db/dwh"] != 1 || tr["ws/beijing"] != 1 || d["P08"] != 1 {
+		t.Errorf("snapshot = %v %v %v", r, tr, d)
+	}
+	// Snapshot returns copies — mutating it must not affect the stats.
+	r["ws/beijing"] = 99
+	if rr, _, _ := s.Snapshot(); rr["ws/beijing"] != 2 {
+		t.Error("snapshot aliases internal state")
+	}
+	out := s.String()
+	for _, want := range []string{"Resilience", "retries", "breaker trips", "dead letters", "P08"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("string output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestResilienceStatsConcurrent(t *testing.T) {
+	s := NewResilienceStats()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				s.CountRetry("ws/x")
+				s.CountTrip("ws/x")
+				s.CountDLQ("P01")
+			}
+		}()
+	}
+	wg.Wait()
+	retries, trips, dlq := s.Totals()
+	if retries != 800 || trips != 800 || dlq != 800 {
+		t.Errorf("totals = %d/%d/%d, want 800 each", retries, trips, dlq)
+	}
+}
+
+func TestReportCarriesResilienceTotals(t *testing.T) {
+	m := New(1)
+	m.Resilience().CountRetry("ws/beijing")
+	m.Resilience().CountDLQ("P08")
+	rep := m.Analyze()
+	if rep.Retries != 1 || rep.Trips != 0 || rep.DeadLetters != 1 {
+		t.Errorf("report totals = %d/%d/%d", rep.Retries, rep.Trips, rep.DeadLetters)
+	}
+	if !strings.Contains(rep.String(), "Resilience: retries=1 breaker-trips=0 dead-letters=1") {
+		t.Errorf("report string missing resilience line:\n%s", rep.String())
+	}
+	// A fault-free report stays free of the resilience line.
+	if strings.Contains(New(1).Analyze().String(), "Resilience:") {
+		t.Error("resilience line rendered with zero totals")
+	}
+}

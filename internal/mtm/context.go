@@ -1,6 +1,7 @@
 package mtm
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -55,27 +56,29 @@ func (nopRecorder) Record(Cost, time.Duration) {}
 // External is the gateway through which INVOKE operators reach the
 // external systems (database instances, web services). The integration
 // engine provides the implementation; every call is a communication-cost
-// round trip.
+// round trip. The context carries the instance's cancellation and the
+// resilience layer's per-invoke deadline; implementations should honour
+// it on genuine network boundaries.
 type External interface {
 	// Query reads rows of a table matching the predicate.
-	Query(system, table string, pred rel.Predicate) (*rel.Relation, error)
+	Query(ctx context.Context, system, table string, pred rel.Predicate) (*rel.Relation, error)
 	// FetchXML reads a whole table as a raw XML result-set document (the
 	// web-service extraction path of P09).
-	FetchXML(system, table string) (*x.Node, error)
+	FetchXML(ctx context.Context, system, table string) (*x.Node, error)
 	// Insert appends the dataset to a table.
-	Insert(system, table string, r *rel.Relation) error
+	Insert(ctx context.Context, system, table string, r *rel.Relation) error
 	// Upsert inserts-or-replaces the dataset by primary key.
-	Upsert(system, table string, r *rel.Relation) error
+	Upsert(ctx context.Context, system, table string, r *rel.Relation) error
 	// Delete removes matching rows and returns the count.
-	Delete(system, table string, pred rel.Predicate) (int, error)
+	Delete(ctx context.Context, system, table string, pred rel.Predicate) (int, error)
 	// Update sets the given columns on matching rows and returns the
 	// count (the P12 "flag master data as integrated" step).
-	Update(system, table string, pred rel.Predicate, set map[string]rel.Value) (int, error)
+	Update(ctx context.Context, system, table string, pred rel.Predicate, set map[string]rel.Value) (int, error)
 	// Call invokes a stored procedure.
-	Call(system, proc string, args ...rel.Value) (*rel.Relation, error)
+	Call(ctx context.Context, system, proc string, args ...rel.Value) (*rel.Relation, error)
 	// Send delivers an entity XML message to a system (web-service update
 	// operation, P01).
-	Send(system string, doc *x.Node) error
+	Send(ctx context.Context, system string, doc *x.Node) error
 }
 
 // Context is the execution state of one process instance: the variable
@@ -88,10 +91,11 @@ type Context struct {
 	// Input is the message that triggered the instance (nil for E2).
 	Input *Message
 
-	rec  CostRecorder
-	par  int
-	mu   sync.Mutex
-	vars map[string]*Message
+	rec   CostRecorder
+	par   int
+	goctx context.Context
+	mu    sync.Mutex
+	vars  map[string]*Message
 }
 
 // NewContext builds a context. rec may be nil to discard costs.
@@ -100,6 +104,19 @@ func NewContext(ext External, input *Message, rec CostRecorder) *Context {
 		rec = nopRecorder{}
 	}
 	return &Context{Ext: ext, Input: input, rec: rec, vars: make(map[string]*Message)}
+}
+
+// SetContext attaches the instance's cancellation/deadline context,
+// which INVOKE propagates to the external gateway. Set once before Run —
+// it is not synchronized.
+func (c *Context) SetContext(ctx context.Context) { c.goctx = ctx }
+
+// Context returns the attached context (Background if none was set).
+func (c *Context) Context() context.Context {
+	if c.goctx == nil {
+		return context.Background()
+	}
+	return c.goctx
 }
 
 // SetParallelism sets the intra-operator parallel degree the dataset

@@ -1,6 +1,7 @@
 package mtm
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -34,7 +35,7 @@ func (f *fakeExternal) db(system string) (*rel.Database, error) {
 	return db, nil
 }
 
-func (f *fakeExternal) Query(system, table string, pred rel.Predicate) (*rel.Relation, error) {
+func (f *fakeExternal) Query(_ context.Context, system, table string, pred rel.Predicate) (*rel.Relation, error) {
 	db, err := f.db(system)
 	if err != nil {
 		return nil, err
@@ -46,15 +47,15 @@ func (f *fakeExternal) Query(system, table string, pred rel.Predicate) (*rel.Rel
 	return t.SelectWhere(pred)
 }
 
-func (f *fakeExternal) FetchXML(system, table string) (*x.Node, error) {
-	r, err := f.Query(system, table, rel.True())
+func (f *fakeExternal) FetchXML(_ context.Context, system, table string) (*x.Node, error) {
+	r, err := f.Query(context.Background(), system, table, rel.True())
 	if err != nil {
 		return nil, err
 	}
 	return x.FromRelation(table, r), nil
 }
 
-func (f *fakeExternal) Insert(system, table string, r *rel.Relation) error {
+func (f *fakeExternal) Insert(_ context.Context, system, table string, r *rel.Relation) error {
 	db, err := f.db(system)
 	if err != nil {
 		return err
@@ -62,7 +63,7 @@ func (f *fakeExternal) Insert(system, table string, r *rel.Relation) error {
 	return db.MustTable(table).InsertAll(r)
 }
 
-func (f *fakeExternal) Upsert(system, table string, r *rel.Relation) error {
+func (f *fakeExternal) Upsert(_ context.Context, system, table string, r *rel.Relation) error {
 	db, err := f.db(system)
 	if err != nil {
 		return err
@@ -76,7 +77,7 @@ func (f *fakeExternal) Upsert(system, table string, r *rel.Relation) error {
 	return nil
 }
 
-func (f *fakeExternal) Delete(system, table string, pred rel.Predicate) (int, error) {
+func (f *fakeExternal) Delete(_ context.Context, system, table string, pred rel.Predicate) (int, error) {
 	db, err := f.db(system)
 	if err != nil {
 		return 0, err
@@ -84,7 +85,7 @@ func (f *fakeExternal) Delete(system, table string, pred rel.Predicate) (int, er
 	return db.MustTable(table).Delete(pred)
 }
 
-func (f *fakeExternal) Update(system, table string, pred rel.Predicate, set map[string]rel.Value) (int, error) {
+func (f *fakeExternal) Update(_ context.Context, system, table string, pred rel.Predicate, set map[string]rel.Value) (int, error) {
 	db, err := f.db(system)
 	if err != nil {
 		return 0, err
@@ -98,7 +99,7 @@ func (f *fakeExternal) Update(system, table string, pred rel.Predicate, set map[
 	})
 }
 
-func (f *fakeExternal) Call(system, proc string, args ...rel.Value) (*rel.Relation, error) {
+func (f *fakeExternal) Call(_ context.Context, system, proc string, args ...rel.Value) (*rel.Relation, error) {
 	f.mu.Lock()
 	f.calls = append(f.calls, system+"."+proc)
 	f.mu.Unlock()
@@ -109,7 +110,7 @@ func (f *fakeExternal) Call(system, proc string, args ...rel.Value) (*rel.Relati
 	return db.Call(proc, args...)
 }
 
-func (f *fakeExternal) Send(system string, doc *x.Node) error {
+func (f *fakeExternal) Send(_ context.Context, system string, doc *x.Node) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.sent = append(f.sent, doc)

@@ -139,15 +139,16 @@ func (o Invoke) Execute(ctx *Context) error {
 	if pred == nil {
 		pred = rel.True()
 	}
+	ectx := ctx.Context()
 	switch o.Operation {
 	case OpQuery:
-		r, err := ctx.Ext.Query(o.Service, o.Table, pred)
+		r, err := ctx.Ext.Query(ectx, o.Service, o.Table, pred)
 		if err != nil {
 			return invokeErr(o, err)
 		}
 		ctx.Set(o.Out, DataMessage(r))
 	case OpFetchXML:
-		doc, err := ctx.Ext.FetchXML(o.Service, o.Table)
+		doc, err := ctx.Ext.FetchXML(ectx, o.Service, o.Table)
 		if err != nil {
 			return invokeErr(o, err)
 		}
@@ -157,7 +158,7 @@ func (o Invoke) Execute(ctx *Context) error {
 		if err != nil {
 			return err
 		}
-		if err := ctx.Ext.Insert(o.Service, o.Table, r); err != nil {
+		if err := ctx.Ext.Insert(ectx, o.Service, o.Table, r); err != nil {
 			return invokeErr(o, err)
 		}
 	case OpUpsert:
@@ -165,19 +166,19 @@ func (o Invoke) Execute(ctx *Context) error {
 		if err != nil {
 			return err
 		}
-		if err := ctx.Ext.Upsert(o.Service, o.Table, r); err != nil {
+		if err := ctx.Ext.Upsert(ectx, o.Service, o.Table, r); err != nil {
 			return invokeErr(o, err)
 		}
 	case OpDelete:
-		if _, err := ctx.Ext.Delete(o.Service, o.Table, pred); err != nil {
+		if _, err := ctx.Ext.Delete(ectx, o.Service, o.Table, pred); err != nil {
 			return invokeErr(o, err)
 		}
 	case OpUpdate:
-		if _, err := ctx.Ext.Update(o.Service, o.Table, pred, o.Set); err != nil {
+		if _, err := ctx.Ext.Update(ectx, o.Service, o.Table, pred, o.Set); err != nil {
 			return invokeErr(o, err)
 		}
 	case OpCall:
-		r, err := ctx.Ext.Call(o.Service, o.Table, o.Args...)
+		r, err := ctx.Ext.Call(ectx, o.Service, o.Table, o.Args...)
 		if err != nil {
 			return invokeErr(o, err)
 		}
@@ -189,7 +190,7 @@ func (o Invoke) Execute(ctx *Context) error {
 		if err != nil {
 			return err
 		}
-		if err := ctx.Ext.Send(o.Service, doc); err != nil {
+		if err := ctx.Ext.Send(ectx, o.Service, doc); err != nil {
 			return invokeErr(o, err)
 		}
 	default:

@@ -168,7 +168,14 @@ type Server struct {
 	instances map[string]*Database
 	latency   time.Duration
 	calls     uint64
+	hook      CallHook
 }
+
+// CallHook observes every remote call before it executes and may fail it
+// (the fault layer injects transient store errors this way). op is the
+// logical operation name ("query", "insert", ...), table the target table
+// or procedure.
+type CallHook func(instance, op, table string) error
 
 // NewServer creates a server with the given simulated per-call latency.
 func NewServer(latency time.Duration) *Server {
@@ -224,6 +231,13 @@ func (s *Server) Calls() uint64 {
 	return s.calls
 }
 
+// SetCallHook installs (or, with nil, removes) the per-call observer.
+func (s *Server) SetCallHook(h CallHook) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.hook = h
+}
+
 // chargeLatency sleeps for the configured latency and counts the call.
 func (s *Server) chargeLatency() {
 	s.mu.Lock()
@@ -233,6 +247,19 @@ func (s *Server) chargeLatency() {
 	if d > 0 {
 		time.Sleep(d)
 	}
+}
+
+// roundTrip charges the latency of one remote call and runs the call
+// hook, returning its verdict.
+func (c *Conn) roundTrip(op, table string) error {
+	c.server.chargeLatency()
+	c.server.mu.RLock()
+	h := c.server.hook
+	c.server.mu.RUnlock()
+	if h == nil {
+		return nil
+	}
+	return h(c.db.name, op, table)
 }
 
 // Conn is a client connection to one database instance on a server. Every
@@ -266,7 +293,9 @@ func (c *Conn) Database() *Database { return c.db }
 
 // Query runs a predicate scan over a table, one round trip.
 func (c *Conn) Query(table string, pred Predicate) (*Relation, error) {
-	c.server.chargeLatency()
+	if err := c.roundTrip("query", table); err != nil {
+		return nil, err
+	}
 	t := c.db.Table(table)
 	if t == nil {
 		return nil, fmt.Errorf("relational: no table %s.%s", c.db.name, table)
@@ -281,7 +310,9 @@ func (c *Conn) Scan(table string) (*Relation, error) {
 
 // Insert inserts one row, one round trip.
 func (c *Conn) Insert(table string, row Row) error {
-	c.server.chargeLatency()
+	if err := c.roundTrip("insert", table); err != nil {
+		return err
+	}
 	t := c.db.Table(table)
 	if t == nil {
 		return fmt.Errorf("relational: no table %s.%s", c.db.name, table)
@@ -291,7 +322,9 @@ func (c *Conn) Insert(table string, row Row) error {
 
 // InsertBulk inserts a whole relation in one round trip (bulk load path).
 func (c *Conn) InsertBulk(table string, r *Relation) error {
-	c.server.chargeLatency()
+	if err := c.roundTrip("insert", table); err != nil {
+		return err
+	}
 	t := c.db.Table(table)
 	if t == nil {
 		return fmt.Errorf("relational: no table %s.%s", c.db.name, table)
@@ -301,7 +334,9 @@ func (c *Conn) InsertBulk(table string, r *Relation) error {
 
 // UpsertBulk upserts a whole relation in one round trip.
 func (c *Conn) UpsertBulk(table string, r *Relation) error {
-	c.server.chargeLatency()
+	if err := c.roundTrip("upsert", table); err != nil {
+		return err
+	}
 	t := c.db.Table(table)
 	if t == nil {
 		return fmt.Errorf("relational: no table %s.%s", c.db.name, table)
@@ -319,7 +354,9 @@ func (c *Conn) UpsertBulk(table string, r *Relation) error {
 
 // Delete removes matching rows, one round trip.
 func (c *Conn) Delete(table string, pred Predicate) (int, error) {
-	c.server.chargeLatency()
+	if err := c.roundTrip("delete", table); err != nil {
+		return 0, err
+	}
 	t := c.db.Table(table)
 	if t == nil {
 		return 0, fmt.Errorf("relational: no table %s.%s", c.db.name, table)
@@ -329,7 +366,9 @@ func (c *Conn) Delete(table string, pred Predicate) (int, error) {
 
 // Update rewrites matching rows, one round trip.
 func (c *Conn) Update(table string, pred Predicate, fn func(Row) Row) (int, error) {
-	c.server.chargeLatency()
+	if err := c.roundTrip("update", table); err != nil {
+		return 0, err
+	}
 	t := c.db.Table(table)
 	if t == nil {
 		return 0, fmt.Errorf("relational: no table %s.%s", c.db.name, table)
@@ -339,6 +378,8 @@ func (c *Conn) Update(table string, pred Predicate, fn func(Row) Row) (int, erro
 
 // Call invokes a stored procedure, one round trip.
 func (c *Conn) Call(proc string, args ...Value) (*Relation, error) {
-	c.server.chargeLatency()
+	if err := c.roundTrip("call", proc); err != nil {
+		return nil, err
+	}
 	return c.db.Call(proc, args...)
 }

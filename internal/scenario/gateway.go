@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"context"
 	"fmt"
 
 	rel "repro/internal/relational"
@@ -9,7 +10,10 @@ import (
 
 // Gateway implements mtm.External over the scenario topology: database
 // systems are reached through server connections (paying the configured
-// round-trip latency), web-service systems through real HTTP calls.
+// round-trip latency), web-service systems through real HTTP calls. The
+// context carries the invoke deadline of the resilience layer; it is
+// honoured on the genuine network paths (web services, remote database
+// protocol) and ignored on the in-process store.
 type Gateway struct {
 	s *Scenario
 }
@@ -18,11 +22,11 @@ type Gateway struct {
 func (s *Scenario) Gateway() *Gateway { return &Gateway{s: s} }
 
 // Query implements mtm.External.
-func (g *Gateway) Query(system, table string, pred rel.Predicate) (*rel.Relation, error) {
+func (g *Gateway) Query(ctx context.Context, system, table string, pred rel.Predicate) (*rel.Relation, error) {
 	if IsWebService(system) {
 		// Web services ship whole tables; predicates apply client-side
 		// (the generic result-set interface has no filter pushdown).
-		r, err := g.s.WSClient(system).QueryRelation(table)
+		r, err := g.s.WSClient(system).QueryRelationContext(ctx, table)
 		if err != nil {
 			return nil, err
 		}
@@ -32,7 +36,7 @@ func (g *Gateway) Query(system, table string, pred rel.Predicate) (*rel.Relation
 		return r.Select(pred)
 	}
 	if g.s.remote != nil {
-		return g.s.dbClient(system).Query(table, pred)
+		return g.s.dbClient(system).QueryContext(ctx, table, pred)
 	}
 	conn, err := g.s.ES.Connect(system)
 	if err != nil {
@@ -45,12 +49,12 @@ func (g *Gateway) Query(system, table string, pred rel.Predicate) (*rel.Relation
 }
 
 // FetchXML implements mtm.External.
-func (g *Gateway) FetchXML(system, table string) (*x.Node, error) {
+func (g *Gateway) FetchXML(ctx context.Context, system, table string) (*x.Node, error) {
 	if IsWebService(system) {
-		return g.s.WSClient(system).Query(table)
+		return g.s.WSClient(system).QueryContext(ctx, table)
 	}
 	if g.s.remote != nil {
-		r, err := g.s.dbClient(system).Query(table, nil)
+		r, err := g.s.dbClient(system).QueryContext(ctx, table, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -69,12 +73,12 @@ func (g *Gateway) FetchXML(system, table string) (*x.Node, error) {
 }
 
 // Insert implements mtm.External.
-func (g *Gateway) Insert(system, table string, r *rel.Relation) error {
+func (g *Gateway) Insert(ctx context.Context, system, table string, r *rel.Relation) error {
 	if IsWebService(system) {
-		return g.s.WSClient(system).UpdateRelation(table, r)
+		return g.s.WSClient(system).UpdateRelationContext(ctx, table, r)
 	}
 	if g.s.remote != nil {
-		return g.s.dbClient(system).Insert(table, r)
+		return g.s.dbClient(system).InsertContext(ctx, table, r)
 	}
 	conn, err := g.s.ES.Connect(system)
 	if err != nil {
@@ -84,12 +88,12 @@ func (g *Gateway) Insert(system, table string, r *rel.Relation) error {
 }
 
 // Upsert implements mtm.External.
-func (g *Gateway) Upsert(system, table string, r *rel.Relation) error {
+func (g *Gateway) Upsert(ctx context.Context, system, table string, r *rel.Relation) error {
 	if IsWebService(system) {
-		return g.s.WSClient(system).UpdateRelation(table, r)
+		return g.s.WSClient(system).UpdateRelationContext(ctx, table, r)
 	}
 	if g.s.remote != nil {
-		return g.s.dbClient(system).Upsert(table, r)
+		return g.s.dbClient(system).UpsertContext(ctx, table, r)
 	}
 	conn, err := g.s.ES.Connect(system)
 	if err != nil {
@@ -99,12 +103,12 @@ func (g *Gateway) Upsert(system, table string, r *rel.Relation) error {
 }
 
 // Delete implements mtm.External.
-func (g *Gateway) Delete(system, table string, pred rel.Predicate) (int, error) {
+func (g *Gateway) Delete(ctx context.Context, system, table string, pred rel.Predicate) (int, error) {
 	if IsWebService(system) {
 		return 0, fmt.Errorf("scenario: web service %s does not support delete", system)
 	}
 	if g.s.remote != nil {
-		return g.s.dbClient(system).Delete(table, pred)
+		return g.s.dbClient(system).DeleteContext(ctx, table, pred)
 	}
 	conn, err := g.s.ES.Connect(system)
 	if err != nil {
@@ -117,12 +121,12 @@ func (g *Gateway) Delete(system, table string, pred rel.Predicate) (int, error) 
 }
 
 // Update implements mtm.External.
-func (g *Gateway) Update(system, table string, pred rel.Predicate, set map[string]rel.Value) (int, error) {
+func (g *Gateway) Update(ctx context.Context, system, table string, pred rel.Predicate, set map[string]rel.Value) (int, error) {
 	if IsWebService(system) {
 		return 0, fmt.Errorf("scenario: web service %s does not support update", system)
 	}
 	if g.s.remote != nil {
-		return g.s.dbClient(system).Update(table, pred, set)
+		return g.s.dbClient(system).UpdateContext(ctx, table, pred, set)
 	}
 	conn, err := g.s.ES.Connect(system)
 	if err != nil {
@@ -158,12 +162,12 @@ func (g *Gateway) Update(system, table string, pred rel.Predicate, set map[strin
 }
 
 // Call implements mtm.External.
-func (g *Gateway) Call(system, proc string, args ...rel.Value) (*rel.Relation, error) {
+func (g *Gateway) Call(ctx context.Context, system, proc string, args ...rel.Value) (*rel.Relation, error) {
 	if IsWebService(system) {
 		return nil, fmt.Errorf("scenario: web service %s does not support procedure calls", system)
 	}
 	if g.s.remote != nil {
-		return g.s.dbClient(system).Call(proc, args...)
+		return g.s.dbClient(system).CallContext(ctx, proc, args...)
 	}
 	conn, err := g.s.ES.Connect(system)
 	if err != nil {
@@ -173,9 +177,9 @@ func (g *Gateway) Call(system, proc string, args ...rel.Value) (*rel.Relation, e
 }
 
 // Send implements mtm.External.
-func (g *Gateway) Send(system string, doc *x.Node) error {
+func (g *Gateway) Send(ctx context.Context, system string, doc *x.Node) error {
 	if !IsWebService(system) {
 		return fmt.Errorf("scenario: %s does not accept entity messages", system)
 	}
-	return g.s.WSClient(system).Update(doc)
+	return g.s.WSClient(system).UpdateContext(ctx, doc)
 }

@@ -1,6 +1,8 @@
 package scenario
 
 import (
+	"context"
+
 	"testing"
 
 	rel "repro/internal/relational"
@@ -24,7 +26,7 @@ func TestGatewayUpdateFlagsRows(t *testing.T) {
 		}
 	}
 	// The P12 flagging pattern: set Integrated=true on unflagged rows.
-	n, err := gw.Update(schema.SysCDB, "Customer",
+	n, err := gw.Update(context.Background(), schema.SysCDB, "Customer",
 		rel.ColEq("Integrated", rel.NewBool(false)),
 		map[string]rel.Value{"Integrated": rel.NewBool(true)})
 	if err != nil || n != 3 {
@@ -38,7 +40,7 @@ func TestGatewayUpdateFlagsRows(t *testing.T) {
 		}
 	}
 	// Second pass matches nothing.
-	n, err = gw.Update(schema.SysCDB, "Customer",
+	n, err = gw.Update(context.Background(), schema.SysCDB, "Customer",
 		rel.ColEq("Integrated", rel.NewBool(false)),
 		map[string]rel.Value{"Integrated": rel.NewBool(true)})
 	if err != nil || n != 0 {
@@ -49,16 +51,16 @@ func TestGatewayUpdateFlagsRows(t *testing.T) {
 func TestGatewayUpdateErrors(t *testing.T) {
 	s := newScenario(t)
 	gw := s.Gateway()
-	if _, err := gw.Update(schema.SysBeijing, "Customers", nil, nil); err == nil {
+	if _, err := gw.Update(context.Background(), schema.SysBeijing, "Customers", nil, nil); err == nil {
 		t.Error("WS update should fail")
 	}
-	if _, err := gw.Update("Atlantis", "T", nil, nil); err == nil {
+	if _, err := gw.Update(context.Background(), "Atlantis", "T", nil, nil); err == nil {
 		t.Error("unknown system")
 	}
-	if _, err := gw.Update(schema.SysCDB, "NoTable", nil, nil); err == nil {
+	if _, err := gw.Update(context.Background(), schema.SysCDB, "NoTable", nil, nil); err == nil {
 		t.Error("missing table")
 	}
-	if _, err := gw.Update(schema.SysCDB, "Customer", nil,
+	if _, err := gw.Update(context.Background(), schema.SysCDB, "Customer", nil,
 		map[string]rel.Value{"NoColumn": rel.NewBool(true)}); err == nil {
 		t.Error("missing column")
 	}
@@ -71,7 +73,7 @@ func TestGatewayNilPredicateUpdatesAll(t *testing.T) {
 	_ = cdb.MustTable("FailedMessages").Insert(rel.Row{
 		rel.NewInt(1), rel.NewString("x"), rel.NewString("r"), rel.NewString("p"),
 	})
-	n, err := gw.Update(schema.SysCDB, "FailedMessages", nil,
+	n, err := gw.Update(context.Background(), schema.SysCDB, "FailedMessages", nil,
 		map[string]rel.Value{"Reason": rel.NewString("updated")})
 	if err != nil || n != 1 {
 		t.Fatalf("nil pred: %d %v", n, err)

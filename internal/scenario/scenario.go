@@ -17,12 +17,14 @@ package scenario
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/datagen"
 	"repro/internal/dbproto"
+	"repro/internal/fault"
 	rel "repro/internal/relational"
 	"repro/internal/schema"
 	"repro/internal/ws"
@@ -49,8 +51,9 @@ type Scenario struct {
 	// WS is the application server hosting the Asian web services.
 	WS *ws.Registry
 
-	wsURL  string
-	remote *dbproto.Remote // non-nil when Options.RemoteDB
+	wsURL     string
+	remote    *dbproto.Remote // non-nil when Options.RemoteDB
+	faultPlan *fault.Plan     // non-nil after InstallFaultPlan
 }
 
 // DatabaseSystems lists the systems realized as database instances, in
@@ -158,6 +161,38 @@ func (s *Scenario) Close() error {
 // RemoteDB reports whether the database server sits behind the HTTP
 // protocol boundary.
 func (s *Scenario) RemoteDB() bool { return s.remote != nil }
+
+// InstallFaultPlan injects the deterministic fault plan into every
+// external-system boundary of the topology: the web services, and either
+// the remote database protocol endpoint (RemoteDB) or the in-process
+// store via a call hook. A nil plan removes all injection.
+func (s *Scenario) InstallFaultPlan(p *fault.Plan) {
+	s.faultPlan = p
+	s.WS.SetFaultPlan(p)
+	if s.remote != nil {
+		s.remote.SetFaultPlan(p)
+		return
+	}
+	if p == nil {
+		s.ES.SetCallHook(nil)
+		return
+	}
+	s.ES.SetCallHook(func(instance, op, table string) error {
+		endpoint := "es/" + strings.ToLower(instance)
+		d := p.DecideStore(endpoint, fault.Digest(op, table))
+		switch d.Kind {
+		case fault.KindStoreError:
+			return &fault.TransientError{Endpoint: endpoint, Msg: "injected store fault"}
+		case fault.KindLatency:
+			time.Sleep(d.Delay)
+		}
+		return nil
+	})
+}
+
+// FaultPlan returns the installed fault plan (nil when fault injection is
+// off).
+func (s *Scenario) FaultPlan() *fault.Plan { return s.faultPlan }
 
 // dbClient returns a protocol client for the instance (RemoteDB only).
 func (s *Scenario) dbClient(instance string) *dbproto.Client {

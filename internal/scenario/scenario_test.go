@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -132,7 +133,7 @@ func TestGatewayDatabaseOperations(t *testing.T) {
 	}
 	gw := s.Gateway()
 
-	r, err := gw.Query(schema.SysBerlinParis, "Customer", rel.ColEq("Location", rel.NewString("Berlin")))
+	r, err := gw.Query(context.Background(), schema.SysBerlinParis, "Customer", rel.ColEq("Location", rel.NewString("Berlin")))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +143,7 @@ func TestGatewayDatabaseOperations(t *testing.T) {
 		}
 	}
 	// Nil predicate scans everything.
-	all, err := gw.Query(schema.SysBerlinParis, "Customer", nil)
+	all, err := gw.Query(context.Background(), schema.SysBerlinParis, "Customer", nil)
 	if err != nil || all.Len() < r.Len() {
 		t.Fatalf("scan: %v %v", all, err)
 	}
@@ -154,24 +155,24 @@ func TestGatewayDatabaseOperations(t *testing.T) {
 		rel.NewString("test"), rel.NewBool(false),
 	}
 	ins := rel.MustRelation(schema.CDBCustomer, []rel.Row{row})
-	if err := gw.Insert(schema.SysCDB, "Customer", ins); err != nil {
+	if err := gw.Insert(context.Background(), schema.SysCDB, "Customer", ins); err != nil {
 		t.Fatal(err)
 	}
-	n, err := gw.Delete(schema.SysCDB, "Customer", rel.ColEq("Custkey", rel.NewInt(999)))
+	n, err := gw.Delete(context.Background(), schema.SysCDB, "Customer", rel.ColEq("Custkey", rel.NewInt(999)))
 	if err != nil || n != 1 {
 		t.Fatalf("delete: %d %v", n, err)
 	}
 
 	// Upsert replaces.
-	if err := gw.Upsert(schema.SysCDB, "Customer", ins); err != nil {
+	if err := gw.Upsert(context.Background(), schema.SysCDB, "Customer", ins); err != nil {
 		t.Fatal(err)
 	}
-	if err := gw.Upsert(schema.SysCDB, "Customer", ins); err != nil {
+	if err := gw.Upsert(context.Background(), schema.SysCDB, "Customer", ins); err != nil {
 		t.Fatalf("upsert twice: %v", err)
 	}
 
 	// Call reaches stored procedures.
-	if _, err := gw.Call(schema.SysCDB, "sp_runMasterDataCleansing"); err != nil {
+	if _, err := gw.Call(context.Background(), schema.SysCDB, "sp_runMasterDataCleansing"); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -183,7 +184,7 @@ func TestGatewayWebServiceOperations(t *testing.T) {
 	}
 	gw := s.Gateway()
 
-	r, err := gw.Query(schema.SysBeijing, "Customers", nil)
+	r, err := gw.Query(context.Background(), schema.SysBeijing, "Customers", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,12 +192,12 @@ func TestGatewayWebServiceOperations(t *testing.T) {
 		t.Fatal("no Beijing customers")
 	}
 	// Client-side predicate on WS queries.
-	one, err := gw.Query(schema.SysBeijing, "Customers",
+	one, err := gw.Query(context.Background(), schema.SysBeijing, "Customers",
 		rel.ColEq("Cust_ID", r.Get(0, "Cust_ID")))
 	if err != nil || one.Len() != 1 {
 		t.Fatalf("ws filtered query: %v %v", one, err)
 	}
-	doc, err := gw.FetchXML(schema.SysSeoul, "Orders")
+	doc, err := gw.FetchXML(context.Background(), schema.SysSeoul, "Orders")
 	if err != nil || doc.Name != "ResultSet" {
 		t.Fatalf("fetchxml: %v %v", doc, err)
 	}
@@ -208,20 +209,20 @@ func TestGatewayWebServiceOperations(t *testing.T) {
 		x.NewText("CCITY", "Seoul"),
 		x.NewText("CPHONE", "1"),
 	)
-	if err := gw.Send(schema.SysSeoul, msg); err != nil {
+	if err := gw.Send(context.Background(), schema.SysSeoul, msg); err != nil {
 		t.Fatal(err)
 	}
 	if got := s.WS.Service(schema.SysSeoul).Database().MustTable("Customers").Lookup(rel.NewInt(2999999)); got == nil {
 		t.Fatal("P01 handler did not upsert")
 	}
 	// Unsupported WS operations error.
-	if _, err := gw.Delete(schema.SysSeoul, "Customers", nil); err == nil {
+	if _, err := gw.Delete(context.Background(), schema.SysSeoul, "Customers", nil); err == nil {
 		t.Error("WS delete should fail")
 	}
-	if _, err := gw.Call(schema.SysSeoul, "sp_x"); err == nil {
+	if _, err := gw.Call(context.Background(), schema.SysSeoul, "sp_x"); err == nil {
 		t.Error("WS call should fail")
 	}
-	if err := gw.Send(schema.SysCDB, msg); err == nil {
+	if err := gw.Send(context.Background(), schema.SysCDB, msg); err == nil {
 		t.Error("Send to database should fail")
 	}
 }
@@ -231,7 +232,7 @@ func TestGatewayFetchXMLFromDatabase(t *testing.T) {
 	if err := s.InitializeSources(testGen()); err != nil {
 		t.Fatal(err)
 	}
-	doc, err := s.Gateway().FetchXML(schema.SysTrondheim, "Customer")
+	doc, err := s.Gateway().FetchXML(context.Background(), schema.SysTrondheim, "Customer")
 	if err != nil || doc.Name != "ResultSet" {
 		t.Fatalf("db fetchxml: %v", err)
 	}
@@ -240,10 +241,10 @@ func TestGatewayFetchXMLFromDatabase(t *testing.T) {
 func TestGatewayUnknownSystem(t *testing.T) {
 	s := newScenario(t)
 	gw := s.Gateway()
-	if _, err := gw.Query("Atlantis", "T", nil); err == nil {
+	if _, err := gw.Query(context.Background(), "Atlantis", "T", nil); err == nil {
 		t.Error("unknown system query")
 	}
-	if err := gw.Insert("Atlantis", "T", rel.Empty(schema.CDBCustomer)); err == nil {
+	if err := gw.Insert(context.Background(), "Atlantis", "T", rel.Empty(schema.CDBCustomer)); err == nil {
 		t.Error("unknown system insert")
 	}
 }
@@ -359,7 +360,7 @@ func TestRefreshOrdersMVProcedure(t *testing.T) {
 func TestEntityHandlerRejectsBadMessage(t *testing.T) {
 	s := newScenario(t)
 	bad := x.New("SKCustomer", x.NewText("CID", "not-a-number"))
-	if err := s.Gateway().Send(schema.SysSeoul, bad); err == nil {
+	if err := s.Gateway().Send(context.Background(), schema.SysSeoul, bad); err == nil {
 		t.Fatal("bad entity message accepted")
 	}
 }

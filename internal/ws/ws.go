@@ -14,6 +14,7 @@ package ws
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"net"
@@ -23,6 +24,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/fault"
 	rel "repro/internal/relational"
 	x "repro/internal/xmlmsg"
 )
@@ -118,6 +120,7 @@ type Registry struct {
 	mu       sync.RWMutex
 	services map[string]*Service
 	delay    time.Duration
+	plan     *fault.Plan
 
 	server   *http.Server
 	listener net.Listener
@@ -144,6 +147,22 @@ func (r *Registry) Service(name string) *Service {
 	return r.services[strings.ToLower(name)]
 }
 
+// SetFaultPlan installs (or, with nil, removes) the deterministic fault
+// plan consulted before every dispatched request.
+func (r *Registry) SetFaultPlan(p *fault.Plan) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.plan = p
+}
+
+// faultPlan returns the installed plan (possibly nil; Plan methods are
+// nil-safe).
+func (r *Registry) faultPlan() *fault.Plan {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.plan
+}
+
 // Start binds a loopback listener and serves until Stop. It returns the
 // base URL, e.g. "http://127.0.0.1:39113".
 func (r *Registry) Start() (string, error) {
@@ -153,7 +172,14 @@ func (r *Registry) Start() (string, error) {
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/ws/", r.dispatch)
-	r.server = &http.Server{Handler: mux}
+	// Peer-protection timeouts: one hung client must not wedge the
+	// application server (same defaults as the dbproto endpoint).
+	r.server = &http.Server{
+		Handler:      mux,
+		ReadTimeout:  15 * time.Second,
+		WriteTimeout: 30 * time.Second,
+		IdleTimeout:  60 * time.Second,
+	}
 	r.listener = ln
 	r.baseURL = "http://" + ln.Addr().String()
 	go func() { _ = r.server.Serve(ln) }()
@@ -173,8 +199,10 @@ func (r *Registry) Stop() error {
 
 // dispatch routes /ws/<service>/<op> requests.
 func (r *Registry) dispatch(w http.ResponseWriter, req *http.Request) {
-	if r.delay > 0 {
-		time.Sleep(r.delay)
+	// The artificial network delay honours the request context: a
+	// departed client releases the handler goroutine immediately.
+	if fault.Sleep(req.Context(), r.delay) != nil {
+		return
 	}
 	if req.Method != http.MethodPost {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
@@ -193,6 +221,9 @@ func (r *Registry) dispatch(w http.ResponseWriter, req *http.Request) {
 	body, err := io.ReadAll(io.LimitReader(req.Body, 64<<20))
 	if err != nil {
 		http.Error(w, "read: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if !fault.InjectHTTP(w, req, r.faultPlan(), "ws/"+strings.ToLower(parts[1]), parts[2], body) {
 		return
 	}
 	doc, err := x.ParseBytes(body)
@@ -238,55 +269,82 @@ func NewClient(baseURL, service string) *Client {
 	}
 }
 
-// post sends a document and returns the response body.
-func (c *Client) post(op string, doc *x.Node) ([]byte, error) {
+// post sends a document under the context and returns the response body.
+// Non-200 responses surface as a wrapped fault.HTTPStatusError so the
+// resilience layer can classify 5xx answers as transient.
+func (c *Client) post(ctx context.Context, op string, doc *x.Node) ([]byte, error) {
 	var buf bytes.Buffer
 	if err := doc.WriteXML(&buf); err != nil {
 		return nil, err
 	}
 	url := fmt.Sprintf("%s/ws/%s/%s", c.baseURL, c.service, op)
-	resp, err := c.http.Post(url, "application/xml", &buf)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, &buf)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/xml")
+	resp, err := c.http.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("ws: %s %s: %w", c.service, op, err)
 	}
 	defer resp.Body.Close()
 	body, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("ws: %s %s: %w", c.service, op, err)
 	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("ws: %s %s: HTTP %d: %s",
-			c.service, op, resp.StatusCode, strings.TrimSpace(string(body)))
+		return nil, fmt.Errorf("ws: %s %s: %w", c.service, op,
+			&fault.HTTPStatusError{Status: resp.StatusCode, Body: strings.TrimSpace(string(body))})
 	}
 	return body, nil
 }
 
-// Query fetches a whole table as an XML result-set document.
-func (c *Client) Query(table string) (*x.Node, error) {
-	body, err := c.post("query", x.New("Query").SetAttr("table", table))
+// QueryContext fetches a whole table as an XML result-set document.
+func (c *Client) QueryContext(ctx context.Context, table string) (*x.Node, error) {
+	body, err := c.post(ctx, "query", x.New("Query").SetAttr("table", table))
 	if err != nil {
 		return nil, err
 	}
 	return x.ParseBytes(body)
 }
 
-// QueryRelation fetches a whole table materialized as a relation.
-func (c *Client) QueryRelation(table string) (*rel.Relation, error) {
-	doc, err := c.Query(table)
+// Query is QueryContext under context.Background.
+func (c *Client) Query(table string) (*x.Node, error) {
+	return c.QueryContext(context.Background(), table)
+}
+
+// QueryRelationContext fetches a whole table materialized as a relation.
+func (c *Client) QueryRelationContext(ctx context.Context, table string) (*rel.Relation, error) {
+	doc, err := c.QueryContext(ctx, table)
 	if err != nil {
 		return nil, err
 	}
 	return x.ToRelation(doc)
 }
 
-// Update posts a document (ResultSet bulk upsert or entity message) to the
-// service's update operation.
-func (c *Client) Update(doc *x.Node) error {
-	_, err := c.post("update", doc)
+// QueryRelation is QueryRelationContext under context.Background.
+func (c *Client) QueryRelation(table string) (*rel.Relation, error) {
+	return c.QueryRelationContext(context.Background(), table)
+}
+
+// UpdateContext posts a document (ResultSet bulk upsert or entity
+// message) to the service's update operation.
+func (c *Client) UpdateContext(ctx context.Context, doc *x.Node) error {
+	_, err := c.post(ctx, "update", doc)
 	return err
 }
 
-// UpdateRelation bulk-upserts a relation into the named table.
+// Update is UpdateContext under context.Background.
+func (c *Client) Update(doc *x.Node) error {
+	return c.UpdateContext(context.Background(), doc)
+}
+
+// UpdateRelationContext bulk-upserts a relation into the named table.
+func (c *Client) UpdateRelationContext(ctx context.Context, table string, r *rel.Relation) error {
+	return c.UpdateContext(ctx, x.FromRelation(table, r))
+}
+
+// UpdateRelation is UpdateRelationContext under context.Background.
 func (c *Client) UpdateRelation(table string, r *rel.Relation) error {
-	return c.Update(x.FromRelation(table, r))
+	return c.UpdateRelationContext(context.Background(), table, r)
 }
