@@ -25,6 +25,9 @@
 //	-fault-rate p deterministic fault injection probability per external call
 //	-fault-seed n fault plan seed (defaults to -seed)
 //	-chaos-verify verify the integrated data against a fault-free twin run
+//	-incremental s    force delta-driven C/D maintenance on|off (default: engine preset)
+//	-recompute-verify verify the integrated data against a full-recompute twin run
+//	-mv-check n       recompute every OrdersMV from scratch every n periods
 //	-quality      print the per-system data quality report after the run
 //	-csv path     write the per-process report as CSV
 //	-dat path     write the gnuplot data file
@@ -69,6 +72,9 @@ func main() {
 		fltRate = flag.Float64("fault-rate", 0, "deterministic fault injection probability per external call (0 disables)")
 		fltSeed = flag.Uint64("fault-seed", 0, "fault plan seed (defaults to -seed)")
 		chaos   = flag.Bool("chaos-verify", false, "after a faulty run, verify the integrated data against a fault-free twin run")
+		incr    = flag.String("incremental", "", "force delta-driven C/D maintenance: on|off (default: engine preset)")
+		recomp  = flag.Bool("recompute-verify", false, "verify the integrated data against a full-recompute twin run")
+		mvEvery = flag.Int("mv-check", 0, "recompute every OrdersMV from scratch every n periods and abort on divergence (0 disables)")
 		warmup  = flag.Int("warmup", 0, "discard the first N periods from the metric")
 		csvPath = flag.String("csv", "", "write report CSV to this path")
 		datPath = flag.String("dat", "", "write gnuplot data file to this path")
@@ -143,20 +149,23 @@ func main() {
 		}
 	}
 	b, err := core.New(core.Config{
-		Datasize:     *d,
-		TimeScale:    *t,
-		Distribution: *f,
-		Periods:      *periods,
-		Seed:         *seed,
-		Engine:       *eng,
-		FastClock:    *fast,
-		Verify:       *verify,
-		RemoteDB:     *remote,
-		Trace:        *trcPath != "",
-		OnPeriod:     progress,
-		FaultRate:    *fltRate,
-		FaultSeed:    *fltSeed,
-		ChaosVerify:  *chaos,
+		Datasize:        *d,
+		TimeScale:       *t,
+		Distribution:    *f,
+		Periods:         *periods,
+		Seed:            *seed,
+		Engine:          *eng,
+		FastClock:       *fast,
+		Verify:          *verify,
+		RemoteDB:        *remote,
+		Trace:           *trcPath != "",
+		OnPeriod:        progress,
+		FaultRate:       *fltRate,
+		FaultSeed:       *fltSeed,
+		ChaosVerify:     *chaos,
+		Incremental:     *incr,
+		RecomputeVerify: *recomp,
+		MVCheckEvery:    *mvEvery,
 	})
 	if err != nil {
 		fatal(err)
@@ -210,6 +219,13 @@ func main() {
 		fmt.Println()
 		fmt.Print(res.Chaos)
 		if !res.Chaos.OK() {
+			defer os.Exit(1)
+		}
+	}
+	if res.Recompute != nil {
+		fmt.Println()
+		fmt.Print(res.Recompute)
+		if !res.Recompute.OK() {
 			defer os.Exit(1)
 		}
 	}

@@ -106,6 +106,23 @@ type Config struct {
 	// byte-identical — transient faults absorbed by retries must be
 	// invisible in the warehouse and marts.
 	ChaosVerify bool
+
+	// Incremental overrides the engine preset's incremental-maintenance
+	// default: "on" forces the delta-driven group C/D variants, "off"
+	// forces full re-extraction, "" keeps the preset (off for federated,
+	// on for the optimized engines).
+	Incremental string
+	// MVCheckEvery > 0 recomputes every OrdersMV from scratch every N-th
+	// period and aborts on any divergence from the stored (possibly
+	// incrementally maintained) view. Verify implies MVCheckEvery=1 when
+	// unset.
+	MVCheckEvery int
+	// RecomputeVerify, after a successful run with incremental
+	// maintenance, executes a full-recompute twin of the same
+	// configuration (incremental forced off) and asserts the integrated
+	// data is byte-identical — delta maintenance must be invisible in the
+	// warehouse, views and marts.
+	RecomputeVerify bool
 }
 
 // withDefaults fills unset fields.
@@ -178,6 +195,16 @@ func New(cfg Config) (*Benchmark, error) {
 		_ = scn.Close()
 		return nil, err
 	}
+	switch cfg.Incremental {
+	case "":
+	case "on":
+		eng.SetIncremental(true)
+	case "off":
+		eng.SetIncremental(false)
+	default:
+		_ = scn.Close()
+		return nil, fmt.Errorf("core: Incremental must be \"\", \"on\" or \"off\", got %q", cfg.Incremental)
+	}
 	// The warehouse-layer stored procedures (OrdersMV refresh) run inside
 	// the external systems; give them the engine's parallel degree so the
 	// optimized engines' C/D streams parallelize end to end while the
@@ -208,14 +235,19 @@ func New(cfg Config) (*Benchmark, error) {
 	if cfg.Trace {
 		trace = driver.NewTrace()
 	}
+	mvEvery := cfg.MVCheckEvery
+	if mvEvery == 0 && cfg.Verify {
+		mvEvery = 1
+	}
 	client, err := driver.NewClient(driver.Config{
-		Scale:    sf,
-		Periods:  cfg.Periods,
-		Seed:     cfg.Seed,
-		Clock:    clock,
-		Verify:   cfg.Verify,
-		Trace:    trace,
-		OnPeriod: cfg.OnPeriod,
+		Scale:        sf,
+		Periods:      cfg.Periods,
+		Seed:         cfg.Seed,
+		Clock:        clock,
+		Verify:       cfg.Verify,
+		Trace:        trace,
+		OnPeriod:     cfg.OnPeriod,
+		MVCheckEvery: mvEvery,
 	}, scn, eng)
 	if err != nil {
 		_ = scn.Close()
@@ -252,6 +284,9 @@ type Result struct {
 	// Chaos is the fault-transparency verification against the fault-free
 	// twin run (nil unless Config.ChaosVerify).
 	Chaos *driver.VerificationResult
+	// Recompute is the incremental-transparency verification against the
+	// full-recompute twin run (nil unless Config.RecomputeVerify).
+	Recompute *driver.VerificationResult
 }
 
 // Run executes the benchmark (work phase, plus post-phase verification
@@ -275,6 +310,13 @@ func (b *Benchmark) RunContext(ctx context.Context) (*Result, error) {
 			return nil, fmt.Errorf("core: chaos twin run: %w", cerr)
 		}
 		res.Chaos = chaos
+	}
+	if b.cfg.RecomputeVerify {
+		rv, rerr := b.runRecomputeTwin(ctx)
+		if rerr != nil {
+			return nil, fmt.Errorf("core: recompute twin run: %w", rerr)
+		}
+		res.Recompute = rv
 	}
 	return res, nil
 }
@@ -301,6 +343,35 @@ func (b *Benchmark) runChaosTwin(ctx context.Context) (*driver.VerificationResul
 		return nil, err
 	}
 	return driver.VerifyChaos(b.scn, twin.scn), nil
+}
+
+// runRecomputeTwin executes a full-recompute twin of this benchmark's
+// configuration — same seed, scale, engine, periods, but incremental
+// maintenance forced off and no fault injection — and compares the
+// integrated data of both runs. Delta-driven maintenance is only correct
+// when it is invisible in the data.
+func (b *Benchmark) runRecomputeTwin(ctx context.Context) (*driver.VerificationResult, error) {
+	twinCfg := b.cfg
+	twinCfg.Incremental = "off"
+	twinCfg.RecomputeVerify = false
+	twinCfg.ChaosVerify = false
+	twinCfg.FaultRate = 0
+	twinCfg.FaultSeed = 0
+	twinCfg.Resilience = nil
+	twinCfg.FastClock = true
+	twinCfg.Verify = false
+	twinCfg.MVCheckEvery = 0
+	twinCfg.Trace = false
+	twinCfg.OnPeriod = nil
+	twin, err := New(twinCfg)
+	if err != nil {
+		return nil, err
+	}
+	defer twin.Close()
+	if _, err := twin.RunContext(ctx); err != nil {
+		return nil, err
+	}
+	return driver.VerifyTwin("recompute", "identical to full-recompute run", b.scn, twin.scn), nil
 }
 
 // Close releases the benchmark's resources: the engine's batchers and the

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/driver"
+)
+
+// runSnapshot executes one benchmark and returns the canonical snapshot
+// of its integrated systems.
+func runSnapshot(t *testing.T, cfg Config) (string, *Result) {
+	t.Helper()
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	res, err := b.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return driver.SnapshotIntegrated(b.Scenario()), res
+}
+
+// TestIncrementalMatchesFull is the tentpole acceptance criterion: a
+// multi-period run with delta-driven maintenance must leave the
+// warehouse, the OrdersMV views and all three data marts byte-identical
+// to a full re-extraction run of the same configuration. MVCheckEvery
+// additionally recomputes every OrdersMV from scratch after each period
+// and aborts on divergence.
+func TestIncrementalMatchesFull(t *testing.T) {
+	base := Config{
+		Datasize: 0.004, Periods: 3, Seed: 42, FastClock: true,
+		Engine: EnginePipeline, MVCheckEvery: 1,
+	}
+	inc := base
+	inc.Incremental = "on"
+	full := base
+	full.Incremental = "off"
+	si, _ := runSnapshot(t, inc)
+	sf, _ := runSnapshot(t, full)
+	if si != sf {
+		t.Error("incremental run diverges from full-recompute run")
+	}
+}
+
+// TestIncrementalMatchesFullRemote repeats the comparison across the
+// remote transport: deltas now travel over the wire protocol, so the
+// serialization round trip must also be lossless.
+func TestIncrementalMatchesFullRemote(t *testing.T) {
+	if testing.Short() {
+		t.Skip("remote transport in -short mode")
+	}
+	base := Config{
+		Datasize: 0.004, Periods: 2, Seed: 42, FastClock: true,
+		Engine: EnginePipeline, RemoteDB: true, MVCheckEvery: 1,
+	}
+	inc := base
+	inc.Incremental = "on"
+	full := base
+	full.Incremental = "off"
+	si, _ := runSnapshot(t, inc)
+	sf, _ := runSnapshot(t, full)
+	if si != sf {
+		t.Error("incremental run diverges from full-recompute run over the remote transport")
+	}
+}
+
+// TestRecomputeVerifyTwin asserts the built-in verification wiring: a run
+// with RecomputeVerify executes its own full-recompute twin and reports
+// every integrated system byte-identical.
+func TestRecomputeVerifyTwin(t *testing.T) {
+	cfg := Config{
+		Datasize: 0.004, Periods: 2, Seed: 7, FastClock: true,
+		Engine: EnginePipeline, Incremental: "on", RecomputeVerify: true,
+	}
+	_, res := runSnapshot(t, cfg)
+	if res.Recompute == nil {
+		t.Fatal("RecomputeVerify produced no verification result")
+	}
+	if !res.Recompute.OK() {
+		t.Fatalf("recompute twin diverged:\n%s", res.Recompute)
+	}
+}
+
+// TestIncrementalConfigRejected pins the config validation.
+func TestIncrementalConfigRejected(t *testing.T) {
+	_, err := New(Config{Datasize: 0.004, Incremental: "sometimes"})
+	if err == nil {
+		t.Fatal("invalid Incremental value accepted")
+	}
+}

@@ -64,27 +64,35 @@ func canonicalRow(row rel.Row) string {
 // VerifyChaos compares the integrated state of a faulty run against its
 // fault-free twin, one check per system plus a whole-snapshot check.
 func VerifyChaos(faulty, clean *scenario.Scenario) *VerificationResult {
+	return VerifyTwin("chaos", "identical to fault-free run", faulty, clean)
+}
+
+// VerifyTwin compares the integrated state of a run against a twin run
+// that reached the same logical state another way (fault-free, full
+// recompute, ...), one check per system plus a whole-snapshot check.
+// label prefixes the check names; okInfo describes a passing comparison.
+func VerifyTwin(label, okInfo string, run, twin *scenario.Scenario) *VerificationResult {
 	v := &VerificationResult{}
 	identical := 0
 	for _, sys := range integratedSystems() {
-		fdb, cdb := faulty.DB(sys), clean.DB(sys)
+		fdb, cdb := run.DB(sys), twin.DB(sys)
 		if fdb == nil || cdb == nil {
-			v.Checks = append(v.Checks, Check{Name: "chaos " + sys, OK: false, Info: "system missing"})
+			v.Checks = append(v.Checks, Check{Name: label + " " + sys, OK: false, Info: "system missing"})
 			continue
 		}
 		fs := snapshotDB(sys, fdb)
 		cs := snapshotDB(sys, cdb)
 		ok := fs == cs
-		info := "identical to fault-free run"
+		info := okInfo
 		if !ok {
 			info = firstDivergence(fs, cs)
 		} else {
 			identical++
 		}
-		v.Checks = append(v.Checks, Check{Name: "chaos " + sys, OK: ok, Info: info})
+		v.Checks = append(v.Checks, Check{Name: label + " " + sys, OK: ok, Info: info})
 	}
 	v.Checks = append(v.Checks, Check{
-		Name: "chaos transparency",
+		Name: label + " transparency",
 		OK:   identical == len(integratedSystems()),
 		Info: fmt.Sprintf("%d/%d integrated systems byte-identical", identical, len(integratedSystems())),
 	})

@@ -35,6 +35,11 @@ type Config struct {
 	// the period index and its statistics — progress reporting for long
 	// runs.
 	OnPeriod func(k int, s PeriodStats)
+	// MVCheckEvery > 0 verifies every N-th period (after its streams
+	// complete) that each stored OrdersMV equals a from-scratch recompute
+	// of the view — the guard rail for incremental maintenance. A
+	// mismatch aborts the run.
+	MVCheckEvery int
 }
 
 // PeriodStats summarizes one completed period.
@@ -146,6 +151,12 @@ func (c *Client) RunContext(ctx context.Context) (*RunStats, error) {
 		}
 		stats.Periods++
 		lastGen = prep.gen
+		if n := c.cfg.MVCheckEvery; n > 0 && (k+1)%n == 0 {
+			if err := checkMV(c.s, k); err != nil {
+				stats.Elapsed = time.Since(start)
+				return stats, err
+			}
+		}
 		if c.cfg.OnPeriod != nil {
 			c.cfg.OnPeriod(k, ps)
 		}

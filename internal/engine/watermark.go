@@ -1,0 +1,34 @@
+package engine
+
+import "sync"
+
+// watermarkStore holds the engine's extraction watermarks — the last
+// row version pulled from each "system.table" source — across process
+// instances and benchmark periods. It implements mtm.Watermarks.
+//
+// A stale watermark is never a correctness problem: when the source's
+// journal can no longer serve it (truncate, eviction, restart) the
+// extraction degrades to a Reset delta carrying a full snapshot and the
+// watermark re-arms at the snapshot's version.
+type watermarkStore struct {
+	mu sync.Mutex
+	v  map[string]uint64
+}
+
+func newWatermarkStore() *watermarkStore {
+	return &watermarkStore{v: make(map[string]uint64)}
+}
+
+// Watermark implements mtm.Watermarks.
+func (w *watermarkStore) Watermark(key string) uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.v[key]
+}
+
+// SetWatermark implements mtm.Watermarks.
+func (w *watermarkStore) SetWatermark(key string, v uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.v[key] = v
+}

@@ -1,0 +1,177 @@
+package monitor
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// IncrementalStats audits delta-driven extraction: how many row images
+// each source served per delta, how often a lost watermark forced a full
+// reset snapshot, and how often each region's mart refresh was skipped
+// because its delta was empty. Producers bind a benchmark period with
+// ForPeriod, so the audit is reported both per source and per period. It
+// is safe for concurrent use.
+type IncrementalStats struct {
+	mu      sync.Mutex
+	deltas  map[string]uint64 // per source: delta extractions served
+	rows    map[string]uint64 // per source: row images carried
+	resets  map[string]uint64 // per source: watermark failures (full snapshot)
+	skips   map[string]uint64 // per region: skipped mart refreshes
+	periods map[int]*PeriodDelta
+}
+
+// PeriodDelta aggregates the incremental-extraction audit of one
+// benchmark period: how much delta traffic the period caused and how many
+// mart refreshes it could skip outright.
+type PeriodDelta struct {
+	Period int
+	Deltas uint64 // delta extractions served
+	Rows   uint64 // row images carried
+	Resets uint64 // watermark failures degraded to full snapshots
+	Skips  uint64 // mart refreshes skipped on empty regions
+}
+
+// NewIncrementalStats creates empty stats.
+func NewIncrementalStats() *IncrementalStats {
+	return &IncrementalStats{
+		deltas:  make(map[string]uint64),
+		rows:    make(map[string]uint64),
+		resets:  make(map[string]uint64),
+		skips:   make(map[string]uint64),
+		periods: make(map[int]*PeriodDelta),
+	}
+}
+
+// PeriodRecorder is an IncrementalStats bound to one benchmark period; it
+// implements the mtm package's DeltaRecorder interface structurally (no
+// import needed).
+type PeriodRecorder struct {
+	s      *IncrementalStats
+	period int
+}
+
+// ForPeriod returns a recorder that attributes every observation to the
+// given benchmark period.
+func (s *IncrementalStats) ForPeriod(k int) *PeriodRecorder {
+	return &PeriodRecorder{s: s, period: k}
+}
+
+// RecordDelta implements mtm.DeltaRecorder.
+func (r *PeriodRecorder) RecordDelta(source string, rows int, reset bool) {
+	r.s.recordDelta(r.period, source, rows, reset)
+}
+
+// RecordRegionSkip implements mtm.DeltaRecorder.
+func (r *PeriodRecorder) RecordRegionSkip(region string) {
+	r.s.recordSkip(r.period, region)
+}
+
+// period returns (creating on demand) the period bucket. Caller holds mu.
+func (s *IncrementalStats) period(k int) *PeriodDelta {
+	p := s.periods[k]
+	if p == nil {
+		p = &PeriodDelta{Period: k}
+		s.periods[k] = p
+	}
+	return p
+}
+
+func (s *IncrementalStats) recordDelta(k int, source string, rows int, reset bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.deltas[source]++
+	s.rows[source] += uint64(rows)
+	if reset {
+		s.resets[source]++
+	}
+	p := s.period(k)
+	p.Deltas++
+	p.Rows += uint64(rows)
+	if reset {
+		p.Resets++
+	}
+}
+
+func (s *IncrementalStats) recordSkip(k int, region string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.skips[region]++
+	s.period(k).Skips++
+}
+
+// addPeriod merges a whole period bucket; the records-CSV reader restores
+// the audit of a finished run through it (per-source attribution is not
+// serialized, only the per-period aggregate survives the round trip).
+func (s *IncrementalStats) addPeriod(d PeriodDelta) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := s.period(d.Period)
+	p.Deltas += d.Deltas
+	p.Rows += d.Rows
+	p.Resets += d.Resets
+	p.Skips += d.Skips
+}
+
+// Totals returns the cumulative delta extraction count, row images
+// served, reset fallbacks and skipped region refreshes.
+func (s *IncrementalStats) Totals() (deltas, rows, resets, skips uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, p := range s.periods {
+		deltas += p.Deltas
+		rows += p.Rows
+		resets += p.Resets
+		skips += p.Skips
+	}
+	return deltas, rows, resets, skips
+}
+
+// Periods returns the per-period audit, ordered by period.
+func (s *IncrementalStats) Periods() []PeriodDelta {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]PeriodDelta, 0, len(s.periods))
+	for _, p := range s.periods {
+		out = append(out, *p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Period < out[j].Period })
+	return out
+}
+
+// Snapshot returns copies of the per-source delta/row/reset maps and the
+// per-region skip map.
+func (s *IncrementalStats) Snapshot() (deltas, rows, resets, skips map[string]uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return copyCounts(s.deltas), copyCounts(s.rows), copyCounts(s.resets), copyCounts(s.skips)
+}
+
+// String renders the per-source and per-period audit ("" when nothing was
+// recorded), keys sorted for stable output.
+func (s *IncrementalStats) String() string {
+	deltas, rows, resets, skips := s.Snapshot()
+	periods := s.Periods()
+	if len(deltas) == 0 && len(skips) == 0 && len(periods) == 0 {
+		return ""
+	}
+	out := "Incremental\n"
+	keys := make([]string, 0, len(deltas))
+	for k := range deltas {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		out += fmt.Sprintf("  %-14s %-20s %6d deltas %8d rows %4d resets\n",
+			"source", k, deltas[k], rows[k], resets[k])
+	}
+	for _, p := range periods {
+		out += fmt.Sprintf("  %-14s %-20d %6d deltas %8d rows %4d resets %4d skips\n",
+			"period", p.Period, p.Deltas, p.Rows, p.Resets, p.Skips)
+	}
+	out += countLines("region skips", skips)
+	return out
+}
+
+// Incremental returns the monitor's delta-extraction audit.
+func (m *Monitor) Incremental() *IncrementalStats { return m.inc }

@@ -56,7 +56,8 @@ type Monitor struct {
 	opMu     sync.Mutex
 	opTotals map[opKey]*opCell // per (process, operator kind) aggregation
 
-	res *ResilienceStats // retry/trip/DLQ audit of the resilience layer
+	res *ResilienceStats  // retry/trip/DLQ audit of the resilience layer
+	inc *IncrementalStats // delta-extraction audit of incremental engines
 }
 
 // recordShard holds the finished records of one process type.
@@ -97,7 +98,7 @@ func New(timeScale float64) *Monitor {
 		timeScale = 1
 	}
 	return &Monitor{timeScale: timeScale, shards: make(map[string]*recordShard),
-		res: NewResilienceStats()}
+		res: NewResilienceStats(), inc: NewIncrementalStats()}
 }
 
 // shard returns (creating on demand) the process type's record shard. The
@@ -164,6 +165,9 @@ func (m *Monitor) StartInstance(process string, period int) *InstanceRecorder {
 		startArea: m.area,
 	}
 }
+
+// Period returns the benchmark period the instance is recorded under.
+func (r *InstanceRecorder) Period() int { return r.rec.Period }
 
 // Record implements mtm.CostRecorder.
 func (r *InstanceRecorder) Record(cat mtm.Cost, d time.Duration) {
@@ -266,6 +270,16 @@ type Report struct {
 	Retries     uint64
 	Trips       uint64
 	DeadLetters uint64
+
+	// Incremental-extraction totals (0 when no engine ran incrementally).
+	Deltas      uint64 // delta extractions served
+	DeltaRows   uint64 // row images carried by all deltas
+	DeltaResets uint64 // watermark failures degraded to full snapshots
+	RegionSkips uint64 // mart refreshes skipped on empty regions
+
+	// PeriodDeltas breaks the incremental audit down per benchmark
+	// period (empty when no engine ran incrementally).
+	PeriodDeltas []PeriodDelta
 }
 
 // Analyze aggregates all finished records into the benchmark report.
@@ -322,6 +336,12 @@ func (m *Monitor) AnalyzeFrom(minPeriod int) *Report {
 		rep.Stats = append(rep.Stats, st)
 	}
 	rep.Retries, rep.Trips, rep.DeadLetters = m.res.Totals()
+	rep.Deltas, rep.DeltaRows, rep.DeltaResets, rep.RegionSkips = m.inc.Totals()
+	for _, p := range m.inc.Periods() {
+		if p.Period >= minPeriod {
+			rep.PeriodDeltas = append(rep.PeriodDeltas, p)
+		}
+	}
 	return rep
 }
 
@@ -391,6 +411,14 @@ func (r *Report) String() string {
 	if r.Retries > 0 || r.Trips > 0 || r.DeadLetters > 0 {
 		out += fmt.Sprintf("Resilience: retries=%d breaker-trips=%d dead-letters=%d\n",
 			r.Retries, r.Trips, r.DeadLetters)
+	}
+	if r.Deltas > 0 || r.RegionSkips > 0 {
+		out += fmt.Sprintf("Incremental: deltas=%d delta-rows=%d resets=%d region-skips=%d\n",
+			r.Deltas, r.DeltaRows, r.DeltaResets, r.RegionSkips)
+		for _, p := range r.PeriodDeltas {
+			out += fmt.Sprintf("  k=%-3d %6d deltas %8d rows %4d resets %4d skips\n",
+				p.Period, p.Deltas, p.Rows, p.Resets, p.Skips)
+		}
 	}
 	return out
 }

@@ -1,6 +1,7 @@
 package mtm
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -88,6 +89,11 @@ const (
 	OpUpdate   InvokeOp = "update"
 	OpCall     InvokeOp = "call"
 	OpSend     InvokeOp = "send"
+	// OpQuerySince extracts only the net changes after the watermark the
+	// engine remembered for Service.Table, binding Out to a delta message
+	// and advancing the watermark on success. Gateways without delta
+	// support degrade to a full query presented as a Reset delta.
+	OpQuerySince InvokeOp = "querysince"
 )
 
 // Invoke calls an external system — the INVOKE operator. The Service and
@@ -147,6 +153,12 @@ func (o Invoke) Execute(ctx *Context) error {
 			return invokeErr(o, err)
 		}
 		ctx.Set(o.Out, DataMessage(r))
+	case OpQuerySince:
+		d, err := o.querySince(ctx, ectx)
+		if err != nil {
+			return invokeErr(o, err)
+		}
+		ctx.Set(o.Out, DeltaMessage(d))
 	case OpFetchXML:
 		doc, err := ctx.Ext.FetchXML(ectx, o.Service, o.Table)
 		if err != nil {
@@ -201,6 +213,42 @@ func (o Invoke) Execute(ctx *Context) error {
 
 func invokeErr(o Invoke, err error) error {
 	return fmt.Errorf("mtm: INVOKE %s.%s %s: %w", o.Service, o.Table, o.Operation, err)
+}
+
+// querySince performs the watermarked extraction behind OpQuerySince:
+// look up the last extracted version, pull the net changes, advance the
+// watermark and report the delta size to the monitor.
+func (o Invoke) querySince(ctx *Context, ectx context.Context) (*rel.Delta, error) {
+	key := o.Service + "." + o.Table
+	var since uint64
+	if wm := ctx.Watermarks(); wm != nil {
+		since = wm.Watermark(key)
+	}
+	var d *rel.Delta
+	if src, ok := ctx.Ext.(DeltaSource); ok {
+		var err error
+		d, err = src.QuerySince(ectx, o.Service, o.Table, since)
+		if err != nil {
+			return nil, err
+		}
+		if wm := ctx.Watermarks(); wm != nil {
+			wm.SetWatermark(key, d.To)
+		}
+	} else {
+		// Degraded path: no delta support on this gateway. Serve a full
+		// query as a Reset delta and leave the watermark untouched so the
+		// next extraction stays full too.
+		r, err := ctx.Ext.Query(ectx, o.Service, o.Table, rel.True())
+		if err != nil {
+			return nil, err
+		}
+		d = &rel.Delta{Table: o.Table, From: since, Reset: true, Inserts: r,
+			Updates: r.Empty(), Deletes: r.Empty()}
+	}
+	if rec := ctx.DeltaRecorder(); rec != nil {
+		rec.RecordDelta(key, d.Rows(), d.Reset)
+	}
+	return d, nil
 }
 
 // Translate applies an STX stylesheet to an XML message — the TRANSLATE

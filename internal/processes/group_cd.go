@@ -151,16 +151,24 @@ func newP14() *mtm.Process {
 // newMartLoad builds the per-mart subprocess of P14: the schema mapping
 // from the warehouse schema to the mart's variant and the load.
 func newMartLoad(v schema.MartVariant) *mtm.Process {
+	return newMartLoadOp(v, mtm.OpInsert)
+}
+
+// newMartLoadOp parameterizes the mart load by its write operation: the
+// full refresh inserts into freshly truncated marts, the incremental
+// variant upserts so replaying a Reset delta over an already-loaded mart
+// stays idempotent.
+func newMartLoadOp(v schema.MartVariant, load mtm.InvokeOp) *mtm.Process {
 	pfx := v.Name + "_"
 	ops := []mtm.Operator{
-		mtm.Invoke{Service: v.Name, Operation: mtm.OpInsert, Table: "Customer", In: pfx + "cust"},
-		mtm.Invoke{Service: v.Name, Operation: mtm.OpInsert, Table: "Orders", In: pfx + "orders"},
+		mtm.Invoke{Service: v.Name, Operation: load, Table: "Customer", In: pfx + "cust"},
+		mtm.Invoke{Service: v.Name, Operation: load, Table: "Orders", In: pfx + "orders"},
 		// Orderlines of the mart's orders (join + projection).
 		mtm.Join{Left: "wh_lines", Right: pfx + "orders", Out: pfx + "lines_joined",
 			LeftCol: "Ordkey", RightCol: "Ordkey", ClashPrefix: "o_"},
 		mtm.Projection{In: pfx + "lines_joined", Out: pfx + "lines",
 			Cols: []string{"Ordkey", "Pos", "Prodkey", "Quantity", "Extendedprice"}},
-		mtm.Invoke{Service: v.Name, Operation: mtm.OpInsert, Table: "Orderline", In: pfx + "lines"},
+		mtm.Invoke{Service: v.Name, Operation: load, Table: "Orderline", In: pfx + "lines"},
 	}
 	if v.DenormProducts {
 		ops = append(ops,
@@ -172,13 +180,13 @@ func newMartLoad(v schema.MartVariant) *mtm.Process {
 				Mapping: map[string]string{"g_Name": "GroupName", "l_Name": "LineName"}},
 			mtm.Projection{In: pfx + "prod_renamed", Out: pfx + "prod",
 				Cols: []string{"Prodkey", "Name", "Price", "GroupName", "LineName"}},
-			mtm.Invoke{Service: v.Name, Operation: mtm.OpInsert, Table: "Product", In: pfx + "prod"},
+			mtm.Invoke{Service: v.Name, Operation: load, Table: "Product", In: pfx + "prod"},
 		)
 	} else {
 		ops = append(ops,
-			mtm.Invoke{Service: v.Name, Operation: mtm.OpInsert, Table: "Product", In: "wh_prod"},
-			mtm.Invoke{Service: v.Name, Operation: mtm.OpInsert, Table: "ProductGroup", In: "wh_group"},
-			mtm.Invoke{Service: v.Name, Operation: mtm.OpInsert, Table: "ProductLine", In: "wh_line"},
+			mtm.Invoke{Service: v.Name, Operation: load, Table: "Product", In: "wh_prod"},
+			mtm.Invoke{Service: v.Name, Operation: load, Table: "ProductGroup", In: "wh_group"},
+			mtm.Invoke{Service: v.Name, Operation: load, Table: "ProductLine", In: "wh_line"},
 		)
 	}
 	regionPred := func(out string) mtm.Operator {
@@ -196,7 +204,7 @@ func newMartLoad(v schema.MartVariant) *mtm.Process {
 			mtm.Projection{In: pfx + "loc_renamed", Out: pfx + "loc_all",
 				Cols: []string{"Citykey", "City", "Nation", "Region"}},
 			regionPred(pfx+"loc_all"),
-			mtm.Invoke{Service: v.Name, Operation: mtm.OpInsert, Table: "Location",
+			mtm.Invoke{Service: v.Name, Operation: load, Table: "Location",
 				In: pfx + "loc_all_sel"},
 		)
 	} else {
@@ -217,12 +225,12 @@ func newMartLoad(v schema.MartVariant) *mtm.Process {
 		}
 		ops = append(ops,
 			mtm.Selection{In: "wh_city", Out: pfx + "city", Pred: rel.Or(cityPreds...)},
-			mtm.Invoke{Service: v.Name, Operation: mtm.OpInsert, Table: "City", In: pfx + "city"},
+			mtm.Invoke{Service: v.Name, Operation: load, Table: "City", In: pfx + "city"},
 			mtm.Selection{In: "wh_nation", Out: pfx + "nation", Pred: rel.Or(nationPreds...)},
-			mtm.Invoke{Service: v.Name, Operation: mtm.OpInsert, Table: "Nation", In: pfx + "nation"},
+			mtm.Invoke{Service: v.Name, Operation: load, Table: "Nation", In: pfx + "nation"},
 			mtm.Selection{In: "wh_region", Out: pfx + "region",
 				Pred: rel.ColEq("Regionkey", rel.NewInt(regionKey))},
-			mtm.Invoke{Service: v.Name, Operation: mtm.OpInsert, Table: "Region", In: pfx + "region"},
+			mtm.Invoke{Service: v.Name, Operation: load, Table: "Region", In: pfx + "region"},
 		)
 	}
 	return &mtm.Process{

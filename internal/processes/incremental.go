@@ -1,0 +1,312 @@
+package processes
+
+import (
+	"fmt"
+
+	"repro/internal/mtm"
+	rel "repro/internal/relational"
+	"repro/internal/schema"
+)
+
+// Incremental variants of the data-intensive group C/D processes. The
+// standard P13/P14/P15 re-extract every warehouse table and fully
+// recompute the materialized views on each run; the variants here pull
+// only the net changes since the engine's last extraction (OpQuerySince
+// with engine-held watermarks), maintain OrdersMV algebraically, and
+// partition the fact delta by region in one pass so untouched marts are
+// skipped entirely. Every delta path degrades to the full behaviour when
+// a watermark cannot be served (Reset deltas carry a full snapshot and
+// the mart loads upsert, so the replay is idempotent) — the variants are
+// a performance gate, never a correctness gate.
+
+// deltaInserts guards a fact-table delta and binds its insert images as a
+// plain dataset. The fact tables are append-only (truncation surfaces as
+// a Reset delta), so update or delete images mean the extraction can no
+// longer be maintained incrementally — fail loudly instead of silently
+// dropping them.
+func deltaInserts(in, out string) mtm.Operator {
+	return mtm.Custom{Name: "DELTA_FACTS", Cat: mtm.CostProc, Fn: func(ctx *mtm.Context) error {
+		d, err := ctx.Get(in).RequireDelta(in)
+		if err != nil {
+			return err
+		}
+		if d.Updates.Len() > 0 || d.Deletes.Len() > 0 {
+			return fmt.Errorf("processes: %s: fact delta of %s carries %d updates / %d deletes; append-only maintenance impossible",
+				in, d.Table, d.Updates.Len(), d.Deletes.Len())
+		}
+		ctx.Set(out, mtm.DataMessage(d.Inserts))
+		return nil
+	}}
+}
+
+// deltaNewRows binds the insert images of a staging-table delta and
+// ignores its delete images: P13 itself removes the consolidated rows
+// after integrating them, so the deletes a watermark straddles are the
+// pipeline's own cleanup of rows the warehouse already holds. Rows that
+// were both staged and cleansed away inside the window net to nothing
+// and never surface. Updates would mean a staged row was rewritten in
+// place — nothing in the scenario does that, so fail loudly.
+func deltaNewRows(in, out string) mtm.Operator {
+	return mtm.Custom{Name: "DELTA_STAGED", Cat: mtm.CostProc, Fn: func(ctx *mtm.Context) error {
+		d, err := ctx.Get(in).RequireDelta(in)
+		if err != nil {
+			return err
+		}
+		if d.Updates.Len() > 0 {
+			return fmt.Errorf("processes: %s: staging delta of %s carries %d updates; insert-only maintenance impossible",
+				in, d.Table, d.Updates.Len())
+		}
+		ctx.Set(out, mtm.DataMessage(d.Inserts))
+		return nil
+	}}
+}
+
+// deltaImages binds the current images of a master-data delta (inserts
+// followed by updates) as a plain dataset for upserting. Master data is
+// never physically deleted in this scenario (P12 flags, it does not
+// remove), so delete images fail loudly.
+func deltaImages(in, out string) mtm.Operator {
+	return mtm.Custom{Name: "DELTA_IMAGES", Cat: mtm.CostProc, Fn: func(ctx *mtm.Context) error {
+		d, err := ctx.Get(in).RequireDelta(in)
+		if err != nil {
+			return err
+		}
+		if d.Deletes.Len() > 0 {
+			return fmt.Errorf("processes: %s: master-data delta of %s carries %d deletes; upsert maintenance impossible",
+				in, d.Table, d.Deletes.Len())
+		}
+		merged := d.Inserts
+		if d.Updates.Len() > 0 {
+			rows := make([]rel.Row, 0, d.Inserts.Len()+d.Updates.Len())
+			for i := 0; i < d.Inserts.Len(); i++ {
+				rows = append(rows, d.Inserts.Row(i))
+			}
+			for i := 0; i < d.Updates.Len(); i++ {
+				rows = append(rows, d.Updates.Row(i))
+			}
+			var err error
+			merged, err = rel.NewRelation(d.Inserts.Schema(), rows)
+			if err != nil {
+				return fmt.Errorf("processes: %s: %w", in, err)
+			}
+		}
+		ctx.Set(out, mtm.DataMessage(merged))
+		return nil
+	}}
+}
+
+// cityRegions maps every catalog city key to its business region — the
+// lookup the one-pass partition uses in place of the three per-mart
+// Selection scans.
+func cityRegions() map[int64]string {
+	m := make(map[int64]string)
+	for _, r := range schema.RegionCatalog {
+		for _, c := range schema.CitiesInRegion(r.Name) {
+			m[c.Key] = r.Name
+		}
+	}
+	return m
+}
+
+// partitionByRegion splits the warehouse order delta (by Citykey) and the
+// customer delta (by Region) into the per-mart slices in a single pass
+// each, binding the same {mart}_orders / {mart}_cust variables the
+// per-mart subprocesses consume. Row order within each slice equals the
+// Selection-based full path, so the loaded data is identical.
+func partitionByRegion() mtm.Operator {
+	regions := cityRegions()
+	return mtm.Custom{Name: "PARTITION_REGION", Cat: mtm.CostProc, Fn: func(ctx *mtm.Context) error {
+		orders, err := ctx.Data("wh_orders")
+		if err != nil {
+			return err
+		}
+		cust, err := ctx.Data("wh_cust")
+		if err != nil {
+			return err
+		}
+		cityOrd := orders.Schema().MustOrdinal("Citykey")
+		regOrd := cust.Schema().MustOrdinal("Region")
+		ordSlices := make(map[string][]rel.Row, len(schema.Marts))
+		custSlices := make(map[string][]rel.Row, len(schema.Marts))
+		for i := 0; i < orders.Len(); i++ {
+			row := orders.Row(i)
+			if reg, ok := regions[row[cityOrd].Int()]; ok {
+				ordSlices[reg] = append(ordSlices[reg], row)
+			}
+		}
+		for i := 0; i < cust.Len(); i++ {
+			row := cust.Row(i)
+			custSlices[row[regOrd].Str()] = append(custSlices[row[regOrd].Str()], row)
+		}
+		for _, v := range schema.Marts {
+			o, err := rel.NewRelation(orders.Schema(), ordSlices[v.Region])
+			if err != nil {
+				return err
+			}
+			c, err := rel.NewRelation(cust.Schema(), custSlices[v.Region])
+			if err != nil {
+				return err
+			}
+			ctx.Set(v.Name+"_orders", mtm.DataMessage(o))
+			ctx.Set(v.Name+"_cust", mtm.DataMessage(c))
+		}
+		return nil
+	}}
+}
+
+// martUntouched reports whether the mart's region received no changes at
+// all this cycle: no order or customer images landed in its slices, no
+// product changes (products are shared by every mart), no orderline
+// images, and none of the deltas is a Reset (a Reset means derived state
+// must be rebuilt even when the snapshot slice happens to be empty).
+func martUntouched(v schema.MartVariant) func(*mtm.Context) (bool, error) {
+	return func(ctx *mtm.Context) (bool, error) {
+		for _, name := range []string{"wh_cust_d", "wh_prod_d", "wh_orders_d", "wh_lines_d"} {
+			d, err := ctx.Get(name).RequireDelta(name)
+			if err != nil {
+				return false, err
+			}
+			if d.Reset {
+				return false, nil
+			}
+		}
+		for _, name := range []string{"wh_prod_d", "wh_lines_d"} {
+			d, _ := ctx.Get(name).RequireDelta(name)
+			if d.Rows() > 0 {
+				return false, nil
+			}
+		}
+		for _, name := range []string{v.Name + "_orders", v.Name + "_cust"} {
+			r, err := ctx.Data(name)
+			if err != nil {
+				return false, err
+			}
+			if r.Len() > 0 {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+}
+
+// recordRegionSkip reports a skipped mart refresh to the monitor.
+func recordRegionSkip(region string) mtm.Operator {
+	return mtm.Custom{Name: "SKIP_REGION", Cat: mtm.CostMgmt, Fn: func(ctx *mtm.Context) error {
+		if rec := ctx.DeltaRecorder(); rec != nil {
+			rec.RecordRegionSkip(region)
+		}
+		return nil
+	}}
+}
+
+// newP13Incremental is P13 with watermarked extraction: the consolidated
+// database's Orders/Orderline are pulled with QuerySince instead of full
+// scans (the trailing CDB deletes net away rows the warehouse already
+// integrated), and the OrdersMV refresh runs in incremental mode.
+func newP13Incremental() *mtm.Process {
+	return &mtm.Process{
+		ID: "P13", Name: "Bulk-loading data warehouse movement data (incremental)",
+		Group: mtm.GroupC, Event: mtm.E2,
+		Ops: []mtm.Operator{
+			mtm.Invoke{Service: schema.SysCDB, Operation: mtm.OpCall,
+				Table: "sp_runMovementDataCleansing", Out: "cleansed"},
+
+			mtm.Invoke{Service: schema.SysCDB, Operation: mtm.OpQuerySince,
+				Table: "Orders", Out: "ord_d"},
+			deltaNewRows("ord_d", "ord"),
+			mtm.Projection{In: "ord", Out: "ord_wh",
+				Cols: []string{"Ordkey", "Custkey", "Citykey", "Orderdate", "Status", "Priority", "Totalprice"}},
+			validateStep("ord_wh", schema.WHOrders),
+			mtm.Invoke{Service: schema.SysDWH, Operation: mtm.OpInsert,
+				Table: "Orders", In: "ord_wh"},
+
+			mtm.Invoke{Service: schema.SysCDB, Operation: mtm.OpQuerySince,
+				Table: "Orderline", Out: "line_d"},
+			deltaNewRows("line_d", "line"),
+			mtm.Projection{In: "line", Out: "line_wh",
+				Cols: []string{"Ordkey", "Pos", "Prodkey", "Quantity", "Extendedprice"}},
+			validateStep("line_wh", schema.WHOrderline),
+			mtm.Invoke{Service: schema.SysDWH, Operation: mtm.OpInsert,
+				Table: "Orderline", In: "line_wh"},
+
+			// First invocation: maintain the materialized view from the
+			// fact delta (falls back to a recompute on a lost watermark).
+			mtm.Invoke{Service: schema.SysDWH, Operation: mtm.OpCall,
+				Table: "sp_refreshOrdersMV", Args: []rel.Value{rel.NewBool(true)}},
+			// Second invocation: remove the loaded movement data.
+			mtm.Invoke{Service: schema.SysCDB, Operation: mtm.OpDelete, Table: "Orders"},
+			mtm.Invoke{Service: schema.SysCDB, Operation: mtm.OpDelete, Table: "Orderline"},
+		},
+	}
+}
+
+// newP14Incremental is P14 with delta extraction and region skipping: the
+// changing warehouse tables (Customer, Product, Orders, Orderline) are
+// pulled with QuerySince; the static hierarchies (group/line/location)
+// are cheap full reads because the denormalizing joins need them as
+// lookup sides. A one-pass partition replaces the per-mart Selection
+// scans, and a mart whose region saw no changes skips its refresh
+// entirely.
+func newP14Incremental() *mtm.Process {
+	s1 := &mtm.Process{
+		ID: "P14_S1", Name: "Load warehouse data (incremental)", Group: mtm.GroupD, Event: mtm.E2,
+		Ops: []mtm.Operator{
+			mtm.Invoke{Service: schema.SysDWH, Operation: mtm.OpQuerySince, Table: "Customer", Out: "wh_cust_d"},
+			mtm.Invoke{Service: schema.SysDWH, Operation: mtm.OpQuerySince, Table: "Product", Out: "wh_prod_d"},
+			mtm.Invoke{Service: schema.SysDWH, Operation: mtm.OpQuery, Table: "ProductGroup", Out: "wh_group"},
+			mtm.Invoke{Service: schema.SysDWH, Operation: mtm.OpQuery, Table: "ProductLine", Out: "wh_line"},
+			mtm.Invoke{Service: schema.SysDWH, Operation: mtm.OpQuery, Table: "City", Out: "wh_city"},
+			mtm.Invoke{Service: schema.SysDWH, Operation: mtm.OpQuery, Table: "Nation", Out: "wh_nation"},
+			mtm.Invoke{Service: schema.SysDWH, Operation: mtm.OpQuery, Table: "Region", Out: "wh_region"},
+			mtm.Invoke{Service: schema.SysDWH, Operation: mtm.OpQuerySince, Table: "Orders", Out: "wh_orders_d"},
+			mtm.Invoke{Service: schema.SysDWH, Operation: mtm.OpQuerySince, Table: "Orderline", Out: "wh_lines_d"},
+			deltaImages("wh_cust_d", "wh_cust"),
+			deltaImages("wh_prod_d", "wh_prod"),
+			deltaInserts("wh_orders_d", "wh_orders"),
+			deltaInserts("wh_lines_d", "wh_lines"),
+			partitionByRegion(),
+		},
+	}
+	branches := make([][]mtm.Operator, 0, len(schema.Marts))
+	for _, v := range schema.Marts {
+		v := v
+		branches = append(branches, []mtm.Operator{
+			mtm.Switch{
+				Cases: []mtm.SwitchCase{{
+					When: martUntouched(v),
+					Ops:  []mtm.Operator{recordRegionSkip(v.Region)},
+				}},
+				Else: []mtm.Operator{
+					mtm.Subprocess{Process: newMartLoadOp(v, mtm.OpUpsert)},
+				},
+			},
+		})
+	}
+	return &mtm.Process{
+		ID: "P14", Name: "Refreshing data mart data (incremental)",
+		Group: mtm.GroupD, Event: mtm.E2,
+		Ops: []mtm.Operator{
+			mtm.Subprocess{Process: s1},
+			mtm.Fork{Branches: branches},
+		},
+	}
+}
+
+// newP15Incremental is P15 with incremental view maintenance: each mart's
+// sp_refreshOrdersMV applies only the fact delta since its last refresh.
+func newP15Incremental() *mtm.Process {
+	branches := make([][]mtm.Operator, 0, len(schema.Marts))
+	for _, v := range schema.Marts {
+		branches = append(branches, []mtm.Operator{
+			mtm.Invoke{Service: v.Name, Operation: mtm.OpCall,
+				Table: "sp_refreshOrdersMV", Args: []rel.Value{rel.NewBool(true)}},
+		})
+	}
+	return &mtm.Process{
+		ID: "P15", Name: "Refreshing data mart materialized views (incremental)",
+		Group: mtm.GroupD, Event: mtm.E2,
+		Ops: []mtm.Operator{
+			mtm.Fork{Branches: branches},
+		},
+	}
+}

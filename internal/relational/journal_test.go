@@ -1,0 +1,309 @@
+package relational
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func journalSchema(t *testing.T) *Schema {
+	t.Helper()
+	return MustSchema([]Column{
+		Col("K", TypeInt),
+		Col("V", TypeFloat),
+		Col("S", TypeString),
+	}, "K")
+}
+
+func journalRow(k int64, v float64, s string) Row {
+	return Row{NewInt(k), NewFloat(v), NewString(s)}
+}
+
+// replayTable applies a ChangeSet to an independent table, the way a
+// downstream replica would.
+func replayTable(t *testing.T, dst *Table, cs *ChangeSet) {
+	t.Helper()
+	for _, ch := range cs.Changes {
+		switch ch.Kind {
+		case ChangeInsert:
+			if err := dst.Insert(ch.New); err != nil {
+				t.Fatalf("replay insert: %v", err)
+			}
+		case ChangeUpdate:
+			nr := ch.New.Clone()
+			if _, err := dst.Update(ColEq("K", ch.New[0]), func(Row) Row { return nr }); err != nil {
+				t.Fatalf("replay update: %v", err)
+			}
+		case ChangeDelete:
+			if _, err := dst.Delete(ColEq("K", ch.Old[0])); err != nil {
+				t.Fatalf("replay delete: %v", err)
+			}
+		default:
+			t.Fatalf("replay saw %s entry", ch.Kind)
+		}
+	}
+}
+
+// rowsEqual compares two relations including row order and value bits.
+func rowsEqual(a, b *Relation) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	for i := 0; i < a.Len(); i++ {
+		if rowChanged(a.Row(i), b.Row(i)) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestJournalReplayProperty drives a randomized op sequence against a
+// journaled table and asserts that replaying ChangesSince from any
+// intermediate watermark reconstructs the table bit-identically.
+func TestJournalReplayProperty(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			src := NewTable("T", journalSchema(t))
+			// Watermark zero: the replica starts from the same empty state.
+			replica := NewTable("R", journalSchema(t))
+			replica.SetJournalLimit(0)
+			base := src.Version()
+			for step := 0; step < 400; step++ {
+				k := int64(rng.Intn(60))
+				switch op := rng.Intn(10); {
+				case op < 5: // insert (may collide with an existing key)
+					_ = src.Insert(journalRow(k, rng.Float64()*1000, fmt.Sprintf("s%d", step)))
+				case op < 7:
+					_ = src.Upsert(journalRow(k, rng.Float64()*1000, fmt.Sprintf("u%d", step)))
+				case op < 9:
+					if _, err := src.Delete(ColEq("K", NewInt(k))); err != nil {
+						t.Fatal(err)
+					}
+				default:
+					nv := NewFloat(rng.Float64() * 1000)
+					if _, err := src.Update(ColEq("K", NewInt(k)), func(r Row) Row {
+						r[1] = nv
+						return r
+					}); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if step%97 == 0 {
+					// Catch the replica up mid-sequence and advance the
+					// watermark, exercising partial tails.
+					cs, err := src.ChangesSince(base)
+					if err != nil {
+						t.Fatalf("ChangesSince(%d): %v", base, err)
+					}
+					replayTable(t, replica, cs)
+					base = cs.To
+				}
+			}
+			cs, err := src.ChangesSince(base)
+			if err != nil {
+				t.Fatalf("ChangesSince(%d): %v", base, err)
+			}
+			if cs.To != src.Version() {
+				t.Fatalf("ChangeSet.To = %d, version = %d", cs.To, src.Version())
+			}
+			replayTable(t, replica, cs)
+			if !rowsEqual(src.Scan(), replica.Scan()) {
+				t.Fatal("replayed replica diverges from source table")
+			}
+		})
+	}
+}
+
+// TestDeltaSinceNetsOperations checks the per-key netting rules.
+func TestDeltaSinceNetsOperations(t *testing.T) {
+	tab := NewTable("T", journalSchema(t))
+	for k := int64(0); k < 3; k++ {
+		if err := tab.Insert(journalRow(k, float64(k), "base")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w := tab.Version()
+
+	// k=10: insert then upsert -> nets to one Insert with the final image.
+	_ = tab.Insert(journalRow(10, 1, "a"))
+	_ = tab.Upsert(journalRow(10, 2, "b"))
+	// k=0: update then delete -> nets to one Delete with the pre image.
+	if _, err := tab.Update(ColEq("K", NewInt(0)), func(r Row) Row { r[2] = NewString("x"); return r }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tab.Delete(ColEq("K", NewInt(0))); err != nil {
+		t.Fatal(err)
+	}
+	// k=1: upsert-update -> Update with the final image.
+	_ = tab.Upsert(journalRow(1, 99, "upd"))
+	// k=2: update to the identical image -> nets to nothing.
+	if _, err := tab.Update(ColEq("K", NewInt(2)), func(r Row) Row { return r }); err != nil {
+		t.Fatal(err)
+	}
+	// k=11: insert then delete -> nets to nothing.
+	_ = tab.Insert(journalRow(11, 5, "gone"))
+	if _, err := tab.Delete(ColEq("K", NewInt(11))); err != nil {
+		t.Fatal(err)
+	}
+
+	d, err := tab.DeltaSince(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Reset {
+		t.Fatal("unexpected reset")
+	}
+	if d.Inserts.Len() != 1 || d.Inserts.Row(0)[0].Int() != 10 || d.Inserts.Row(0)[2].Str() != "b" {
+		t.Fatalf("inserts = %v", d.Inserts)
+	}
+	if d.Updates.Len() != 1 || d.Updates.Row(0)[0].Int() != 1 || d.Updates.Row(0)[1].Float() != 99 {
+		t.Fatalf("updates = %v", d.Updates)
+	}
+	if d.Deletes.Len() != 1 || d.Deletes.Row(0)[0].Int() != 0 || d.Deletes.Row(0)[2].Str() != "base" {
+		t.Fatalf("deletes = %v", d.Deletes)
+	}
+	if d.To != tab.Version() || d.From != w {
+		t.Fatalf("delta range [%d,%d], want [%d,%d]", d.From, d.To, w, tab.Version())
+	}
+
+	// An up-to-date watermark yields an empty delta, not a reset.
+	d2, err := tab.DeltaSince(tab.Version())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d2.Empty() {
+		t.Fatalf("expected empty delta, got %d rows", d2.Rows())
+	}
+}
+
+// TestTruncateInvalidatesWatermarks pins the satellite requirement: a
+// reset must advance the version and poison older watermarks so they can
+// never silently read an empty delta.
+func TestTruncateInvalidatesWatermarks(t *testing.T) {
+	tab := NewTable("T", journalSchema(t))
+	for k := int64(0); k < 5; k++ {
+		if err := tab.Insert(journalRow(k, 1, "a")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w := tab.Version()
+	before := w
+	tab.Truncate()
+	if tab.Version() <= before {
+		t.Fatalf("truncate must advance the version: %d -> %d", before, tab.Version())
+	}
+	if _, err := tab.ChangesSince(w); !errors.Is(err, ErrDeltaUnavailable) {
+		t.Fatalf("pre-truncate watermark must fail loudly, got %v", err)
+	}
+	if _, err := tab.DeltaSince(w); !errors.Is(err, ErrDeltaUnavailable) {
+		t.Fatalf("DeltaSince over a truncate must fail, got %v", err)
+	}
+	// QuerySince converts the failure into a full-snapshot reset.
+	_ = tab.Insert(journalRow(7, 7, "post"))
+	d, err := tab.QuerySince(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Reset || d.Inserts.Len() != 1 || d.To != tab.Version() {
+		t.Fatalf("reset delta = %+v", d)
+	}
+	// The post-truncate version watermarks normally again.
+	w2 := tab.Version()
+	_ = tab.Insert(journalRow(8, 8, "next"))
+	d2, err := tab.QuerySince(w2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Reset || d2.Inserts.Len() != 1 || d2.Inserts.Row(0)[0].Int() != 8 {
+		t.Fatalf("post-truncate delta = %+v", d2)
+	}
+}
+
+// TestJournalBoundEviction checks that the bound drops history loudly.
+func TestJournalBoundEviction(t *testing.T) {
+	tab := NewTable("T", journalSchema(t))
+	tab.SetJournalLimit(64)
+	w := tab.Version()
+	for k := int64(0); k < 200; k++ {
+		if err := tab.Insert(journalRow(k, 1, "a")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := tab.ChangesSince(w); !errors.Is(err, ErrDeltaUnavailable) {
+		t.Fatalf("evicted watermark must fail loudly, got %v", err)
+	}
+	d, err := tab.QuerySince(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Reset || d.Inserts.Len() != 200 {
+		t.Fatalf("reset delta = %d rows, reset=%v", d.Inserts.Len(), d.Reset)
+	}
+	// Recent history within the bound still serves incrementally.
+	w2 := tab.Version()
+	_ = tab.Insert(journalRow(1000, 1, "tail"))
+	d2, err := tab.QuerySince(w2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Reset || d2.Inserts.Len() != 1 {
+		t.Fatalf("tail delta = %+v", d2)
+	}
+	// Future watermarks (wrong table, restarted source) fail too.
+	if _, err := tab.ChangesSince(tab.Version() + 50); !errors.Is(err, ErrDeltaUnavailable) {
+		t.Fatalf("future watermark must fail loudly, got %v", err)
+	}
+}
+
+// TestScanSnapshotCache pins the copy-on-write contract: repeated scans
+// of a quiet table share one materialization, and any mutation swaps in
+// a fresh one without disturbing handed-out snapshots.
+func TestScanSnapshotCache(t *testing.T) {
+	tab := NewTable("T", journalSchema(t))
+	for k := int64(0); k < 4; k++ {
+		if err := tab.Insert(journalRow(k, float64(k), "a")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s1 := tab.Scan()
+	s2 := tab.Scan()
+	if s1 != s2 {
+		t.Fatal("scans of an unchanged table should share the cached snapshot")
+	}
+	all, err := tab.SelectWhere(True())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all != s1 {
+		t.Fatal("SelectWhere(True) should reuse the cached snapshot")
+	}
+	if err := tab.Insert(journalRow(100, 1, "b")); err != nil {
+		t.Fatal(err)
+	}
+	s3 := tab.Scan()
+	if s3 == s1 {
+		t.Fatal("mutation must invalidate the cached snapshot")
+	}
+	if s1.Len() != 4 || s3.Len() != 5 {
+		t.Fatalf("old snapshot must stay frozen: len %d/%d", s1.Len(), s3.Len())
+	}
+}
+
+func BenchmarkChangesSince(b *testing.B) {
+	tab := NewTable("T", MustSchema([]Column{Col("K", TypeInt), Col("V", TypeFloat)}, "K"))
+	for k := int64(0); k < 10000; k++ {
+		if err := tab.Insert(Row{NewInt(k), NewFloat(float64(k))}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	w := tab.Version() - 500
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tab.DeltaSince(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -39,6 +39,9 @@ func Empty(schema *Schema) *Relation { return &Relation{schema: schema} }
 // Schema returns the relation's schema.
 func (r *Relation) Schema() *Schema { return r.schema }
 
+// Empty returns a rowless relation with the same schema.
+func (r *Relation) Empty() *Relation { return &Relation{schema: r.schema} }
+
 // Len returns the number of rows.
 func (r *Relation) Len() int { return len(r.rows) }
 
@@ -59,6 +62,18 @@ func (r *Relation) Clone() *Relation {
 	rows := make([]Row, len(r.rows))
 	copy(rows, r.rows)
 	return &Relation{schema: r.schema, rows: rows}
+}
+
+// View returns a copy-on-write view: a fresh header over the same rows,
+// with the slice capacity capped at its length. Handing a view (instead
+// of the relation itself) to an untrusted consumer keeps a shared
+// backing store — notably a table's cached scan snapshot — safe from the
+// two ways a caller could mutate a result in place: appending to the row
+// slice (the cap forces a reallocation) and swapping the header another
+// consumer also holds (each caller gets its own). Row contents stay
+// shared and immutable as everywhere in the engine.
+func (r *Relation) View() *Relation {
+	return &Relation{schema: r.schema, rows: r.rows[:len(r.rows):len(r.rows)]}
 }
 
 // Select returns the rows satisfying the predicate.

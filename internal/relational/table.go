@@ -50,6 +50,19 @@ type Table struct {
 	indexes  map[string]*hashIndex
 	triggers map[TriggerEvent][]Trigger
 
+	// Change-data capture (journal.go): version counts every mutation;
+	// journal holds the entries for versions journalStart..version.
+	version      uint64
+	journal      []Change
+	journalStart uint64 // version of journal[0]
+	journalLimit int    // bound on retained entries
+
+	// snap caches the last Scan materialization; any mutation clears it.
+	// Relations are immutable throughout the engine, so handing every
+	// read-only caller the same snapshot is safe (copy-on-write: the next
+	// mutation builds fresh state, it never touches shared rows).
+	snap *Relation
+
 	inserts uint64 // statistics: total successful inserts
 	deletes uint64
 	updates uint64
@@ -68,11 +81,13 @@ type hashIndex struct {
 // NewTable creates an empty table.
 func NewTable(name string, schema *Schema) *Table {
 	return &Table{
-		name:     name,
-		schema:   schema,
-		pk:       make(map[uint64][]int),
-		indexes:  make(map[string]*hashIndex),
-		triggers: make(map[TriggerEvent][]Trigger),
+		name:         name,
+		schema:       schema,
+		pk:           make(map[uint64][]int),
+		indexes:      make(map[string]*hashIndex),
+		triggers:     make(map[TriggerEvent][]Trigger),
+		journalStart: 1,
+		journalLimit: DefaultJournalLimit,
 	}
 }
 
@@ -149,6 +164,7 @@ func (t *Table) Insert(row Row) error {
 		t.indexRow(slot, row)
 	}
 	t.inserts++
+	t.logChange(ChangeInsert, nil, row)
 	trs := t.triggers[OnInsert]
 	t.mu.Unlock()
 	for _, tr := range trs {
@@ -204,6 +220,7 @@ func (t *Table) InsertAll(r *Relation) error {
 			t.indexRow(slot, row)
 		}
 		t.inserts++
+		t.logChange(ChangeInsert, nil, row)
 	}
 	return nil
 }
@@ -229,6 +246,7 @@ func (t *Table) Upsert(row Row) error {
 			t.rows[slot] = row
 			t.indexRow(slot, row)
 			t.updates++
+			t.logChange(ChangeUpdate, ex, row)
 			updated = true
 			break
 		}
@@ -239,6 +257,7 @@ func (t *Table) Upsert(row Row) error {
 		t.pk[h] = append(t.pk[h], slot)
 		t.indexRow(slot, row)
 		t.inserts++
+		t.logChange(ChangeInsert, nil, row)
 		trs = t.triggers[OnInsert]
 	} else {
 		trs = t.triggers[OnUpdate]
@@ -288,6 +307,7 @@ func (t *Table) Delete(pred Predicate) (int, error) {
 		t.rows[slot] = nil
 		t.free = append(t.free, slot)
 		t.deletes++
+		t.logChange(ChangeDelete, row, nil)
 		removed = append(removed, row)
 		return nil
 	}
@@ -347,6 +367,7 @@ func (t *Table) Update(pred Predicate, fn func(Row) Row) (int, error) {
 		t.rows[slot] = nr
 		t.indexRow(slot, nr)
 		t.updates++
+		t.logChange(ChangeUpdate, row, nr)
 		changes = append(changes, change{row, nr})
 		return nil
 	}
@@ -394,19 +415,53 @@ func (t *Table) Truncate() {
 	for _, idx := range t.indexes {
 		clear(idx.buckets)
 	}
+	// The reset is one versioned change: stale watermarks must never
+	// numerically match the post-truncate version and silently read an
+	// empty delta. Earlier journal entries describe rows that no longer
+	// exist, so they are dropped and replaced by a single truncate marker
+	// that ChangesSince refuses to serve across.
+	t.version++
+	t.snap = nil
+	t.journal = t.journal[:0]
+	if t.journalLimit > 0 {
+		t.journal = append(t.journal, Change{Kind: ChangeTruncate})
+		t.journalStart = t.version
+	} else {
+		t.journalStart = t.version + 1
+	}
 }
 
-// Scan materializes the current contents as an immutable Relation.
+// Scan materializes the current contents as an immutable Relation. The
+// materialization is cached until the next mutation, so repeated scans of
+// a quiet table (the common extract pattern) share one row slice instead
+// of copying it per call. Callers must treat the result as read-only —
+// the same contract every Relation in the engine already carries.
 func (t *Table) Scan() *Relation {
 	t.mu.RLock()
-	defer t.mu.RUnlock()
+	if s := t.snap; s != nil {
+		t.mu.RUnlock()
+		return s
+	}
+	t.mu.RUnlock()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.scanLocked()
+}
+
+// scanLocked builds (or reuses) the cached snapshot. Caller holds t.mu
+// for writing.
+func (t *Table) scanLocked() *Relation {
+	if t.snap != nil {
+		return t.snap
+	}
 	rows := make([]Row, 0, len(t.rows)-len(t.free))
 	for _, row := range t.rows {
 		if row != nil {
 			rows = append(rows, row)
 		}
 	}
-	return &Relation{schema: t.schema, rows: rows}
+	t.snap = &Relation{schema: t.schema, rows: rows}
+	return t.snap
 }
 
 // SelectWhere scans with a predicate. Equality predicates on the primary
@@ -415,6 +470,12 @@ func (t *Table) Scan() *Relation {
 // candidates; everything else falls back to the full scan. Explain reports
 // the choice without running it.
 func (t *Table) SelectWhere(pred Predicate) (*Relation, error) {
+	if _, all := pred.(truePred); all {
+		// Full-table reads share the cached scan snapshot instead of
+		// filtering every row through the always-true predicate.
+		t.scanCount.Add(1)
+		return t.Scan(), nil
+	}
 	t.mu.RLock()
 	path, slots := t.chooseLocked(pred)
 	if path.Kind == AccessScan {
