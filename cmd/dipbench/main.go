@@ -28,6 +28,11 @@
 //	-incremental s    force delta-driven C/D maintenance on|off (default: engine preset)
 //	-recompute-verify verify the integrated data against a full-recompute twin run
 //	-mv-check n       recompute every OrdersMV from scratch every n periods
+//	-wal-dir path     enable crash-consistent checkpointing into this directory
+//	-checkpoint-every n  snapshot cadence: 1 = every barrier, N = every Nth period end
+//	-resume           resume from the latest checkpoint in -wal-dir
+//	-crash-at p:S:n   crash deterministically (exit 3) at period p, stream S, occurrence n
+//	-state-digest     print the final integrated-state digest (recovery equivalence checks)
 //	-quality      print the per-system data quality report after the run
 //	-csv path     write the per-process report as CSV
 //	-dat path     write the gnuplot data file
@@ -42,6 +47,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -52,6 +58,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/driver"
+	"repro/internal/fault"
 	"repro/internal/processes"
 	"repro/internal/quality"
 	"repro/internal/schedule"
@@ -88,6 +95,11 @@ func main() {
 		specOut = flag.Bool("spec", false, "print the full generated benchmark specification and exit")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the run to this path")
 		memProf = flag.String("memprofile", "", "write a heap profile at exit to this path")
+		walDir  = flag.String("wal-dir", "", "enable crash-consistent checkpointing into this directory")
+		ckptN   = flag.Int("checkpoint-every", 1, "snapshot cadence: 1 = every barrier, N>1 = every Nth period end")
+		resume  = flag.Bool("resume", false, "resume from the latest checkpoint in -wal-dir")
+		crashAt = flag.String("crash-at", "", "crash deterministically at period:stream:occurrence (e.g. 1:A:3; exit code 3)")
+		digest  = flag.Bool("state-digest", false, "print the final integrated-state digest")
 	)
 	flag.Parse()
 
@@ -166,6 +178,10 @@ func main() {
 		Incremental:     *incr,
 		RecomputeVerify: *recomp,
 		MVCheckEvery:    *mvEvery,
+		WALDir:          *walDir,
+		CheckpointEvery: *ckptN,
+		Resume:          *resume,
+		CrashAt:         *crashAt,
 	})
 	if err != nil {
 		fatal(err)
@@ -179,6 +195,13 @@ func main() {
 	defer stop()
 	res, err := b.RunContext(ctx)
 	if err != nil {
+		if errors.Is(err, fault.ErrCrash) {
+			// The injected crash point fired: the WAL tail past the last
+			// flush is dropped, the checkpoint directory stays valid, and
+			// exit code 3 tells the harness "crashed as instructed".
+			fmt.Fprintln(os.Stderr, "dipbench:", err)
+			os.Exit(3)
+		}
 		fatal(err)
 	}
 	fmt.Printf("executed %d events in %v (%d failures)\n\n",
@@ -214,6 +237,15 @@ func main() {
 			fmt.Printf(" dlq-dropped=%d", dropped)
 		}
 		fmt.Println()
+	}
+	if *walDir != "" {
+		if s := b.Monitor().Recovery().String(); s != "" {
+			fmt.Println()
+			fmt.Print(s)
+		}
+	}
+	if *digest {
+		fmt.Printf("\nstate digest: %s\n", b.StateDigest())
 	}
 	if res.Chaos != nil {
 		fmt.Println()

@@ -4,18 +4,26 @@
 // plot — the paper's "plotting functions for the generation of performance
 // diagrams from the measured integration system performance".
 //
+// With -dlq it switches to the recovery audit: it scans a write-ahead
+// log (a wal.log file or the checkpoint directory holding one) and dumps
+// every dead-lettered message with its process, period and cause.
+//
 // Usage:
 //
 //	dipmon -in records.csv [-t timescale] [-d datasize] [-csv out.csv] [-dat out.dat]
+//	dipmon -dlq <wal.log | checkpoint-dir>
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
 	"strings"
 
 	"repro/internal/monitor"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -27,8 +35,15 @@ func main() {
 		series  = flag.String("series", "", "print the per-period NAVG development of this process type")
 		csvPath = flag.String("csv", "", "write the analyzed report CSV to this path")
 		datPath = flag.String("dat", "", "write the gnuplot data file to this path")
+		dlqPath = flag.String("dlq", "", "dump the dead-letter queue from this WAL file or checkpoint directory")
 	)
 	flag.Parse()
+	if *dlqPath != "" {
+		if err := dumpDLQ(os.Stdout, *dlqPath); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "dipmon: -in is required")
 		flag.Usage()
@@ -100,6 +115,55 @@ func printSeries(m *monitor.Monitor, process string) {
 		fmt.Printf("  k=%3d |%-*s| %8.2f (%d inst)\n",
 			p.Period, width, strings.Repeat("#", bar), p.NAVG, p.Instances)
 	}
+}
+
+// dumpDLQ scans a WAL for dead-letter records and prints the audit
+// trail. The argument may be the wal.log itself or the checkpoint
+// directory containing it.
+func dumpDLQ(out *os.File, path string) error {
+	if st, err := os.Stat(path); err == nil && st.IsDir() {
+		path = filepath.Join(path, "wal.log")
+	}
+	recs, _, torn, err := wal.ReadAll(path, 0)
+	if err != nil {
+		return err
+	}
+	total, byProcess := 0, map[string]int{}
+	fmt.Fprintf(out, "dead-letter queue of %s:\n", path)
+	for _, r := range recs {
+		if r.Type != wal.TypeDLQ {
+			continue
+		}
+		e, err := wal.DecodeDLQEntry(r.Payload)
+		if err != nil {
+			return fmt.Errorf("corrupt DLQ record at offset %d: %w", r.End, err)
+		}
+		total++
+		byProcess[e.Process]++
+		msg := e.Message
+		if len(msg) > 60 {
+			msg = msg[:57] + "..."
+		}
+		fmt.Fprintf(out, "  %-4s period %-3d cause=%q message=%q\n", e.Process, e.Period, e.Cause, msg)
+	}
+	if total == 0 {
+		fmt.Fprintln(out, "  (empty)")
+	} else {
+		procs := make([]string, 0, len(byProcess))
+		for p := range byProcess {
+			procs = append(procs, p)
+		}
+		sort.Strings(procs)
+		parts := make([]string, 0, len(procs))
+		for _, p := range procs {
+			parts = append(parts, fmt.Sprintf("%s:%d", p, byProcess[p]))
+		}
+		fmt.Fprintf(out, "  total %d (%s)\n", total, strings.Join(parts, " "))
+	}
+	if torn {
+		fmt.Fprintln(out, "  note: WAL has a torn tail (records past the tear are unrecoverable)")
+	}
+	return nil
 }
 
 func fatal(err error) {

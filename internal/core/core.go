@@ -19,6 +19,9 @@ package core
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
 	"fmt"
 	"time"
 
@@ -123,6 +126,26 @@ type Config struct {
 	// data is byte-identical — delta maintenance must be invisible in the
 	// warehouse, views and marts.
 	RecomputeVerify bool
+
+	// WALDir enables crash-consistent checkpointing: the write-ahead log
+	// and periodic state snapshots live in this directory. Empty disables
+	// the durability layer.
+	WALDir string
+	// CheckpointEvery controls snapshot frequency when WALDir is set:
+	// 1 (default) snapshots at every stream barrier, N>1 only at the
+	// period-end barrier of every Nth period. The WAL records every
+	// barrier either way.
+	CheckpointEvery int
+	// Resume restores the run from the latest valid checkpoint in WALDir
+	// instead of cold-starting: snapshot restore, WAL-suffix replay,
+	// idempotent re-execution of the interrupted streams.
+	Resume bool
+	// CrashAt injects a deterministic crash at "period:stream:occurrence"
+	// (e.g. "1:A:3" = after the 3rd completed stream-A event of period 1;
+	// occurrence 0 = at the stream's closing barrier, before its
+	// checkpoint commits). The run stops with fault.ErrCrash and drops
+	// the unflushed WAL tail, simulating a process kill.
+	CrashAt string
 }
 
 // withDefaults fills unset fields.
@@ -144,13 +167,15 @@ func (c Config) withDefaults() Config {
 
 // Benchmark is a ready-to-run DIPBench instance.
 type Benchmark struct {
-	cfg    Config
-	scn    *scenario.Scenario
-	eng    *engine.Engine
-	mon    *monitor.Monitor
-	client *driver.Client
-	trace  *driver.Trace
-	plan   *fault.Plan // non-nil when FaultRate > 0
+	cfg     Config
+	scn     *scenario.Scenario
+	eng     *engine.Engine
+	mon     *monitor.Monitor
+	client  *driver.Client
+	trace   *driver.Trace
+	plan    *fault.Plan         // non-nil when FaultRate > 0
+	rc      *recoveryController // non-nil when WALDir is set
+	crasher *fault.Crasher      // non-nil when CrashAt is set
 }
 
 // New builds the full benchmark stack from a configuration.
@@ -219,13 +244,41 @@ func New(cfg Config) (*Benchmark, error) {
 		plan = fault.NewPlan(fault.Config{
 			Seed: seed, Rate: cfg.FaultRate, LatencySpike: cfg.FaultLatency,
 		})
-		scn.InstallFaultPlan(plan)
 		if cfg.Resilience == nil {
 			cfg.Resilience = fault.DefaultPolicy()
 		}
 	}
 	if cfg.Resilience != nil && eng.Resilient() == nil {
 		eng.SetResilience(cfg.Resilience, mon.Resilience())
+	}
+	// The durability layer comes up after the engine is fully configured
+	// (a resume restores into the final shape) but before fault injection
+	// is armed: a snapshot restore must never draw injected faults.
+	var (
+		rc  *recoveryController
+		res *driver.Resume
+	)
+	if cfg.WALDir != "" {
+		rc, res, err = newRecoveryController(cfg, scn, eng, mon)
+		if err != nil {
+			_ = scn.Close()
+			return nil, err
+		}
+	} else if cfg.Resume {
+		_ = scn.Close()
+		return nil, fmt.Errorf("core: Resume requires WALDir")
+	}
+	if plan != nil {
+		scn.InstallFaultPlan(plan)
+	}
+	var crasher *fault.Crasher
+	if cfg.CrashAt != "" {
+		cp, err := fault.ParseCrashPoint(cfg.CrashAt)
+		if err != nil {
+			_ = scn.Close()
+			return nil, err
+		}
+		crasher = fault.NewCrasher(cp)
 	}
 	var clock driver.Clock
 	if cfg.FastClock {
@@ -239,7 +292,7 @@ func New(cfg Config) (*Benchmark, error) {
 	if mvEvery == 0 && cfg.Verify {
 		mvEvery = 1
 	}
-	client, err := driver.NewClient(driver.Config{
+	dcfg := driver.Config{
 		Scale:        sf,
 		Periods:      cfg.Periods,
 		Seed:         cfg.Seed,
@@ -248,12 +301,21 @@ func New(cfg Config) (*Benchmark, error) {
 		Trace:        trace,
 		OnPeriod:     cfg.OnPeriod,
 		MVCheckEvery: mvEvery,
-	}, scn, eng)
+		Resume:       res,
+		Crasher:      crasher,
+	}
+	if rc != nil {
+		dcfg.Log = rc
+	}
+	client, err := driver.NewClient(dcfg, scn, eng)
 	if err != nil {
 		_ = scn.Close()
 		return nil, err
 	}
-	return &Benchmark{cfg: cfg, scn: scn, eng: eng, mon: mon, client: client, trace: trace, plan: plan}, nil
+	return &Benchmark{
+		cfg: cfg, scn: scn, eng: eng, mon: mon, client: client,
+		trace: trace, plan: plan, rc: rc, crasher: crasher,
+	}, nil
 }
 
 // Trace returns the event trace (nil unless Config.Trace was set).
@@ -301,6 +363,11 @@ func (b *Benchmark) Run() (*Result, error) {
 func (b *Benchmark) RunContext(ctx context.Context) (*Result, error) {
 	stats, err := b.client.RunContext(ctx)
 	if err != nil {
+		if errors.Is(err, fault.ErrCrash) {
+			// The injected crash kills the process: the buffered WAL tail
+			// is dropped exactly as a real kill would drop it.
+			b.rc.abandon()
+		}
 		return nil, err
 	}
 	res := &Result{Stats: stats, Report: b.mon.Analyze()}
@@ -334,6 +401,10 @@ func (b *Benchmark) runChaosTwin(ctx context.Context) (*driver.VerificationResul
 	twinCfg.Verify = false
 	twinCfg.Trace = false
 	twinCfg.OnPeriod = nil
+	twinCfg.WALDir = ""
+	twinCfg.CheckpointEvery = 0
+	twinCfg.Resume = false
+	twinCfg.CrashAt = ""
 	twin, err := New(twinCfg)
 	if err != nil {
 		return nil, err
@@ -363,6 +434,10 @@ func (b *Benchmark) runRecomputeTwin(ctx context.Context) (*driver.VerificationR
 	twinCfg.MVCheckEvery = 0
 	twinCfg.Trace = false
 	twinCfg.OnPeriod = nil
+	twinCfg.WALDir = ""
+	twinCfg.CheckpointEvery = 0
+	twinCfg.Resume = false
+	twinCfg.CrashAt = ""
 	twin, err := New(twinCfg)
 	if err != nil {
 		return nil, err
@@ -374,9 +449,24 @@ func (b *Benchmark) runRecomputeTwin(ctx context.Context) (*driver.VerificationR
 	return driver.VerifyTwin("recompute", "identical to full-recompute run", b.scn, twin.scn), nil
 }
 
-// Close releases the benchmark's resources: the engine's batchers and the
-// topology's web-service server.
+// StateDigest returns a hex SHA-256 over the benchmark's externally
+// observable final state: the integrated data of the warehouse, views
+// and marts plus the monitor's execution ledger. Two runs of the same
+// configuration — one uninterrupted, one crashed and resumed — must
+// produce identical digests; this is the recovery equivalence check the
+// CI smoke job asserts.
+func (b *Benchmark) StateDigest() string {
+	h := sha256.New()
+	h.Write([]byte(driver.SnapshotIntegrated(b.scn)))
+	h.Write([]byte("\n#ledger\n"))
+	h.Write([]byte(b.mon.LedgerDigest()))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Close releases the benchmark's resources: the engine's batchers, the
+// durability layer's WAL and the topology's web-service server.
 func (b *Benchmark) Close() error {
 	_ = b.eng.Close()
+	_ = b.rc.close()
 	return b.scn.Close()
 }

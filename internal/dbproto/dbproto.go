@@ -17,6 +17,10 @@
 //	/db/<instance>/querysince <QuerySince table="T" since="12"/>        -> Delta
 //	                          (Delta = from/to/reset attrs + inserts/
 //	                           updates/deletes ResultSets)
+//	/db/<instance>/snapshot <Snapshot/>           -> <Snapshot enc="base64">blob</Snapshot>
+//	/db/<instance>/restore  <Restore enc="base64">blob</Restore>        -> <Affected n=""/>
+//	                        (blob = relational snapshot codec, used by
+//	                         crash-recovery checkpoints)
 //
 // Predicates travel as their SQL text (relational.ParsePredicate); typed
 // scalars as text with a type attribute (relational.ParseValue).
@@ -25,6 +29,7 @@ package dbproto
 import (
 	"bytes"
 	"context"
+	"encoding/base64"
 	"errors"
 	"fmt"
 	"io"
@@ -180,6 +185,10 @@ func (r *Remote) dispatch(w http.ResponseWriter, req *http.Request) {
 		result, err = handleUpdate(conn, doc)
 	case "call":
 		result, err = handleCall(conn, doc)
+	case "snapshot":
+		result, err = handleSnapshot(conn, doc)
+	case "restore":
+		result, err = handleRestore(conn, doc)
 	default:
 		http.Error(w, "unknown operation "+parts[2], http.StatusNotFound)
 		return
@@ -422,6 +431,41 @@ func affected(n int) *x.Node {
 	return x.New("Affected").SetAttr("n", strconv.Itoa(n))
 }
 
+// handleSnapshot serializes the whole instance with the relational
+// snapshot codec; the binary blob travels base64-encoded in the element
+// text, keeping the wire format XML end to end.
+func handleSnapshot(conn *rel.Conn, doc *x.Node) (*x.Node, error) {
+	if doc.Name != "Snapshot" {
+		return nil, fmt.Errorf("dbproto: snapshot expects a Snapshot document")
+	}
+	blob, err := conn.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	out := x.NewText("Snapshot", base64.StdEncoding.EncodeToString(blob))
+	out.SetAttr("enc", "base64")
+	return out, nil
+}
+
+// handleRestore replaces the instance's contents with a snapshot blob.
+func handleRestore(conn *rel.Conn, doc *x.Node) (*x.Node, error) {
+	if doc.Name != "Restore" {
+		return nil, fmt.Errorf("dbproto: restore expects a Restore document")
+	}
+	if enc := doc.Attr("enc"); enc != "base64" {
+		return nil, fmt.Errorf("dbproto: restore: unsupported encoding %q", enc)
+	}
+	blob, err := base64.StdEncoding.DecodeString(strings.TrimSpace(doc.Text))
+	if err != nil {
+		return nil, fmt.Errorf("dbproto: restore: %w", err)
+	}
+	n, err := conn.Restore(blob)
+	if err != nil {
+		return nil, err
+	}
+	return affected(n), nil
+}
+
 // Client talks to one instance through the protocol.
 type Client struct {
 	baseURL  string
@@ -590,6 +634,44 @@ func (c *Client) CallContext(ctx context.Context, proc string, args ...rel.Value
 // Call is CallContext under context.Background.
 func (c *Client) Call(proc string, args ...rel.Value) (*rel.Relation, error) {
 	return c.CallContext(context.Background(), proc, args...)
+}
+
+// SnapshotContext serializes the remote instance to a snapshot blob.
+func (c *Client) SnapshotContext(ctx context.Context) ([]byte, error) {
+	doc, err := c.post(ctx, "snapshot", x.New("Snapshot"))
+	if err != nil {
+		return nil, err
+	}
+	if doc.Name != "Snapshot" {
+		return nil, fmt.Errorf("dbproto: unexpected response %s", doc.Name)
+	}
+	blob, err := base64.StdEncoding.DecodeString(strings.TrimSpace(doc.Text))
+	if err != nil {
+		return nil, fmt.Errorf("dbproto: snapshot: %w", err)
+	}
+	return blob, nil
+}
+
+// Snapshot is SnapshotContext under context.Background.
+func (c *Client) Snapshot() ([]byte, error) {
+	return c.SnapshotContext(context.Background())
+}
+
+// RestoreContext replaces the remote instance's contents with a snapshot
+// blob and returns the restored row count.
+func (c *Client) RestoreContext(ctx context.Context, blob []byte) (int, error) {
+	doc := x.NewText("Restore", base64.StdEncoding.EncodeToString(blob))
+	doc.SetAttr("enc", "base64")
+	resp, err := c.post(ctx, "restore", doc)
+	if err != nil {
+		return 0, err
+	}
+	return affectedCount(resp)
+}
+
+// Restore is RestoreContext under context.Background.
+func (c *Client) Restore(blob []byte) (int, error) {
+	return c.RestoreContext(context.Background(), blob)
 }
 
 func affectedCount(doc *x.Node) (int, error) {

@@ -2,8 +2,10 @@ package driver
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/datagen"
@@ -40,6 +42,16 @@ type Config struct {
 	// of the view — the guard rail for incremental maintenance. A
 	// mismatch aborts the run.
 	MVCheckEvery int
+	// Log, when non-nil, observes dispatches, acknowledgements and
+	// barriers for crash recovery (the WAL tap). The first log error
+	// aborts the run.
+	Log RecoveryLog
+	// Resume, when non-nil, starts the run at a checkpoint barrier
+	// instead of period 0 (state must already be restored).
+	Resume *Resume
+	// Crasher, when non-nil, kills the run deterministically at its
+	// armed (period, stream, occurrence) point with fault.ErrCrash.
+	Crasher *fault.Crasher
 }
 
 // PeriodStats summarizes one completed period.
@@ -117,10 +129,47 @@ func (c *Client) Run() (*RunStats, error) {
 func (c *Client) RunContext(ctx context.Context) (*RunStats, error) {
 	start := time.Now()
 	stats := &RunStats{}
+
+	// Resume baseline: the checkpoint's cumulative statistics seed the
+	// run totals, and the first period may restart mid-period at the
+	// exact stream barrier the checkpoint captured.
+	k0 := 0
+	var rp resumePoint
+	if r := c.cfg.Resume; r != nil {
+		stats.Events = r.Events
+		stats.Failures = r.Failures
+		stats.FailuresByProcess = mergeFailures(r.FailuresByProcess, nil)
+		stats.Periods = r.PeriodsDone
+		// The dedup map outlives the resume period: with sparse
+		// checkpoints the WAL suffix can hold acknowledgements from whole
+		// periods after the snapshot, and every one of them is re-executed.
+		if r.Barrier >= BarrierPeriodEnd {
+			k0 = r.Period + 1 // the period completed; resume at the next
+			rp = resumePoint{dedup: r.Dedup}
+		} else {
+			k0 = r.Period
+			rp = resumePoint{active: true, barrier: r.Barrier, dedup: r.Dedup}
+		}
+	}
+	if k0 >= c.cfg.Periods {
+		// The checkpoint already covers the whole run; nothing to
+		// re-execute. Verification still needs the last period's
+		// generator state.
+		stats.Elapsed = time.Since(start)
+		if c.cfg.Verify {
+			prep := c.prepare(c.cfg.Periods - 1)
+			if prep.err != nil {
+				return stats, prep.err
+			}
+			stats.Verification = Verify(c.s, prep.gen, c.cfg.Scale)
+		}
+		return stats, nil
+	}
+
 	var lastGen *datagen.Generator
 	prepCh := make(chan prepared, 1)
-	go func() { prepCh <- c.prepare(0) }()
-	for k := 0; k < c.cfg.Periods; k++ {
+	go func() { prepCh <- c.prepare(k0) }()
+	for k := k0; k < c.cfg.Periods; k++ {
 		prep := <-prepCh
 		if k+1 < c.cfg.Periods {
 			go func(next int) { prepCh <- c.prepare(next) }(k + 1)
@@ -133,7 +182,27 @@ func (c *Client) RunContext(ctx context.Context) (*RunStats, error) {
 			stats.Elapsed = time.Since(start)
 			return stats, fmt.Errorf("driver: period %d: %w", k, prep.err)
 		}
-		ps, err := c.runPeriod(ctx, k, prep)
+		onBarrier := func(b int, ps PeriodStats) error {
+			if c.cfg.Log == nil {
+				return nil
+			}
+			bp := BarrierPoint{
+				Period:            k,
+				Barrier:           b,
+				Events:            stats.Events + ps.Events,
+				Failures:          stats.Failures + ps.Failures,
+				FailuresByProcess: mergeFailures(stats.FailuresByProcess, ps.FailuresByProcess),
+				PeriodsDone:       stats.Periods,
+			}
+			if b == BarrierPeriodEnd {
+				bp.PeriodsDone++
+			}
+			return c.cfg.Log.Barrier(bp)
+		}
+		ps, err := c.runPeriod(ctx, k, prep, rp, onBarrier)
+		// Only the first resumed period starts mid-way; the dedup map
+		// keeps matching pre-crash acknowledgements in later periods.
+		rp = resumePoint{dedup: rp.dedup}
 		stats.Events += ps.Events
 		stats.Failures += ps.Failures
 		for id, n := range ps.FailuresByProcess {
@@ -144,6 +213,11 @@ func (c *Client) RunContext(ctx context.Context) (*RunStats, error) {
 		}
 		if err != nil {
 			stats.Elapsed = time.Since(start)
+			if errors.Is(err, fault.ErrCrash) {
+				// Injected crash: surface the sentinel untouched so the
+				// caller can abandon the WAL exactly like a process kill.
+				return stats, err
+			}
 			if ctx.Err() != nil {
 				return stats, ctx.Err()
 			}
@@ -227,44 +301,112 @@ func (l *latch) complete() {
 }
 
 // runPeriod executes one benchmark period k: uninitialize, load the
-// pre-generated source datasets, then dispatch the four streams.
-func (c *Client) runPeriod(ctx context.Context, k int, prep prepared) (PeriodStats, error) {
+// pre-generated source datasets, then dispatch the four streams with a
+// recovery barrier after each serialized group. A resumePoint skips the
+// initialization and the stream groups the checkpoint already covers.
+func (c *Client) runPeriod(ctx context.Context, k int, prep prepared, rp resumePoint, onBarrier func(b int, ps PeriodStats) error) (PeriodStats, error) {
 	var ps PeriodStats
-	if err := c.s.Uninitialize(); err != nil {
-		return ps, err
+	startBarrier := BarrierInit
+	if rp.active {
+		// The checkpoint restored the external systems and engine to
+		// exactly this barrier; re-initializing would wipe that state.
+		startBarrier = rp.barrier
+	} else {
+		if err := c.s.Uninitialize(); err != nil {
+			return ps, err
+		}
+		c.eng.ResetQueues()
+		if err := c.s.LoadSources(prep.data); err != nil {
+			return ps, err
+		}
+		if err := c.logPeriodBegin(k); err != nil {
+			return ps, err
+		}
+		if err := onBarrier(BarrierInit, ps); err != nil {
+			return ps, err
+		}
 	}
-	c.eng.ResetQueues()
 	gen, plan := prep.gen, prep.plan
-	if err := c.s.LoadSources(prep.data); err != nil {
-		return ps, err
+
+	// Stream groups in schedule order, each closed by its barrier.
+	groups := []struct {
+		barrier int
+		streams []schedule.Stream
+	}{
+		{BarrierAB, []schedule.Stream{schedule.StreamA, schedule.StreamB}},
+		{BarrierC, []schedule.Stream{schedule.StreamC}},
+		{BarrierPeriodEnd, []schedule.Stream{schedule.StreamD}},
 	}
 
+	// Latches cover only the streams this (possibly resumed) period will
+	// actually dispatch; the nil-latch check in the dependency wait skips
+	// deps on processes whose stream group the checkpoint already covers.
 	latches := make(map[string]*latch)
-	for id, n := range plan.CountByProcess() {
-		latches[id] = newLatch(n)
+	counts := plan.CountByProcess()
+	for _, g := range groups {
+		if g.barrier <= startBarrier {
+			continue
+		}
+		for _, s := range g.streams {
+			for _, in := range plan.ByStream(s) {
+				if latches[in.Process] == nil {
+					latches[in.Process] = newLatch(counts[in.Process])
+				}
+			}
+		}
 	}
+
+	// cctx lets an injected crash wind the in-flight dispatches down
+	// quickly without cancelling the caller's context.
+	cctx, cancelPeriod := context.WithCancel(ctx)
+	defer cancelPeriod()
+	var crashed atomic.Bool
 
 	pol := c.eng.Options().Resilience
 	var mu sync.Mutex
 	failures := 0
 	executed := 0
 	failuresBy := make(map[string]int)
+	var logMu sync.Mutex
+	var logErr error
+	noteLogErr := func(err error) {
+		if err == nil {
+			return
+		}
+		logMu.Lock()
+		if logErr == nil {
+			logErr = err
+		}
+		logMu.Unlock()
+		cancelPeriod()
+	}
 	dispatch := func(in schedule.Instance, epoch time.Time, wg *sync.WaitGroup) {
 		defer wg.Done()
 		defer latches[in.Process].complete()
-		if err := c.cfg.Clock.WaitUntil(ctx, epoch, c.cfg.Scale.TU(in.OffsetTU)); err != nil {
+		if err := c.cfg.Clock.WaitUntil(cctx, epoch, c.cfg.Scale.TU(in.OffsetTU)); err != nil {
 			return // cancelled before the deadline: abandon the event
 		}
 		for _, dep := range in.AfterAll {
 			if l := latches[dep]; l != nil {
 				select {
 				case <-l.done:
-				case <-ctx.Done():
+				case <-cctx.Done():
 					return
 				}
 			}
 		}
 		dispatched := time.Since(epoch)
+		digest := EventDigest(in.Process, k, in.Seq)
+		if proc, hit := rp.dedup[digest]; hit && proc == in.Process {
+			// This event was acknowledged after the checkpoint but
+			// before the crash; its effects were rolled back with the
+			// snapshot, so the deterministic re-execution below is the
+			// exactly-once path, and the hit is the evidence.
+			c.eng.Monitor().Recovery().CountDedup(in.Process)
+		}
+		if c.cfg.Log != nil {
+			noteLogErr(c.cfg.Log.Dispatched(k, in.Stream, in.Process, in.Seq, digest))
+		}
 		msg, ok, genErr := c.messageFor(gen, in.Process, in.Seq)
 		if genErr == nil && !ok && isE1(in.Process) {
 			genErr = fmt.Errorf("no message generator for %s", in.Process)
@@ -273,12 +415,12 @@ func (c *Client) runPeriod(ctx context.Context, k int, prep prepared) (PeriodSta
 		if genErr != nil {
 			err = genErr // generator fault: an instance failure, not a dispatch
 		} else {
-			err = c.eng.ExecuteContext(ctx, in.Process, msg, k)
+			err = c.eng.ExecuteContext(cctx, in.Process, msg, k)
 			// E1 dispatch resilience: re-dispatch a transiently failed
 			// message, then dead-letter it instead of losing it silently.
 			if err != nil && msg != nil && pol != nil {
-				for a := 0; a < pol.DispatchRetries && err != nil && fault.IsTransient(err) && ctx.Err() == nil; a++ {
-					err = c.eng.ExecuteContext(ctx, in.Process, msg, k)
+				for a := 0; a < pol.DispatchRetries && err != nil && fault.IsTransient(err) && cctx.Err() == nil; a++ {
+					err = c.eng.ExecuteContext(cctx, in.Process, msg, k)
 				}
 				if err != nil {
 					c.eng.AddDeadLetter(in.Process, k, msg, err)
@@ -293,6 +435,15 @@ func (c *Client) runPeriod(ctx context.Context, k int, prep prepared) (PeriodSta
 			failuresBy[in.Process]++
 		}
 		mu.Unlock()
+		if c.cfg.Log != nil {
+			noteLogErr(c.cfg.Log.Acked(k, in.Stream, in.Process, in.Seq, digest, err != nil))
+		}
+		if c.cfg.Crasher.OnEvent(k, int(in.Stream)) {
+			// The armed occurrence completed: simulate the kill. The
+			// cancel winds the group's remaining dispatches down.
+			crashed.Store(true)
+			cancelPeriod()
+		}
 		if c.cfg.Trace != nil {
 			c.cfg.Trace.add(TraceEvent{
 				Period: k, Process: in.Process, Seq: in.Seq,
@@ -302,7 +453,22 @@ func (c *Client) runPeriod(ctx context.Context, k int, prep prepared) (PeriodSta
 		}
 	}
 
-	runStreams := func(streams ...schedule.Stream) {
+	psNow := func() PeriodStats {
+		mu.Lock()
+		defer mu.Unlock()
+		out := PeriodStats{Events: executed, Failures: failures}
+		if len(failuresBy) > 0 {
+			out.FailuresByProcess = mergeFailures(failuresBy, nil)
+		}
+		return out
+	}
+
+	runGroup := func(barrier int, streams ...schedule.Stream) error {
+		for _, s := range streams {
+			if err := c.logStreamBegin(k, s); err != nil {
+				return err
+			}
+		}
 		epoch := time.Now()
 		var wg sync.WaitGroup
 		for _, s := range streams {
@@ -312,20 +478,69 @@ func (c *Client) runPeriod(ctx context.Context, k int, prep prepared) (PeriodSta
 			}
 		}
 		wg.Wait()
+		logMu.Lock()
+		err := logErr
+		logMu.Unlock()
+		if err != nil {
+			return err
+		}
+		if crashed.Load() {
+			return fault.ErrCrash
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		for _, s := range streams {
+			if err := c.logStreamEnd(k, s); err != nil {
+				return err
+			}
+			if c.cfg.Crasher.AtBarrier(k, int(s)) {
+				// Barrier-armed crash: the stream's effects are complete
+				// and logged, but the checkpoint below never commits.
+				return fault.ErrCrash
+			}
+		}
+		return onBarrier(barrier, psNow())
 	}
-	// Fig. 7: streams A and B concurrent, then C, then D.
-	runStreams(schedule.StreamA, schedule.StreamB)
-	runStreams(schedule.StreamC)
-	runStreams(schedule.StreamD)
 
-	ps.Events, ps.Failures = executed, failures
-	if len(failuresBy) > 0 {
-		ps.FailuresByProcess = failuresBy
+	// Fig. 7: streams A and B concurrent, then C, then D.
+	for _, g := range groups {
+		if g.barrier <= startBarrier {
+			continue
+		}
+		if err := runGroup(g.barrier, g.streams...); err != nil {
+			ps = psNow()
+			return ps, err
+		}
 	}
+
+	ps = psNow()
 	if err := ctx.Err(); err != nil {
 		return ps, err
 	}
 	return ps, nil
+}
+
+// logPeriodBegin / logStreamBegin / logStreamEnd guard the optional log.
+func (c *Client) logPeriodBegin(k int) error {
+	if c.cfg.Log == nil {
+		return nil
+	}
+	return c.cfg.Log.PeriodBegin(k)
+}
+
+func (c *Client) logStreamBegin(k int, s schedule.Stream) error {
+	if c.cfg.Log == nil {
+		return nil
+	}
+	return c.cfg.Log.StreamBegin(k, s)
+}
+
+func (c *Client) logStreamEnd(k int, s schedule.Stream) error {
+	if c.cfg.Log == nil {
+		return nil
+	}
+	return c.cfg.Log.StreamEnd(k, s)
 }
 
 // isE1 reports whether the process type is message-initiated.

@@ -1,0 +1,103 @@
+package driver
+
+import (
+	"strconv"
+
+	"repro/internal/fault"
+	"repro/internal/schedule"
+)
+
+// Barrier indices inside one period. Streams A and B are concurrent, so
+// the first in-period barrier closes both; C and D each get their own.
+// BarrierPeriodEnd doubles as the between-periods checkpoint.
+const (
+	BarrierInit      = 0 // external systems re-initialized, sources loaded
+	BarrierAB        = 1 // streams A and B complete
+	BarrierC         = 2 // stream C complete
+	BarrierPeriodEnd = 3 // stream D complete, period done
+)
+
+// BarrierPoint is the run-cumulative progress snapshot handed to the
+// recovery log at every barrier. A checkpoint commit stores it so a
+// resumed run can rebuild its RunStats exactly.
+type BarrierPoint struct {
+	Period  int
+	Barrier int
+	// Cumulative run totals at this barrier (including the current
+	// period's completed streams and any pre-crash baseline).
+	Events            int
+	Failures          int
+	FailuresByProcess map[string]int
+	PeriodsDone       int
+}
+
+// RecoveryLog observes the driver's execution for durability. All hooks
+// may return an error; the driver aborts the run on the first one — a
+// recovery log that cannot persist must fail the run loudly, not
+// silently lose the crash consistency it exists for.
+//
+// Ordering guarantees: PeriodBegin precedes the period's StreamBegins;
+// every Dispatched precedes its Acked; StreamEnd follows all Acked of
+// that stream; Barrier follows the StreamEnds it closes. Dispatched and
+// Acked arrive concurrently from the dispatch goroutines of streams A/B.
+type RecoveryLog interface {
+	PeriodBegin(k int) error
+	StreamBegin(k int, s schedule.Stream) error
+	Dispatched(k int, s schedule.Stream, process string, seq int, digest uint64) error
+	Acked(k int, s schedule.Stream, process string, seq int, digest uint64, failed bool) error
+	StreamEnd(k int, s schedule.Stream) error
+	Barrier(bp BarrierPoint) error
+}
+
+// Resume tells the driver to pick the run up at a checkpoint barrier
+// instead of cold-starting: the external systems, engine state and
+// monitor ledger have already been restored to exactly (Period, Barrier).
+type Resume struct {
+	Period  int
+	Barrier int
+	// Run-cumulative statistics at the checkpoint (the RunStats
+	// baseline).
+	Events            int
+	Failures          int
+	FailuresByProcess map[string]int
+	PeriodsDone       int
+	// Dedup maps the request digests of events that were acknowledged
+	// after the checkpoint but before the crash (their effects were
+	// rolled back with the snapshot restore) to their process type. The
+	// driver re-executes them deterministically and reports each as a
+	// dedup hit — the run's exactly-once accounting.
+	Dedup map[uint64]string
+}
+
+// EventDigest keys one scheduled event for idempotent re-execution,
+// reusing the PR 3 request-digest function so WAL entries and fault
+// decisions speak the same key space.
+func EventDigest(process string, period, seq int) uint64 {
+	return fault.Digest(process, strconv.Itoa(period), strconv.Itoa(seq))
+}
+
+// resumePoint is the driver-internal slice of a Resume: which barrier
+// the first re-executed period restarts from (active only mid-period)
+// and which digests were already acknowledged pre-crash — the dedup map
+// applies to every re-executed period, not just the first.
+type resumePoint struct {
+	active  bool
+	barrier int
+	dedup   map[uint64]string
+}
+
+// mergeFailures unions two per-process failure maps (nil when both are
+// empty).
+func mergeFailures(a, b map[string]int) map[string]int {
+	if len(a) == 0 && len(b) == 0 {
+		return nil
+	}
+	out := make(map[string]int, len(a)+len(b))
+	for id, n := range a {
+		out[id] += n
+	}
+	for id, n := range b {
+		out[id] += n
+	}
+	return out
+}

@@ -98,6 +98,7 @@ type Engine struct {
 	opts Options
 	defs *processes.Definitions
 	ext  mtm.External
+	base mtm.External // the unwrapped gateway (resilience wraps it)
 	mon  *monitor.Monitor
 
 	internal *rel.Database // engine-internal storage (queue tables)
@@ -117,6 +118,7 @@ type Engine struct {
 	dlqMu      sync.Mutex
 	dlq        []DeadLetter
 	dlqDropped uint64
+	dlqSink    func(DeadLetter) // durability hook: observes every parked letter
 
 	planBuilds atomic.Uint64 // statistics: number of plan compilations
 	instances  atomic.Uint64
@@ -154,6 +156,7 @@ func New(name string, opts Options, defs *processes.Definitions, ext mtm.Externa
 		opts:     opts,
 		defs:     defs,
 		ext:      ext,
+		base:     ext,
 		mon:      mon,
 		internal: rel.NewDatabase("engine_internal"),
 		plans:    make(map[string]*plan),
@@ -193,12 +196,15 @@ func New(name string, opts Options, defs *processes.Definitions, ext mtm.Externa
 // SetResilience wraps the external gateway in the resilience layer. rec
 // may be nil to discard retry/trip counters. Call before the first
 // Execute; the wrap is not synchronized with in-flight instances.
+// Re-calling replaces the previous policy: the wrapper is always built
+// over the unwrapped base gateway, never over an earlier wrapper, so
+// repeated calls cannot stack retry layers.
 func (e *Engine) SetResilience(p *fault.Policy, rec fault.Recorder) {
 	if p == nil {
 		return
 	}
 	pol := *p
-	e.resilient = fault.NewResilient(e.ext, pol, rec)
+	e.resilient = fault.NewResilient(e.base, pol, rec)
 	e.ext = e.resilient
 	eff := e.resilient.Policy()
 	e.opts.Resilience = &eff
@@ -209,17 +215,15 @@ func (e *Engine) Resilient() *fault.Resilient { return e.resilient }
 
 // SetIncremental overrides the Options.Incremental preset — the `-incremental`
 // flag's hook. Call before the first Execute; the switch is not
-// synchronized with in-flight instances. Turning it off keeps any
-// accumulated watermarks irrelevant (the full variants never consult
-// them); turning it on starts with fresh watermarks, so the first
-// extraction of every source degrades to a full snapshot.
+// synchronized with in-flight instances. The watermark store survives
+// toggles: turning incremental off merely stops consulting it (the full
+// variants never do), and turning it back on resumes from the watermarks
+// already advanced instead of silently re-extracting every source from
+// scratch. Only the very first enable starts with fresh watermarks.
 func (e *Engine) SetIncremental(on bool) {
 	e.opts.Incremental = on
 	if on && e.wm == nil {
 		e.wm = newWatermarkStore()
-	}
-	if !on {
-		e.wm = nil
 	}
 }
 
@@ -236,12 +240,26 @@ func (e *Engine) AddDeadLetter(process string, period int, msg *x.Node, err erro
 		text = string(msg.AppendXML(nil))
 	}
 	e.dlqMu.Lock()
-	defer e.dlqMu.Unlock()
 	if len(e.dlq) >= limit {
 		e.dlqDropped++
+		e.dlqMu.Unlock()
 		return
 	}
-	e.dlq = append(e.dlq, DeadLetter{Process: process, Period: period, Message: text, Err: err})
+	dl := DeadLetter{Process: process, Period: period, Message: text, Err: err}
+	e.dlq = append(e.dlq, dl)
+	sink := e.dlqSink
+	e.dlqMu.Unlock()
+	if sink != nil {
+		sink(dl)
+	}
+}
+
+// SetDLQSink installs (or, with nil, removes) a hook observing every
+// parked dead letter — the WAL's durability tap.
+func (e *Engine) SetDLQSink(fn func(DeadLetter)) {
+	e.dlqMu.Lock()
+	defer e.dlqMu.Unlock()
+	e.dlqSink = fn
 }
 
 // DeadLetters returns a copy of the dead-letter queue and the count of
@@ -536,7 +554,7 @@ func (e *Engine) runInstance(goctx context.Context, p *mtm.Process, input *mtm.M
 	ctx := mtm.NewContext(e.ext, input, costRec)
 	ctx.SetContext(goctx)
 	ctx.SetParallelism(e.opts.Parallelism)
-	if e.wm != nil {
+	if e.opts.Incremental && e.wm != nil {
 		ctx.SetWatermarks(e.wm)
 		period := 0
 		if rec != nil {

@@ -11,8 +11,9 @@ import "sync"
 // extraction degrades to a Reset delta carrying a full snapshot and the
 // watermark re-arms at the snapshot's version.
 type watermarkStore struct {
-	mu sync.Mutex
-	v  map[string]uint64
+	mu        sync.Mutex
+	v         map[string]uint64
+	onAdvance func(key string, v uint64) // durability hook (WAL tap)
 }
 
 func newWatermarkStore() *watermarkStore {
@@ -29,6 +30,38 @@ func (w *watermarkStore) Watermark(key string) uint64 {
 // SetWatermark implements mtm.Watermarks.
 func (w *watermarkStore) SetWatermark(key string, v uint64) {
 	w.mu.Lock()
-	defer w.mu.Unlock()
 	w.v[key] = v
+	sink := w.onAdvance
+	w.mu.Unlock()
+	if sink != nil {
+		sink(key, v)
+	}
+}
+
+// export copies the watermark map (for checkpoint snapshots).
+func (w *watermarkStore) export() map[string]uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make(map[string]uint64, len(w.v))
+	for k, v := range w.v {
+		out[k] = v
+	}
+	return out
+}
+
+// replace overwrites all watermarks (restore path; no sink callbacks).
+func (w *watermarkStore) replace(m map[string]uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.v = make(map[string]uint64, len(m))
+	for k, v := range m {
+		w.v[k] = v
+	}
+}
+
+// setSink installs the advance observer.
+func (w *watermarkStore) setSink(fn func(key string, v uint64)) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.onAdvance = fn
 }

@@ -1,0 +1,105 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync/atomic"
+)
+
+// ErrCrash is the sentinel the driver returns when a deterministic crash
+// point fires. The process is expected to stop immediately without
+// flushing buffered WAL records or committing further state — the
+// in-process stand-in for kill -9.
+var ErrCrash = errors.New("fault: injected crash")
+
+// CrashPoint names one deterministic kill site: period k, stream S, and
+// either the Nth completed event of that stream (Occurrence >= 1) or the
+// barrier that closes the stream (Occurrence == 0). "Between stream C
+// and D" is therefore spelled "k:C:0".
+type CrashPoint struct {
+	Period     int
+	Stream     int
+	Occurrence int
+}
+
+// ParseCrashPoint parses the -crash-at syntax "period:stream:occurrence"
+// (e.g. "1:A:3", "2:C:0"). Streams are A-D, case-insensitive.
+func ParseCrashPoint(s string) (CrashPoint, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return CrashPoint{}, fmt.Errorf("fault: crash point %q: want period:stream:occurrence", s)
+	}
+	period, err := strconv.Atoi(parts[0])
+	if err != nil || period < 0 {
+		return CrashPoint{}, fmt.Errorf("fault: crash point %q: bad period", s)
+	}
+	var stream int
+	switch strings.ToUpper(strings.TrimSpace(parts[1])) {
+	case "A":
+		stream = 0
+	case "B":
+		stream = 1
+	case "C":
+		stream = 2
+	case "D":
+		stream = 3
+	default:
+		return CrashPoint{}, fmt.Errorf("fault: crash point %q: stream must be A-D", s)
+	}
+	occ, err := strconv.Atoi(parts[2])
+	if err != nil || occ < 0 {
+		return CrashPoint{}, fmt.Errorf("fault: crash point %q: bad occurrence", s)
+	}
+	return CrashPoint{Period: period, Stream: stream, Occurrence: occ}, nil
+}
+
+// String renders the point back in -crash-at syntax.
+func (p CrashPoint) String() string {
+	return fmt.Sprintf("%d:%c:%d", p.Period, 'A'+rune(p.Stream), p.Occurrence)
+}
+
+// Crasher fires ErrCrash at exactly one (period, stream, occurrence).
+// Determinism note: the occurrence counter orders *completed* events of
+// one stream as observed by the driver, so the same crash point always
+// interrupts the run with the same set of logged acknowledgements —
+// concurrent streams (A and B) count independently and never perturb
+// each other's counters.
+type Crasher struct {
+	point CrashPoint
+	seen  atomic.Int64
+	fired atomic.Bool
+}
+
+// NewCrasher arms a crash point. A nil Crasher never fires.
+func NewCrasher(p CrashPoint) *Crasher {
+	return &Crasher{point: p}
+}
+
+// Point returns the armed crash point.
+func (c *Crasher) Point() CrashPoint { return c.point }
+
+// OnEvent counts one completed event of (period, stream) and reports
+// whether the armed occurrence was just reached. It fires at most once.
+func (c *Crasher) OnEvent(period, stream int) bool {
+	if c == nil || c.point.Occurrence == 0 || period != c.point.Period || stream != c.point.Stream {
+		return false
+	}
+	if c.seen.Add(1) == int64(c.point.Occurrence) {
+		return c.fired.CompareAndSwap(false, true)
+	}
+	return false
+}
+
+// AtBarrier reports whether the armed point is the barrier closing
+// (period, stream). It fires at most once.
+func (c *Crasher) AtBarrier(period, stream int) bool {
+	if c == nil || c.point.Occurrence != 0 || period != c.point.Period || stream != c.point.Stream {
+		return false
+	}
+	return c.fired.CompareAndSwap(false, true)
+}
+
+// Fired reports whether the crash point has been reached.
+func (c *Crasher) Fired() bool { return c != nil && c.fired.Load() }

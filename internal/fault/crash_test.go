@@ -1,0 +1,65 @@
+package fault
+
+import "testing"
+
+func TestParseCrashPoint(t *testing.T) {
+	cases := []struct {
+		in   string
+		want CrashPoint
+		ok   bool
+	}{
+		{"1:A:3", CrashPoint{1, 0, 3}, true},
+		{"2:c:0", CrashPoint{2, 2, 0}, true},
+		{"0:D:1", CrashPoint{0, 3, 1}, true},
+		{"1:E:1", CrashPoint{}, false},
+		{"1:A", CrashPoint{}, false},
+		{"-1:A:1", CrashPoint{}, false},
+		{"1:A:-2", CrashPoint{}, false},
+		{"x:A:1", CrashPoint{}, false},
+	}
+	for _, c := range cases {
+		got, err := ParseCrashPoint(c.in)
+		if c.ok != (err == nil) || got != c.want {
+			t.Errorf("ParseCrashPoint(%q) = %+v, %v", c.in, got, err)
+		}
+	}
+	if s := (CrashPoint{1, 2, 0}).String(); s != "1:C:0" {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestCrasherOccurrenceFiresOnce(t *testing.T) {
+	c := NewCrasher(CrashPoint{Period: 1, Stream: 0, Occurrence: 3})
+	if c.OnEvent(0, 0) || c.OnEvent(1, 1) || c.OnEvent(1, 0) || c.OnEvent(1, 0) {
+		t.Fatal("fired early")
+	}
+	if !c.OnEvent(1, 0) {
+		t.Fatal("did not fire on the 3rd event of 1:A")
+	}
+	if c.OnEvent(1, 0) || !c.Fired() {
+		t.Fatal("must fire exactly once")
+	}
+	if c.AtBarrier(1, 0) {
+		t.Fatal("occurrence-armed crasher must not fire at barriers")
+	}
+}
+
+func TestCrasherBarrierMode(t *testing.T) {
+	c := NewCrasher(CrashPoint{Period: 2, Stream: 2, Occurrence: 0})
+	if c.OnEvent(2, 2) {
+		t.Fatal("barrier-armed crasher must not fire on events")
+	}
+	if c.AtBarrier(2, 1) || c.AtBarrier(1, 2) {
+		t.Fatal("wrong barrier fired")
+	}
+	if !c.AtBarrier(2, 2) {
+		t.Fatal("did not fire at 2:C barrier")
+	}
+	if c.AtBarrier(2, 2) {
+		t.Fatal("must fire exactly once")
+	}
+	var nilCrasher *Crasher
+	if nilCrasher.OnEvent(0, 0) || nilCrasher.AtBarrier(0, 0) || nilCrasher.Fired() {
+		t.Fatal("nil crasher must never fire")
+	}
+}

@@ -58,6 +58,10 @@ type Monitor struct {
 
 	res *ResilienceStats  // retry/trip/DLQ audit of the resilience layer
 	inc *IncrementalStats // delta-extraction audit of incremental engines
+	rcv *RecoveryStats    // checkpoint/replay audit of crash recovery
+
+	restoredMu sync.Mutex // guards the checkpoint-restored ledger seed
+	restored   []LedgerEntry
 }
 
 // recordShard holds the finished records of one process type.
@@ -98,7 +102,7 @@ func New(timeScale float64) *Monitor {
 		timeScale = 1
 	}
 	return &Monitor{timeScale: timeScale, shards: make(map[string]*recordShard),
-		res: NewResilienceStats(), inc: NewIncrementalStats()}
+		res: NewResilienceStats(), inc: NewIncrementalStats(), rcv: NewRecoveryStats()}
 }
 
 // shard returns (creating on demand) the process type's record shard. The
@@ -280,6 +284,12 @@ type Report struct {
 	// PeriodDeltas breaks the incremental audit down per benchmark
 	// period (empty when no engine ran incrementally).
 	PeriodDeltas []PeriodDelta
+
+	// Recovery totals (zero when the run neither checkpointed nor
+	// resumed from one).
+	Replayed    int    // WAL records replayed during recovery
+	DedupHits   uint64 // re-executions recognized as pre-crash acks
+	Checkpoints uint64 // checkpoints committed during the run
 }
 
 // Analyze aggregates all finished records into the benchmark report.
@@ -337,6 +347,7 @@ func (m *Monitor) AnalyzeFrom(minPeriod int) *Report {
 	}
 	rep.Retries, rep.Trips, rep.DeadLetters = m.res.Totals()
 	rep.Deltas, rep.DeltaRows, rep.DeltaResets, rep.RegionSkips = m.inc.Totals()
+	rep.Replayed, rep.DedupHits, rep.Checkpoints = m.rcv.Totals()
 	for _, p := range m.inc.Periods() {
 		if p.Period >= minPeriod {
 			rep.PeriodDeltas = append(rep.PeriodDeltas, p)
@@ -419,6 +430,10 @@ func (r *Report) String() string {
 			out += fmt.Sprintf("  k=%-3d %6d deltas %8d rows %4d resets %4d skips\n",
 				p.Period, p.Deltas, p.Rows, p.Resets, p.Skips)
 		}
+	}
+	if r.Replayed > 0 || r.DedupHits > 0 || r.Checkpoints > 0 {
+		out += fmt.Sprintf("Recovery: replayed=%d dedup-hits=%d checkpoints=%d\n",
+			r.Replayed, r.DedupHits, r.Checkpoints)
 	}
 	return out
 }

@@ -1,0 +1,201 @@
+package monitor
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// RecoveryStats audits a crash recovery: how many WAL records the resume
+// replayed, how many re-executed instances were recognized as already
+// acknowledged before the crash (dedup hits — the exactly-once evidence),
+// and how long the snapshot restore and WAL replay took. Checkpoint
+// commit latencies accumulate during normal running. Safe for concurrent
+// use.
+type RecoveryStats struct {
+	mu          sync.Mutex
+	recovered   bool
+	period      int
+	barrier     int
+	replayed    int
+	dedup       map[string]uint64 // per process type
+	snapshotLat time.Duration
+	replayLat   time.Duration
+	checkpoints uint64
+	commitLat   time.Duration
+}
+
+// NewRecoveryStats creates empty stats.
+func NewRecoveryStats() *RecoveryStats {
+	return &RecoveryStats{dedup: make(map[string]uint64)}
+}
+
+// SetRecovered records that this run resumed from a checkpoint at
+// (period, barrier), replaying the given number of WAL records.
+func (s *RecoveryStats) SetRecovered(period, barrier, replayed int, snapshotLat, replayLat time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.recovered = true
+	s.period = period
+	s.barrier = barrier
+	s.replayed = replayed
+	s.snapshotLat = snapshotLat
+	s.replayLat = replayLat
+}
+
+// CountDedup records one re-executed instance whose pre-crash
+// acknowledgement was found in the replayed WAL suffix.
+func (s *RecoveryStats) CountDedup(process string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.dedup[process]++
+}
+
+// CountCheckpoint records one committed checkpoint and its latency.
+func (s *RecoveryStats) CountCheckpoint(d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.checkpoints++
+	s.commitLat += d
+}
+
+// Recovered reports whether this run resumed from a checkpoint, and from
+// where.
+func (s *RecoveryStats) Recovered() (ok bool, period, barrier int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.recovered, s.period, s.barrier
+}
+
+// Totals returns replayed-record, dedup-hit and checkpoint counts.
+func (s *RecoveryStats) Totals() (replayed int, dedup, checkpoints uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, n := range s.dedup {
+		dedup += n
+	}
+	return s.replayed, dedup, s.checkpoints
+}
+
+// Latencies returns the snapshot-restore, WAL-replay and cumulative
+// checkpoint-commit durations.
+func (s *RecoveryStats) Latencies() (snapshot, replay, commits time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snapshotLat, s.replayLat, s.commitLat
+}
+
+// DedupByProcess returns a copy of the per-process dedup-hit counts.
+func (s *RecoveryStats) DedupByProcess() map[string]uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return copyCounts(s.dedup)
+}
+
+// String renders a summary ("" when neither a recovery happened nor a
+// checkpoint committed).
+func (s *RecoveryStats) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.recovered && s.checkpoints == 0 {
+		return ""
+	}
+	out := "Recovery\n"
+	if s.recovered {
+		var dedup uint64
+		for _, n := range s.dedup {
+			dedup += n
+		}
+		out += fmt.Sprintf("  resumed at period %d barrier %d: %d WAL records replayed, %d dedup hits\n",
+			s.period, s.barrier, s.replayed, dedup)
+		out += fmt.Sprintf("  snapshot restore %v, WAL replay %v\n", s.snapshotLat, s.replayLat)
+	}
+	if s.checkpoints > 0 {
+		avg := s.commitLat / time.Duration(s.checkpoints)
+		out += fmt.Sprintf("  checkpoints committed: %d (avg %v)\n", s.checkpoints, avg)
+	}
+	return out
+}
+
+// Recovery returns the run's recovery audit.
+func (m *Monitor) Recovery() *RecoveryStats { return m.rcv }
+
+// LedgerEntry is one row of the deterministic execution ledger: how many
+// instances of a process type finished (and how many of those failed) in
+// one period. Unlike Records, the ledger carries no wall-clock times, so
+// a crashed-and-recovered run and an uninterrupted run of the same seed
+// must produce byte-identical ledgers — the monitor's contribution to the
+// recovery equivalence claim.
+type LedgerEntry struct {
+	Process  string
+	Period   int
+	Events   int
+	Failures int
+}
+
+// Ledger aggregates all finished records (plus any ledger restored from a
+// checkpoint) into entries sorted by (process, period).
+func (m *Monitor) Ledger() []LedgerEntry {
+	type key struct {
+		process string
+		period  int
+	}
+	acc := make(map[key]*LedgerEntry)
+	m.restoredMu.Lock()
+	for _, e := range m.restored {
+		k := key{e.Process, e.Period}
+		if cur := acc[k]; cur != nil {
+			cur.Events += e.Events
+			cur.Failures += e.Failures
+		} else {
+			c := e
+			acc[k] = &c
+		}
+	}
+	m.restoredMu.Unlock()
+	for _, r := range m.Records() {
+		k := key{r.Process, r.Period}
+		cur := acc[k]
+		if cur == nil {
+			cur = &LedgerEntry{Process: r.Process, Period: r.Period}
+			acc[k] = cur
+		}
+		cur.Events++
+		if r.Err != nil {
+			cur.Failures++
+		}
+	}
+	out := make([]LedgerEntry, 0, len(acc))
+	for _, e := range acc {
+		out = append(out, *e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Process != out[j].Process {
+			return out[i].Process < out[j].Process
+		}
+		return out[i].Period < out[j].Period
+	})
+	return out
+}
+
+// RestoreLedger seeds the ledger with entries captured by a checkpoint.
+// The recovered run's Ledger() then reports the union of pre-crash and
+// post-resume executions.
+func (m *Monitor) RestoreLedger(entries []LedgerEntry) {
+	m.restoredMu.Lock()
+	defer m.restoredMu.Unlock()
+	m.restored = append(m.restored[:0], entries...)
+}
+
+// LedgerDigest returns a hex SHA-256 over the canonical rendering of the
+// ledger.
+func (m *Monitor) LedgerDigest() string {
+	h := sha256.New()
+	for _, e := range m.Ledger() {
+		fmt.Fprintf(h, "%s|%d|%d|%d\n", e.Process, e.Period, e.Events, e.Failures)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -3,7 +3,6 @@ package processes
 import (
 	"fmt"
 	"strconv"
-	"sync/atomic"
 
 	"repro/internal/mtm"
 	rel "repro/internal/relational"
@@ -316,8 +315,12 @@ func newP09() *mtm.Process {
 // newP10 builds "Receive error-prone messages from San Diego": validate
 // the message against XSD_SanDiego; failures are diverted to the
 // failed-data destination, valid messages are translated and loaded.
-// failSeq numbers the failed-data rows.
-func newP10(failSeq *atomic.Int64) *mtm.Process {
+// The failed-data key is the order number itself: every injected schema
+// violation leaves OrderNo intact, and a key derived from the message —
+// rather than an arrival-order counter — keeps the failed-data table
+// deterministic when concurrent instances fail, which the crash-recovery
+// equivalence checks rely on.
+func newP10() *mtm.Process {
 	insertFailed := []mtm.Operator{
 		mtm.Custom{Name: "ASSIGN", Cat: mtm.CostProc, Fn: func(ctx *mtm.Context) error {
 			doc, err := ctx.Doc("msg1")
@@ -328,8 +331,12 @@ func newP10(failSeq *atomic.Int64) *mtm.Process {
 			if rep := ctx.Get("errs"); rep != nil && rep.Doc != nil && len(rep.Doc.Children) > 0 {
 				reason = rep.Doc.Children[0].Text
 			}
+			failID, err := strconv.ParseInt(doc.PathText("OrderNo"), 10, 64)
+			if err != nil {
+				return fmt.Errorf("P10: failed message without order number: %w", err)
+			}
 			r, err := rel.NewRelation(schema.CDBFailedMessages, []rel.Row{{
-				rel.NewInt(failSeq.Add(1)),
+				rel.NewInt(failID),
 				rel.NewString(schema.SysSanDiego),
 				rel.NewString(reason),
 				rel.NewString(doc.String()),

@@ -2,20 +2,16 @@ package processes
 
 import (
 	"fmt"
-	"sync/atomic"
 
 	"repro/internal/mtm"
 	"repro/internal/schema"
 )
 
-// Definitions holds the instantiated 15 process types of Table I. A
-// Definitions value carries the P10 failed-data sequence, so create one
-// per benchmark run.
+// Definitions holds the instantiated 15 process types of Table I.
 type Definitions struct {
-	all     []*mtm.Process
-	byID    map[string]*mtm.Process
-	incr    map[string]*mtm.Process
-	failSeq atomic.Int64
+	all  []*mtm.Process
+	byID map[string]*mtm.Process
+	incr map[string]*mtm.Process
 }
 
 // New instantiates all process types and validates their definitions.
@@ -31,7 +27,7 @@ func New() (*Definitions, error) {
 		newExtractEurope("P07", "", schema.SysTrondheim),
 		newP08(),
 		newP09(),
-		newP10(&d.failSeq),
+		newP10(),
 		newP11(),
 		newP12(),
 		newP13(),

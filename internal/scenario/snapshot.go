@@ -1,0 +1,95 @@
+package scenario
+
+import (
+	"fmt"
+	"sync"
+)
+
+// wsKey namespaces the web-service-local databases in a topology
+// snapshot, keeping them apart from same-named ES instances.
+const wsKey = "ws:"
+
+// SnapshotDatabases serializes every database of the topology — the
+// eleven external-system instances and the three web-service-local
+// stores — into per-system blobs keyed by system name (web-service
+// databases under "ws:<name>"). With RemoteDB the external instances are
+// captured through the database protocol, so the checkpoint crosses the
+// same transport the benchmark does. Call only at a stream barrier: the
+// capture is consistent only while no process is in flight.
+func (s *Scenario) SnapshotDatabases() (map[string][]byte, error) {
+	out := make(map[string][]byte, len(DatabaseSystems)+len(WebServiceSystems))
+	var mu sync.Mutex
+	err := runBounded(len(DatabaseSystems)+len(WebServiceSystems), initWorkers, func(i int) error {
+		var (
+			key  string
+			blob []byte
+			err  error
+		)
+		if i < len(DatabaseSystems) {
+			key = DatabaseSystems[i]
+			if s.remote != nil {
+				blob, err = s.dbClient(key).Snapshot()
+			} else {
+				blob, err = s.ES.Instance(key).Snapshot()
+			}
+		} else {
+			name := WebServiceSystems[i-len(DatabaseSystems)]
+			key = wsKey + name
+			blob, err = s.WS.Service(name).Database().Snapshot()
+		}
+		if err != nil {
+			return fmt.Errorf("scenario: snapshot %s: %w", key, err)
+		}
+		mu.Lock()
+		out[key] = blob
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RestoreDatabases replaces the contents of every topology database with
+// a SnapshotDatabases capture. The snapshot must cover exactly the
+// current topology; a missing or unknown system fails the restore — a
+// partial restore would silently desynchronize the layers.
+func (s *Scenario) RestoreDatabases(blobs map[string][]byte) error {
+	want := len(DatabaseSystems) + len(WebServiceSystems)
+	if len(blobs) != want {
+		return fmt.Errorf("scenario: snapshot covers %d systems, topology has %d", len(blobs), want)
+	}
+	for _, name := range DatabaseSystems {
+		if _, ok := blobs[name]; !ok {
+			return fmt.Errorf("scenario: snapshot missing system %s", name)
+		}
+	}
+	for _, name := range WebServiceSystems {
+		if _, ok := blobs[wsKey+name]; !ok {
+			return fmt.Errorf("scenario: snapshot missing system %s%s", wsKey, name)
+		}
+	}
+	return runBounded(len(DatabaseSystems)+len(WebServiceSystems), initWorkers, func(i int) error {
+		var (
+			key string
+			err error
+		)
+		if i < len(DatabaseSystems) {
+			key = DatabaseSystems[i]
+			if s.remote != nil {
+				_, err = s.dbClient(key).Restore(blobs[key])
+			} else {
+				_, err = s.ES.Instance(key).Restore(blobs[key])
+			}
+		} else {
+			name := WebServiceSystems[i-len(DatabaseSystems)]
+			key = wsKey + name
+			_, err = s.WS.Service(name).Database().Restore(blobs[key])
+		}
+		if err != nil {
+			return fmt.Errorf("scenario: restore %s: %w", key, err)
+		}
+		return nil
+	})
+}

@@ -1,0 +1,75 @@
+package scenario
+
+import (
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/schema"
+)
+
+func snapshotRig(t *testing.T, remote bool) *Scenario {
+	t.Helper()
+	s, err := New(Options{RemoteDB: remote})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	g, err := datagen.New(datagen.Config{
+		Seed: 11, Period: 0, Datasize: 0.01, Dist: datagen.Uniform,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.InitializeSources(g); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func testSnapshotRestore(t *testing.T, remote bool) {
+	s := snapshotRig(t, remote)
+	wantRows := s.TotalSourceRows()
+	blobs, err := s.SnapshotDatabases()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blobs) != len(DatabaseSystems)+len(WebServiceSystems) {
+		t.Fatalf("snapshot covers %d systems", len(blobs))
+	}
+	// Wreck the topology, then restore.
+	if err := s.Uninitialize(); err != nil {
+		t.Fatal(err)
+	}
+	if s.TotalSourceRows() != 0 {
+		t.Fatal("uninitialize left rows behind")
+	}
+	if err := s.RestoreDatabases(blobs); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.TotalSourceRows(); got != wantRows {
+		t.Fatalf("restored %d source rows, want %d", got, wantRows)
+	}
+	// The web-service stores restored too.
+	if n := s.WS.Service(schema.SysBeijing).Database().TotalRows(); n == 0 {
+		t.Fatal("Beijing web-service store not restored")
+	}
+}
+
+func TestSnapshotRestoreTopology(t *testing.T)       { testSnapshotRestore(t, false) }
+func TestSnapshotRestoreTopologyRemote(t *testing.T) { testSnapshotRestore(t, true) }
+
+func TestRestoreRejectsPartialSnapshot(t *testing.T) {
+	s := snapshotRig(t, false)
+	blobs, err := s.SnapshotDatabases()
+	if err != nil {
+		t.Fatal(err)
+	}
+	delete(blobs, schema.SysDWH)
+	if err := s.RestoreDatabases(blobs); err == nil {
+		t.Fatal("partial snapshot must be rejected")
+	}
+	blobs[schema.SysDWH] = blobs[schema.SysCDB] // wrong catalog for DWH
+	if err := s.RestoreDatabases(blobs); err == nil {
+		t.Fatal("cross-system blob must be rejected")
+	}
+}
