@@ -583,7 +583,7 @@ func BenchmarkIndexedSelect(b *testing.B) {
 // key columns by a disjoint per-copy offset so uniqueness (and join
 // fan-out) is preserved while the row count scales past the morsel
 // threshold of the parallel kernels.
-func tileRelation(b *testing.B, r *rel.Relation, n int, keyCols ...string) *rel.Relation {
+func tileRelation(b testing.TB, r *rel.Relation, n int, keyCols ...string) *rel.Relation {
 	b.Helper()
 	ords := make([]int, len(keyCols))
 	for i, c := range keyCols {
@@ -685,20 +685,148 @@ func BenchmarkParallelOperators(b *testing.B) {
 	}
 }
 
+// BenchmarkVectorKernels A/B-compares the morsel-parallel row kernels
+// against the vectorized columnar kernels over the same tiled Europe
+// datasets (results/perf_pr6.md). Both arms run at the same parallelism
+// degree so the difference isolates the layout: predicate evaluation
+// over typed column slices with a selection bitmap, typed hash-join
+// build/probe, and the fused grouped-aggregation fold. Run with
+// -benchmem: the vec arms also demonstrate the pooled ColSet/bitmap
+// scratch (allocs/op stays dominated by the output, not the scan).
+func BenchmarkVectorKernels(b *testing.B) {
+	g := datagen.MustNew(datagen.Config{Seed: 1, Datasize: 1, Dist: datagen.Uniform})
+	ds, err := g.Europe("Berlin_Paris")
+	if err != nil {
+		b.Fatal(err)
+	}
+	const copies = 12
+	orders := tileRelation(b, ds.Orders, copies, "Ordkey")
+	orderline := tileRelation(b, ds.Orderline, copies, "Ordkey")
+	pred := rel.ColEq("Location", rel.NewString("Berlin"))
+	groupCols := []string{"Custkey"}
+	aggs := []rel.AggSpec{
+		{Func: "count", As: "N"},
+		{Func: "sum", Col: "Total", As: "Sum"},
+	}
+	const par = 4
+	restore := rel.MaxWorkers()
+	rel.SetMaxWorkers(8)
+	b.Cleanup(func() { rel.SetMaxWorkers(restore) })
+	mustColumnar := func(b *testing.B, l rel.Layout) {
+		b.Helper()
+		if l != rel.LayoutColumnar {
+			b.Fatalf("vectorized kernel fell back to %v", l)
+		}
+	}
+	b.Run("filter/row", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			out, err := orders.SelectPar(par, pred)
+			if err != nil || out.Len() == 0 {
+				b.Fatal("empty selection")
+			}
+		}
+	})
+	b.Run("filter/vec", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			out, layout, err := orders.FilterVec(par, pred)
+			if err != nil || out.Len() == 0 {
+				b.Fatal("empty selection")
+			}
+			mustColumnar(b, layout)
+		}
+	})
+	b.Run("join/row", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			out, err := orderline.JoinPar(par, orders, "Ordkey", "Ordkey", "o_")
+			if err != nil || out.Len() == 0 {
+				b.Fatal("empty join")
+			}
+		}
+	})
+	b.Run("join/vec", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			out, layout, err := orderline.HashJoinVec(par, orders, "Ordkey", "Ordkey", "o_")
+			if err != nil || out.Len() == 0 {
+				b.Fatal("empty join")
+			}
+			mustColumnar(b, layout)
+		}
+	})
+	b.Run("groupagg/row", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			out, err := orders.GroupByPar(par, groupCols, aggs)
+			if err != nil || out.Len() == 0 {
+				b.Fatalf("empty aggregation (%v)", err)
+			}
+		}
+	})
+	b.Run("groupagg/vec", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			out, layout, err := orders.GroupAggVec(par, groupCols, aggs)
+			if err != nil || out.Len() == 0 {
+				b.Fatalf("empty aggregation (%v)", err)
+			}
+			mustColumnar(b, layout)
+		}
+	})
+}
+
+// TestVectorScratchPooled pins the sync.Pool scratch reuse: a steady-state
+// FilterVec whose predicate selects nothing must not re-allocate the
+// decoded column vectors or the selection bitmaps on every call — after a
+// warm-up pass the per-run allocation count stays a small constant
+// (output bookkeeping only), independent of the scanned row count.
+func TestVectorScratchPooled(t *testing.T) {
+	g := datagen.MustNew(datagen.Config{Seed: 1, Datasize: 1, Dist: datagen.Uniform})
+	ds, err := g.Europe("Berlin_Paris")
+	if err != nil {
+		t.Fatal(err)
+	}
+	orders := tileRelation(t, ds.Orders, 12, "Ordkey")
+	pred := rel.Cmp("Ordkey", rel.OpLt, rel.NewInt(-1)) // matches no row
+	run := func() {
+		out, layout, err := orders.FilterVec(1, pred)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if layout != rel.LayoutColumnar || out.Len() != 0 {
+			t.Fatalf("expected empty columnar selection, got layout=%v len=%d", layout, out.Len())
+		}
+	}
+	run() // warm the ColSet and bitmap pools
+	allocs := testing.AllocsPerRun(20, run)
+	// ~44k scanned rows decode into pooled scratch; without pooling this
+	// sits in the hundreds (one slice per column per morsel per run).
+	if allocs > 32 {
+		t.Fatalf("steady-state FilterVec allocates %.0f objects per run; pooled scratch bound is 32", allocs)
+	}
+}
+
 // BenchmarkStreamCD measures the serialized warehouse-load (stream C:
 // P12-P13) and mart-refresh (stream D: P14-P15) chain end to end —
 // the critical path the morsel kernels target — sequential vs. with
 // intra-operator parallelism. At d=0.1 the warehouse facts stay below
 // one morsel (the kernels take their sequential fallback, so the two
 // variants must be at parity); at d=4 the fact tables span 3-8 morsels
-// and the partitioned paths genuinely run.
+// and the partitioned paths genuinely run. The col_4 leg additionally
+// routes eligible morsels through the vectorized columnar kernels
+// (results/perf_pr6.md).
 func BenchmarkStreamCD(b *testing.B) {
+	modes := []struct {
+		name     string
+		par      int
+		columnar bool
+	}{{"seq", 0, false}, {"par_4", 4, false}, {"col_4", 4, true}}
 	for _, d := range []float64{0.1, 4} {
-		for _, par := range []int{0, 4} {
-			name := fmt.Sprintf("d_%g/par_%d", d, par)
-			if par == 0 {
-				name = fmt.Sprintf("d_%g/seq", d)
-			}
+		for _, m := range modes {
+			m := m
+			name := fmt.Sprintf("d_%g/%s", d, m.name)
 			b.Run(name, func(b *testing.B) {
 				restore := rel.MaxWorkers()
 				rel.SetMaxWorkers(8)
@@ -706,12 +834,15 @@ func BenchmarkStreamCD(b *testing.B) {
 				for i := 0; i < b.N; i++ {
 					b.StopTimer()
 					s, _ := benchScenario(b, d)
-					opts := engine.Options{PlanCache: true, Parallelism: par}
+					opts := engine.Options{PlanCache: true, Parallelism: m.par, Columnar: m.columnar}
 					eng, err := engine.New("streamcd", opts, processes.MustNew(), s.Gateway(), nil)
 					if err != nil {
 						b.Fatal(err)
 					}
-					s.SetParallelism(par)
+					s.SetParallelism(m.par)
+					if m.columnar {
+						s.SetColumnar(true)
+					}
 					// Prerequisites: the extraction processes that populate the
 					// staging tables streams C/D consume.
 					for _, pre := range []string{"P05", "P06", "P07"} {

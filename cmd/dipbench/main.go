@@ -26,6 +26,7 @@
 //	-fault-seed n fault plan seed (defaults to -seed)
 //	-chaos-verify verify the integrated data against a fault-free twin run
 //	-incremental s    force delta-driven C/D maintenance on|off (default: engine preset)
+//	-columnar s       force vectorized columnar kernels on|off (default: engine preset)
 //	-recompute-verify verify the integrated data against a full-recompute twin run
 //	-mv-check n       recompute every OrdersMV from scratch every n periods
 //	-wal-dir path     enable crash-consistent checkpointing into this directory
@@ -80,6 +81,7 @@ func main() {
 		fltSeed = flag.Uint64("fault-seed", 0, "fault plan seed (defaults to -seed)")
 		chaos   = flag.Bool("chaos-verify", false, "after a faulty run, verify the integrated data against a fault-free twin run")
 		incr    = flag.String("incremental", "", "force delta-driven C/D maintenance: on|off (default: engine preset)")
+		colr    = flag.String("columnar", "", "force vectorized columnar kernels: on|off (default: engine preset)")
 		recomp  = flag.Bool("recompute-verify", false, "verify the integrated data against a full-recompute twin run")
 		mvEvery = flag.Int("mv-check", 0, "recompute every OrdersMV from scratch every n periods and abort on divergence (0 disables)")
 		warmup  = flag.Int("warmup", 0, "discard the first N periods from the metric")
@@ -176,6 +178,7 @@ func main() {
 		FaultSeed:       *fltSeed,
 		ChaosVerify:     *chaos,
 		Incremental:     *incr,
+		Columnar:        *colr,
 		RecomputeVerify: *recomp,
 		MVCheckEvery:    *mvEvery,
 		WALDir:          *walDir,
@@ -237,6 +240,20 @@ func main() {
 			fmt.Printf(" dlq-dropped=%d", dropped)
 		}
 		fmt.Println()
+	}
+	if b.Engine().Options().Columnar {
+		if stats := b.Engine().LayoutStats(); len(stats) > 0 {
+			ops := make([]string, 0, len(stats))
+			for op := range stats {
+				ops = append(ops, op)
+			}
+			sort.Strings(ops)
+			fmt.Printf("\nOperator layouts (columnar execution):\n")
+			for _, op := range ops {
+				c := stats[op]
+				fmt.Printf("  %-12s COLUMNAR=%d ROW=%d\n", op, c.Columnar, c.Row)
+			}
+		}
 	}
 	if *walDir != "" {
 		if s := b.Monitor().Recovery().String(); s != "" {

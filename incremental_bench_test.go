@@ -7,6 +7,7 @@ package dipbench
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 	"time"
 
@@ -46,7 +47,11 @@ func seedOrders(b *testing.B, t *rel.Table, base, n int) {
 
 // BenchmarkIncrementalMV isolates sp_refreshOrdersMV: a 20k-row fact
 // table receives a 500-row batch; "full" recomputes the view from all
-// rows, "incremental" folds only the batch into the stored groups.
+// rows, "incremental" folds only the batch into the stored groups. The
+// _columnar variants repeat both arms with the vectorized kernels
+// (ExtendVec + GroupAggVec replacing the row-at-a-time extend and the
+// per-row-map aggregation) — the full-recompute fold is the PR6 ≥2x
+// target (results/perf_pr6.md).
 func BenchmarkIncrementalMV(b *testing.B) {
 	s, err := scenario.New(scenario.Options{})
 	if err != nil {
@@ -56,9 +61,12 @@ func BenchmarkIncrementalMV(b *testing.B) {
 	db := s.DB(schema.SysDWH)
 	orders := db.MustTable("Orders")
 	const seedRows, deltaRows = 20000, 500
-	for _, mode := range []string{"full", "incremental"} {
+	for _, mode := range []string{"full", "full_columnar", "incremental", "incremental_columnar"} {
 		mode := mode
 		b.Run(mode, func(b *testing.B) {
+			s.SetColumnar(strings.HasSuffix(mode, "_columnar"))
+			b.Cleanup(func() { s.SetColumnar(false) })
+			mode := strings.TrimSuffix(mode, "_columnar")
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
 				orders.Truncate()

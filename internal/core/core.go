@@ -115,6 +115,12 @@ type Config struct {
 	// forces full re-extraction, "" keeps the preset (off for federated,
 	// on for the optimized engines).
 	Incremental string
+	// Columnar overrides the engine preset's execution-layout default:
+	// "on" forces the vectorized columnar kernels for eligible dataset
+	// operators, "off" forces the row kernels, "" keeps the preset (off
+	// for federated, on for the optimized engines). Results are
+	// bit-identical either way.
+	Columnar string
 	// MVCheckEvery > 0 recomputes every OrdersMV from scratch every N-th
 	// period and aborts on any divergence from the stored (possibly
 	// incrementally maintained) view. Verify implies MVCheckEvery=1 when
@@ -230,11 +236,23 @@ func New(cfg Config) (*Benchmark, error) {
 		_ = scn.Close()
 		return nil, fmt.Errorf("core: Incremental must be \"\", \"on\" or \"off\", got %q", cfg.Incremental)
 	}
+	switch cfg.Columnar {
+	case "":
+	case "on":
+		eng.SetColumnar(true)
+	case "off":
+		eng.SetColumnar(false)
+	default:
+		_ = scn.Close()
+		return nil, fmt.Errorf("core: Columnar must be \"\", \"on\" or \"off\", got %q", cfg.Columnar)
+	}
 	// The warehouse-layer stored procedures (OrdersMV refresh) run inside
-	// the external systems; give them the engine's parallel degree so the
-	// optimized engines' C/D streams parallelize end to end while the
-	// federated reference keeps them sequential.
+	// the external systems; give them the engine's parallel degree and
+	// execution layout so the optimized engines' C/D streams parallelize
+	// and vectorize end to end while the federated reference keeps them
+	// sequential and row-oriented.
 	scn.SetParallelism(eng.Options().Parallelism)
+	scn.SetColumnar(eng.Options().Columnar)
 	var plan *fault.Plan
 	if cfg.FaultRate > 0 {
 		seed := cfg.FaultSeed

@@ -90,6 +90,14 @@ type Options struct {
 	// federated reference engine (the paper's System A re-extracts
 	// everything), on for the optimized presets.
 	Incremental bool
+	// Columnar routes eligible dataset operators through the vectorized
+	// columnar kernels (typed column slices + validity bitmaps) instead of
+	// the row-at-a-time kernels. Results are bit-identical either way —
+	// operators fall back to the row path whenever a batch is too small or
+	// its types have no typed representation. Off for the federated
+	// reference engine (its per-row temp-table architecture is the point of
+	// comparison), on for the optimized presets.
+	Columnar bool
 }
 
 // Engine executes process instances and records their costs.
@@ -109,6 +117,9 @@ type Engine struct {
 	resilient *fault.Resilient // non-nil when Options.Resilience is set
 
 	wm *watermarkStore // extraction watermarks (nil unless Incremental)
+
+	layoutMu sync.Mutex
+	layouts  map[string]LayoutCount // per-operator layout statistics
 
 	mu       sync.RWMutex
 	plans    map[string]*plan
@@ -225,6 +236,46 @@ func (e *Engine) SetIncremental(on bool) {
 	if on && e.wm == nil {
 		e.wm = newWatermarkStore()
 	}
+}
+
+// SetColumnar overrides the Options.Columnar preset — the `-columnar`
+// flag's hook. Call before the first Execute; the switch is not
+// synchronized with in-flight instances.
+func (e *Engine) SetColumnar(on bool) { e.opts.Columnar = on }
+
+// LayoutCount tallies how often an operator executed on each layout.
+type LayoutCount struct {
+	Row      uint64
+	Columnar uint64
+}
+
+// LayoutStats returns the per-operator layout counts collected so far
+// (operator kind -> counts). Empty unless Columnar is on — the row-only
+// engines never report.
+func (e *Engine) LayoutStats() map[string]LayoutCount {
+	e.layoutMu.Lock()
+	defer e.layoutMu.Unlock()
+	out := make(map[string]LayoutCount, len(e.layouts))
+	for k, v := range e.layouts {
+		out[k] = v
+	}
+	return out
+}
+
+// recordLayout is the context observer counting executed layouts.
+func (e *Engine) recordLayout(op string, l rel.Layout) {
+	e.layoutMu.Lock()
+	if e.layouts == nil {
+		e.layouts = make(map[string]LayoutCount)
+	}
+	c := e.layouts[op]
+	if l == rel.LayoutColumnar {
+		c.Columnar++
+	} else {
+		c.Row++
+	}
+	e.layouts[op] = c
+	e.layoutMu.Unlock()
 }
 
 // AddDeadLetter parks an E1 message that exhausted its dispatch retries.
@@ -346,7 +397,7 @@ func DefaultParallelism() int { return runtime.GOMAXPROCS(0) }
 func NewPipeline(defs *processes.Definitions, ext mtm.External, mon *monitor.Monitor) (*Engine, error) {
 	return New("pipeline", Options{
 		PlanCache: true, Materialize: false, QueueTrigger: false,
-		Parallelism: DefaultParallelism(), Incremental: true,
+		Parallelism: DefaultParallelism(), Incremental: true, Columnar: true,
 	}, defs, ext, mon)
 }
 
@@ -361,7 +412,7 @@ const DefaultEAIWorkers = 4
 func NewEAI(defs *processes.Definitions, ext mtm.External, mon *monitor.Monitor) (*Engine, error) {
 	return New("eai", Options{
 		PlanCache: true, QueueTrigger: true, MaxWorkers: DefaultEAIWorkers,
-		Parallelism: DefaultParallelism(), Incremental: true,
+		Parallelism: DefaultParallelism(), Incremental: true, Columnar: true,
 	}, defs, ext, mon)
 }
 
@@ -375,7 +426,7 @@ const DefaultETLBatch = 8
 func NewETL(defs *processes.Definitions, ext mtm.External, mon *monitor.Monitor) (*Engine, error) {
 	return New("etl", Options{
 		PlanCache: true, BatchSize: DefaultETLBatch,
-		Parallelism: DefaultParallelism(), Incremental: true,
+		Parallelism: DefaultParallelism(), Incremental: true, Columnar: true,
 	}, defs, ext, mon)
 }
 
@@ -554,6 +605,10 @@ func (e *Engine) runInstance(goctx context.Context, p *mtm.Process, input *mtm.M
 	ctx := mtm.NewContext(e.ext, input, costRec)
 	ctx.SetContext(goctx)
 	ctx.SetParallelism(e.opts.Parallelism)
+	if e.opts.Columnar {
+		ctx.SetColumnar(true)
+		ctx.SetLayoutObserver(e.recordLayout)
+	}
 	if e.opts.Incremental && e.wm != nil {
 		ctx.SetWatermarks(e.wm)
 		period := 0

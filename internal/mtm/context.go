@@ -127,13 +127,15 @@ type Context struct {
 	// Input is the message that triggered the instance (nil for E2).
 	Input *Message
 
-	rec    CostRecorder
-	par    int
-	wm     Watermarks
-	deltas DeltaRecorder
-	goctx  context.Context
-	mu     sync.Mutex
-	vars   map[string]*Message
+	rec       CostRecorder
+	par       int
+	columnar  bool
+	layoutObs func(op string, l rel.Layout)
+	wm        Watermarks
+	deltas    DeltaRecorder
+	goctx     context.Context
+	mu        sync.Mutex
+	vars      map[string]*Message
 }
 
 // NewContext builds a context. rec may be nil to discard costs.
@@ -164,6 +166,30 @@ func (c *Context) SetParallelism(par int) { c.par = par }
 
 // Parallelism returns the intra-operator parallel degree.
 func (c *Context) Parallelism() int { return c.par }
+
+// SetColumnar lets the dataset operators route eligible morsels through
+// the vectorized columnar kernels (FilterVec, HashJoinVec, ...) instead of
+// the row kernels. Output is bit-identical either way; this only trades
+// execution strategy. Set once before Run — it is not synchronized.
+func (c *Context) SetColumnar(on bool) { c.columnar = on }
+
+// Columnar reports whether the vectorized kernels are enabled.
+func (c *Context) Columnar() bool { return c.columnar }
+
+// SetLayoutObserver attaches a callback invoked with the layout (ROW or
+// COLUMNAR) each dataset operator actually executed on — the EXPLAIN-style
+// companion of the access-path observer. fn must be safe for concurrent
+// use (FORK branches report concurrently). Set once before Run — it is
+// not synchronized.
+func (c *Context) SetLayoutObserver(fn func(op string, l rel.Layout)) { c.layoutObs = fn }
+
+// recordLayout reports an operator's executed layout, if an observer is
+// attached.
+func (c *Context) recordLayout(op string, l rel.Layout) {
+	if c.layoutObs != nil {
+		c.layoutObs(op, l)
+	}
+}
 
 // SetWatermarks attaches the engine's watermark store; without one,
 // OpQuerySince extracts from version 0 (a full delta). Set once before

@@ -326,7 +326,14 @@ func (o Selection) Execute(ctx *Context) error {
 	if err != nil {
 		return err
 	}
-	out, err := r.SelectPar(ctx.Parallelism(), o.Pred)
+	var out *rel.Relation
+	if ctx.Columnar() {
+		var layout rel.Layout
+		out, layout, err = r.FilterVec(ctx.Parallelism(), o.Pred)
+		ctx.recordLayout(o.Kind(), layout)
+	} else {
+		out, err = r.SelectPar(ctx.Parallelism(), o.Pred)
+	}
 	if err != nil {
 		return fmt.Errorf("mtm: SELECTION: %w", err)
 	}
@@ -354,7 +361,14 @@ func (o Projection) Execute(ctx *Context) error {
 	if err != nil {
 		return err
 	}
-	out, err := r.ProjectPar(ctx.Parallelism(), o.Cols...)
+	var out *rel.Relation
+	if ctx.Columnar() {
+		var layout rel.Layout
+		out, layout, err = r.ProjectVec(ctx.Parallelism(), o.Cols...)
+		ctx.recordLayout(o.Kind(), layout)
+	} else {
+		out, err = r.ProjectPar(ctx.Parallelism(), o.Cols...)
+	}
 	if err != nil {
 		return fmt.Errorf("mtm: PROJECTION: %w", err)
 	}
@@ -429,7 +443,14 @@ func (o Join) Execute(ctx *Context) error {
 	if err != nil {
 		return err
 	}
-	out, err := l.JoinPar(ctx.Parallelism(), r, o.LeftCol, o.RightCol, o.ClashPrefix)
+	var out *rel.Relation
+	if ctx.Columnar() {
+		var layout rel.Layout
+		out, layout, err = l.HashJoinVec(ctx.Parallelism(), r, o.LeftCol, o.RightCol, o.ClashPrefix)
+		ctx.recordLayout(o.Kind(), layout)
+	} else {
+		out, err = l.JoinPar(ctx.Parallelism(), r, o.LeftCol, o.RightCol, o.ClashPrefix)
+	}
 	if err != nil {
 		return fmt.Errorf("mtm: JOIN: %w", err)
 	}

@@ -28,6 +28,7 @@ type Database struct {
 	tables map[string]*Table
 	procs  map[string]Procedure
 	par    int
+	col    bool
 }
 
 // NewDatabase creates an empty database instance.
@@ -57,6 +58,22 @@ func (db *Database) Parallelism() int {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	return db.par
+}
+
+// SetColumnar lets stored procedures on this instance use the vectorized
+// columnar kernels (output stays bit-identical to the row kernels).
+func (db *Database) SetColumnar(on bool) {
+	db.mu.Lock()
+	db.col = on
+	db.mu.Unlock()
+}
+
+// Columnar reports whether stored procedures should prefer the vectorized
+// kernels.
+func (db *Database) Columnar() bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.col
 }
 
 // CreateTable adds a table to the catalog.

@@ -357,10 +357,12 @@ func (r *Relation) GroupByPar(par int, groupCols []string, aggs []AggSpec) (*Rel
 		return nil, err
 	}
 
-	// Phase 1: per-morsel partition into local groups.
+	// Phase 1: per-morsel partition into local groups. The morsel row count
+	// bounds the group count, so pre-sizing the map to it eliminates every
+	// incremental rehash on high-cardinality groupings.
 	locals := make([][]*localGroup, numMorsels(n)) // first-seen order per morsel
 	parallelMorsels(par, n, func(c, lo, hi int) {
-		groups := make(map[uint64][]*localGroup)
+		groups := make(map[uint64][]*localGroup, hi-lo)
 		var order []*localGroup
 		for i := lo; i < hi; i++ {
 			row := r.rows[i]
@@ -383,8 +385,13 @@ func (r *Relation) GroupByPar(par int, groupCols []string, aggs []AggSpec) (*Rel
 	})
 
 	// Merge local groups in morsel order: a group's position is decided by
-	// its globally first row, matching the sequential first-seen order.
-	merged := make(map[uint64][]*mergedGroup)
+	// its globally first row, matching the sequential first-seen order. The
+	// local-group total bounds the merged cardinality.
+	totalLocals := 0
+	for _, local := range locals {
+		totalLocals += len(local)
+	}
+	merged := make(map[uint64][]*mergedGroup, totalLocals)
 	var order []*mergedGroup
 	for _, local := range locals {
 		for _, lg := range local {

@@ -200,6 +200,23 @@ func (t *Table) InsertAll(r *Relation) error {
 	// engine, and the table only ever replaces stored rows, never mutates
 	// them in place.
 	n := r.Len()
+	// Reserve the batch's storage up front so the load runs without
+	// incremental slice growth or hash-bucket splits: the row store, the
+	// PK index of an empty table (the mart-rebuild and staging pattern:
+	// truncate, then bulk load), and the change journal.
+	if need := n - len(t.free); need > 0 && cap(t.rows)-len(t.rows) < need {
+		grown := make([]Row, len(t.rows), len(t.rows)+need)
+		copy(grown, t.rows)
+		t.rows = grown
+	}
+	if t.schema.HasKey() && len(t.pk) == 0 && n > 0 {
+		t.pk = make(map[uint64][]int, n)
+	}
+	if reserve := min(n, t.journalLimit); reserve > 0 && cap(t.journal)-len(t.journal) < reserve {
+		grown := make([]Change, len(t.journal), len(t.journal)+reserve)
+		copy(grown, t.journal)
+		t.journal = grown
+	}
 	for i := 0; i < n; i++ {
 		row := r.Row(i)
 		if err := t.schema.CheckRow(row); err != nil {

@@ -1,0 +1,506 @@
+package relational
+
+// Predicate compilation for the vectorized filter. A predicate tree is
+// compiled once per FilterVec call into a program of bitmap passes: each
+// leaf evaluates a typed tight loop over one or two column vectors into a
+// selection bitmap, and AND/OR/NOT combine bitmaps word-wise. The
+// compiled program reproduces the row evaluator's semantics exactly —
+// SQL's three-valued logic collapsed to false at the leaves, NOT as plain
+// negation of that collapsed result, and Value.Compare's numeric
+// promotion (including its NaN-compares-equal float ordering). Predicates
+// the compiler does not understand (PredicateFunc, unknown columns)
+// simply fail to compile and the caller falls back to the row kernel.
+
+// vecFn evaluates one predicate node over a batch, filling dst completely
+// (bits at positions >= cs.n stay zero).
+type vecFn func(cs *ColSet, dst []uint64)
+
+// vecProg is a compiled predicate: the evaluator and the ordinals of the
+// columns it reads (the only columns FilterVec must extract).
+type vecProg struct {
+	eval vecFn
+	ords []int
+}
+
+// compileVecPred compiles a predicate against a schema. ok=false means the
+// predicate has no vectorized form and the caller must use the row kernel.
+func compileVecPred(s *Schema, p Predicate) (*vecProg, bool) {
+	fn, ords, ok := compileVecNode(s, p)
+	if !ok {
+		return nil, false
+	}
+	return &vecProg{eval: fn, ords: dedupOrds(ords)}, true
+}
+
+// dedupOrds removes duplicate ordinals, keeping first occurrences.
+func dedupOrds(ords []int) []int {
+	out := ords[:0]
+	for _, o := range ords {
+		dup := false
+		for _, seen := range out {
+			if seen == o {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// vecConst returns a node yielding the same truth value for every row.
+func vecConst(val bool) vecFn {
+	return func(cs *ColSet, dst []uint64) {
+		if !val {
+			zeroBits(dst)
+			return
+		}
+		for i := range dst {
+			dst[i] = ^uint64(0)
+		}
+		maskTailBits(dst, cs.n)
+	}
+}
+
+// compileVecNode compiles one predicate node.
+func compileVecNode(s *Schema, p Predicate) (vecFn, []int, bool) {
+	switch p := p.(type) {
+	case cmpPred:
+		return compileVecCmp(s, p)
+	case colColPred:
+		return compileVecColCol(s, p)
+	case andPred:
+		if len(p) == 0 {
+			return vecConst(true), nil, true
+		}
+		return compileVecBool(s, []Predicate(p), true)
+	case orPred:
+		if len(p) == 0 {
+			return vecConst(false), nil, true
+		}
+		if fn, ords, ok := compileVecInList(s, []Predicate(p)); ok {
+			return fn, ords, true
+		}
+		return compileVecBool(s, []Predicate(p), false)
+	case notPred:
+		sub, ords, ok := compileVecNode(s, p.sub)
+		if !ok {
+			return nil, nil, false
+		}
+		fn := func(cs *ColSet, dst []uint64) {
+			sub(cs, dst)
+			for i := range dst {
+				dst[i] = ^dst[i]
+			}
+			maskTailBits(dst, cs.n)
+		}
+		return fn, ords, true
+	case nullPred:
+		ord := s.Ordinal(p.col)
+		if ord < 0 {
+			return nil, nil, false
+		}
+		isNull := p.isNull
+		fn := func(cs *ColSet, dst []uint64) {
+			valid := cs.cols[ord].valid
+			if isNull {
+				for i := range dst {
+					dst[i] = ^valid[i]
+				}
+				maskTailBits(dst, cs.n)
+				return
+			}
+			copy(dst, valid)
+		}
+		return fn, []int{ord}, true
+	case likePred:
+		ord := s.Ordinal(p.col)
+		if ord < 0 {
+			return nil, nil, false
+		}
+		if s.Columns[ord].Type != TypeString {
+			// Non-NULL cells of a non-string column can never be strings,
+			// and NULL cells collapse to false: constant false.
+			return vecConst(false), nil, true
+		}
+		pattern := p.pattern
+		fn := func(cs *ColSet, dst []uint64) {
+			zeroBits(dst)
+			cv := &cs.cols[ord]
+			for i := 0; i < cs.n; i++ {
+				if cv.valid[i>>6]&(1<<(uint(i)&63)) != 0 && likeMatch(cv.strs[i], pattern) {
+					dst[i>>6] |= 1 << (uint(i) & 63)
+				}
+			}
+		}
+		return fn, []int{ord}, true
+	case truePred:
+		return vecConst(true), nil, true
+	default:
+		// PredicateFunc and future node types have no columnar form.
+		return nil, nil, false
+	}
+}
+
+// compileVecBool compiles an AND (conj=true) or OR (conj=false) over the
+// children: the first child evaluates into dst, the rest into a pooled
+// scratch bitmap combined word-wise.
+func compileVecBool(s *Schema, subs []Predicate, conj bool) (vecFn, []int, bool) {
+	fns := make([]vecFn, len(subs))
+	var ords []int
+	for i, sub := range subs {
+		fn, so, ok := compileVecNode(s, sub)
+		if !ok {
+			return nil, nil, false
+		}
+		fns[i] = fn
+		ords = append(ords, so...)
+	}
+	fn := func(cs *ColSet, dst []uint64) {
+		fns[0](cs, dst)
+		if len(fns) == 1 {
+			return
+		}
+		tmp := getBitmap(cs.n)
+		for _, sub := range fns[1:] {
+			sub(cs, tmp.w)
+			if conj {
+				for i := range dst {
+					dst[i] &= tmp.w[i]
+				}
+			} else {
+				for i := range dst {
+					dst[i] |= tmp.w[i]
+				}
+			}
+		}
+		putBitmap(tmp)
+	}
+	return fn, ords, true
+}
+
+// compileVecInList recognizes the hot OR-of-equalities shape — the city
+// and region membership filters of the mart refresh processes — and
+// compiles it to a single hash-set membership pass instead of one bitmap
+// pass per disjunct. Only same-typed constants on one int-backed or
+// string column qualify; anything else takes the generic OR.
+func compileVecInList(s *Schema, subs []Predicate) (vecFn, []int, bool) {
+	if len(subs) < 2 {
+		return nil, nil, false
+	}
+	first, ok := subs[0].(cmpPred)
+	if !ok || first.op != OpEq {
+		return nil, nil, false
+	}
+	ord := s.Ordinal(first.col)
+	if ord < 0 {
+		return nil, nil, false
+	}
+	ct := s.Columns[ord].Type
+	if !intBacked(ct) && ct != TypeString {
+		return nil, nil, false
+	}
+	intSet := make(map[int64]struct{}, len(subs))
+	strSet := make(map[string]struct{}, len(subs))
+	for _, sub := range subs {
+		cp, ok := sub.(cmpPred)
+		if !ok || cp.op != OpEq || s.Ordinal(cp.col) != ord || cp.val.typ != ct {
+			return nil, nil, false
+		}
+		if intBacked(ct) {
+			intSet[cp.val.i] = struct{}{}
+		} else {
+			strSet[cp.val.s] = struct{}{}
+		}
+	}
+	var fn vecFn
+	if intBacked(ct) {
+		fn = func(cs *ColSet, dst []uint64) {
+			zeroBits(dst)
+			cv := &cs.cols[ord]
+			for i := 0; i < cs.n; i++ {
+				if cv.valid[i>>6]&(1<<(uint(i)&63)) == 0 {
+					continue
+				}
+				if _, hit := intSet[cv.ints[i]]; hit {
+					dst[i>>6] |= 1 << (uint(i) & 63)
+				}
+			}
+		}
+	} else {
+		fn = func(cs *ColSet, dst []uint64) {
+			zeroBits(dst)
+			cv := &cs.cols[ord]
+			for i := 0; i < cs.n; i++ {
+				if cv.valid[i>>6]&(1<<(uint(i)&63)) == 0 {
+					continue
+				}
+				if _, hit := strSet[cv.strs[i]]; hit {
+					dst[i>>6] |= 1 << (uint(i) & 63)
+				}
+			}
+		}
+	}
+	return fn, []int{ord}, true
+}
+
+// compileVecCmp compiles a column-vs-constant comparison.
+func compileVecCmp(s *Schema, p cmpPred) (vecFn, []int, bool) {
+	ord := s.Ordinal(p.col)
+	if ord < 0 {
+		return nil, nil, false
+	}
+	ct := s.Columns[ord].Type
+	switch {
+	case ct == TypeNull:
+		return nil, nil, false
+	case p.val.typ == TypeNull:
+		// column <op> NULL is UNKNOWN, collapsed to false, for every row.
+		return vecConst(false), nil, true
+	case intBacked(ct) && p.val.typ == ct:
+		c, op := p.val.i, p.op
+		fn := func(cs *ColSet, dst []uint64) {
+			cv := &cs.cols[ord]
+			vecCmpOrdered(cv.ints, c, op, cv.valid, dst, cs.n)
+		}
+		return fn, []int{ord}, true
+	case ct == TypeString && p.val.typ == TypeString:
+		c, op := p.val.s, p.op
+		fn := func(cs *ColSet, dst []uint64) {
+			cv := &cs.cols[ord]
+			vecCmpOrdered(cv.strs, c, op, cv.valid, dst, cs.n)
+		}
+		return fn, []int{ord}, true
+	case (ct == TypeInt || ct == TypeFloat) && (p.val.typ == TypeInt || p.val.typ == TypeFloat):
+		// Mixed numeric comparison: Value.Compare promotes to float64.
+		c, op := p.val.Float(), p.op
+		var fn vecFn
+		if ct == TypeFloat {
+			fn = func(cs *ColSet, dst []uint64) {
+				cv := &cs.cols[ord]
+				vecCmpFloats(cv.floats, c, op, cv.valid, dst, cs.n)
+			}
+		} else {
+			fn = func(cs *ColSet, dst []uint64) {
+				cv := &cs.cols[ord]
+				vecCmpIntsAsFloat(cv.ints, c, op, cv.valid, dst, cs.n)
+			}
+		}
+		return fn, []int{ord}, true
+	default:
+		// Mismatched non-numeric types: Compare orders by type tag, so the
+		// outcome is one constant for every non-NULL cell of the column.
+		c := 1
+		if ct < p.val.typ {
+			c = -1
+		}
+		if !p.op.holds(c) {
+			return vecConst(false), nil, true
+		}
+		fn := func(cs *ColSet, dst []uint64) {
+			copy(dst, cs.cols[ord].valid)
+		}
+		return fn, []int{ord}, true
+	}
+}
+
+// compileVecColCol compiles a column-vs-column comparison.
+func compileVecColCol(s *Schema, p colColPred) (vecFn, []int, bool) {
+	lo, ro := s.Ordinal(p.left), s.Ordinal(p.right)
+	if lo < 0 || ro < 0 {
+		return nil, nil, false
+	}
+	lt, rt := s.Columns[lo].Type, s.Columns[ro].Type
+	if lt == TypeNull || rt == TypeNull {
+		return nil, nil, false
+	}
+	op := p.op
+	ords := []int{lo, ro}
+	switch {
+	case intBacked(lt) && lt == rt:
+		fn := func(cs *ColSet, dst []uint64) {
+			a, b := &cs.cols[lo], &cs.cols[ro]
+			vecCmpOrderedPair(a.ints, b.ints, op, a.valid, b.valid, dst, cs.n)
+		}
+		return fn, ords, true
+	case lt == TypeString && rt == TypeString:
+		fn := func(cs *ColSet, dst []uint64) {
+			a, b := &cs.cols[lo], &cs.cols[ro]
+			vecCmpOrderedPair(a.strs, b.strs, op, a.valid, b.valid, dst, cs.n)
+		}
+		return fn, ords, true
+	case (lt == TypeInt || lt == TypeFloat) && (rt == TypeInt || rt == TypeFloat):
+		lf, rf := lt == TypeFloat, rt == TypeFloat
+		fn := func(cs *ColSet, dst []uint64) {
+			a, b := &cs.cols[lo], &cs.cols[ro]
+			vecCmpFloatPair(a, b, lf, rf, op, dst, cs.n)
+		}
+		return fn, ords, true
+	default:
+		// Mismatched types order by type tag: constant for valid pairs.
+		c := 1
+		if lt < rt {
+			c = -1
+		}
+		if !op.holds(c) {
+			return vecConst(false), nil, true
+		}
+		fn := func(cs *ColSet, dst []uint64) {
+			a, b := &cs.cols[lo], &cs.cols[ro]
+			for i := range dst {
+				dst[i] = a.valid[i] & b.valid[i]
+			}
+		}
+		return fn, ords, true
+	}
+}
+
+// vecCmpOrdered sets dst bits where vals[i] <op> c holds for valid rows.
+// Native <, ==, > on int64 and string agree with Value.Compare for these
+// types, so each operator is one branch-light loop.
+func vecCmpOrdered[T int64 | string](vals []T, c T, op CmpOp, valid, dst []uint64, n int) {
+	zeroBits(dst)
+	switch op {
+	case OpEq:
+		for i := 0; i < n; i++ {
+			if valid[i>>6]&(1<<(uint(i)&63)) != 0 && vals[i] == c {
+				dst[i>>6] |= 1 << (uint(i) & 63)
+			}
+		}
+	case OpNe:
+		for i := 0; i < n; i++ {
+			if valid[i>>6]&(1<<(uint(i)&63)) != 0 && vals[i] != c {
+				dst[i>>6] |= 1 << (uint(i) & 63)
+			}
+		}
+	case OpLt:
+		for i := 0; i < n; i++ {
+			if valid[i>>6]&(1<<(uint(i)&63)) != 0 && vals[i] < c {
+				dst[i>>6] |= 1 << (uint(i) & 63)
+			}
+		}
+	case OpLe:
+		for i := 0; i < n; i++ {
+			if valid[i>>6]&(1<<(uint(i)&63)) != 0 && vals[i] <= c {
+				dst[i>>6] |= 1 << (uint(i) & 63)
+			}
+		}
+	case OpGt:
+		for i := 0; i < n; i++ {
+			if valid[i>>6]&(1<<(uint(i)&63)) != 0 && vals[i] > c {
+				dst[i>>6] |= 1 << (uint(i) & 63)
+			}
+		}
+	case OpGe:
+		for i := 0; i < n; i++ {
+			if valid[i>>6]&(1<<(uint(i)&63)) != 0 && vals[i] >= c {
+				dst[i>>6] |= 1 << (uint(i) & 63)
+			}
+		}
+	}
+}
+
+// vecCmpOrderedPair is vecCmpOrdered over two columns of the same type.
+func vecCmpOrderedPair[T int64 | string](as, bs []T, op CmpOp, av, bv, dst []uint64, n int) {
+	zeroBits(dst)
+	for i := 0; i < n; i++ {
+		m := uint64(1) << (uint(i) & 63)
+		if av[i>>6]&bv[i>>6]&m == 0 {
+			continue
+		}
+		if vecOpHoldsOrdered(as[i], bs[i], op) {
+			dst[i>>6] |= m
+		}
+	}
+}
+
+func vecOpHoldsOrdered[T int64 | string](a, b T, op CmpOp) bool {
+	switch op {
+	case OpEq:
+		return a == b
+	case OpNe:
+		return a != b
+	case OpLt:
+		return a < b
+	case OpLe:
+		return a <= b
+	case OpGt:
+		return a > b
+	case OpGe:
+		return a >= b
+	default:
+		return false
+	}
+}
+
+// vecFloatHolds mirrors op.holds(Value.Compare) on float64 operands:
+// Compare returns 0 unless a < b or a > b, so NaN compares equal to
+// everything — the native == would disagree, the spelled-out forms below
+// do not.
+func vecFloatHolds(a, b float64, op CmpOp) bool {
+	switch op {
+	case OpEq:
+		return !(a < b) && !(a > b)
+	case OpNe:
+		return a < b || a > b
+	case OpLt:
+		return a < b
+	case OpLe:
+		return !(a > b)
+	case OpGt:
+		return a > b
+	case OpGe:
+		return !(a < b)
+	default:
+		return false
+	}
+}
+
+// vecCmpFloats sets dst bits where vals[i] <op> c holds under Compare's
+// float ordering.
+func vecCmpFloats(vals []float64, c float64, op CmpOp, valid, dst []uint64, n int) {
+	zeroBits(dst)
+	for i := 0; i < n; i++ {
+		if valid[i>>6]&(1<<(uint(i)&63)) != 0 && vecFloatHolds(vals[i], c, op) {
+			dst[i>>6] |= 1 << (uint(i) & 63)
+		}
+	}
+}
+
+// vecCmpIntsAsFloat is vecCmpFloats over an integer column promoted to
+// float64, exactly as Value.Float does for mixed comparisons.
+func vecCmpIntsAsFloat(vals []int64, c float64, op CmpOp, valid, dst []uint64, n int) {
+	zeroBits(dst)
+	for i := 0; i < n; i++ {
+		if valid[i>>6]&(1<<(uint(i)&63)) != 0 && vecFloatHolds(float64(vals[i]), c, op) {
+			dst[i>>6] |= 1 << (uint(i) & 63)
+		}
+	}
+}
+
+// vecCmpFloatPair compares two numeric columns with float promotion.
+func vecCmpFloatPair(a, b *ColVec, leftFloat, rightFloat bool, op CmpOp, dst []uint64, n int) {
+	zeroBits(dst)
+	for i := 0; i < n; i++ {
+		m := uint64(1) << (uint(i) & 63)
+		if a.valid[i>>6]&b.valid[i>>6]&m == 0 {
+			continue
+		}
+		var x, y float64
+		if leftFloat {
+			x = a.floats[i]
+		} else {
+			x = float64(a.ints[i])
+		}
+		if rightFloat {
+			y = b.floats[i]
+		} else {
+			y = float64(b.ints[i])
+		}
+		if vecFloatHolds(x, y, op) {
+			dst[i>>6] |= m
+		}
+	}
+}

@@ -1,0 +1,948 @@
+package relational
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Vectorized kernels. Each XxxVec method is the batch-layout twin of the
+// corresponding row kernel: morsels are converted to typed column vectors
+// (filter) or processed through typed hash tables and accumulators (join,
+// group-by), and the result is stitched in morsel order. The kernels keep
+// the same discipline the parallel kernels established: output rows, row
+// order and float summation order are bit-identical to the sequential row
+// path. Inputs the typed fast paths cannot represent — float or mistyped
+// keys, uncompilable predicates, sub-threshold batches — fall back to the
+// row kernels, and every method reports which layout actually ran.
+
+// vecMinRows is the smallest input the vectorized kernels accept; below
+// it the per-call compilation and conversion overhead outweighs the
+// per-row win and the row kernels run instead.
+const vecMinRows = 256
+
+// FilterVec is Select/SelectPar in columnar layout: the predicate is
+// compiled into typed bitmap passes (vecpred.go), each morsel extracts
+// only the referenced columns, and matching source rows are gathered from
+// the selection bitmap — zero per-row materialization, the output shares
+// the input's row storage just like the row kernels.
+func (r *Relation) FilterVec(par int, pred Predicate) (*Relation, Layout, error) {
+	n := len(r.rows)
+	if n < vecMinRows {
+		out, err := r.SelectPar(par, pred)
+		return out, LayoutRow, err
+	}
+	prog, ok := compileVecPred(r.schema, pred)
+	if !ok {
+		out, err := r.SelectPar(par, pred)
+		return out, LayoutRow, err
+	}
+	outs := make([][]Row, numMorsels(n))
+	parallelMorsels(par, n, func(c, lo, hi int) {
+		base := r.rows[lo:hi]
+		cs := getColSet(r.schema, base)
+		for _, ord := range prog.ords {
+			cs.loadCol(ord)
+		}
+		bb := getBitmap(hi - lo)
+		prog.eval(cs, bb.w)
+		cnt := 0
+		for _, w := range bb.w {
+			cnt += bits.OnesCount64(w)
+		}
+		if cnt > 0 {
+			out := make([]Row, 0, cnt)
+			for wi, w := range bb.w {
+				for w != 0 {
+					out = append(out, base[wi<<6|bits.TrailingZeros64(w)])
+					w &= w - 1
+				}
+			}
+			outs[c] = out
+		}
+		putBitmap(bb)
+		putColSet(cs)
+	})
+	total := 0
+	for _, o := range outs {
+		total += len(o)
+	}
+	if total == 0 {
+		return &Relation{schema: r.schema}, LayoutColumnar, nil
+	}
+	rows := make([]Row, 0, total)
+	for _, o := range outs {
+		rows = append(rows, o...)
+	}
+	return &Relation{schema: r.schema, rows: rows}, LayoutColumnar, nil
+}
+
+// ProjectVec is Project/ProjectPar in batch layout: all output rows are
+// carved out of one backing value arena per call instead of one slice
+// allocation per row.
+func (r *Relation) ProjectVec(par int, names ...string) (*Relation, Layout, error) {
+	n := len(r.rows)
+	if n < vecMinRows {
+		out, err := r.ProjectPar(par, names...)
+		return out, LayoutRow, err
+	}
+	ps, err := r.schema.Project(names...)
+	if err != nil {
+		return nil, LayoutRow, err
+	}
+	ordinals := make([]int, len(names))
+	for i, nm := range names {
+		ordinals[i] = r.schema.MustOrdinal(nm)
+	}
+	k := len(ordinals)
+	backing := make([]Value, n*k)
+	rows := make([]Row, n)
+	parallelMorsels(par, n, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			src := r.rows[i]
+			dst := backing[i*k : i*k+k : i*k+k]
+			for j, o := range ordinals {
+				dst[j] = src[o]
+			}
+			rows[i] = dst
+		}
+	})
+	return &Relation{schema: ps, rows: rows}, LayoutColumnar, nil
+}
+
+// ExtendVec is ExtendMany/ExtendManyPar in batch layout: one backing
+// value arena per call. fn must be safe for concurrent calls, exactly as
+// for ExtendManyPar.
+func (r *Relation) ExtendVec(par int, cols []Column, fn func(row Row, out []Value)) (*Relation, Layout, error) {
+	n := len(r.rows)
+	if n < vecMinRows {
+		out, err := r.ExtendManyPar(par, cols, fn)
+		return out, LayoutRow, err
+	}
+	all := make([]Column, len(r.schema.Columns)+len(cols))
+	copy(all, r.schema.Columns)
+	copy(all[len(r.schema.Columns):], cols)
+	es, err := NewSchema(all, r.schema.KeyNames()...)
+	if err != nil {
+		return nil, LayoutRow, err
+	}
+	k := len(r.schema.Columns)
+	w := len(all)
+	backing := make([]Value, n*w)
+	rows := make([]Row, n)
+	parallelMorsels(par, n, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := r.rows[i]
+			nr := backing[i*w : i*w+w : i*w+w]
+			copy(nr, row)
+			fn(row, nr[k:])
+			rows[i] = nr
+		}
+	})
+	return &Relation{schema: es, rows: rows}, LayoutColumnar, nil
+}
+
+// vecKeyType reports whether a column type can key the typed hash tables.
+// Float keys are excluded: Compare equates NaN with everything and +0
+// with -0, which no native map key reproduces, so float-keyed joins and
+// groupings keep the row kernels.
+func vecKeyType(t Type) bool { return intBacked(t) || t == TypeString }
+
+// HashJoinVec is Join/JoinPar with a typed build and probe: the hash
+// table maps raw int64 or string key payloads to right-row indices, so
+// build and probe skip the per-byte FNV hashing and Value dispatch of the
+// row kernel. Requires identically typed, non-float join columns; output
+// rows are carved from per-morsel arenas in the exact order the row
+// kernel emits them.
+func (r *Relation) HashJoinVec(par int, o *Relation, leftCol, rightCol, clashPrefix string) (*Relation, Layout, error) {
+	spec, err := r.joinSpec(o, leftCol, rightCol, clashPrefix)
+	if err != nil {
+		return nil, LayoutRow, err
+	}
+	lt := r.schema.Columns[spec.li].Type
+	rt := o.schema.Columns[spec.ri].Type
+	if lt != rt || !vecKeyType(lt) ||
+		(len(r.rows) < vecMinRows && len(o.rows) < vecMinRows) {
+		out, err := r.JoinPar(par, o, leftCol, rightCol, clashPrefix)
+		return out, LayoutRow, err
+	}
+	li, ri := spec.li, spec.ri
+
+	// Typed build over the right side, in row order so per-key candidate
+	// lists replay exactly like the row kernel's buckets. A value whose
+	// runtime type disagrees with the declared column type would change
+	// the row kernel's hashing — surrender to it instead of guessing.
+	useStr := lt == TypeString
+	var intTab map[int64][]int32
+	var strTab map[string][]int32
+	if useStr {
+		strTab = make(map[string][]int32, len(o.rows))
+	} else {
+		intTab = make(map[int64][]int32, len(o.rows))
+	}
+	for i, row := range o.rows {
+		v := row[ri]
+		if v.typ == TypeNull {
+			continue
+		}
+		if v.typ != rt {
+			out, err := r.JoinPar(par, o, leftCol, rightCol, clashPrefix)
+			return out, LayoutRow, err
+		}
+		if useStr {
+			strTab[v.s] = append(strTab[v.s], int32(i))
+		} else {
+			intTab[v.i] = append(intTab[v.i], int32(i))
+		}
+	}
+
+	// Probe pass 1: per-morsel match counts (and the same mistyped-key
+	// surrender as the build side).
+	nl := len(r.rows)
+	nm := numMorsels(nl)
+	counts := make([]int, nm)
+	bad := make([]bool, nm)
+	parallelMorsels(par, nl, func(c, lo, hi int) {
+		total := 0
+		for _, lrow := range r.rows[lo:hi] {
+			k := lrow[li]
+			if k.typ == TypeNull {
+				continue
+			}
+			if k.typ != lt {
+				bad[c] = true
+				return
+			}
+			if useStr {
+				total += len(strTab[k.s])
+			} else {
+				total += len(intTab[k.i])
+			}
+		}
+		counts[c] = total
+	})
+	for _, b := range bad {
+		if b {
+			out, err := r.JoinPar(par, o, leftCol, rightCol, clashPrefix)
+			return out, LayoutRow, err
+		}
+	}
+
+	// Probe pass 2: assemble output rows into exact-size per-morsel arenas.
+	w := len(spec.schema.Columns)
+	outs := make([][]Row, nm)
+	parallelMorsels(par, nl, func(c, lo, hi int) {
+		if counts[c] == 0 {
+			return
+		}
+		arena := make([]Value, counts[c]*w)
+		out := make([]Row, 0, counts[c])
+		next := 0
+		for _, lrow := range r.rows[lo:hi] {
+			k := lrow[li]
+			if k.typ == TypeNull {
+				continue
+			}
+			var cands []int32
+			if useStr {
+				cands = strTab[k.s]
+			} else {
+				cands = intTab[k.i]
+			}
+			for _, rc := range cands {
+				dst := arena[next : next+w : next+w]
+				next += w
+				copy(dst, lrow)
+				rrow := o.rows[rc]
+				for j, ro := range spec.rightKeep {
+					dst[len(lrow)+j] = rrow[ro]
+				}
+				out = append(out, dst)
+			}
+		}
+		outs[c] = out
+	})
+	total := 0
+	for _, m := range outs {
+		total += len(m)
+	}
+	if total == 0 {
+		return &Relation{schema: spec.schema}, LayoutColumnar, nil
+	}
+	rows := make([]Row, 0, total)
+	for _, m := range outs {
+		rows = append(rows, m...)
+	}
+	return &Relation{schema: spec.schema, rows: rows}, LayoutColumnar, nil
+}
+
+// vecAggKind dispatches one aggregate's typed fold.
+type vecAggKind uint8
+
+const (
+	vaCount vecAggKind = iota
+	vaSumInt
+	vaSumFloat
+	vaAvgInt
+	vaAvgFloat
+	vaMinInt // int-backed: BIGINT, BOOLEAN, TIMESTAMP
+	vaMinFloat
+	vaMinStr
+	vaMaxInt
+	vaMaxFloat
+	vaMaxStr
+)
+
+// vecAggPlan is the compiled form of one AggSpec against the input schema.
+type vecAggPlan struct {
+	kind vecAggKind
+	ord  int  // input ordinal; -1 for COUNT(*)
+	typ  Type // declared input column type (reboxing min/max results)
+}
+
+// compileVecAggs maps the group spec's aggregates onto typed folds;
+// ok=false (unsupported input types) keeps the row kernel.
+func compileVecAggs(spec *groupSpec) ([]vecAggPlan, bool) {
+	plans := make([]vecAggPlan, len(spec.aggs))
+	for i, a := range spec.aggs {
+		ord := spec.aOrd[i]
+		p := vecAggPlan{ord: ord}
+		var t Type
+		if ord >= 0 {
+			t = spec.in.Columns[ord].Type
+		}
+		switch a.Func {
+		case "count":
+			p.kind = vaCount
+		case "sum", "avg":
+			isAvg := a.Func == "avg"
+			switch t {
+			case TypeInt:
+				if isAvg {
+					p.kind = vaAvgInt
+				} else {
+					p.kind = vaSumInt
+				}
+			case TypeFloat:
+				if isAvg {
+					p.kind = vaAvgFloat
+				} else {
+					p.kind = vaSumFloat
+				}
+			default:
+				return nil, false
+			}
+		case "min", "max":
+			isMax := a.Func == "max"
+			switch {
+			case intBacked(t):
+				if isMax {
+					p.kind = vaMaxInt
+				} else {
+					p.kind = vaMinInt
+				}
+			case t == TypeFloat:
+				if isMax {
+					p.kind = vaMaxFloat
+				} else {
+					p.kind = vaMinFloat
+				}
+			case t == TypeString:
+				if isMax {
+					p.kind = vaMaxStr
+				} else {
+					p.kind = vaMinStr
+				}
+			default:
+				return nil, false
+			}
+		default:
+			return nil, false
+		}
+		p.typ = t
+		plans[i] = p
+	}
+	return plans, true
+}
+
+// vecAggState is the typed running state of one aggregate in one group —
+// the flat mirror of aggAcc.
+type vecAggState struct {
+	count int64
+	isum  int64
+	fsum  float64
+	ival  int64
+	fval  float64
+	sval  string
+	has   bool
+}
+
+// fold applies one non-NULL input cell. The caller has already verified
+// the cell's runtime type against the plan (phase-1 lane checks).
+func (st *vecAggState) fold(kind vecAggKind, v Value) {
+	st.count++
+	switch kind {
+	case vaSumInt, vaAvgInt:
+		st.isum += v.i
+		st.fsum += float64(v.i)
+	case vaSumFloat, vaAvgFloat:
+		st.fsum += v.f
+	case vaMinInt:
+		if !st.has || v.i < st.ival {
+			st.ival, st.has = v.i, true
+		}
+	case vaMaxInt:
+		if !st.has || v.i > st.ival {
+			st.ival, st.has = v.i, true
+		}
+	case vaMinFloat:
+		// Strict Compare(v, cur) < 0: NaN never displaces and is never
+		// displaced — same as aggAcc.
+		if !st.has || v.f < st.fval {
+			st.fval, st.has = v.f, true
+		}
+	case vaMaxFloat:
+		if !st.has || v.f > st.fval {
+			st.fval, st.has = v.f, true
+		}
+	case vaMinStr:
+		if !st.has || v.s < st.sval {
+			st.sval, st.has = v.s, true
+		}
+	case vaMaxStr:
+		if !st.has || v.s > st.sval {
+			st.sval, st.has = v.s, true
+		}
+	}
+}
+
+// vecEmitAggs renders the aggregate lanes of one group into dst,
+// mirroring groupSpec.emit's NULL-on-empty cases exactly.
+func vecEmitAggs(dst []Value, plans []vecAggPlan, states []vecAggState, rowCount int64) {
+	for j := range plans {
+		p := &plans[j]
+		st := &states[j]
+		var v Value // NULL unless set below — matching emit's zero cases
+		switch p.kind {
+		case vaCount:
+			if p.ord >= 0 {
+				v = Value{typ: TypeInt, i: st.count}
+			} else {
+				v = Value{typ: TypeInt, i: rowCount}
+			}
+		case vaSumInt:
+			if st.count > 0 {
+				v = Value{typ: TypeInt, i: st.isum}
+			}
+		case vaSumFloat:
+			if st.count > 0 {
+				v = Value{typ: TypeFloat, f: st.fsum}
+			}
+		case vaAvgInt, vaAvgFloat:
+			if st.count > 0 {
+				v = Value{typ: TypeFloat, f: st.fsum / float64(st.count)}
+			}
+		case vaMinInt, vaMaxInt:
+			if st.has {
+				v = Value{typ: p.typ, i: st.ival}
+			}
+		case vaMinFloat, vaMaxFloat:
+			if st.has {
+				v = Value{typ: TypeFloat, f: st.fval}
+			}
+		case vaMinStr, vaMaxStr:
+			if st.has {
+				v = Value{typ: TypeString, s: st.sval}
+			}
+		}
+		dst[j] = v
+	}
+}
+
+// vecLaneCheck is one phase-1 type obligation: a touched column whose
+// cells must carry the declared runtime type (and, for float SUM/AVG
+// inputs, stay finite — see GroupAggVec).
+type vecLaneCheck struct {
+	ord    int
+	typ    Type
+	finite bool
+}
+
+// vecLaneChecks collects the obligations for the group keys and every
+// referenced aggregate input lane.
+func vecLaneChecks(schema *Schema, spec *groupSpec, plans []vecAggPlan) []vecLaneCheck {
+	checks := make([]vecLaneCheck, 0, len(spec.gOrd)+len(plans))
+	for _, o := range spec.gOrd {
+		checks = append(checks, vecLaneCheck{ord: o, typ: schema.Columns[o].Type})
+	}
+	for _, p := range plans {
+		if p.ord >= 0 {
+			finite := p.kind == vaSumFloat || p.kind == vaAvgFloat
+			checks = append(checks, vecLaneCheck{ord: p.ord, typ: p.typ, finite: finite})
+		}
+	}
+	return checks
+}
+
+// vecCheckRow verifies one row against the lane obligations.
+// f-f is 0 for finite f and NaN for ±Inf/NaN.
+func vecCheckRow(row Row, checks []vecLaneCheck) bool {
+	for i := range checks {
+		ch := &checks[i]
+		cell := row[ch.ord]
+		if cell.typ == TypeNull {
+			continue
+		}
+		if cell.typ != ch.typ {
+			return false
+		}
+		if ch.finite && cell.f-cell.f != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// vecHashSeed starts the typed key hash chain.
+const vecHashSeed = 0x9e3779b97f4a7c15
+
+// vecNullKey is the mix constant standing in for a NULL key lane.
+const vecNullKey = 0x9ae16a3b2f90404f
+
+// mix64 folds one 64-bit key lane into the hash (a Murmur3-style
+// finalizer step). The grouping hash is internal — group order and
+// equality come from first occurrences and typed comparisons, so this
+// hash only has to distribute well, not match the row kernel's FNV.
+func mix64(h, k uint64) uint64 {
+	k *= 0xff51afd7ed558ccd
+	k ^= k >> 33
+	k *= 0xc4ceb9fe1a85ec53
+	return (h ^ k) * vecHashSeed
+}
+
+// vecHashKey hashes the row's key lanes with typed mixing: int-backed
+// lanes cost one multiply chain instead of a per-byte FNV loop.
+func vecHashKey(row Row, ords []int) uint64 {
+	h := uint64(vecHashSeed)
+	for _, o := range ords {
+		v := row[o]
+		var k uint64
+		switch v.typ {
+		case TypeNull:
+			k = vecNullKey
+		case TypeString:
+			f := newFNV()
+			f.writeString(v.s)
+			k = f.sum()
+		default:
+			k = uint64(v.i)
+		}
+		h = mix64(h, k)
+	}
+	return h
+}
+
+// vecKeyRowsEqual compares two rows on the key lanes with typed equality.
+// For the eligible key types (int-backed, string) it agrees exactly with
+// keyMatches' Compare loop, NULL-equals-NULL included.
+func vecKeyRowsEqual(a, b Row, ords []int) bool {
+	for _, o := range ords {
+		x, y := a[o], b[o]
+		if x.typ != y.typ {
+			return false
+		}
+		switch x.typ {
+		case TypeNull:
+		case TypeString:
+			if x.s != y.s {
+				return false
+			}
+		default:
+			if x.i != y.i {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// vecLocalGroup is one group discovered within a morsel: the global index
+// of its first row (its key) and its row indices, ascending.
+type vecLocalGroup struct {
+	first int32
+	hash  uint64
+	idx   []int32
+}
+
+// vecMergedGroup is a group after the cross-morsel merge, its per-morsel
+// index lists kept in morsel order for global-row-order replay.
+type vecMergedGroup struct {
+	first int32
+	idx   [][]int32
+}
+
+// GroupAggVec is GroupBy/GroupByPar with typed hashing and fused typed
+// folds: phase 1 assigns rows to groups through a cheap multiply-mix hash
+// and payload-level key comparisons; phase 2 folds each group's rows — in
+// global row order, so float sums reproduce the sequential operation
+// sequence bit for bit — through flat per-aggregate accumulators instead
+// of the per-row Value switch of aggAcc. Group keys must be int-backed or
+// string (never float); unsupported shapes and mistyped cells fall back
+// to the row kernel. So does any non-finite value in a float SUM/AVG
+// lane: when both addends of a float addition are NaN, the surviving NaN
+// payload is chosen by instruction operand order — an IEEE-legal
+// code-shape detail a separately compiled fold cannot promise to
+// reproduce, so those sums stay on the row kernel's own code.
+func (r *Relation) GroupAggVec(par int, groupCols []string, aggs []AggSpec) (*Relation, Layout, error) {
+	n := len(r.rows)
+	spec, err := r.groupSpec(groupCols, aggs)
+	if err != nil {
+		return nil, LayoutRow, err
+	}
+	rowFallback := func() (*Relation, Layout, error) {
+		out, err := r.GroupByPar(par, groupCols, aggs)
+		return out, LayoutRow, err
+	}
+	if n < vecMinRows || n > math.MaxInt32 {
+		return rowFallback()
+	}
+	for _, o := range spec.gOrd {
+		if !vecKeyType(r.schema.Columns[o].Type) {
+			return rowFallback()
+		}
+	}
+	plans, ok := compileVecAggs(spec)
+	if !ok {
+		return rowFallback()
+	}
+
+	// The typed folds read raw payloads, trusting declared column types.
+	// Phase 1 verifies that trust for every touched lane; a mistyped cell
+	// surrenders the whole call to the row kernel (which then reproduces
+	// whatever that kernel does, panics included). Float SUM/AVG lanes
+	// additionally require finite values (see the method comment).
+	checks := vecLaneChecks(r.schema, spec, plans)
+
+	// Sequential execution (one worker, or everything in one morsel)
+	// takes a fused single pass: states fold in scan order as groups are
+	// discovered, so there are no per-group row-index lists and no second
+	// sweep over the input. The float-sum order is the scan order by
+	// construction — exactly the row kernel's.
+	nm := numMorsels(n)
+	if par <= 1 || nm == 1 {
+		out, ok := groupAggVecSeq(r.rows, spec, plans, checks)
+		if !ok {
+			return rowFallback()
+		}
+		return out, LayoutColumnar, nil
+	}
+
+	// Phase 1: per-morsel partition into local groups, maps pre-sized
+	// from the morsel cardinality bound.
+	locals := make([][]*vecLocalGroup, nm)
+	bad := make([]bool, nm)
+	parallelMorsels(par, n, func(c, lo, hi int) {
+		groups := make(map[uint64][]*vecLocalGroup, hi-lo)
+		var order []*vecLocalGroup
+		for i := lo; i < hi; i++ {
+			row := r.rows[i]
+			if !vecCheckRow(row, checks) {
+				bad[c] = true
+				return
+			}
+			h := vecHashKey(row, spec.gOrd)
+			var g *vecLocalGroup
+			for _, cand := range groups[h] {
+				if vecKeyRowsEqual(row, r.rows[cand.first], spec.gOrd) {
+					g = cand
+					break
+				}
+			}
+			if g == nil {
+				g = &vecLocalGroup{first: int32(i), hash: h}
+				groups[h] = append(groups[h], g)
+				order = append(order, g)
+			}
+			g.idx = append(g.idx, int32(i))
+		}
+		locals[c] = order
+	})
+	for _, b := range bad {
+		if b {
+			return rowFallback()
+		}
+	}
+
+	// Merge local groups in morsel order: a group's output position is
+	// decided by its globally first row — the sequential first-seen order.
+	totalLocals := 0
+	for _, l := range locals {
+		totalLocals += len(l)
+	}
+	merged := make(map[uint64][]*vecMergedGroup, totalLocals)
+	var order []*vecMergedGroup
+	for _, local := range locals {
+		for _, lg := range local {
+			var g *vecMergedGroup
+			for _, cand := range merged[lg.hash] {
+				if vecKeyRowsEqual(r.rows[lg.first], r.rows[cand.first], spec.gOrd) {
+					g = cand
+					break
+				}
+			}
+			if g == nil {
+				g = &vecMergedGroup{first: lg.first}
+				merged[lg.hash] = append(merged[lg.hash], g)
+				order = append(order, g)
+			}
+			g.idx = append(g.idx, lg.idx)
+		}
+	}
+
+	// Phase 2: typed fold per group, groups in parallel, rows of each
+	// group in global order; results carved from one output arena.
+	gw := len(spec.gOrd)
+	w := len(spec.out.Columns)
+	backing := make([]Value, len(order)*w)
+	out := make([]Row, len(order))
+	parallelRun(par, len(order), func(gi int) {
+		g := order[gi]
+		states := make([]vecAggState, len(plans))
+		var rowCount int64
+		for _, idx := range g.idx {
+			for _, ri := range idx {
+				row := r.rows[ri]
+				rowCount++
+				for j := range plans {
+					p := &plans[j]
+					if p.ord < 0 {
+						continue
+					}
+					v := row[p.ord]
+					if v.typ == TypeNull {
+						continue
+					}
+					states[j].fold(p.kind, v)
+				}
+			}
+		}
+		dst := backing[gi*w : gi*w+w : gi*w+w]
+		first := r.rows[g.first]
+		for j, o := range spec.gOrd {
+			dst[j] = first[o]
+		}
+		vecEmitAggs(dst[gw:], plans, states, rowCount)
+		out[gi] = dst
+	})
+	return &Relation{schema: spec.out, rows: out}, LayoutColumnar, nil
+}
+
+// GroupAggExtVec fuses ExtendMany with a grouped aggregation: each row
+// is extended with the computed columns and folded into its group in the
+// same pass, so the extended relation — the widest intermediate of the
+// analytics chains — is never materialized. The output is bit-identical
+// to ExtendManyPar followed by GroupByPar: group keys are the first-seen
+// row's cells (computed cells included), groups emit in first-seen
+// order, and float sums fold in scan order.
+//
+// The fused pass runs when execution is sequential (par <= 1, or the
+// input fits one morsel); a parallel fused fold would have to re-run fn
+// during the ordered phase-2 sweep, so larger parallel inputs keep the
+// materialized ExtendVec + GroupAggVec pipeline instead, and anything
+// vectorization rejects takes the row kernels wholesale.
+//
+// fn must be pure with respect to its inputs (the same requirement the
+// twin discipline already imposes on extension closures): a mid-scan
+// fallback re-extends already-visited rows, so fn may run more than once
+// per row.
+func (r *Relation) GroupAggExtVec(par int, cols []Column, fn func(row Row, out []Value), groupCols []string, aggs []AggSpec) (*Relation, Layout, error) {
+	n := len(r.rows)
+	rowFallback := func() (*Relation, Layout, error) {
+		ext, err := r.ExtendManyPar(par, cols, fn)
+		if err != nil {
+			return nil, LayoutRow, err
+		}
+		out, err := ext.GroupByPar(par, groupCols, aggs)
+		return out, LayoutRow, err
+	}
+	if n < vecMinRows || n > math.MaxInt32 {
+		return rowFallback()
+	}
+	if par > 1 && numMorsels(n) > 1 {
+		ext, layout, err := r.ExtendVec(par, cols, fn)
+		if err != nil || layout != LayoutColumnar {
+			return rowFallback()
+		}
+		return ext.GroupAggVec(par, groupCols, aggs)
+	}
+	all := make([]Column, len(r.schema.Columns)+len(cols))
+	copy(all, r.schema.Columns)
+	copy(all[len(r.schema.Columns):], cols)
+	es, err := NewSchema(all, r.schema.KeyNames()...)
+	if err != nil {
+		return nil, LayoutRow, err
+	}
+	spec, err := (&Relation{schema: es}).groupSpec(groupCols, aggs)
+	if err != nil {
+		return nil, LayoutRow, err
+	}
+	for _, o := range spec.gOrd {
+		if !vecKeyType(es.Columns[o].Type) {
+			return rowFallback()
+		}
+	}
+	plans, ok := compileVecAggs(spec)
+	if !ok {
+		return rowFallback()
+	}
+	checks := vecLaneChecks(es, spec, plans)
+	// Extend each row into a reused scratch tail; the scan then runs
+	// groupAggVecSeq's fold over the virtual wide row. Only a group's
+	// first wide row is retained (one copy per group, for key emission
+	// and probe comparisons).
+	k := len(r.schema.Columns)
+	w := len(all)
+	scratch := make(Row, w)
+	ext := func(row Row) Row {
+		copy(scratch, row)
+		fn(row, scratch[k:])
+		return scratch
+	}
+	groups := make(map[uint64][]*vecSeqGroup, n/4+16)
+	var order []*vecSeqGroup
+	var (
+		garena []vecSeqGroup
+		sarena []vecAggState
+		pw     = len(plans)
+	)
+	for _, row := range r.rows {
+		wide := ext(row)
+		if !vecCheckRow(wide, checks) {
+			return rowFallback()
+		}
+		h := vecHashKey(wide, spec.gOrd)
+		var g *vecSeqGroup
+		for _, cand := range groups[h] {
+			if vecKeyRowsEqual(wide, cand.first, spec.gOrd) {
+				g = cand
+				break
+			}
+		}
+		if g == nil {
+			if len(garena) == 0 {
+				garena = make([]vecSeqGroup, 256)
+			}
+			g, garena = &garena[0], garena[1:]
+			if len(sarena) < pw {
+				sarena = make([]vecAggState, 256*pw)
+			}
+			g.first = append(Row(nil), wide...)
+			if pw > 0 {
+				g.states, sarena = sarena[:pw:pw], sarena[pw:]
+			}
+			groups[h] = append(groups[h], g)
+			order = append(order, g)
+		}
+		g.rows++
+		for j := range plans {
+			p := &plans[j]
+			if p.ord < 0 {
+				continue
+			}
+			v := wide[p.ord]
+			if v.typ == TypeNull {
+				continue
+			}
+			g.states[j].fold(p.kind, v)
+		}
+	}
+	gw := len(spec.gOrd)
+	ow := len(spec.out.Columns)
+	backing := make([]Value, len(order)*ow)
+	out := make([]Row, len(order))
+	for gi, g := range order {
+		dst := backing[gi*ow : gi*ow+ow : gi*ow+ow]
+		for j, o := range spec.gOrd {
+			dst[j] = g.first[o]
+		}
+		vecEmitAggs(dst[gw:], plans, g.states, g.rows)
+		out[gi] = dst
+	}
+	return &Relation{schema: spec.out, rows: out}, LayoutColumnar, nil
+}
+
+// vecSeqGroup is one group of the fused sequential fold: the first row
+// seen (key emission and probe comparisons) plus the live states.
+type vecSeqGroup struct {
+	first  Row
+	states []vecAggState
+	rows   int64
+}
+
+// groupAggVecSeq is the single-pass grouped fold used whenever execution
+// is sequential anyway: every row folds into its group's typed states as
+// it is scanned. ok=false reports a failed lane check (the caller falls
+// back to the row kernel).
+func groupAggVecSeq(rows []Row, spec *groupSpec, plans []vecAggPlan, checks []vecLaneCheck) (*Relation, bool) {
+	groups := make(map[uint64][]*vecSeqGroup, len(rows)/4+16)
+	var order []*vecSeqGroup
+	// Group bookkeeping comes from chunked arenas so tiny groups do not
+	// cost two heap objects each.
+	var (
+		garena []vecSeqGroup
+		sarena []vecAggState
+		pw     = len(plans)
+	)
+	for _, row := range rows {
+		if !vecCheckRow(row, checks) {
+			return nil, false
+		}
+		h := vecHashKey(row, spec.gOrd)
+		var g *vecSeqGroup
+		for _, cand := range groups[h] {
+			if vecKeyRowsEqual(row, cand.first, spec.gOrd) {
+				g = cand
+				break
+			}
+		}
+		if g == nil {
+			if len(garena) == 0 {
+				garena = make([]vecSeqGroup, 256)
+			}
+			g, garena = &garena[0], garena[1:]
+			if len(sarena) < pw {
+				sarena = make([]vecAggState, 256*pw)
+			}
+			g.first = row
+			if pw > 0 {
+				g.states, sarena = sarena[:pw:pw], sarena[pw:]
+			}
+			groups[h] = append(groups[h], g)
+			order = append(order, g)
+		}
+		g.rows++
+		for j := range plans {
+			p := &plans[j]
+			if p.ord < 0 {
+				continue
+			}
+			v := row[p.ord]
+			if v.typ == TypeNull {
+				continue
+			}
+			g.states[j].fold(p.kind, v)
+		}
+	}
+	gw := len(spec.gOrd)
+	w := len(spec.out.Columns)
+	backing := make([]Value, len(order)*w)
+	out := make([]Row, len(order))
+	for gi, g := range order {
+		dst := backing[gi*w : gi*w+w : gi*w+w]
+		for j, o := range spec.gOrd {
+			dst[j] = g.first[o]
+		}
+		vecEmitAggs(dst[gw:], plans, g.states, g.rows)
+		out[gi] = dst
+	}
+	return &Relation{schema: spec.out, rows: out}, true
+}

@@ -170,23 +170,42 @@ func (rf *mvRefresher) applyInserts(db *rel.Database, d *rel.Delta) (*rel.Relati
 // single definition of the view.
 func ComputeOrdersMV(db *rel.Database) (*rel.Relation, uint64, error) {
 	par := db.Parallelism()
+	columnar := db.Columnar()
 	orders, version := db.MustTable("Orders").ScanWithVersion()
 	dateOrd := orders.Schema().MustOrdinal("Orderdate")
-	withTime, err := orders.ExtendManyPar(par, []rel.Column{
+	// The extension columns and the closure are shared between the row and
+	// the columnar path, so the two variants cannot drift apart.
+	timeCols := []rel.Column{
 		{Name: "Year", Type: rel.TypeInt, Nullable: true},
 		{Name: "Month", Type: rel.TypeInt, Nullable: true},
-	}, func(row rel.Row, out []rel.Value) {
+	}
+	timeFn := func(row rel.Row, out []rel.Value) {
 		d := row[dateOrd].Time()
 		out[0] = rel.NewInt(int64(d.Year()))
 		out[1] = rel.NewInt(int64(d.Month()))
-	})
-	if err != nil {
-		return nil, 0, err
 	}
-	agg, err := withTime.GroupByPar(par, []string{"Year", "Month", "Custkey"}, []rel.AggSpec{
+	mvGroup := []string{"Year", "Month", "Custkey"}
+	mvAggs := []rel.AggSpec{
 		{Func: "count", As: "OrderCount"},
 		{Func: "sum", Col: "Totalprice", As: "TotalSum"},
-	})
+	}
+	var (
+		agg *rel.Relation
+		err error
+	)
+	if columnar {
+		// Fused extend+group: the 9-wide extended relation is never
+		// materialized (GroupAggExtVec is pinned bit-identical to the
+		// row pipeline below).
+		agg, _, err = orders.GroupAggExtVec(par, timeCols, timeFn, mvGroup, mvAggs)
+	} else {
+		var withTime *rel.Relation
+		withTime, err = orders.ExtendManyPar(par, timeCols, timeFn)
+		if err != nil {
+			return nil, 0, err
+		}
+		agg, err = withTime.GroupByPar(par, mvGroup, mvAggs)
+	}
 	if err != nil {
 		return nil, 0, err
 	}

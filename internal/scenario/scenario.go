@@ -218,6 +218,16 @@ func (s *Scenario) SetParallelism(par int) {
 	}
 }
 
+// SetColumnar propagates the integration engine's columnar-execution
+// choice to the stored procedures of the warehouse and data-mart layers
+// (the OrdersMV refreshes of P13/P15), mirroring SetParallelism.
+func (s *Scenario) SetColumnar(on bool) {
+	s.ES.Instance(schema.SysDWH).SetColumnar(on)
+	for _, v := range schema.Marts {
+		s.ES.Instance(v.Name).SetColumnar(on)
+	}
+}
+
 // WSClient returns a client for the named web service.
 func (s *Scenario) WSClient(system string) *ws.Client {
 	return ws.NewClient(s.wsURL, system)
