@@ -28,6 +28,8 @@
 //	-incremental s    force delta-driven C/D maintenance on|off (default: engine preset)
 //	-columnar s       force vectorized columnar kernels on|off (default: engine preset)
 //	-recompute-verify verify the integrated data against a full-recompute twin run
+//	-shards n         partition the engine into n region shards, 0..3 (default 0: unsharded)
+//	-shard-verify     verify the integrated data against an unsharded twin run
 //	-mv-check n       recompute every OrdersMV from scratch every n periods
 //	-wal-dir path     enable crash-consistent checkpointing into this directory
 //	-checkpoint-every n  snapshot cadence: 1 = every barrier, N = every Nth period end
@@ -83,6 +85,8 @@ func main() {
 		incr    = flag.String("incremental", "", "force delta-driven C/D maintenance: on|off (default: engine preset)")
 		colr    = flag.String("columnar", "", "force vectorized columnar kernels: on|off (default: engine preset)")
 		recomp  = flag.Bool("recompute-verify", false, "verify the integrated data against a full-recompute twin run")
+		shards  = flag.Int("shards", 0, "partition the engine into n region shards (0 = unsharded, max 3)")
+		shardV  = flag.Bool("shard-verify", false, "verify the integrated data against an unsharded twin run")
 		mvEvery = flag.Int("mv-check", 0, "recompute every OrdersMV from scratch every n periods and abort on divergence (0 disables)")
 		warmup  = flag.Int("warmup", 0, "discard the first N periods from the metric")
 		csvPath = flag.String("csv", "", "write report CSV to this path")
@@ -180,6 +184,8 @@ func main() {
 		Incremental:     *incr,
 		Columnar:        *colr,
 		RecomputeVerify: *recomp,
+		Shards:          *shards,
+		ShardVerify:     *shardV,
 		MVCheckEvery:    *mvEvery,
 		WALDir:          *walDir,
 		CheckpointEvery: *ckptN,
@@ -191,8 +197,12 @@ func main() {
 	}
 	defer b.Close()
 
-	fmt.Printf("DIPBench: engine=%s d=%g t=%g f=%s periods=%d seed=%d\n",
+	fmt.Printf("DIPBench: engine=%s d=%g t=%g f=%s periods=%d seed=%d",
 		*eng, *d, *t, *f, *periods, *seed)
+	if *shards > 0 {
+		fmt.Printf(" shards=%d", *shards)
+	}
+	fmt.Println()
 	// Ctrl-C cancels the run gracefully (in-flight instances finish).
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -275,6 +285,13 @@ func main() {
 		fmt.Println()
 		fmt.Print(res.Recompute)
 		if !res.Recompute.OK() {
+			defer os.Exit(1)
+		}
+	}
+	if res.Shard != nil {
+		fmt.Println()
+		fmt.Print(res.Shard)
+		if !res.Shard.OK() {
 			defer os.Exit(1)
 		}
 	}

@@ -28,6 +28,10 @@ type Meta struct {
 	Engine      string  `json:"engine"`
 	Periods     int     `json:"periods"`
 	Incremental bool    `json:"incremental"`
+	// Shards is the engine's region-shard count (0 = unsharded). The
+	// snapshot carries per-shard engine state, so a run with a different
+	// shard count has nowhere to restore it.
+	Shards int `json:"shards"`
 }
 
 // Manifest describes the latest committed checkpoint.
@@ -146,6 +150,10 @@ func (m *Manager) ReadSnapshot(man Manifest) ([]byte, error) {
 // CheckMeta verifies that a resuming run's configuration matches the
 // checkpoint's; a silent mismatch would replay into unrecoverable state.
 func CheckMeta(want, got Meta) error {
+	if want.Shards != got.Shards {
+		return fmt.Errorf("checkpoint: shard count mismatch: checkpoint was taken with %d shards but this run uses %d — a -shards run can only resume a snapshot taken with the same shard count",
+			want.Shards, got.Shards)
+	}
 	if want != got {
 		return fmt.Errorf("checkpoint: run configuration mismatch: checkpoint %+v vs run %+v", want, got)
 	}

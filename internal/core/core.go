@@ -121,6 +121,17 @@ type Config struct {
 	// for federated, on for the optimized engines). Results are
 	// bit-identical either way.
 	Columnar string
+	// Shards > 0 partitions the engine into region shards (at most one
+	// per business region, so 1..3): each shard runs its region's sources,
+	// consolidation extraction and mart refresh on an independent engine
+	// instance; the warehouse is fed through a deterministic cross-shard
+	// merge barrier in fixed region order. 0 keeps the single-engine path.
+	Shards int
+	// ShardVerify, after a successful sharded run, executes an unsharded
+	// twin of the same configuration and asserts the integrated data is
+	// byte-identical — the shard count must be invisible in the warehouse,
+	// views and marts. Requires Shards > 0.
+	ShardVerify bool
 	// MVCheckEvery > 0 recomputes every OrdersMV from scratch every N-th
 	// period and aborts on any divergence from the stored (possibly
 	// incrementally maintained) view. Verify implies MVCheckEvery=1 when
@@ -269,6 +280,24 @@ func New(cfg Config) (*Benchmark, error) {
 	if cfg.Resilience != nil && eng.Resilient() == nil {
 		eng.SetResilience(cfg.Resilience, mon.Resilience())
 	}
+	// Sharding partitions the fully configured engine (incremental,
+	// columnar and resilience settings propagate into the shard children at
+	// creation) and must precede the durability layer so a resume restores
+	// into the sharded shape.
+	if cfg.Shards < 0 {
+		_ = scn.Close()
+		return nil, fmt.Errorf("core: Shards must be >= 0, got %d", cfg.Shards)
+	}
+	if cfg.Shards > 0 && eng.ShardCount() == 0 {
+		if err := eng.SetShards(cfg.Shards); err != nil {
+			_ = scn.Close()
+			return nil, err
+		}
+	}
+	if cfg.ShardVerify && cfg.Shards == 0 {
+		_ = scn.Close()
+		return nil, fmt.Errorf("core: ShardVerify requires Shards > 0")
+	}
 	// The durability layer comes up after the engine is fully configured
 	// (a resume restores into the final shape) but before fault injection
 	// is armed: a snapshot restore must never draw injected faults.
@@ -367,6 +396,9 @@ type Result struct {
 	// Recompute is the incremental-transparency verification against the
 	// full-recompute twin run (nil unless Config.RecomputeVerify).
 	Recompute *driver.VerificationResult
+	// Shard is the shard-transparency verification against the unsharded
+	// twin run (nil unless Config.ShardVerify).
+	Shard *driver.VerificationResult
 }
 
 // Run executes the benchmark (work phase, plus post-phase verification
@@ -402,6 +434,13 @@ func (b *Benchmark) RunContext(ctx context.Context) (*Result, error) {
 			return nil, fmt.Errorf("core: recompute twin run: %w", rerr)
 		}
 		res.Recompute = rv
+	}
+	if b.cfg.ShardVerify {
+		sv, serr := b.runShardTwin(ctx)
+		if serr != nil {
+			return nil, fmt.Errorf("core: shard twin run: %w", serr)
+		}
+		res.Shard = sv
 	}
 	return res, nil
 }
@@ -465,6 +504,40 @@ func (b *Benchmark) runRecomputeTwin(ctx context.Context) (*driver.VerificationR
 		return nil, err
 	}
 	return driver.VerifyTwin("recompute", "identical to full-recompute run", b.scn, twin.scn), nil
+}
+
+// runShardTwin executes an unsharded twin of this benchmark's
+// configuration — same seed, scale, engine, periods, maintenance mode and
+// layout, but Shards forced to 0 and no fault injection — and compares
+// the integrated data of both runs. Region sharding is only correct when
+// the shard count is invisible in the data.
+func (b *Benchmark) runShardTwin(ctx context.Context) (*driver.VerificationResult, error) {
+	twinCfg := b.cfg
+	twinCfg.Shards = 0
+	twinCfg.ShardVerify = false
+	twinCfg.ChaosVerify = false
+	twinCfg.RecomputeVerify = false
+	twinCfg.FaultRate = 0
+	twinCfg.FaultSeed = 0
+	twinCfg.Resilience = nil
+	twinCfg.FastClock = true
+	twinCfg.Verify = false
+	twinCfg.MVCheckEvery = 0
+	twinCfg.Trace = false
+	twinCfg.OnPeriod = nil
+	twinCfg.WALDir = ""
+	twinCfg.CheckpointEvery = 0
+	twinCfg.Resume = false
+	twinCfg.CrashAt = ""
+	twin, err := New(twinCfg)
+	if err != nil {
+		return nil, err
+	}
+	defer twin.Close()
+	if _, err := twin.RunContext(ctx); err != nil {
+		return nil, err
+	}
+	return driver.VerifyTwin("shard", "identical to unsharded run", b.scn, twin.scn), nil
 }
 
 // StateDigest returns a hex SHA-256 over the benchmark's externally

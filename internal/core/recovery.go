@@ -64,6 +64,7 @@ func checkpointMeta(cfg Config, eng *engine.Engine) checkpoint.Meta {
 		Engine:      cfg.Engine,
 		Periods:     cfg.Periods,
 		Incremental: eng.Options().Incremental,
+		Shards:      eng.ShardCount(),
 	}
 }
 

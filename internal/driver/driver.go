@@ -61,6 +61,10 @@ type PeriodStats struct {
 	// FailuresByProcess attributes the failures to process types (only
 	// types with failures appear).
 	FailuresByProcess map[string]int
+	// EventsByShard attributes the period's E1 dispatches to the region
+	// shard that executed them (key 0 is the coordinator; nil on an
+	// unsharded engine).
+	EventsByShard map[int]int
 }
 
 // Validate checks the configuration.
@@ -367,6 +371,7 @@ func (c *Client) runPeriod(ctx context.Context, k int, prep prepared, rp resumeP
 	failures := 0
 	executed := 0
 	failuresBy := make(map[string]int)
+	eventsByShard := make(map[int]int)
 	var logMu sync.Mutex
 	var logErr error
 	noteLogErr := func(err error) {
@@ -428,8 +433,10 @@ func (c *Client) runPeriod(ctx context.Context, k int, prep prepared, rp resumeP
 				}
 			}
 		}
+		shard := c.eng.ShardOf(in.Process)
 		mu.Lock()
 		executed++
+		eventsByShard[shard]++
 		if err != nil {
 			failures++
 			failuresBy[in.Process]++
@@ -446,7 +453,7 @@ func (c *Client) runPeriod(ctx context.Context, k int, prep prepared, rp resumeP
 		}
 		if c.cfg.Trace != nil {
 			c.cfg.Trace.add(TraceEvent{
-				Period: k, Process: in.Process, Seq: in.Seq,
+				Period: k, Process: in.Process, Seq: in.Seq, Shard: shard,
 				ScheduledTU: in.OffsetTU, Dispatched: dispatched,
 				Completed: time.Since(epoch), Failed: err != nil,
 			})
@@ -459,6 +466,12 @@ func (c *Client) runPeriod(ctx context.Context, k int, prep prepared, rp resumeP
 		out := PeriodStats{Events: executed, Failures: failures}
 		if len(failuresBy) > 0 {
 			out.FailuresByProcess = mergeFailures(failuresBy, nil)
+		}
+		if len(eventsByShard) > 1 || (len(eventsByShard) == 1 && eventsByShard[0] == 0) {
+			out.EventsByShard = make(map[int]int, len(eventsByShard))
+			for s, n := range eventsByShard {
+				out.EventsByShard[s] = n
+			}
 		}
 		return out
 	}

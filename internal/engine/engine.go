@@ -98,6 +98,15 @@ type Options struct {
 	// reference engine (its per-row temp-table architecture is the point of
 	// comparison), on for the optimized presets.
 	Columnar bool
+	// Shards > 0 partitions the scenario by business region: each shard
+	// runs its region's group A/B processes, consolidation extraction and
+	// mart refresh on an independent child engine (own worker pool, plan
+	// cache and extraction watermarks), while the warehouse is fed through
+	// a deterministic cross-shard merge barrier that folds the region
+	// batches in the fixed schema.Regions order. The final state is
+	// byte-identical for every shard count (see shard.go). At most one
+	// shard per region; 0 keeps the single-engine execution path.
+	Shards int
 }
 
 // Engine executes process instances and records their costs.
@@ -133,6 +142,9 @@ type Engine struct {
 
 	planBuilds atomic.Uint64 // statistics: number of plan compilations
 	instances  atomic.Uint64
+
+	shards  *shardController // non-nil after SetShards
+	shardID int              // 1-based for shard children, 0 otherwise
 }
 
 // pendingExec carries the monitor record and cancellation context of a
@@ -201,6 +213,16 @@ func New(name string, opts Options, defs *processes.Definitions, ext mtm.Externa
 	if opts.Resilience != nil {
 		e.SetResilience(opts.Resilience, mon.Resilience())
 	}
+	if opts.Shards != 0 {
+		if opts.Shards < 0 {
+			return nil, fmt.Errorf("engine: Shards must be non-negative, got %d", opts.Shards)
+		}
+		n := opts.Shards
+		e.opts.Shards = 0
+		if err := e.SetShards(n); err != nil {
+			return nil, err
+		}
+	}
 	return e, nil
 }
 
@@ -219,6 +241,15 @@ func (e *Engine) SetResilience(p *fault.Policy, rec fault.Recorder) {
 	e.ext = e.resilient
 	eff := e.resilient.Policy()
 	e.opts.Resilience = &eff
+	if e.shards != nil {
+		// The shards share the parent's gateway — swap in the new wrapper
+		// so their external calls retry and trip through the same layer.
+		for _, c := range e.shards.children {
+			c.ext = e.resilient
+			c.resilient = e.resilient
+			c.opts.Resilience = &eff
+		}
+	}
 }
 
 // Resilient returns the resilience wrapper (nil when resilience is off).
@@ -236,12 +267,27 @@ func (e *Engine) SetIncremental(on bool) {
 	if on && e.wm == nil {
 		e.wm = newWatermarkStore()
 	}
+	if e.shards != nil {
+		for _, c := range e.shards.children {
+			c.SetIncremental(on)
+		}
+		// The shard process variants are built for one maintenance mode;
+		// rebuild them so the toggle reaches the C/D streams.
+		e.shards.rebuildVariants(on)
+	}
 }
 
 // SetColumnar overrides the Options.Columnar preset — the `-columnar`
 // flag's hook. Call before the first Execute; the switch is not
 // synchronized with in-flight instances.
-func (e *Engine) SetColumnar(on bool) { e.opts.Columnar = on }
+func (e *Engine) SetColumnar(on bool) {
+	e.opts.Columnar = on
+	if e.shards != nil {
+		for _, c := range e.shards.children {
+			c.SetColumnar(on)
+		}
+	}
+}
 
 // LayoutCount tallies how often an operator executed on each layout.
 type LayoutCount struct {
@@ -254,10 +300,20 @@ type LayoutCount struct {
 // engines never report.
 func (e *Engine) LayoutStats() map[string]LayoutCount {
 	e.layoutMu.Lock()
-	defer e.layoutMu.Unlock()
 	out := make(map[string]LayoutCount, len(e.layouts))
 	for k, v := range e.layouts {
 		out[k] = v
+	}
+	e.layoutMu.Unlock()
+	if e.shards != nil {
+		for _, c := range e.shards.children {
+			for k, v := range c.LayoutStats() {
+				m := out[k]
+				m.Row += v.Row
+				m.Columnar += v.Columnar
+				out[k] = m
+			}
+		}
 	}
 	return out
 }
@@ -350,6 +406,11 @@ func (e *Engine) Close() error {
 	for _, b := range batchers {
 		b.close()
 	}
+	if e.shards != nil {
+		for _, c := range e.shards.children {
+			_ = c.Close()
+		}
+	}
 	return nil
 }
 
@@ -439,9 +500,17 @@ func (e *Engine) Options() Options { return e.opts }
 // Monitor returns the attached monitor.
 func (e *Engine) Monitor() *monitor.Monitor { return e.mon }
 
-// Stats returns cumulative engine statistics.
+// Stats returns cumulative engine statistics (including all shards).
 func (e *Engine) Stats() (instances, planBuilds uint64) {
-	return e.instances.Load(), e.planBuilds.Load()
+	instances, planBuilds = e.instances.Load(), e.planBuilds.Load()
+	if e.shards != nil {
+		for _, c := range e.shards.children {
+			i, p := c.Stats()
+			instances += i
+			planBuilds += p
+		}
+	}
+	return instances, planBuilds
 }
 
 // queueSchema is the Fig. 9 message queue table layout:
@@ -498,6 +567,11 @@ func (e *Engine) Execute(processID string, input *x.Node, period int) error {
 // it aborts the instance's external calls (the resilience layer layers
 // its per-invoke deadline on top).
 func (e *Engine) ExecuteContext(ctx context.Context, processID string, input *x.Node, period int) error {
+	if sc := e.shards; sc != nil {
+		if handled, err := sc.route(ctx, processID, input, period); handled {
+			return err
+		}
+	}
 	p := e.defs.Variant(processID, e.opts.Incremental)
 	if p == nil {
 		return fmt.Errorf("engine: unknown process %q", processID)
@@ -536,7 +610,7 @@ var sqlBufPool = sync.Pool{New: func() any {
 // the insert trigger run the process. The INSERT statement is assembled on
 // a pooled buffer.
 func (e *Engine) executeViaQueue(ctx context.Context, p *mtm.Process, input *x.Node, period int) error {
-	rec := e.mon.StartInstance(p.ID, period)
+	rec := e.mon.StartInstanceShard(p.ID, period, e.shardID)
 	e.instances.Add(1)
 	serStart := time.Now()
 	tid := e.queueSeq.Add(1)
@@ -582,7 +656,7 @@ func appendSQLQuoted(dst []byte, input *x.Node) []byte {
 
 // runInstanceRecorded wraps runInstance with a fresh monitor record.
 func (e *Engine) runInstanceRecorded(ctx context.Context, p *mtm.Process, input *mtm.Message, period int) error {
-	rec := e.mon.StartInstance(p.ID, period)
+	rec := e.mon.StartInstanceShard(p.ID, period, e.shardID)
 	e.instances.Add(1)
 	err := e.runInstance(ctx, p, input, rec)
 	rec.Finish(err)
@@ -624,10 +698,16 @@ func (e *Engine) runInstance(goctx context.Context, p *mtm.Process, input *mtm.M
 // with synchronous triggers this equals the number of processed messages
 // retained for audit.
 func (e *Engine) QueueDepth() int {
-	if !e.opts.QueueTrigger {
-		return 0
+	depth := 0
+	if e.opts.QueueTrigger {
+		depth = e.internal.TotalRows()
 	}
-	return e.internal.TotalRows()
+	if e.shards != nil {
+		for _, c := range e.shards.children {
+			depth += c.QueueDepth()
+		}
+	}
+	return depth
 }
 
 // ResetQueues marks a period boundary: pending micro-batches are drained —
@@ -646,5 +726,10 @@ func (e *Engine) ResetQueues() {
 	}
 	if e.opts.QueueTrigger {
 		e.internal.TruncateAll()
+	}
+	if e.shards != nil {
+		for _, c := range e.shards.children {
+			c.ResetQueues()
+		}
 	}
 }

@@ -28,6 +28,10 @@ type State struct {
 	DeadLetters []DeadLetterState
 	DLQDropped  uint64
 	Internal    []byte // relational snapshot of the queue tables
+	// Shards carries the region shards' states in shard order (empty for
+	// an unsharded engine). Each shard owns its own queue tables and
+	// extraction watermarks, so recovery must restore them individually.
+	Shards []*State
 }
 
 // CheckpointState captures the engine's durable state. Call it at a
@@ -55,6 +59,15 @@ func (e *Engine) CheckpointState() (*State, error) {
 			return nil, fmt.Errorf("engine: checkpoint internal db: %w", err)
 		}
 		st.Internal = blob
+	}
+	if e.shards != nil {
+		for _, c := range e.shards.children {
+			cs, err := c.CheckpointState()
+			if err != nil {
+				return nil, err
+			}
+			st.Shards = append(st.Shards, cs)
+		}
 	}
 	return st, nil
 }
@@ -98,6 +111,21 @@ func (e *Engine) RestoreState(st *State) error {
 			return fmt.Errorf("engine: restore internal db: %w", err)
 		}
 	}
+	if len(st.Shards) > 0 || e.shards != nil {
+		if e.shards == nil || len(st.Shards) != len(e.shards.children) {
+			got := 0
+			if e.shards != nil {
+				got = len(e.shards.children)
+			}
+			return fmt.Errorf("engine: checkpoint carries %d shard states but engine %q runs %d shards",
+				len(st.Shards), e.name, got)
+		}
+		for i, cs := range st.Shards {
+			if err := e.shards.children[i].RestoreState(cs); err != nil {
+				return fmt.Errorf("engine: shard %d: %w", i+1, err)
+			}
+		}
+	}
 	return nil
 }
 
@@ -106,6 +134,11 @@ func (e *Engine) RestoreState(st *State) error {
 func (e *Engine) SetWatermarkSink(fn func(key string, version uint64)) {
 	if e.wm != nil {
 		e.wm.setSink(fn)
+	}
+	if e.shards != nil {
+		for _, c := range e.shards.children {
+			c.SetWatermarkSink(fn)
+		}
 	}
 }
 

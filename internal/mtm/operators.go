@@ -121,6 +121,12 @@ type Invoke struct {
 	Set map[string]rel.Value
 	// Args are stored-procedure arguments for call.
 	Args []rel.Value
+	// WatermarkTag isolates a querysince extraction's watermark from other
+	// extractions of the same Service.Table on the same engine. Region
+	// variants of one logical extraction (sharded execution with fewer
+	// shards than regions) each track their own cursor; without the tag
+	// the first variant's advance would hide the delta from the rest.
+	WatermarkTag string
 }
 
 // Kind implements Operator.
@@ -220,6 +226,9 @@ func invokeErr(o Invoke, err error) error {
 // watermark and report the delta size to the monitor.
 func (o Invoke) querySince(ctx *Context, ectx context.Context) (*rel.Delta, error) {
 	key := o.Service + "." + o.Table
+	if o.WatermarkTag != "" {
+		key += "#" + o.WatermarkTag
+	}
 	var since uint64
 	if wm := ctx.Watermarks(); wm != nil {
 		since = wm.Watermark(key)

@@ -210,9 +210,9 @@ func (r *Relation) ExtendPar(par int, name string, t Type, fn func(Row) Value) (
 	return &Relation{schema: es, rows: rows}, nil
 }
 
-// ExtendManyPar is ExtendMany with morsel-parallel evaluation of fn. fn
-// must be safe for concurrent calls.
-func (r *Relation) ExtendManyPar(par int, cols []Column, fn func(row Row, out []Value)) (*Relation, error) {
+// ExtendManyPar is ExtendMany with morsel-parallel evaluation of fn
+// (which the ExtendFn contract makes safe).
+func (r *Relation) ExtendManyPar(par int, cols []Column, fn ExtendFn) (*Relation, error) {
 	n := len(r.rows)
 	if par <= 1 || n <= morselSize {
 		return r.ExtendMany(cols, fn)

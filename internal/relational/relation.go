@@ -341,10 +341,21 @@ func (r *Relation) Extend(name string, t Type, fn func(Row) Value) (*Relation, e
 	return &Relation{schema: es, rows: rows}, nil
 }
 
+// ExtendFn computes one row's extension cells into out (one slot per
+// added column). The operator contract is purity: the output may depend
+// only on row's cells — no captured mutable state, no dependence on call
+// order or call count — and calls must be safe from concurrent
+// goroutines. The kernels exploit the contract freely: the parallel
+// kernels evaluate fn from many workers at once, and the fused
+// grouped-aggregation kernel (GroupAggExtVec) re-runs fn on
+// already-visited rows — ordered float replay, mid-scan fallbacks —
+// instead of materializing the extended relation.
+type ExtendFn func(row Row, out []Value)
+
 // ExtendMany appends several computed columns in a single pass. fn fills
 // out (one slot per added column) for each input row; it is the n-column
 // form of Extend and avoids re-copying the relation once per column.
-func (r *Relation) ExtendMany(cols []Column, fn func(row Row, out []Value)) (*Relation, error) {
+func (r *Relation) ExtendMany(cols []Column, fn ExtendFn) (*Relation, error) {
 	all := make([]Column, len(r.schema.Columns)+len(cols))
 	copy(all, r.schema.Columns)
 	copy(all[len(r.schema.Columns):], cols)

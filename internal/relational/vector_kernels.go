@@ -110,9 +110,8 @@ func (r *Relation) ProjectVec(par int, names ...string) (*Relation, Layout, erro
 }
 
 // ExtendVec is ExtendMany/ExtendManyPar in batch layout: one backing
-// value arena per call. fn must be safe for concurrent calls, exactly as
-// for ExtendManyPar.
-func (r *Relation) ExtendVec(par int, cols []Column, fn func(row Row, out []Value)) (*Relation, Layout, error) {
+// value arena per call.
+func (r *Relation) ExtendVec(par int, cols []Column, fn ExtendFn) (*Relation, Layout, error) {
 	n := len(r.rows)
 	if n < vecMinRows {
 		out, err := r.ExtendManyPar(par, cols, fn)
@@ -415,6 +414,63 @@ func (st *vecAggState) fold(kind vecAggKind, v Value) {
 	}
 }
 
+// vecOrderExact reports whether a lane's fold is order-insensitive and
+// merges exactly across morsels: COUNT, and SUM/MIN/MAX over int-backed
+// or string inputs. Every float fold — SUM/MIN/MAX over floats, and AVG
+// whose running sum is a float even for int inputs — depends on the
+// sequential operation order for bit-identity (addition order, NaN and
+// ±0 tie-breaking) and must replay in global row order instead.
+func vecOrderExact(kind vecAggKind) bool {
+	switch kind {
+	case vaCount, vaSumInt, vaMinInt, vaMaxInt, vaMinStr, vaMaxStr:
+		return true
+	}
+	return false
+}
+
+// merge folds another morsel's partial state into st. Only valid for
+// order-exact lanes, whose folds are associative and commutative at the
+// bit level (first-wins ties are unobservable: equal ints and equal
+// strings are indistinguishable payloads).
+func (st *vecAggState) merge(kind vecAggKind, o *vecAggState) {
+	st.count += o.count
+	switch kind {
+	case vaSumInt:
+		st.isum += o.isum
+		st.fsum += o.fsum
+	case vaMinInt:
+		if o.has && (!st.has || o.ival < st.ival) {
+			st.ival, st.has = o.ival, true
+		}
+	case vaMaxInt:
+		if o.has && (!st.has || o.ival > st.ival) {
+			st.ival, st.has = o.ival, true
+		}
+	case vaMinStr:
+		if o.has && (!st.has || o.sval < st.sval) {
+			st.sval, st.has = o.sval, true
+		}
+	case vaMaxStr:
+		if o.has && (!st.has || o.sval > st.sval) {
+			st.sval, st.has = o.sval, true
+		}
+	}
+}
+
+// vecExactLanes classifies the plan's lanes: exact[j] marks a lane whose
+// per-morsel states merge bit-exactly; replay is true when at least one
+// lane needs the ordered phase-2 sweep (and thus row-index lists).
+func vecExactLanes(plans []vecAggPlan) (exact []bool, replay bool) {
+	exact = make([]bool, len(plans))
+	for j, p := range plans {
+		exact[j] = vecOrderExact(p.kind)
+		if !exact[j] {
+			replay = true
+		}
+	}
+	return exact, replay
+}
+
 // vecEmitAggs renders the aggregate lanes of one group into dst,
 // mirroring groupSpec.emit's NULL-on-empty cases exactly.
 func vecEmitAggs(dst []Value, plans []vecAggPlan, states []vecAggState, rowCount int64) {
@@ -566,18 +622,29 @@ func vecKeyRowsEqual(a, b Row, ords []int) bool {
 }
 
 // vecLocalGroup is one group discovered within a morsel: the global index
-// of its first row (its key) and its row indices, ascending.
+// of its first row (its key), the order-exact lanes' partial states, and
+// — only when an order-sensitive lane needs the phase-2 replay — its row
+// indices, ascending. wide is the retained first extended row in the
+// fused extend+group kernel, where key cells live past the source schema.
 type vecLocalGroup struct {
-	first int32
-	hash  uint64
-	idx   []int32
+	first  int32
+	wide   Row
+	hash   uint64
+	rows   int64
+	states []vecAggState
+	idx    []int32
 }
 
-// vecMergedGroup is a group after the cross-morsel merge, its per-morsel
-// index lists kept in morsel order for global-row-order replay.
+// vecMergedGroup is a group after the cross-morsel merge: the exact
+// lanes' states merged in morsel order, and the per-morsel index lists —
+// kept in morsel order for global-row-order replay — only when an
+// order-sensitive lane exists.
 type vecMergedGroup struct {
-	first int32
-	idx   [][]int32
+	first  int32
+	wide   Row
+	rows   int64
+	states []vecAggState
+	idx    [][]int32
 }
 
 // GroupAggVec is GroupBy/GroupByPar with typed hashing and fused typed
@@ -637,7 +704,10 @@ func (r *Relation) GroupAggVec(par int, groupCols []string, aggs []AggSpec) (*Re
 	}
 
 	// Phase 1: per-morsel partition into local groups, maps pre-sized
-	// from the morsel cardinality bound.
+	// from the morsel cardinality bound. Order-exact lanes fold into the
+	// local states right here; row-index lists are recorded only when an
+	// order-sensitive lane needs the ordered phase-2 replay.
+	exact, replay := vecExactLanes(plans)
 	locals := make([][]*vecLocalGroup, nm)
 	bad := make([]bool, nm)
 	parallelMorsels(par, n, func(c, lo, hi int) {
@@ -658,11 +728,25 @@ func (r *Relation) GroupAggVec(par int, groupCols []string, aggs []AggSpec) (*Re
 				}
 			}
 			if g == nil {
-				g = &vecLocalGroup{first: int32(i), hash: h}
+				g = &vecLocalGroup{first: int32(i), hash: h, states: make([]vecAggState, len(plans))}
 				groups[h] = append(groups[h], g)
 				order = append(order, g)
 			}
-			g.idx = append(g.idx, int32(i))
+			g.rows++
+			for j := range plans {
+				p := &plans[j]
+				if p.ord < 0 || !exact[j] {
+					continue
+				}
+				v := row[p.ord]
+				if v.typ == TypeNull {
+					continue
+				}
+				g.states[j].fold(p.kind, v)
+			}
+			if replay {
+				g.idx = append(g.idx, int32(i))
+			}
 		}
 		locals[c] = order
 	})
@@ -673,7 +757,8 @@ func (r *Relation) GroupAggVec(par int, groupCols []string, aggs []AggSpec) (*Re
 	}
 
 	// Merge local groups in morsel order: a group's output position is
-	// decided by its globally first row — the sequential first-seen order.
+	// decided by its globally first row — the sequential first-seen order
+	// — and the exact lanes' partial states merge directly.
 	totalLocals := 0
 	for _, l := range locals {
 		totalLocals += len(l)
@@ -690,38 +775,49 @@ func (r *Relation) GroupAggVec(par int, groupCols []string, aggs []AggSpec) (*Re
 				}
 			}
 			if g == nil {
-				g = &vecMergedGroup{first: lg.first}
+				g = &vecMergedGroup{first: lg.first, states: make([]vecAggState, len(plans))}
 				merged[lg.hash] = append(merged[lg.hash], g)
 				order = append(order, g)
 			}
-			g.idx = append(g.idx, lg.idx)
+			g.rows += lg.rows
+			for j := range plans {
+				if exact[j] {
+					g.states[j].merge(plans[j].kind, &lg.states[j])
+				}
+			}
+			if replay {
+				g.idx = append(g.idx, lg.idx)
+			}
 		}
 	}
 
-	// Phase 2: typed fold per group, groups in parallel, rows of each
-	// group in global order; results carved from one output arena.
+	// Phase 2: emit per group, groups in parallel, results carved from one
+	// output arena. Only the order-sensitive lanes sweep their group's rows
+	// again — in global row order, so float folds reproduce the sequential
+	// operation sequence bit for bit; all-exact aggregations skip the sweep
+	// entirely.
 	gw := len(spec.gOrd)
 	w := len(spec.out.Columns)
 	backing := make([]Value, len(order)*w)
 	out := make([]Row, len(order))
 	parallelRun(par, len(order), func(gi int) {
 		g := order[gi]
-		states := make([]vecAggState, len(plans))
-		var rowCount int64
-		for _, idx := range g.idx {
-			for _, ri := range idx {
-				row := r.rows[ri]
-				rowCount++
-				for j := range plans {
-					p := &plans[j]
-					if p.ord < 0 {
-						continue
+		states := g.states
+		if replay {
+			for _, idx := range g.idx {
+				for _, ri := range idx {
+					row := r.rows[ri]
+					for j := range plans {
+						p := &plans[j]
+						if p.ord < 0 || exact[j] {
+							continue
+						}
+						v := row[p.ord]
+						if v.typ == TypeNull {
+							continue
+						}
+						states[j].fold(p.kind, v)
 					}
-					v := row[p.ord]
-					if v.typ == TypeNull {
-						continue
-					}
-					states[j].fold(p.kind, v)
 				}
 			}
 		}
@@ -730,7 +826,7 @@ func (r *Relation) GroupAggVec(par int, groupCols []string, aggs []AggSpec) (*Re
 		for j, o := range spec.gOrd {
 			dst[j] = first[o]
 		}
-		vecEmitAggs(dst[gw:], plans, states, rowCount)
+		vecEmitAggs(dst[gw:], plans, states, g.rows)
 		out[gi] = dst
 	})
 	return &Relation{schema: spec.out, rows: out}, LayoutColumnar, nil
@@ -744,17 +840,13 @@ func (r *Relation) GroupAggVec(par int, groupCols []string, aggs []AggSpec) (*Re
 // row's cells (computed cells included), groups emit in first-seen
 // order, and float sums fold in scan order.
 //
-// The fused pass runs when execution is sequential (par <= 1, or the
-// input fits one morsel); a parallel fused fold would have to re-run fn
-// during the ordered phase-2 sweep, so larger parallel inputs keep the
-// materialized ExtendVec + GroupAggVec pipeline instead, and anything
-// vectorization rejects takes the row kernels wholesale.
-//
-// fn must be pure with respect to its inputs (the same requirement the
-// twin discipline already imposes on extension closures): a mid-scan
-// fallback re-extends already-visited rows, so fn may run more than once
-// per row.
-func (r *Relation) GroupAggExtVec(par int, cols []Column, fn func(row Row, out []Value), groupCols []string, aggs []AggSpec) (*Relation, Layout, error) {
+// The fusion holds under parallelism too: the ExtendFn purity contract
+// licenses re-running fn on already-visited rows, so the parallel path
+// extends into per-worker scratch rows during the phase-1 partition and
+// re-extends only the order-sensitive float lanes' rows during the
+// ordered phase-2 replay — never materializing the wide relation.
+// Anything vectorization rejects takes the row kernels wholesale.
+func (r *Relation) GroupAggExtVec(par int, cols []Column, fn ExtendFn, groupCols []string, aggs []AggSpec) (*Relation, Layout, error) {
 	n := len(r.rows)
 	rowFallback := func() (*Relation, Layout, error) {
 		ext, err := r.ExtendManyPar(par, cols, fn)
@@ -766,13 +858,6 @@ func (r *Relation) GroupAggExtVec(par int, cols []Column, fn func(row Row, out [
 	}
 	if n < vecMinRows || n > math.MaxInt32 {
 		return rowFallback()
-	}
-	if par > 1 && numMorsels(n) > 1 {
-		ext, layout, err := r.ExtendVec(par, cols, fn)
-		if err != nil || layout != LayoutColumnar {
-			return rowFallback()
-		}
-		return ext.GroupAggVec(par, groupCols, aggs)
 	}
 	all := make([]Column, len(r.schema.Columns)+len(cols))
 	copy(all, r.schema.Columns)
@@ -795,12 +880,19 @@ func (r *Relation) GroupAggExtVec(par int, cols []Column, fn func(row Row, out [
 		return rowFallback()
 	}
 	checks := vecLaneChecks(es, spec, plans)
+	k := len(r.schema.Columns)
+	w := len(all)
+	if par > 1 && numMorsels(n) > 1 {
+		out, ok := r.groupAggExtVecPar(par, spec, plans, checks, fn, k, w)
+		if !ok {
+			return rowFallback()
+		}
+		return out, LayoutColumnar, nil
+	}
 	// Extend each row into a reused scratch tail; the scan then runs
 	// groupAggVecSeq's fold over the virtual wide row. Only a group's
 	// first wide row is retained (one copy per group, for key emission
 	// and probe comparisons).
-	k := len(r.schema.Columns)
-	w := len(all)
 	scratch := make(Row, w)
 	ext := func(row Row) Row {
 		copy(scratch, row)
@@ -868,6 +960,149 @@ func (r *Relation) GroupAggExtVec(par int, cols []Column, fn func(row Row, out [
 		out[gi] = dst
 	}
 	return &Relation{schema: spec.out, rows: out}, LayoutColumnar, nil
+}
+
+// groupAggExtVecPar is the parallel fused extend+group fold: phase 1
+// extends each row into a per-worker scratch tail, partitions on the
+// wide key and folds the order-exact lanes locally; the cross-morsel
+// merge combines those partial states in morsel order; phase 2 re-runs
+// fn — licensed by the ExtendFn purity contract — only over the rows of
+// groups with order-sensitive float lanes, in global row order, so those
+// folds reproduce the sequential operation sequence bit for bit. The
+// wide relation is never materialized. ok=false reports a failed lane
+// check (the caller falls back to the row kernels).
+func (r *Relation) groupAggExtVecPar(par int, spec *groupSpec, plans []vecAggPlan, checks []vecLaneCheck, fn ExtendFn, k, w int) (*Relation, bool) {
+	n := len(r.rows)
+	exact, replay := vecExactLanes(plans)
+	nm := numMorsels(n)
+	locals := make([][]*vecLocalGroup, nm)
+	bad := make([]bool, nm)
+	parallelMorsels(par, n, func(c, lo, hi int) {
+		groups := make(map[uint64][]*vecLocalGroup, hi-lo)
+		var order []*vecLocalGroup
+		scratch := make(Row, w)
+		for i := lo; i < hi; i++ {
+			row := r.rows[i]
+			copy(scratch, row)
+			fn(row, scratch[k:])
+			if !vecCheckRow(scratch, checks) {
+				bad[c] = true
+				return
+			}
+			h := vecHashKey(scratch, spec.gOrd)
+			var g *vecLocalGroup
+			for _, cand := range groups[h] {
+				if vecKeyRowsEqual(scratch, cand.wide, spec.gOrd) {
+					g = cand
+					break
+				}
+			}
+			if g == nil {
+				g = &vecLocalGroup{
+					first:  int32(i),
+					wide:   append(Row(nil), scratch...),
+					hash:   h,
+					states: make([]vecAggState, len(plans)),
+				}
+				groups[h] = append(groups[h], g)
+				order = append(order, g)
+			}
+			g.rows++
+			for j := range plans {
+				p := &plans[j]
+				if p.ord < 0 || !exact[j] {
+					continue
+				}
+				v := scratch[p.ord]
+				if v.typ == TypeNull {
+					continue
+				}
+				g.states[j].fold(p.kind, v)
+			}
+			if replay {
+				g.idx = append(g.idx, int32(i))
+			}
+		}
+		locals[c] = order
+	})
+	for _, b := range bad {
+		if b {
+			return nil, false
+		}
+	}
+
+	// Merge in morsel order: first-seen merged order equals the
+	// sequential scan's first-seen order, and the retained wide first row
+	// carries the key cells (fn is deterministic, so the copy matches what
+	// the sequential pass would have kept).
+	totalLocals := 0
+	for _, l := range locals {
+		totalLocals += len(l)
+	}
+	mergedTab := make(map[uint64][]*vecMergedGroup, totalLocals)
+	var order []*vecMergedGroup
+	for _, local := range locals {
+		for _, lg := range local {
+			var g *vecMergedGroup
+			for _, cand := range mergedTab[lg.hash] {
+				if vecKeyRowsEqual(lg.wide, cand.wide, spec.gOrd) {
+					g = cand
+					break
+				}
+			}
+			if g == nil {
+				g = &vecMergedGroup{first: lg.first, wide: lg.wide, states: make([]vecAggState, len(plans))}
+				mergedTab[lg.hash] = append(mergedTab[lg.hash], g)
+				order = append(order, g)
+			}
+			g.rows += lg.rows
+			for j := range plans {
+				if exact[j] {
+					g.states[j].merge(plans[j].kind, &lg.states[j])
+				}
+			}
+			if replay {
+				g.idx = append(g.idx, lg.idx)
+			}
+		}
+	}
+
+	gw := len(spec.gOrd)
+	ow := len(spec.out.Columns)
+	backing := make([]Value, len(order)*ow)
+	out := make([]Row, len(order))
+	parallelRun(par, len(order), func(gi int) {
+		g := order[gi]
+		states := g.states
+		if replay {
+			scratch := make(Row, w)
+			for _, idx := range g.idx {
+				for _, ri := range idx {
+					row := r.rows[ri]
+					copy(scratch, row)
+					fn(row, scratch[k:])
+					for j := range plans {
+						p := &plans[j]
+						if p.ord < 0 || exact[j] {
+							continue
+						}
+						v := scratch[p.ord]
+						if v.typ == TypeNull {
+							continue
+						}
+						states[j].fold(p.kind, v)
+					}
+				}
+			}
+		}
+		dst := backing[gi*ow : gi*ow+ow : gi*ow+ow]
+		for j, o := range spec.gOrd {
+			dst[j] = g.wide[o]
+		}
+		vecEmitAggs(dst[gw:], plans, states, g.rows)
+		out[gi] = dst
+	})
+	return &Relation{schema: spec.out, rows: out}, true
 }
 
 // vecSeqGroup is one group of the fused sequential fold: the first row

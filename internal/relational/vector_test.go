@@ -534,6 +534,133 @@ func TestVectorKernelsFuzzedIdentity(t *testing.T) {
 	})
 }
 
+// finiteVecRelation is randVecRelation without the adversarial float
+// payloads: finite float lanes stay on the vectorized path, so the
+// parallel kernels' ordered float replay is actually exercised instead
+// of surrendering to the row kernels.
+func finiteVecRelation(rng *rand.Rand, n int) *Relation {
+	s := MustSchema([]Column{
+		Col("K", TypeInt),
+		{Name: "G", Type: TypeInt, Nullable: true},
+		{Name: "F", Type: TypeFloat, Nullable: true},
+		Col("S", TypeString),
+		{Name: "T", Type: TypeTime, Nullable: true},
+	})
+	base := time.Date(2006, 1, 2, 15, 4, 5, 0, time.UTC)
+	rows := make([]Row, n)
+	for i := range rows {
+		g, f, ts := Null, Null, Null
+		if rng.Float64() >= 0.2 {
+			g = NewInt(int64(rng.Intn(40)))
+		}
+		if rng.Float64() >= 0.2 {
+			f = NewFloat(rng.NormFloat64() * 100)
+		}
+		if rng.Float64() >= 0.2 {
+			ts = NewTime(base.Add(time.Duration(rng.Intn(1000)) * time.Hour))
+		}
+		rows[i] = Row{
+			NewInt(int64(rng.Intn(500))), g, f,
+			NewString(fmt.Sprintf("s%02d", rng.Intn(60))), ts,
+		}
+	}
+	return &Relation{schema: s, rows: rows}
+}
+
+// TestGroupAggVecExactLaneMerge pins the parallel grouped aggregation's
+// two phase-2 modes against the sequential row kernel: an all-exact
+// aggregate set (COUNT, int SUM/MIN/MAX, string MIN/MAX) merges the
+// per-morsel states directly and never revisits a row, while adding one
+// finite float SUM keeps the index lists and replays only that lane in
+// global row order. Both must be bit-identical to GroupBy.
+func TestGroupAggVecExactLaneMerge(t *testing.T) {
+	withWorkers(t, 8, func() {
+		r := finiteVecRelation(rand.New(rand.NewSource(4117)), 2*morselSize+451)
+		by := []string{"G"}
+		exactAggs := []AggSpec{
+			{Func: "count", As: "N"},
+			{Func: "count", Col: "F", As: "NF"},
+			{Func: "sum", Col: "K", As: "SK"},
+			{Func: "min", Col: "K", As: "MNK"},
+			{Func: "max", Col: "K", As: "MXK"},
+			{Func: "min", Col: "S", As: "MNS"},
+			{Func: "max", Col: "S", As: "MXS"},
+		}
+		mixedAggs := append(append([]AggSpec(nil), exactAggs...),
+			AggSpec{Func: "sum", Col: "F", As: "SF"},
+			AggSpec{Func: "avg", Col: "K", As: "AK"})
+		for _, tc := range []struct {
+			tag  string
+			aggs []AggSpec
+		}{{"exact-only", exactAggs}, {"mixed-replay", mixedAggs}} {
+			want, err := r.GroupBy(by, tc.aggs)
+			if err != nil {
+				t.Fatalf("%s: GroupBy: %v", tc.tag, err)
+			}
+			for _, par := range []int{2, 4, 8} {
+				got, layout, err := r.GroupAggVec(par, by, tc.aggs)
+				if err != nil {
+					t.Fatalf("%s par=%d: GroupAggVec: %v", tc.tag, par, err)
+				}
+				if layout != LayoutColumnar {
+					t.Fatalf("%s par=%d: layout = %v, want COLUMNAR", tc.tag, par, layout)
+				}
+				sameRelation(t, fmt.Sprintf("%s par=%d", tc.tag, par), want, got)
+			}
+		}
+	})
+}
+
+// TestGroupAggExtVecParallelFused pins the parallel fused extend+group
+// path — phase-1 extension into per-worker scratch rows, direct merge of
+// the exact lanes, fn re-run during the ordered float replay — against
+// the materializing row pipeline, with finite floats so the vectorized
+// path actually runs.
+func TestGroupAggExtVecParallelFused(t *testing.T) {
+	withWorkers(t, 8, func() {
+		r := finiteVecRelation(rand.New(rand.NewSource(9311)), 2*morselSize+89)
+		ord := r.Schema().MustOrdinal("T")
+		cols := []Column{
+			{Name: "Y", Type: TypeInt, Nullable: true},
+			{Name: "M", Type: TypeInt, Nullable: true},
+		}
+		fn := func(row Row, out []Value) {
+			if row[ord].IsNull() {
+				out[0], out[1] = Null, Null
+				return
+			}
+			d := row[ord].Time()
+			out[0] = NewInt(int64(d.Year()))
+			out[1] = NewInt(int64(d.Month()))
+		}
+		by := []string{"Y", "M", "G"}
+		aggs := []AggSpec{
+			{Func: "count", As: "N"},
+			{Func: "sum", Col: "K", As: "SK"},
+			{Func: "sum", Col: "F", As: "SF"},
+			{Func: "avg", Col: "F", As: "AF"},
+		}
+		ext, err := r.ExtendManyPar(0, cols, fn)
+		if err != nil {
+			t.Fatalf("ExtendManyPar: %v", err)
+		}
+		want, err := ext.GroupBy(by, aggs)
+		if err != nil {
+			t.Fatalf("GroupBy: %v", err)
+		}
+		for _, par := range []int{2, 4, 8} {
+			got, layout, err := r.GroupAggExtVec(par, cols, fn, by, aggs)
+			if err != nil {
+				t.Fatalf("par=%d: GroupAggExtVec: %v", par, err)
+			}
+			if layout != LayoutColumnar {
+				t.Fatalf("par=%d: layout = %v, want COLUMNAR (fused parallel)", par, layout)
+			}
+			sameRelation(t, fmt.Sprintf("par=%d fused", par), want, got)
+		}
+	})
+}
+
 // TestGroupAggExtVecMatchesRowPipeline pins the fused extend+group
 // kernel — the ComputeOrdersMV shape — against the row pipeline it
 // replaces (ExtendManyPar followed by GroupByPar), across sizes,
@@ -588,7 +715,7 @@ func TestGroupAggExtVecMatchesRowPipeline(t *testing.T) {
 		// With no float aggregate lane (count + int sum) the adversarial
 		// floats in F are never touched, so both executions must report
 		// the vectorized layout: par=1 exercises the fused single pass,
-		// par=4 the materialized ExtendVec + GroupAggVec pipeline.
+		// par=4 the parallel fused partition with direct exact-lane merge.
 		r := randVecRelation(rand.New(rand.NewSource(31)), morselSize+77, 0.3)
 		fn := mkFn(r)
 		for _, par := range []int{1, 4} {

@@ -1,0 +1,83 @@
+package dipbench
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/monitor"
+	"repro/internal/schema"
+)
+
+// BenchmarkShardDistributed is the A/B harness behind
+// results/perf_pr7.md: it runs the full benchmark through the core
+// harness with and without region sharding and reports, next to the
+// wall-clock ns/op, the modeled 3-machine critical path of the sharded
+// run in tu. The model uses the monitor's concurrency-normalized cost
+// ledger: on a single host the shards time-share the CPU, so the
+// coordinator windows of P12/P13 contain the children's summed
+// extraction work — subtracting each region sum and adding the region
+// maximum instead models the distributed deployment region sharding
+// targets (one machine per shard, coordinator folds staying serial):
+//
+//	dist = coord_own(P12) + max_R P12@R + coord_own(P13) + max_R P13@R
+//	     + max_R P14@R + max_R P15@R
+//	base = P12 + P13 + P14 + P15 of the unsharded run
+func BenchmarkShardDistributed(b *testing.B) {
+	totalTU := func(rep *monitor.Report, id string) float64 {
+		if st := rep.ByProcess(id); st != nil {
+			return st.NAVG * float64(st.Instances)
+		}
+		return 0
+	}
+	run := func(b *testing.B, shards int, d float64) *monitor.Report {
+		b.Helper()
+		bench, err := core.New(core.Config{
+			Datasize: d, Periods: 2, Seed: 11, FastClock: true,
+			Engine: core.EnginePipeline, Columnar: "on",
+			Shards: shards,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer bench.Close()
+		res, err := bench.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res.Report
+	}
+	for _, d := range []float64{1, 4} {
+		b.Run(fmt.Sprintf("d_%g", d), func(b *testing.B) {
+			var base, dist float64
+			for i := 0; i < b.N; i++ {
+				baseRep := run(b, 0, d)
+				shardRep := run(b, 3, d)
+				base, dist = 0, 0
+				for _, id := range []string{"P12", "P13", "P14", "P15"} {
+					base += totalTU(baseRep, id)
+				}
+				for _, id := range []string{"P12", "P13", "P14", "P15"} {
+					var sum, max float64
+					for _, region := range schema.Regions {
+						tu := totalTU(shardRep, id+"@"+region)
+						sum += tu
+						if tu > max {
+							max = tu
+						}
+					}
+					if id == "P12" || id == "P13" {
+						// Coordinator window minus the serialized children,
+						// plus the slowest region running remotely.
+						dist += totalTU(shardRep, id) - sum + max
+					} else {
+						dist += max
+					}
+				}
+			}
+			b.ReportMetric(base, "base_tu")
+			b.ReportMetric(dist, "dist_tu")
+			b.ReportMetric(base/dist, "modeled_speedup_x")
+		})
+	}
+}
