@@ -1,0 +1,101 @@
+// Command dipbenchd is the DIPBench service daemon: an HTTP control
+// plane hosting many concurrent benchmark runs as isolated tenants.
+//
+// Usage:
+//
+//	dipbenchd -data-dir /var/lib/dipbench [flags]
+//
+// Flags:
+//
+//	-addr s             listen address (default 127.0.0.1:7717)
+//	-data-dir path      tenant state root (required)
+//	-max-tenants n      concurrently executing runs (default 4)
+//	-max-queue n        admitted-but-waiting runs (default -max-tenants)
+//	-watchdog d         per-tenant wall-clock deadline, 0 = unbounded
+//	-checkpoint-every n default checkpoint cadence for tenant WALs (default 1)
+//	-retry-after d      Retry-After hint on shed submissions (default 5s)
+//	-drain-timeout d    max wait for in-flight runs on SIGTERM (default 60s)
+//
+// Submit runs with POST /runs (a serve.RunSpec JSON body), watch them
+// with GET /metrics or `dipmon -live <addr>`. SIGTERM drains: admission
+// stops, every in-flight run stops at its next committed stream-barrier
+// checkpoint, and a restarted daemon with the same -data-dir resumes
+// all unfinished tenants exactly-once.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7717", "listen address")
+	dataDir := flag.String("data-dir", "", "tenant state root (required)")
+	maxTenants := flag.Int("max-tenants", 4, "concurrently executing runs")
+	maxQueue := flag.Int("max-queue", 0, "admitted-but-waiting runs (default -max-tenants)")
+	watchdog := flag.Duration("watchdog", 0, "per-tenant wall-clock deadline, 0 = unbounded")
+	checkpointEvery := flag.Int("checkpoint-every", 1, "default checkpoint cadence for tenant WALs")
+	retryAfter := flag.Duration("retry-after", 5*time.Second, "Retry-After hint on shed submissions")
+	drainTimeout := flag.Duration("drain-timeout", 60*time.Second, "max wait for in-flight runs on SIGTERM")
+	flag.Parse()
+
+	if *dataDir == "" {
+		fmt.Fprintln(os.Stderr, "dipbenchd: -data-dir is required")
+		os.Exit(2)
+	}
+	srv, err := serve.NewServer(serve.Options{
+		DataDir:         *dataDir,
+		MaxTenants:      *maxTenants,
+		MaxQueue:        *maxQueue,
+		Watchdog:        *watchdog,
+		CheckpointEvery: *checkpointEvery,
+		RetryAfter:      *retryAfter,
+	})
+	if err != nil {
+		log.Fatalf("dipbenchd: %v", err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("dipbenchd: listen: %v", err)
+	}
+	hs := &http.Server{
+		Handler:      srv.Handler(),
+		ReadTimeout:  15 * time.Second,
+		WriteTimeout: 30 * time.Second,
+		IdleTimeout:  60 * time.Second,
+	}
+	go func() {
+		if err := hs.Serve(ln); err != nil && err != http.ErrServerClosed {
+			log.Fatalf("dipbenchd: serve: %v", err)
+		}
+	}()
+	log.Printf("dipbenchd: listening on http://%s (data %s, %d tenants)", ln.Addr(), *dataDir, *maxTenants)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
+	<-sig
+	log.Printf("dipbenchd: draining (timeout %v)", *drainTimeout)
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		log.Printf("dipbenchd: drain incomplete: %v", err)
+		_ = hs.Close()
+		os.Exit(1)
+	}
+	if err := hs.Shutdown(ctx); err != nil {
+		_ = hs.Close()
+	}
+	log.Printf("dipbenchd: drained; unfinished tenants resume on restart")
+}

@@ -8,21 +8,32 @@
 // log (a wal.log file or the checkpoint directory holding one) and dumps
 // every dead-lettered message with its process, period and cause.
 //
+// With -live it switches to service-mode monitoring: it reads a running
+// dipbenchd's /metrics endpoint and renders per-tenant period progress,
+// resilience counters, breaker states and admission shed counts. Add
+// -watch to refresh until interrupted.
+//
 // Usage:
 //
 //	dipmon -in records.csv [-t timescale] [-d datasize] [-csv out.csv] [-dat out.dat]
 //	dipmon -dlq <wal.log | checkpoint-dir>
+//	dipmon -live 127.0.0.1:7717 [-watch]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/monitor"
+	"repro/internal/serve"
 	"repro/internal/wal"
 )
 
@@ -36,8 +47,16 @@ func main() {
 		csvPath = flag.String("csv", "", "write the analyzed report CSV to this path")
 		datPath = flag.String("dat", "", "write the gnuplot data file to this path")
 		dlqPath = flag.String("dlq", "", "dump the dead-letter queue from this WAL file or checkpoint directory")
+		live    = flag.String("live", "", "render a running dipbenchd's live metrics from this address")
+		watch   = flag.Bool("watch", false, "with -live: refresh every 2s until interrupted")
 	)
 	flag.Parse()
+	if *live != "" {
+		if err := liveMetrics(os.Stdout, *live, *watch); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *dlqPath != "" {
 		if err := dumpDLQ(os.Stdout, *dlqPath); err != nil {
 			fatal(err)
@@ -164,6 +183,95 @@ func dumpDLQ(out *os.File, path string) error {
 		fmt.Fprintln(out, "  note: WAL has a torn tail (records past the tear are unrecoverable)")
 	}
 	return nil
+}
+
+// liveMetrics fetches and renders a dipbenchd /metrics snapshot; with
+// watch it refreshes every 2 seconds until interrupted.
+func liveMetrics(out *os.File, addr string, watch bool) error {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	client := &http.Client{Timeout: 10 * time.Second}
+	for {
+		m, err := fetchMetrics(client, addr+"/metrics")
+		if err != nil {
+			return err
+		}
+		renderMetrics(out, m)
+		if !watch {
+			return nil
+		}
+		time.Sleep(2 * time.Second)
+		fmt.Fprintln(out)
+	}
+}
+
+func fetchMetrics(client *http.Client, url string) (*serve.Metrics, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<12))
+		return nil, fmt.Errorf("%s: HTTP %d: %s", url, resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	var m serve.Metrics
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return nil, fmt.Errorf("decode metrics: %w", err)
+	}
+	return &m, nil
+}
+
+// renderMetrics prints the per-tenant progress table.
+func renderMetrics(out *os.File, m *serve.Metrics) {
+	state := "accepting"
+	if m.Draining {
+		state = "draining"
+	}
+	fmt.Fprintf(out, "dipbenchd: %s | running %d queued %d shed %d\n",
+		state, m.Running, m.Queued, m.Shed)
+	if len(m.Tenants) == 0 {
+		fmt.Fprintln(out, "  (no tenants)")
+		return
+	}
+	fmt.Fprintf(out, "  %-16s %-13s %-14s %8s %8s %s\n",
+		"TENANT", "STATE", "PERIODS", "EVENTS", "FAILURES", "RESILIENCE")
+	const width = 10
+	for _, t := range m.Tenants {
+		done := t.PeriodsDone
+		bar := 0
+		if t.Periods > 0 {
+			bar = done * width / t.Periods
+			if bar > width {
+				bar = width
+			}
+		}
+		progress := fmt.Sprintf("%3d/%-3d", done, t.Periods)
+		resilience := "-"
+		if t.Retries > 0 || t.Trips > 0 || t.DeadLetters > 0 {
+			resilience = fmt.Sprintf("retries=%d trips=%d dlq=%d", t.Retries, t.Trips, t.DeadLetters)
+		}
+		open := 0
+		for _, st := range t.Breakers {
+			if st != "closed" {
+				open++
+			}
+		}
+		if open > 0 {
+			resilience += fmt.Sprintf(" breakers-open=%d", open)
+		}
+		stateCol := t.State
+		if t.Resumed {
+			stateCol += "*"
+		}
+		fmt.Fprintf(out, "  %-16s %-13s [%-*s] %s %8d %8d %s\n",
+			t.ID, stateCol, width, strings.Repeat("#", bar), progress, t.Events, t.Failures, resilience)
+		if t.Error != "" {
+			fmt.Fprintf(out, "  %-16s   error: %s\n", "", t.Error)
+		}
+	}
+	fmt.Fprintln(out, "  (* = resumed from checkpoint)")
 }
 
 func fatal(err error) {

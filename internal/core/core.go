@@ -23,6 +23,7 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/datagen"
@@ -90,6 +91,12 @@ type Config struct {
 	Trace bool
 	// OnPeriod, when non-nil, receives per-period progress callbacks.
 	OnPeriod func(k int, s driver.PeriodStats)
+	// DrainCheck, when non-nil, is consulted at every committed stream
+	// barrier: returning true stops the run there with driver.ErrDrained.
+	// Combined with WALDir this is the graceful-drain primitive — the
+	// barrier's checkpoint is already durable, so a later Resume continues
+	// the run exactly-once from the drain point.
+	DrainCheck func() bool
 
 	// FaultRate > 0 enables deterministic fault injection at every
 	// external-system boundary: each external call draws from the
@@ -193,6 +200,9 @@ type Benchmark struct {
 	plan    *fault.Plan         // non-nil when FaultRate > 0
 	rc      *recoveryController // non-nil when WALDir is set
 	crasher *fault.Crasher      // non-nil when CrashAt is set
+
+	closeOnce sync.Once
+	closeErr  error
 }
 
 // New builds the full benchmark stack from a configuration.
@@ -237,6 +247,14 @@ func New(cfg Config) (*Benchmark, error) {
 		_ = scn.Close()
 		return nil, err
 	}
+	// fail releases the partially built stack on the remaining error
+	// paths — the engine exists from here on, so dropping it without Close
+	// would leak its batchers.
+	fail := func(err error) (*Benchmark, error) {
+		_ = eng.Close()
+		_ = scn.Close()
+		return nil, err
+	}
 	switch cfg.Incremental {
 	case "":
 	case "on":
@@ -244,8 +262,7 @@ func New(cfg Config) (*Benchmark, error) {
 	case "off":
 		eng.SetIncremental(false)
 	default:
-		_ = scn.Close()
-		return nil, fmt.Errorf("core: Incremental must be \"\", \"on\" or \"off\", got %q", cfg.Incremental)
+		return fail(fmt.Errorf("core: Incremental must be \"\", \"on\" or \"off\", got %q", cfg.Incremental))
 	}
 	switch cfg.Columnar {
 	case "":
@@ -254,8 +271,7 @@ func New(cfg Config) (*Benchmark, error) {
 	case "off":
 		eng.SetColumnar(false)
 	default:
-		_ = scn.Close()
-		return nil, fmt.Errorf("core: Columnar must be \"\", \"on\" or \"off\", got %q", cfg.Columnar)
+		return fail(fmt.Errorf("core: Columnar must be \"\", \"on\" or \"off\", got %q", cfg.Columnar))
 	}
 	// The warehouse-layer stored procedures (OrdersMV refresh) run inside
 	// the external systems; give them the engine's parallel degree and
@@ -285,18 +301,15 @@ func New(cfg Config) (*Benchmark, error) {
 	// creation) and must precede the durability layer so a resume restores
 	// into the sharded shape.
 	if cfg.Shards < 0 {
-		_ = scn.Close()
-		return nil, fmt.Errorf("core: Shards must be >= 0, got %d", cfg.Shards)
+		return fail(fmt.Errorf("core: Shards must be >= 0, got %d", cfg.Shards))
 	}
 	if cfg.Shards > 0 && eng.ShardCount() == 0 {
 		if err := eng.SetShards(cfg.Shards); err != nil {
-			_ = scn.Close()
-			return nil, err
+			return fail(err)
 		}
 	}
 	if cfg.ShardVerify && cfg.Shards == 0 {
-		_ = scn.Close()
-		return nil, fmt.Errorf("core: ShardVerify requires Shards > 0")
+		return fail(fmt.Errorf("core: ShardVerify requires Shards > 0"))
 	}
 	// The durability layer comes up after the engine is fully configured
 	// (a resume restores into the final shape) but before fault injection
@@ -308,12 +321,10 @@ func New(cfg Config) (*Benchmark, error) {
 	if cfg.WALDir != "" {
 		rc, res, err = newRecoveryController(cfg, scn, eng, mon)
 		if err != nil {
-			_ = scn.Close()
-			return nil, err
+			return fail(err)
 		}
 	} else if cfg.Resume {
-		_ = scn.Close()
-		return nil, fmt.Errorf("core: Resume requires WALDir")
+		return fail(fmt.Errorf("core: Resume requires WALDir"))
 	}
 	if plan != nil {
 		scn.InstallFaultPlan(plan)
@@ -322,8 +333,10 @@ func New(cfg Config) (*Benchmark, error) {
 	if cfg.CrashAt != "" {
 		cp, err := fault.ParseCrashPoint(cfg.CrashAt)
 		if err != nil {
-			_ = scn.Close()
-			return nil, err
+			if rc != nil {
+				_ = rc.close()
+			}
+			return fail(err)
 		}
 		crasher = fault.NewCrasher(cp)
 	}
@@ -347,6 +360,7 @@ func New(cfg Config) (*Benchmark, error) {
 		Verify:       cfg.Verify,
 		Trace:        trace,
 		OnPeriod:     cfg.OnPeriod,
+		DrainCheck:   cfg.DrainCheck,
 		MVCheckEvery: mvEvery,
 		Resume:       res,
 		Crasher:      crasher,
@@ -356,8 +370,10 @@ func New(cfg Config) (*Benchmark, error) {
 	}
 	client, err := driver.NewClient(dcfg, scn, eng)
 	if err != nil {
-		_ = scn.Close()
-		return nil, err
+		if rc != nil {
+			_ = rc.close()
+		}
+		return fail(err)
 	}
 	return &Benchmark{
 		cfg: cfg, scn: scn, eng: eng, mon: mon, client: client,
@@ -418,6 +434,12 @@ func (b *Benchmark) RunContext(ctx context.Context) (*Result, error) {
 			// is dropped exactly as a real kill would drop it.
 			b.rc.abandon()
 		}
+		if errors.Is(err, driver.ErrDrained) {
+			// A drained run stopped at a committed barrier: the partial
+			// measurements are valid, the checkpoint is durable, and the
+			// twin verifications are deferred to the resumed run.
+			return &Result{Stats: stats, Report: b.mon.Analyze()}, err
+		}
 		return nil, err
 	}
 	res := &Result{Stats: stats, Report: b.mon.Analyze()}
@@ -458,6 +480,7 @@ func (b *Benchmark) runChaosTwin(ctx context.Context) (*driver.VerificationResul
 	twinCfg.Verify = false
 	twinCfg.Trace = false
 	twinCfg.OnPeriod = nil
+	twinCfg.DrainCheck = nil
 	twinCfg.WALDir = ""
 	twinCfg.CheckpointEvery = 0
 	twinCfg.Resume = false
@@ -491,6 +514,7 @@ func (b *Benchmark) runRecomputeTwin(ctx context.Context) (*driver.VerificationR
 	twinCfg.MVCheckEvery = 0
 	twinCfg.Trace = false
 	twinCfg.OnPeriod = nil
+	twinCfg.DrainCheck = nil
 	twinCfg.WALDir = ""
 	twinCfg.CheckpointEvery = 0
 	twinCfg.Resume = false
@@ -525,6 +549,7 @@ func (b *Benchmark) runShardTwin(ctx context.Context) (*driver.VerificationResul
 	twinCfg.MVCheckEvery = 0
 	twinCfg.Trace = false
 	twinCfg.OnPeriod = nil
+	twinCfg.DrainCheck = nil
 	twinCfg.WALDir = ""
 	twinCfg.CheckpointEvery = 0
 	twinCfg.Resume = false
@@ -554,10 +579,17 @@ func (b *Benchmark) StateDigest() string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
-// Close releases the benchmark's resources: the engine's batchers, the
-// durability layer's WAL and the topology's web-service server.
+// Close releases the benchmark's resources in dependency order: first
+// the engine (its batchers flush through the gateway), then the
+// durability layer's WAL (the final barrier records must be synced
+// before the stores go away), then the topology's servers. Close is
+// idempotent — the service layer closes tenants both on completion and
+// again on daemon shutdown.
 func (b *Benchmark) Close() error {
-	_ = b.eng.Close()
-	_ = b.rc.close()
-	return b.scn.Close()
+	b.closeOnce.Do(func() {
+		_ = b.eng.Close()
+		_ = b.rc.close()
+		b.closeErr = b.scn.Close()
+	})
+	return b.closeErr
 }

@@ -137,8 +137,24 @@ func (r *Remote) faultPlan() *fault.Plan {
 // BaseURL returns the endpoint's base URL.
 func (r *Remote) BaseURL() string { return r.baseURL }
 
-// Close shuts the endpoint down.
-func (r *Remote) Close() error { return r.http.Close() }
+// CloseTimeout bounds the graceful drain Close attempts before falling
+// back to closing connections outright.
+const CloseTimeout = 5 * time.Second
+
+// Close shuts the endpoint down gracefully: the listener stops accepting
+// immediately, in-flight protocol requests get up to CloseTimeout to
+// finish (a half-written snapshot response would otherwise corrupt a
+// checkpoint read), then stragglers are cut off. Safe to call more than
+// once.
+func (r *Remote) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), CloseTimeout)
+	defer cancel()
+	err := r.http.Shutdown(ctx)
+	if err != nil {
+		_ = r.http.Close()
+	}
+	return err
+}
 
 // dispatch routes /db/<instance>/<op>.
 func (r *Remote) dispatch(w http.ResponseWriter, req *http.Request) {
@@ -161,8 +177,15 @@ func (r *Remote) dispatch(w http.ResponseWriter, req *http.Request) {
 		http.Error(w, "read: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	if !fault.InjectHTTP(w, req, r.faultPlan(), "db/"+strings.ToLower(parts[1]), parts[2], body) {
-		return
+	// The durability plane is exempt from injection: snapshot and restore
+	// are the harness's own checkpoint traffic, not benchmark workload —
+	// the in-process gateway never injects on them either — and letting
+	// them consume fault-plan occurrences would shift the workload's
+	// deterministic draws with the checkpoint cadence.
+	if parts[2] != "snapshot" && parts[2] != "restore" {
+		if !fault.InjectHTTP(w, req, r.faultPlan(), "db/"+strings.ToLower(parts[1]), parts[2], body) {
+			return
+		}
 	}
 	doc, err := x.Parse(bytes.NewReader(body))
 	if err != nil {

@@ -3,6 +3,7 @@ package driver
 import (
 	"context"
 	"errors"
+	"runtime"
 	"testing"
 	"time"
 
@@ -12,6 +13,7 @@ import (
 
 func TestRunContextCancellationStopsTheRun(t *testing.T) {
 	r := newRig(t, false)
+	before := runtime.NumGoroutine()
 	// Real clock at t=1: the period lasts seconds, giving the cancel a
 	// wide window.
 	sf := schedule.ScaleFactors{Datasize: 0.005, Time: 1, Dist: datagen.Uniform}
@@ -57,6 +59,17 @@ func TestRunContextCancellationStopsTheRun(t *testing.T) {
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
+	// Goroutine-leak assertion: every dispatcher AND the pipelined
+	// period-init goroutine must wind down after the cancel — a lingering
+	// prepare would keep generating data for a period nobody executes.
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+3 {
+			return
+		}
+		runtime.Gosched()
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("goroutine leak after cancellation: before=%d after=%d", before, runtime.NumGoroutine())
 }
 
 func TestRunContextAlreadyCancelled(t *testing.T) {

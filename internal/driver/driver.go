@@ -52,7 +52,19 @@ type Config struct {
 	// Crasher, when non-nil, kills the run deterministically at its
 	// armed (period, stream, occurrence) point with fault.ErrCrash.
 	Crasher *fault.Crasher
+	// DrainCheck, when non-nil, is consulted after every committed stream
+	// barrier: returning true stops the run there with ErrDrained. Because
+	// the check only fires at barriers, the in-flight stream group always
+	// completes and its recovery checkpoint commits first — a drained run
+	// resumes exactly-once from the barrier it stopped at (the graceful-
+	// shutdown half of the crash-recovery contract).
+	DrainCheck func() bool
 }
+
+// ErrDrained reports a run stopped cooperatively at a stream barrier by
+// Config.DrainCheck. The external systems, engine state and WAL are
+// consistent as of that barrier; a Resume continues the run exactly-once.
+var ErrDrained = errors.New("driver: run drained at stream barrier")
 
 // PeriodStats summarizes one completed period.
 type PeriodStats struct {
@@ -161,7 +173,7 @@ func (c *Client) RunContext(ctx context.Context) (*RunStats, error) {
 		// generator state.
 		stats.Elapsed = time.Since(start)
 		if c.cfg.Verify {
-			prep := c.prepare(c.cfg.Periods - 1)
+			prep := c.prepare(ctx, c.cfg.Periods-1)
 			if prep.err != nil {
 				return stats, prep.err
 			}
@@ -172,11 +184,11 @@ func (c *Client) RunContext(ctx context.Context) (*RunStats, error) {
 
 	var lastGen *datagen.Generator
 	prepCh := make(chan prepared, 1)
-	go func() { prepCh <- c.prepare(k0) }()
+	go func() { prepCh <- c.prepare(ctx, k0) }()
 	for k := k0; k < c.cfg.Periods; k++ {
 		prep := <-prepCh
 		if k+1 < c.cfg.Periods {
-			go func(next int) { prepCh <- c.prepare(next) }(k + 1)
+			go func(next int) { prepCh <- c.prepare(ctx, next) }(k + 1)
 		}
 		if err := ctx.Err(); err != nil {
 			stats.Elapsed = time.Since(start)
@@ -217,9 +229,10 @@ func (c *Client) RunContext(ctx context.Context) (*RunStats, error) {
 		}
 		if err != nil {
 			stats.Elapsed = time.Since(start)
-			if errors.Is(err, fault.ErrCrash) {
-				// Injected crash: surface the sentinel untouched so the
-				// caller can abandon the WAL exactly like a process kill.
+			if errors.Is(err, fault.ErrCrash) || errors.Is(err, ErrDrained) {
+				// Injected crash or cooperative drain: surface the sentinel
+				// untouched so the caller can tell the stop apart from a
+				// failure (abandon the WAL / mark the run checkpointed).
 				return stats, err
 			}
 			if ctx.Err() != nil {
@@ -237,6 +250,12 @@ func (c *Client) RunContext(ctx context.Context) (*RunStats, error) {
 		}
 		if c.cfg.OnPeriod != nil {
 			c.cfg.OnPeriod(k, ps)
+		}
+		if k+1 < c.cfg.Periods && c.cfg.DrainCheck != nil && c.cfg.DrainCheck() {
+			// Between-periods drain: the period-end barrier committed and
+			// the period is counted; the resumed run starts at period k+1.
+			stats.Elapsed = time.Since(start)
+			return stats, ErrDrained
 		}
 	}
 	stats.Elapsed = time.Since(start)
@@ -258,7 +277,12 @@ type prepared struct {
 
 // prepare computes a period's prepared state. It is pure (no store is
 // touched), so it can run concurrently with the previous period's streams.
-func (c *Client) prepare(k int) prepared {
+// It honours the run context: a cancelled run must not keep a background
+// generation goroutine busy computing a period nobody will execute.
+func (c *Client) prepare(ctx context.Context, k int) prepared {
+	if err := ctx.Err(); err != nil {
+		return prepared{err: err}
+	}
 	gen, err := datagen.New(datagen.Config{
 		Seed:     c.cfg.Seed,
 		Datasize: c.cfg.Scale.Datasize,
@@ -267,6 +291,9 @@ func (c *Client) prepare(k int) prepared {
 	})
 	if err != nil {
 		return prepared{err: err}
+	}
+	if err := ctx.Err(); err != nil {
+		return prepared{gen: gen, err: err}
 	}
 	data, err := scenario.GenerateSourceData(gen)
 	if err != nil {
@@ -524,6 +551,14 @@ func (c *Client) runPeriod(ctx context.Context, k int, prep prepared, rp resumeP
 		if err := runGroup(g.barrier, g.streams...); err != nil {
 			ps = psNow()
 			return ps, err
+		}
+		if c.cfg.DrainCheck != nil && c.cfg.DrainCheck() && g.barrier != BarrierPeriodEnd {
+			// Graceful drain: the barrier above committed (checkpoint and
+			// all), so stopping here loses nothing. The period-end barrier
+			// defers to the between-periods check in RunContext so a fully
+			// completed period is counted before the drain surfaces.
+			ps = psNow()
+			return ps, ErrDrained
 		}
 	}
 

@@ -576,10 +576,10 @@ func (e *Engine) ExecuteContext(ctx context.Context, processID string, input *x.
 	if p == nil {
 		return fmt.Errorf("engine: unknown process %q", processID)
 	}
-	if e.workers != nil {
-		e.workers <- struct{}{}
-		defer func() { <-e.workers }()
+	if err := e.acquireWorker(ctx); err != nil {
+		return err
 	}
+	defer e.releaseWorker()
 	if p.Event == mtm.E1 {
 		if input == nil {
 			return fmt.Errorf("engine: process %s requires an input message", processID)
@@ -596,6 +596,29 @@ func (e *Engine) ExecuteContext(ctx context.Context, processID string, input *x.
 		return fmt.Errorf("engine: process %s is time-scheduled and takes no message", processID)
 	}
 	return e.runInstanceRecorded(ctx, p, nil, period)
+}
+
+// acquireWorker takes a worker-pool slot, honouring the caller's context:
+// a cancelled instance must not block forever on a saturated pool (the
+// cross-shard merge barrier waits on these acquisitions, so an unbounded
+// wait here would wedge the whole barrier).
+func (e *Engine) acquireWorker(ctx context.Context) error {
+	if e.workers == nil {
+		return nil
+	}
+	select {
+	case e.workers <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// releaseWorker returns a slot taken by acquireWorker (no-op unbounded).
+func (e *Engine) releaseWorker() {
+	if e.workers != nil {
+		<-e.workers
+	}
 }
 
 // sqlBufPool recycles the scratch buffers executeViaQueue serializes into;

@@ -220,6 +220,9 @@ func (sc *shardController) fanOut(ctx context.Context, base string, period int) 
 		}()
 	}
 	wg.Wait()
+	if firstErr == nil {
+		firstErr = ctx.Err()
+	}
 	return firstErr
 }
 
@@ -259,6 +262,12 @@ func (sc *shardController) scatter(base string, tags ...string) func(*mtm.Contex
 		if firstErr != nil {
 			return firstErr
 		}
+		if err := goctx.Err(); err != nil {
+			// Cancelled mid-scatter: the extractions wound down without
+			// publishing their batches. Surface the cancellation itself, not
+			// a misleading "missing batch" merge error.
+			return err
+		}
 		for _, region := range schema.Regions {
 			for _, tag := range tags {
 				r := sc.take(tag, region)
@@ -294,9 +303,9 @@ func (sc *shardController) take(tag, region string) *rel.Relation {
 // controller's dynamically built process variants, which exist outside
 // the Definitions registry.
 func (e *Engine) executeProcess(ctx context.Context, p *mtm.Process, period int) error {
-	if e.workers != nil {
-		e.workers <- struct{}{}
-		defer func() { <-e.workers }()
+	if err := e.acquireWorker(ctx); err != nil {
+		return err
 	}
+	defer e.releaseWorker()
 	return e.runInstanceRecorded(ctx, p, nil, period)
 }

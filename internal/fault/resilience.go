@@ -301,6 +301,22 @@ func (r *Resilient) BreakerState(endpoint string) BreakerState {
 	return r.breakerFor(endpoint).stateNow()
 }
 
+// BreakerStates snapshots every endpoint breaker that has seen traffic —
+// the bulk form the service layer's metrics endpoint renders.
+func (r *Resilient) BreakerStates() map[string]BreakerState {
+	r.mu.Lock()
+	endpoints := make([]string, 0, len(r.breakers))
+	for ep := range r.breakers {
+		endpoints = append(endpoints, ep)
+	}
+	r.mu.Unlock()
+	states := make(map[string]BreakerState, len(endpoints))
+	for _, ep := range endpoints {
+		states[ep] = r.breakerFor(ep).stateNow()
+	}
+	return states
+}
+
 // breakerFor returns (creating on demand) the endpoint's breaker.
 func (r *Resilient) breakerFor(endpoint string) *breaker {
 	r.mu.Lock()

@@ -1,0 +1,459 @@
+// Package serve is the benchmark's control plane: an HTTP daemon hosting
+// many concurrent DIPBench scenario instances ("tenants"). Each tenant
+// runs the full stack — scenario databases, web services, engine,
+// monitor, WAL — privately, so runs are isolated by construction: the
+// digest of a tenant's final state equals its solo-run digest even when
+// the neighbours inject faults or crash.
+//
+// API (JSON bodies):
+//
+//	POST /runs              RunSpec        -> 202 {id} | 429 (shed) | 503 (draining)
+//	GET  /runs                             -> [TenantMetrics]
+//	GET  /runs/{id}                        -> TenantMetrics
+//	GET  /runs/{id}/report                 -> NAVG+ report (text)
+//	POST /runs/{id}/cancel                 -> 200
+//	GET  /healthz                          -> 200 (process alive)
+//	GET  /readyz                           -> 200 | 503 (draining)
+//	GET  /metrics                          -> Metrics
+//
+// Admission control: at most MaxTenants runs execute concurrently and at
+// most MaxQueue wait behind them; beyond that, submissions are shed with
+// 429 and a Retry-After hint — backpressure instead of collapse.
+//
+// Graceful drain: Drain (wired to SIGTERM by cmd/dipbenchd) stops
+// admission, lets every in-flight run reach its next committed stream
+// barrier — where the PR5 recovery controller has just made a checkpoint
+// durable — and stops it there. A restarted daemon re-admits every
+// unfinished tenant; checkpointed ones resume exactly-once.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Options configures the daemon.
+type Options struct {
+	// DataDir roots the tenant directories (tenant state, WAL,
+	// checkpoints). Required.
+	DataDir string
+	// MaxTenants bounds the concurrently executing runs (default 4).
+	MaxTenants int
+	// MaxQueue bounds the admitted-but-waiting runs (default MaxTenants);
+	// submissions beyond MaxTenants+MaxQueue are shed with 429.
+	MaxQueue int
+	// Watchdog bounds one tenant's wall-clock run time (0 = unbounded); an
+	// expired tenant is failed and its slot freed.
+	Watchdog time.Duration
+	// CheckpointEvery is the default checkpoint cadence for tenants that
+	// do not set their own.
+	CheckpointEvery int
+	// RetryAfter is the hint returned with shed submissions (default 5s).
+	RetryAfter time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxTenants <= 0 {
+		o.MaxTenants = 4
+	}
+	if o.MaxQueue <= 0 {
+		o.MaxQueue = o.MaxTenants
+	}
+	if o.RetryAfter <= 0 {
+		o.RetryAfter = 5 * time.Second
+	}
+	return o
+}
+
+// Server hosts the tenants and the control-plane API.
+type Server struct {
+	opts Options
+	mux  *http.ServeMux
+
+	queue    chan *tenant
+	stop     chan struct{}
+	stopOnce sync.Once
+	draining atomic.Bool
+	shed     atomic.Uint64
+	workerWG sync.WaitGroup // workers finish their in-flight run before exiting
+
+	mu      sync.Mutex
+	tenants map[string]*tenant
+	order   []string // admission order, for stable listings
+	nextID  int
+}
+
+// NewServer creates the daemon state, re-admits unfinished tenants found
+// in DataDir (daemon restart) and starts the worker pool.
+func NewServer(opts Options) (*Server, error) {
+	opts = opts.withDefaults()
+	if opts.DataDir == "" {
+		return nil, errors.New("serve: Options.DataDir is required")
+	}
+	if err := os.MkdirAll(filepath.Join(opts.DataDir, "tenants"), 0o755); err != nil {
+		return nil, err
+	}
+	s := &Server{
+		opts:    opts,
+		stop:    make(chan struct{}),
+		tenants: make(map[string]*tenant),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /runs", s.handleSubmit)
+	s.mux.HandleFunc("GET /runs", s.handleList)
+	s.mux.HandleFunc("GET /runs/{id}", s.handleGet)
+	s.mux.HandleFunc("GET /runs/{id}/report", s.handleReport)
+	s.mux.HandleFunc("POST /runs/{id}/cancel", s.handleCancel)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	pending, err := s.recoverTenants()
+	if err != nil {
+		return nil, err
+	}
+	// The queue must hold every re-admitted tenant plus a fresh admission
+	// window — recovery enqueues before the workers start draining.
+	s.queue = make(chan *tenant, opts.MaxQueue+opts.MaxTenants+len(pending))
+	for _, t := range pending {
+		s.queue <- t
+	}
+	for i := 0; i < opts.MaxTenants; i++ {
+		s.workerWG.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Handler returns the control-plane HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// drainCheck is the tenant-side drain hook: consulted by the driver at
+// every committed stream barrier.
+func (s *Server) drainCheck() bool { return s.draining.Load() }
+
+// Drain stops admission and waits — bounded by ctx — for every in-flight
+// run to stop at its next committed barrier checkpoint. Safe to call
+// more than once.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	s.stopOnce.Do(func() { close(s.stop) })
+	done := make(chan struct{})
+	go func() {
+		s.workerWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// worker executes queued tenants one at a time; MaxTenants workers give
+// the concurrency bound.
+func (s *Server) worker() {
+	defer s.workerWG.Done()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case t := <-s.queue:
+			if s.draining.Load() {
+				// Drain won the race: leave the tenant queued on disk so
+				// the restarted daemon re-admits it.
+				continue
+			}
+			s.runTenant(t)
+		}
+	}
+}
+
+// recoverTenants rescans DataDir after a daemon restart: terminal
+// tenants are loaded for inspection, unfinished ones returned for
+// re-admission.
+func (s *Server) recoverTenants() ([]*tenant, error) {
+	root := filepath.Join(s.opts.DataDir, "tenants")
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return nil, err
+	}
+	var pending []*tenant
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		dir := filepath.Join(root, e.Name())
+		data, err := os.ReadFile(filepath.Join(dir, "tenant.json"))
+		if err != nil {
+			continue // half-created tenant: nothing durable to recover
+		}
+		var rec tenantRecord
+		if err := json.Unmarshal(data, &rec); err != nil {
+			continue
+		}
+		t := &tenant{id: rec.ID, spec: rec.Spec, dir: dir, state: rec.State}
+		if rdata, err := os.ReadFile(filepath.Join(dir, "result.json")); err == nil {
+			var res resultRecord
+			if json.Unmarshal(rdata, &res) == nil {
+				t.state = res.State
+				t.digest = res.Digest
+				t.report = res.Report
+				t.err = res.Error
+				t.periodsDone = res.PeriodsDone
+				t.events = res.Events
+				t.failures = res.Failures
+				t.retries = res.Retries
+				t.trips = res.Trips
+				t.deadLetters = res.DeadLetters
+			}
+		}
+		s.tenants[t.id] = t
+		s.order = append(s.order, t.id)
+		switch t.state {
+		case StateDone, StateFailed, StateCanceled:
+			// terminal: listing only
+		default:
+			// queued, running, draining or checkpointed at the time the
+			// previous daemon stopped: run it (again). A committed
+			// checkpoint makes it a resume; otherwise it cold-starts.
+			t.state = StateQueued
+			pending = append(pending, t)
+		}
+	}
+	return pending, nil
+}
+
+var namePattern = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9_.-]{0,63}$`)
+
+// handleSubmit admits or sheds one run submission.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining: not admitting runs", http.StatusServiceUnavailable)
+		return
+	}
+	var spec RunSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		http.Error(w, "bad spec: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	if spec.Name == "" {
+		s.nextID++
+		spec.Name = fmt.Sprintf("run-%d", s.nextID)
+	}
+	if !namePattern.MatchString(spec.Name) {
+		s.mu.Unlock()
+		http.Error(w, "bad name: must match "+namePattern.String(), http.StatusBadRequest)
+		return
+	}
+	if _, dup := s.tenants[spec.Name]; dup {
+		s.mu.Unlock()
+		http.Error(w, "duplicate run name "+spec.Name, http.StatusConflict)
+		return
+	}
+	// Admission control: the active population (executing plus waiting)
+	// is bounded; beyond it, shed with 429 instead of admitting
+	// unboundedly — the queue would otherwise starve the admitted runs.
+	active := 0
+	for _, existing := range s.tenants {
+		switch existing.state {
+		case StateQueued, StateRunning, StateDraining:
+			active++
+		}
+	}
+	if active >= s.opts.MaxTenants+s.opts.MaxQueue {
+		s.mu.Unlock()
+		s.shed.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.opts.RetryAfter.Seconds())))
+		http.Error(w, "run queue full", http.StatusTooManyRequests)
+		return
+	}
+	t := &tenant{
+		id:    spec.Name,
+		spec:  spec,
+		dir:   filepath.Join(s.opts.DataDir, "tenants", spec.Name),
+		state: StateQueued,
+	}
+	s.tenants[t.id] = t
+	s.order = append(s.order, t.id)
+	s.mu.Unlock()
+
+	if err := os.MkdirAll(t.dir, 0o755); err != nil {
+		s.dropTenant(t.id)
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if err := t.persist(StateQueued); err != nil {
+		s.dropTenant(t.id)
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	select {
+	case s.queue <- t:
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		_ = json.NewEncoder(w).Encode(map[string]string{"id": t.id})
+	default:
+		// Unreachable while the admission bound holds (the channel is
+		// sized for the full admitted population); shed defensively.
+		s.dropTenant(t.id)
+		_ = os.RemoveAll(t.dir)
+		s.shed.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.opts.RetryAfter.Seconds())))
+		http.Error(w, "run queue full", http.StatusTooManyRequests)
+	}
+}
+
+// dropTenant removes a tenant that never entered the queue.
+func (s *Server) dropTenant(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.tenants, id)
+	for i, tid := range s.order {
+		if tid == id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	m := s.snapshot()
+	writeJSONResponse(w, m.Tenants)
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	t := s.tenants[r.PathValue("id")]
+	var tm TenantMetrics
+	if t != nil {
+		tm = s.tenantMetricsLocked(t)
+	}
+	s.mu.Unlock()
+	if t == nil {
+		http.Error(w, "no such run", http.StatusNotFound)
+		return
+	}
+	writeJSONResponse(w, tm)
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	t := s.tenants[r.PathValue("id")]
+	var state, report string
+	if t != nil {
+		state, report = t.state, t.report
+	}
+	s.mu.Unlock()
+	switch {
+	case t == nil:
+		http.Error(w, "no such run", http.StatusNotFound)
+	case state != StateDone:
+		http.Error(w, "run not done: "+state, http.StatusConflict)
+	default:
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte(report))
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	t := s.tenants[r.PathValue("id")]
+	var cancel func()
+	if t != nil && t.cancel != nil {
+		cancel = t.cancel
+	}
+	s.mu.Unlock()
+	if t == nil {
+		http.Error(w, "no such run", http.StatusNotFound)
+		return
+	}
+	if cancel == nil {
+		http.Error(w, "run not cancellable: "+t.state, http.StatusConflict)
+		return
+	}
+	cancel()
+	_, _ = w.Write([]byte("canceling\n"))
+}
+
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	_, _ = w.Write([]byte("ready\n"))
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSONResponse(w, s.snapshot())
+}
+
+// snapshot assembles the live Metrics view.
+func (s *Server) snapshot() Metrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := Metrics{
+		Draining: s.draining.Load(),
+		Shed:     s.shed.Load(),
+		Tenants:  make([]TenantMetrics, 0, len(s.order)),
+	}
+	for _, id := range s.order {
+		t := s.tenants[id]
+		tm := s.tenantMetricsLocked(t)
+		switch tm.State {
+		case StateQueued:
+			m.Queued++
+		case StateRunning, StateDraining:
+			m.Running++
+		}
+		m.Tenants = append(m.Tenants, tm)
+	}
+	return m
+}
+
+// tenantMetricsLocked renders one tenant's metrics; the caller holds mu.
+func (s *Server) tenantMetricsLocked(t *tenant) TenantMetrics {
+	tm := TenantMetrics{
+		ID: t.id, State: t.state, Resumed: t.resumed,
+		Periods: t.spec.Periods, PeriodsDone: t.periodsDone,
+		Events: t.events, Failures: t.failures,
+		Retries: t.retries, Trips: t.trips, DeadLetters: t.deadLetters,
+		Digest: t.digest, Error: t.err,
+	}
+	if tm.Periods == 0 {
+		tm.Periods = 1 // core.Config default
+	}
+	if b := t.bench; b != nil {
+		tm.Retries, tm.Trips, tm.DeadLetters = b.Monitor().Resilience().Totals()
+		if res := b.Engine().Resilient(); res != nil {
+			states := res.BreakerStates()
+			if len(states) > 0 {
+				tm.Breakers = make(map[string]string, len(states))
+				for ep, st := range states {
+					tm.Breakers[ep] = st.String()
+				}
+			}
+		}
+	}
+	return tm
+}
+
+func writeJSONResponse(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -189,12 +189,25 @@ func (r *Registry) Start() (string, error) {
 // BaseURL returns the server's base URL ("" before Start).
 func (r *Registry) BaseURL() string { return r.baseURL }
 
-// Stop shuts the HTTP server down.
+// StopTimeout bounds the graceful drain Stop attempts before falling
+// back to closing connections outright.
+const StopTimeout = 5 * time.Second
+
+// Stop shuts the HTTP server down gracefully: admission stops
+// immediately, in-flight requests get up to StopTimeout to complete,
+// then any stragglers are cut off. Safe to call more than once.
 func (r *Registry) Stop() error {
 	if r.server == nil {
 		return nil
 	}
-	return r.server.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), StopTimeout)
+	defer cancel()
+	err := r.server.Shutdown(ctx)
+	if err != nil {
+		// Deadline exceeded with requests still in flight: force-close.
+		_ = r.server.Close()
+	}
+	return err
 }
 
 // dispatch routes /ws/<service>/<op> requests.
