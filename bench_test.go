@@ -16,6 +16,8 @@ package dipbench
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 	"testing"
 	"time"
 
@@ -26,6 +28,7 @@ import (
 	"repro/internal/mtm"
 	"repro/internal/processes"
 	rel "repro/internal/relational"
+	"repro/internal/sched"
 	"repro/internal/scenario"
 	"repro/internal/schedule"
 	"repro/internal/stx"
@@ -900,6 +903,114 @@ func BenchmarkStreamCDSharded(b *testing.B) {
 							b.Fatal(err)
 						}
 					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkSchedulerMultiTenant A/B-compares N concurrent StreamCD
+// tenants on the shared work-stealing scheduler against the same tenants
+// each running a private scheduler of its own — the PR8 per-tenant pool
+// model, where N tenants oversubscribe the host with N separate worker
+// pools (results/perf_pr9.md). Every tenant runs the warehouse-load +
+// mart-refresh chain par=4 columnar; ns/op is the wall time for the
+// whole tenant batch, so the shared/private ratio at each T is the
+// aggregate-throughput win of the shared pool.
+func BenchmarkSchedulerMultiTenant(b *testing.B) {
+	restore := rel.MaxWorkers()
+	rel.SetMaxWorkers(8)
+	b.Cleanup(func() { rel.SetMaxWorkers(restore) })
+	// d=4 keeps the staging tables above several morsels (cf. the
+	// BenchmarkStreamCD big leg) — smaller sizes fall into the inline
+	// short-circuit and never reach a scheduler at all.
+	const d = 4
+	for _, tenants := range []int{1, 4, 8} {
+		for _, mode := range []string{"shared", "private"} {
+			b.Run(fmt.Sprintf("T_%d/%s", tenants, mode), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					engines := make([]*engine.Engine, tenants)
+					handles := make([]*sched.Handle, tenants)
+					for j := 0; j < tenants; j++ {
+						s, _ := benchScenario(b, d)
+						var h *sched.Handle
+						if mode == "shared" {
+							h = sched.Default().Register(fmt.Sprintf("bench-t%d", j), 1)
+						} else {
+							h = sched.New(8).Register(fmt.Sprintf("bench-t%d", j), 1)
+						}
+						opts := engine.Options{
+							PlanCache: true, Parallelism: 4, Columnar: true, Scheduler: h,
+						}
+						eng, err := engine.New("streamcd_mt", opts, processes.MustNew(), s.Gateway(), nil)
+						if err != nil {
+							b.Fatal(err)
+						}
+						s.SetParallelism(4)
+						s.SetColumnar(true)
+						s.SetScheduler(h)
+						for _, pre := range []string{"P05", "P06", "P07"} {
+							if err := eng.Execute(pre, nil, 0); err != nil {
+								b.Fatal(err)
+							}
+						}
+						engines[j], handles[j] = eng, h
+					}
+					errs := make([]error, tenants)
+					var wg sync.WaitGroup
+					// Peak goroutine count over the timed batch exposes the
+					// oversubscription mechanism: the shared pool stays
+					// bounded by one MaxWorkers regardless of tenant count,
+					// the per-tenant pools stack up T x MaxWorkers.
+					peak := runtime.NumGoroutine()
+					sampling := make(chan struct{})
+					var sampler sync.WaitGroup
+					sampler.Add(1)
+					go func() {
+						defer sampler.Done()
+						for {
+							select {
+							case <-sampling:
+								return
+							default:
+							}
+							if n := runtime.NumGoroutine(); n > peak {
+								peak = n
+							}
+							time.Sleep(time.Millisecond)
+						}
+					}()
+					b.StartTimer()
+					for j := 0; j < tenants; j++ {
+						wg.Add(1)
+						go func(j int) {
+							defer wg.Done()
+							for _, id := range []string{"P12", "P13", "P14", "P15"} {
+								if err := engines[j].Execute(id, nil, 0); err != nil {
+									errs[j] = err
+									return
+								}
+							}
+						}(j)
+					}
+					wg.Wait()
+					b.StopTimer()
+					close(sampling)
+					sampler.Wait()
+					var sets, stolen uint64
+					for j := 0; j < tenants; j++ {
+						if errs[j] != nil {
+							b.Fatal(errs[j])
+						}
+						hs := handles[j].Stats()
+						sets += hs.Submitted
+						stolen += hs.Stolen
+						handles[j].Close()
+					}
+					b.ReportMetric(float64(peak), "peak_goroutines")
+					b.ReportMetric(float64(sets), "sets")
+					b.ReportMetric(float64(stolen), "stolen")
 				}
 			})
 		}

@@ -42,6 +42,8 @@
 //	-records path write the raw per-instance records CSV
 //	-series path  write the per-period NAVG series CSV
 //	-trace path   write the dispatched-event trace CSV
+//	-sched-workers n  worker bound of the shared morsel scheduler (0 = GOMAXPROCS)
+//	-sched-share w    run on a dedicated fair-share handle with weight w
 //	-cpuprofile path  write a CPU profile of the run
 //	-memprofile path  write a heap profile at exit
 //
@@ -64,6 +66,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/processes"
 	"repro/internal/quality"
+	"repro/internal/sched"
 	"repro/internal/schedule"
 	"repro/internal/spec"
 )
@@ -106,8 +109,14 @@ func main() {
 		resume  = flag.Bool("resume", false, "resume from the latest checkpoint in -wal-dir")
 		crashAt = flag.String("crash-at", "", "crash deterministically at period:stream:occurrence (e.g. 1:A:3; exit code 3)")
 		digest  = flag.Bool("state-digest", false, "print the final integrated-state digest")
+		schedW  = flag.Int("sched-workers", 0, "worker bound of the shared morsel scheduler (0 = GOMAXPROCS)")
+		schedS  = flag.Float64("sched-share", 0, "run on a dedicated fair-share handle with this weight (0 = default handle)")
 	)
 	flag.Parse()
+
+	if *schedW > 0 {
+		sched.Default().SetMaxWorkers(*schedW)
+	}
 
 	if *cpuProf != "" {
 		fh, err := os.Create(*cpuProf)
@@ -191,6 +200,7 @@ func main() {
 		CheckpointEvery: *ckptN,
 		Resume:          *resume,
 		CrashAt:         *crashAt,
+		SchedShare:      *schedS,
 	})
 	if err != nil {
 		fatal(err)

@@ -15,6 +15,13 @@
 //	-checkpoint-every n default checkpoint cadence for tenant WALs (default 1)
 //	-retry-after d      Retry-After hint on shed submissions (default 5s)
 //	-drain-timeout d    max wait for in-flight runs on SIGTERM (default 60s)
+//	-sched-workers n    worker bound of the shared morsel scheduler (0 = GOMAXPROCS)
+//	-sched-share w      default fair-share weight of tenants (default 1)
+//
+// All tenants execute on one process-wide work-stealing scheduler;
+// admission reserves fair-share weight (RunSpec.Share, default
+// -sched-share) under a governor capacity of max-tenants x sched-share,
+// so concurrency is bounded by weight, not by parked goroutines.
 //
 // Submit runs with POST /runs (a serve.RunSpec JSON body), watch them
 // with GET /metrics or `dipmon -live <addr>`. SIGTERM drains: admission
@@ -35,6 +42,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/sched"
 	"repro/internal/serve"
 )
 
@@ -47,7 +55,13 @@ func main() {
 	checkpointEvery := flag.Int("checkpoint-every", 1, "default checkpoint cadence for tenant WALs")
 	retryAfter := flag.Duration("retry-after", 5*time.Second, "Retry-After hint on shed submissions")
 	drainTimeout := flag.Duration("drain-timeout", 60*time.Second, "max wait for in-flight runs on SIGTERM")
+	schedWorkers := flag.Int("sched-workers", 0, "worker bound of the shared morsel scheduler (0 = GOMAXPROCS)")
+	schedShare := flag.Float64("sched-share", 1, "default fair-share weight of tenants that do not set one")
 	flag.Parse()
+
+	if *schedWorkers > 0 {
+		sched.Default().SetMaxWorkers(*schedWorkers)
+	}
 
 	if *dataDir == "" {
 		fmt.Fprintln(os.Stderr, "dipbenchd: -data-dir is required")
@@ -60,6 +74,7 @@ func main() {
 		Watchdog:        *watchdog,
 		CheckpointEvery: *checkpointEvery,
 		RetryAfter:      *retryAfter,
+		DefaultShare:    *schedShare,
 	})
 	if err != nil {
 		log.Fatalf("dipbenchd: %v", err)

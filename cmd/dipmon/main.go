@@ -11,7 +11,11 @@
 // With -live it switches to service-mode monitoring: it reads a running
 // dipbenchd's /metrics endpoint and renders per-tenant period progress,
 // resilience counters, breaker states and admission shed counts. Add
-// -watch to refresh until interrupted.
+// -watch to refresh until interrupted. The header includes the shared
+// scheduler pool (workers, queue depth, steals) and the governor's
+// admitted weight; per-tenant SHARE shows weight@utilization, where
+// utilization 1.00 means the tenant received exactly its fair share of
+// the executed morsels.
 //
 // Usage:
 //
@@ -231,12 +235,15 @@ func renderMetrics(out *os.File, m *serve.Metrics) {
 	}
 	fmt.Fprintf(out, "dipbenchd: %s | running %d queued %d shed %d\n",
 		state, m.Running, m.Queued, m.Shed)
+	fmt.Fprintf(out, "scheduler: workers %d/%d depth %d dispatches %d steals %d | governor %.3g/%.3g\n",
+		m.Sched.Workers, m.Sched.MaxWorkers, m.Sched.QueueDepth,
+		m.Sched.Dispatches, m.Sched.Steals, m.Sched.Used, m.Sched.Capacity)
 	if len(m.Tenants) == 0 {
 		fmt.Fprintln(out, "  (no tenants)")
 		return
 	}
-	fmt.Fprintf(out, "  %-16s %-13s %-14s %8s %8s %s\n",
-		"TENANT", "STATE", "PERIODS", "EVENTS", "FAILURES", "RESILIENCE")
+	fmt.Fprintf(out, "  %-16s %-13s %-14s %8s %8s %-11s %s\n",
+		"TENANT", "STATE", "PERIODS", "EVENTS", "FAILURES", "SHARE", "RESILIENCE")
 	const width = 10
 	for _, t := range m.Tenants {
 		done := t.PeriodsDone
@@ -265,8 +272,15 @@ func renderMetrics(out *os.File, m *serve.Metrics) {
 		if t.Resumed {
 			stateCol += "*"
 		}
-		fmt.Fprintf(out, "  %-16s %-13s [%-*s] %s %8d %8d %s\n",
-			t.ID, stateCol, width, strings.Repeat("#", bar), progress, t.Events, t.Failures, resilience)
+		share := "-"
+		if t.Share > 0 {
+			share = fmt.Sprintf("%g", t.Share)
+			if t.ShareUtilization > 0 {
+				share += fmt.Sprintf("@%.2f", t.ShareUtilization)
+			}
+		}
+		fmt.Fprintf(out, "  %-16s %-13s [%-*s] %s %8d %8d %-11s %s\n",
+			t.ID, stateCol, width, strings.Repeat("#", bar), progress, t.Events, t.Failures, share, resilience)
 		if t.Error != "" {
 			fmt.Fprintf(out, "  %-16s   error: %s\n", "", t.Error)
 		}

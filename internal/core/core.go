@@ -33,6 +33,7 @@ import (
 	"repro/internal/monitor"
 	"repro/internal/processes"
 	"repro/internal/scenario"
+	"repro/internal/sched"
 	"repro/internal/schedule"
 )
 
@@ -170,6 +171,16 @@ type Config struct {
 	// checkpoint commits). The run stops with fault.ErrCrash and drops
 	// the unflushed WAL tail, simulating a process kill.
 	CrashAt string
+
+	// Scheduler attributes the run's parallel kernel work to this
+	// fair-share handle on the process-wide work-stealing scheduler —
+	// service mode passes each tenant's governor-admitted handle here.
+	// Nil with SchedShare 0 uses the process-wide default handle.
+	Scheduler *sched.Handle
+	// SchedShare > 0 (only when Scheduler is nil) registers a private
+	// handle with this fair-share weight on the default scheduler for the
+	// run's lifetime — the `-sched-share` flag of solo dipbench runs.
+	SchedShare float64
 }
 
 // withDefaults fills unset fields.
@@ -200,6 +211,9 @@ type Benchmark struct {
 	plan    *fault.Plan         // non-nil when FaultRate > 0
 	rc      *recoveryController // non-nil when WALDir is set
 	crasher *fault.Crasher      // non-nil when CrashAt is set
+
+	sched     *sched.Handle // the run's fair-share handle (nil = default)
+	ownsSched bool          // Close must release a SchedShare-made handle
 
 	closeOnce sync.Once
 	closeErr  error
@@ -247,10 +261,15 @@ func New(cfg Config) (*Benchmark, error) {
 		_ = scn.Close()
 		return nil, err
 	}
+	var schedHandle *sched.Handle
+	ownsSched := false
 	// fail releases the partially built stack on the remaining error
 	// paths — the engine exists from here on, so dropping it without Close
 	// would leak its batchers.
 	fail := func(err error) (*Benchmark, error) {
+		if ownsSched {
+			schedHandle.Close()
+		}
 		_ = eng.Close()
 		_ = scn.Close()
 		return nil, err
@@ -280,6 +299,20 @@ func New(cfg Config) (*Benchmark, error) {
 	// sequential and row-oriented.
 	scn.SetParallelism(eng.Options().Parallelism)
 	scn.SetColumnar(eng.Options().Columnar)
+	// Fair-share attribution: a tenant handle from the service governor,
+	// or a private handle registered for this run's lifetime, or (both
+	// unset) the process-wide default handle. The engine hands it to every
+	// instance context; the scenario hands it to the warehouse/mart stored
+	// procedures. Shard children inherit it through the options copy.
+	schedHandle = cfg.Scheduler
+	if schedHandle == nil && cfg.SchedShare > 0 {
+		schedHandle = sched.Default().Register("", cfg.SchedShare)
+		ownsSched = true
+	}
+	if schedHandle != nil {
+		eng.SetScheduler(schedHandle)
+		scn.SetScheduler(schedHandle)
+	}
 	var plan *fault.Plan
 	if cfg.FaultRate > 0 {
 		seed := cfg.FaultSeed
@@ -378,6 +411,7 @@ func New(cfg Config) (*Benchmark, error) {
 	return &Benchmark{
 		cfg: cfg, scn: scn, eng: eng, mon: mon, client: client,
 		trace: trace, plan: plan, rc: rc, crasher: crasher,
+		sched: schedHandle, ownsSched: ownsSched,
 	}, nil
 }
 
@@ -438,10 +472,12 @@ func (b *Benchmark) RunContext(ctx context.Context) (*Result, error) {
 			// A drained run stopped at a committed barrier: the partial
 			// measurements are valid, the checkpoint is durable, and the
 			// twin verifications are deferred to the resumed run.
+			b.recordSchedStats()
 			return &Result{Stats: stats, Report: b.mon.Analyze()}, err
 		}
 		return nil, err
 	}
+	b.recordSchedStats()
 	res := &Result{Stats: stats, Report: b.mon.Analyze()}
 	if b.cfg.ChaosVerify {
 		chaos, cerr := b.runChaosTwin(ctx)
@@ -565,6 +601,39 @@ func (b *Benchmark) runShardTwin(ctx context.Context) (*driver.VerificationResul
 	return driver.VerifyTwin("shard", "identical to unsharded run", b.scn, twin.scn), nil
 }
 
+// recordSchedStats publishes the run's fair-share scheduler accounting
+// to the monitor just before analysis. The numbers are observability
+// only — they are cumulative per handle (the default handle spans the
+// whole process) and never enter the execution-ledger digest, so state
+// digests stay scheduler-invariant.
+func (b *Benchmark) recordSchedStats() {
+	h := b.sched
+	if h == nil {
+		h = sched.DefaultHandle()
+	}
+	hs := h.Stats()
+	ss := h.Scheduler().Stats()
+	b.mon.SetSched(monitor.SchedStats{
+		Handle:      hs.Name,
+		Weight:      hs.Weight,
+		Sets:        hs.Submitted,
+		Inline:      hs.Inline,
+		CallerTasks: hs.CallerTasks,
+		WorkerTasks: hs.WorkerTasks,
+		Stolen:      hs.Stolen,
+		MaxWorkers:  ss.MaxWorkers,
+		Workers:     ss.Workers,
+		QueueDepth:  ss.QueueDepth,
+		Dispatches:  ss.Dispatches,
+		Steals:      ss.Steals,
+		Spawned:     ss.Spawned,
+	})
+}
+
+// Scheduler returns the run's fair-share handle (nil when the run uses
+// the process-wide default handle).
+func (b *Benchmark) Scheduler() *sched.Handle { return b.sched }
+
 // StateDigest returns a hex SHA-256 over the benchmark's externally
 // observable final state: the integrated data of the warehouse, views
 // and marts plus the monitor's execution ledger. Two runs of the same
@@ -590,6 +659,9 @@ func (b *Benchmark) Close() error {
 		_ = b.eng.Close()
 		_ = b.rc.close()
 		b.closeErr = b.scn.Close()
+		if b.ownsSched {
+			b.sched.Close()
+		}
 	})
 	return b.closeErr
 }

@@ -40,6 +40,7 @@ import (
 	"repro/internal/mtm"
 	"repro/internal/processes"
 	rel "repro/internal/relational"
+	"repro/internal/sched"
 	x "repro/internal/xmlmsg"
 )
 
@@ -107,6 +108,13 @@ type Options struct {
 	// byte-identical for every shard count (see shard.go). At most one
 	// shard per region; 0 keeps the single-engine execution path.
 	Shards int
+	// Scheduler attributes this engine's parallel kernel work to a
+	// fair-share handle on the process-wide work-stealing scheduler
+	// (internal/sched) — one handle per tenant in service mode. Shard
+	// children inherit the parent's handle (the options copy in shard.go
+	// carries it), so a sharded tenant still competes as one client. Nil
+	// uses the process-wide default handle.
+	Scheduler *sched.Handle
 }
 
 // Engine executes process instances and records their costs.
@@ -285,6 +293,18 @@ func (e *Engine) SetColumnar(on bool) {
 	if e.shards != nil {
 		for _, c := range e.shards.children {
 			c.SetColumnar(on)
+		}
+	}
+}
+
+// SetScheduler overrides the Options.Scheduler handle, propagating it to
+// existing shard children so the whole tenant keeps one fair-share
+// identity. Call before Execute traffic starts.
+func (e *Engine) SetScheduler(h *sched.Handle) {
+	e.opts.Scheduler = h
+	if e.shards != nil {
+		for _, c := range e.shards.children {
+			c.SetScheduler(h)
 		}
 	}
 }
@@ -702,6 +722,9 @@ func (e *Engine) runInstance(goctx context.Context, p *mtm.Process, input *mtm.M
 	ctx := mtm.NewContext(e.ext, input, costRec)
 	ctx.SetContext(goctx)
 	ctx.SetParallelism(e.opts.Parallelism)
+	if e.opts.Scheduler != nil {
+		ctx.SetScheduler(e.opts.Scheduler)
+	}
 	if e.opts.Columnar {
 		ctx.SetColumnar(true)
 		ctx.SetLayoutObserver(e.recordLayout)

@@ -75,6 +75,9 @@ func (e *Engine) SetShards(n int) error {
 		regionProcs: make(map[string]map[string]*mtm.Process),
 		batches:     make(map[string]*rel.Relation),
 	}
+	// The options copy carries the parent's Scheduler handle, so every
+	// shard child submits kernel work under the same fair-share identity —
+	// a sharded tenant competes as one client, not Shards clients.
 	childOpts := e.opts
 	childOpts.Shards = 0
 	childOpts.Resilience = nil // e.ext is already the resilience-wrapped gateway

@@ -60,6 +60,8 @@ type Monitor struct {
 	inc *IncrementalStats // delta-extraction audit of incremental engines
 	rcv *RecoveryStats    // checkpoint/replay audit of crash recovery
 
+	schedStats schedHolder // fair-share scheduler accounting (set at run end)
+
 	restoredMu sync.Mutex // guards the checkpoint-restored ledger seed
 	restored   []LedgerEntry
 }
@@ -319,6 +321,10 @@ type Report struct {
 	Replayed    int    // WAL records replayed during recovery
 	DedupHits   uint64 // re-executions recognized as pre-crash acks
 	Checkpoints uint64 // checkpoints committed during the run
+
+	// Sched is the run's fair-share scheduler accounting (nil when the
+	// run never reported one — e.g. a purely sequential engine).
+	Sched *SchedStats
 }
 
 // Analyze aggregates all finished records into the benchmark report.
@@ -408,6 +414,7 @@ func (m *Monitor) AnalyzeFrom(minPeriod int) *Report {
 	rep.Retries, rep.Trips, rep.DeadLetters = m.res.Totals()
 	rep.Deltas, rep.DeltaRows, rep.DeltaResets, rep.RegionSkips = m.inc.Totals()
 	rep.Replayed, rep.DedupHits, rep.Checkpoints = m.rcv.Totals()
+	rep.Sched = m.schedStats.get()
 	for _, p := range m.inc.Periods() {
 		if p.Period >= minPeriod {
 			rep.PeriodDeltas = append(rep.PeriodDeltas, p)
@@ -506,5 +513,6 @@ func (r *Report) String() string {
 		out += fmt.Sprintf("Recovery: replayed=%d dedup-hits=%d checkpoints=%d\n",
 			r.Replayed, r.DedupHits, r.Checkpoints)
 	}
+	out += r.Sched.render()
 	return out
 }

@@ -1,0 +1,71 @@
+package monitor
+
+import (
+	"fmt"
+	"sync"
+)
+
+// SchedStats is the fair-share scheduler accounting of one run: the
+// run's handle counters plus a snapshot of the shared pool it competed
+// on. Set by the core just before analysis; observability only — it
+// never enters the execution-ledger digest, so state digests stay
+// scheduler-invariant.
+type SchedStats struct {
+	Handle string  // the run's fair-share handle name
+	Weight float64 // its governor weight
+
+	// Handle-level counters (cumulative for the handle's lifetime).
+	Sets        uint64 // parallel task sets submitted
+	Inline      uint64 // runs short-circuited inline (tiny inputs)
+	CallerTasks uint64 // morsels run by the submitting goroutine
+	WorkerTasks uint64 // morsels run by shared-pool workers
+	Stolen      uint64 // tokens moved by work stealing
+
+	// Pool-level snapshot (the process-wide scheduler, shared across
+	// tenants).
+	MaxWorkers int    // configured worker bound
+	Workers    int    // live workers at snapshot time
+	QueueDepth int    // queued tokens at snapshot time
+	Dispatches uint64 // fair-share dispatch decisions (pool lifetime)
+	Steals     uint64 // work steals (pool lifetime)
+	Spawned    uint64 // workers spawned (pool lifetime)
+}
+
+// schedHolder guards the monitor's scheduler snapshot; a plain field
+// with its own mutex, not a collector — the numbers come from the sched
+// package at run end rather than accumulating per instance.
+type schedHolder struct {
+	mu sync.Mutex
+	s  *SchedStats
+}
+
+func (h *schedHolder) set(s SchedStats) {
+	h.mu.Lock()
+	h.s = &s
+	h.mu.Unlock()
+}
+
+func (h *schedHolder) get() *SchedStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.s == nil {
+		return nil
+	}
+	cp := *h.s
+	return &cp
+}
+
+// SetSched stores the run's scheduler accounting for the next Analyze.
+func (m *Monitor) SetSched(s SchedStats) { m.schedStats.set(s) }
+
+// renderSched appends the scheduler section to a report string when the
+// run actually exercised the scheduler.
+func (s *SchedStats) render() string {
+	if s == nil || (s.Sets == 0 && s.Inline == 0) {
+		return ""
+	}
+	return fmt.Sprintf(
+		"Scheduler: handle=%s weight=%g sets=%d inline=%d tasks=%d+%d stolen=%d | pool workers=%d/%d depth=%d dispatches=%d steals=%d spawned=%d\n",
+		s.Handle, s.Weight, s.Sets, s.Inline, s.CallerTasks, s.WorkerTasks, s.Stolen,
+		s.Workers, s.MaxWorkers, s.QueueDepth, s.Dispatches, s.Steals, s.Spawned)
+}

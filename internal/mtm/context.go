@@ -7,6 +7,7 @@ import (
 	"time"
 
 	rel "repro/internal/relational"
+	"repro/internal/sched"
 	x "repro/internal/xmlmsg"
 )
 
@@ -133,6 +134,7 @@ type Context struct {
 	layoutObs func(op string, l rel.Layout)
 	wm        Watermarks
 	deltas    DeltaRecorder
+	sched     *sched.Handle
 	goctx     context.Context
 	mu        sync.Mutex
 	vars      map[string]*Message
@@ -175,6 +177,16 @@ func (c *Context) SetColumnar(on bool) { c.columnar = on }
 
 // Columnar reports whether the vectorized kernels are enabled.
 func (c *Context) Columnar() bool { return c.columnar }
+
+// SetScheduler attributes this instance's parallel kernel work to the
+// given scheduler handle (the owning tenant/shard) for fair-share
+// arbitration on the process-wide pool; Data attaches it to every
+// operator input. Nil means the default handle. Set once before Run —
+// it is not synchronized.
+func (c *Context) SetScheduler(h *sched.Handle) { c.sched = h }
+
+// Scheduler returns the handle set by SetScheduler (nil for the default).
+func (c *Context) Scheduler() *sched.Handle { return c.sched }
 
 // SetLayoutObserver attaches a callback invoked with the layout (ROW or
 // COLUMNAR) each dataset operator actually executed on — the EXPLAIN-style
@@ -243,7 +255,13 @@ func (c *Context) Data(name string) (*rel.Relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	return m.RequireData(name)
+	r, err := m.RequireData(name)
+	if err != nil {
+		return nil, err
+	}
+	// Attribute the relation (and, through kernel output propagation,
+	// everything derived from it) to the instance's scheduler handle.
+	return r.WithPool(c.sched), nil
 }
 
 // record forwards a cost interval to the recorder.

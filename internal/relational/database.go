@@ -6,6 +6,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/sched"
 )
 
 func lower(s string) string { return strings.ToLower(s) }
@@ -29,6 +31,7 @@ type Database struct {
 	procs  map[string]Procedure
 	par    int
 	col    bool
+	sched  *sched.Handle
 }
 
 // NewDatabase creates an empty database instance.
@@ -74,6 +77,23 @@ func (db *Database) Columnar() bool {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	return db.col
+}
+
+// SetScheduler attributes the parallel kernel work of this instance's
+// stored procedures to the given scheduler handle (the owning tenant),
+// for fair-share arbitration on the process-wide pool. Nil means the
+// default handle.
+func (db *Database) SetScheduler(h *sched.Handle) {
+	db.mu.Lock()
+	db.sched = h
+	db.mu.Unlock()
+}
+
+// Scheduler returns the handle set by SetScheduler (nil for the default).
+func (db *Database) Scheduler() *sched.Handle {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.sched
 }
 
 // CreateTable adds a table to the catalog.

@@ -2,10 +2,9 @@ package relational
 
 import (
 	"math"
-	"runtime"
 	"sort"
-	"sync"
-	"sync/atomic"
+
+	"repro/internal/sched"
 )
 
 // Morsel-driven parallel kernels. Each XxxPar method produces output that
@@ -24,80 +23,59 @@ import (
 // overhead negligible.
 const morselSize = 4096
 
-// gate bounds the number of extra worker goroutines across all concurrent
-// parallel operators, so simultaneous process instances cannot oversubscribe
-// the machine. The caller of a kernel always participates in its own work,
-// which also means kernels never block waiting for a slot.
-var gate = struct {
-	mu  sync.Mutex
-	sem chan struct{}
-}{sem: make(chan struct{}, runtime.GOMAXPROCS(0))}
+// The kernels no longer own a worker pool: every parallel call is a task
+// set submitted to the process-wide work-stealing scheduler in
+// internal/sched, attributed to the relation's handle (the tenant/shard
+// that owns it — see Relation.WithPool) or the default handle when the
+// relation was never attributed. The caller always participates in its
+// own set, so kernels still never block waiting for a worker, and tiny
+// submissions (par <= 1 or fewer than two tasks) run inline on the
+// caller without touching the queues at all.
 
-// SetMaxWorkers bounds the extra worker goroutines shared by all parallel
-// kernels. The default is GOMAXPROCS. Values below 1 are clamped to 1.
+// SetMaxWorkers bounds the extra worker goroutines of the process-wide
+// scheduler shared by all parallel kernels. The default is GOMAXPROCS.
+// Values below 1 are clamped to 1.
 func SetMaxWorkers(n int) {
-	if n < 1 {
-		n = 1
-	}
-	gate.mu.Lock()
-	gate.sem = make(chan struct{}, n)
-	gate.mu.Unlock()
+	sched.Default().SetMaxWorkers(n)
 }
 
-// MaxWorkers returns the current extra-worker bound.
+// MaxWorkers returns the current extra-worker bound of the process-wide
+// scheduler.
 func MaxWorkers() int {
-	gate.mu.Lock()
-	defer gate.mu.Unlock()
-	return cap(gate.sem)
+	return sched.Default().MaxWorkers()
 }
 
-// parallelRun executes tasks 0..tasks-1 with up to par concurrent workers
-// (the caller plus at most par-1 gated extras). Workers claim tasks from a
-// shared counter, so uneven tasks balance dynamically. A panic in any
-// worker is re-raised on the caller after all workers settle.
+// parallelRun executes tasks 0..tasks-1 with up to par participants (the
+// caller plus at most par-1 scheduler workers) on the default handle.
+// Workers claim tasks from a shared counter, so uneven tasks balance
+// dynamically. A panic in any worker is re-raised on the caller after
+// all participants settle.
 func parallelRun(par, tasks int, fn func(task int)) {
-	if tasks <= 0 {
-		return
+	sched.DefaultHandle().Run(par, tasks, fn)
+}
+
+// schedHandle returns the scheduler handle this relation is attributed
+// to, falling back to the process-wide default handle.
+func (r *Relation) schedHandle() *sched.Handle {
+	if r.pool != nil {
+		return r.pool
 	}
-	if par > tasks {
-		par = tasks
-	}
-	var next atomic.Int64
-	var pan atomic.Pointer[any]
-	run := func() {
-		defer func() {
-			if p := recover(); p != nil {
-				pan.CompareAndSwap(nil, &p)
-			}
-		}()
-		for {
-			t := int(next.Add(1)) - 1
-			if t >= tasks {
-				return
-			}
-			fn(t)
-		}
-	}
-	gate.mu.Lock()
-	sem := gate.sem
-	gate.mu.Unlock()
-	var wg sync.WaitGroup
-	for i := 1; i < par; i++ {
-		select {
-		case sem <- struct{}{}:
-			wg.Add(1)
-			go func() {
-				defer func() { <-sem; wg.Done() }()
-				run()
-			}()
-		default: // gate full: the remaining share runs on the caller
-		}
-	}
-	run()
-	wg.Wait()
-	if p := pan.Load(); p != nil {
-		panic(*p)
-	}
+	return sched.DefaultHandle()
+}
+
+// runPar submits a task set to the relation's scheduler handle.
+func (r *Relation) runPar(par, tasks int, fn func(task int)) {
+	r.schedHandle().Run(par, tasks, fn)
+}
+
+// runMorsels runs fn once per morsel of n rows on the relation's handle,
+// passing the morsel index and its [lo, hi) row range.
+func (r *Relation) runMorsels(par, n int, fn func(c, lo, hi int)) {
+	r.runPar(par, numMorsels(n), func(c int) {
+		lo := c * morselSize
+		hi := min(lo+morselSize, n)
+		fn(c, lo, hi)
+	})
 }
 
 // numMorsels returns how many morsels n rows split into.
@@ -105,15 +83,6 @@ func numMorsels(n int) int {
 	return (n + morselSize - 1) / morselSize
 }
 
-// parallelMorsels runs fn once per morsel of n rows, passing the morsel
-// index and its [lo, hi) row range.
-func parallelMorsels(par, n int, fn func(c, lo, hi int)) {
-	parallelRun(par, numMorsels(n), func(c int) {
-		lo := c * morselSize
-		hi := min(lo+morselSize, n)
-		fn(c, lo, hi)
-	})
-}
 
 // SelectPar is Select with morsel-parallel predicate evaluation. Matching
 // rows concatenate in morsel order, so output order equals the sequential
@@ -125,7 +94,7 @@ func (r *Relation) SelectPar(par int, pred Predicate) (*Relation, error) {
 	}
 	outs := make([][]Row, numMorsels(n))
 	errs := make([]error, len(outs))
-	parallelMorsels(par, n, func(c, lo, hi int) {
+	r.runMorsels(par, n, func(c, lo, hi int) {
 		var out []Row
 		for _, row := range r.rows[lo:hi] {
 			ok, err := pred.Eval(r.schema, row)
@@ -151,13 +120,13 @@ func (r *Relation) SelectPar(par int, pred Predicate) (*Relation, error) {
 		total += len(o)
 	}
 	if total == 0 {
-		return &Relation{schema: r.schema}, nil
+		return &Relation{schema: r.schema, pool: r.pool}, nil
 	}
 	rows := make([]Row, 0, total)
 	for _, o := range outs {
 		rows = append(rows, o...)
 	}
-	return &Relation{schema: r.schema, rows: rows}, nil
+	return &Relation{schema: r.schema, rows: rows, pool: r.pool}, nil
 }
 
 // ProjectPar is Project with morsel-parallel row picking.
@@ -175,12 +144,12 @@ func (r *Relation) ProjectPar(par int, names ...string) (*Relation, error) {
 		ordinals[i] = r.schema.MustOrdinal(nm)
 	}
 	rows := make([]Row, n)
-	parallelMorsels(par, n, func(_, lo, hi int) {
+	r.runMorsels(par, n, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			rows[i] = Row(r.rows[i].pick(ordinals))
 		}
 	})
-	return &Relation{schema: ps, rows: rows}, nil
+	return &Relation{schema: ps, rows: rows, pool: r.pool}, nil
 }
 
 // ExtendPar is Extend with morsel-parallel evaluation of fn. fn must be
@@ -198,7 +167,7 @@ func (r *Relation) ExtendPar(par int, name string, t Type, fn func(Row) Value) (
 		return nil, err
 	}
 	rows := make([]Row, n)
-	parallelMorsels(par, n, func(_, lo, hi int) {
+	r.runMorsels(par, n, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			row := r.rows[i]
 			nr := make(Row, len(row)+1)
@@ -207,7 +176,7 @@ func (r *Relation) ExtendPar(par int, name string, t Type, fn func(Row) Value) (
 			rows[i] = nr
 		}
 	})
-	return &Relation{schema: es, rows: rows}, nil
+	return &Relation{schema: es, rows: rows, pool: r.pool}, nil
 }
 
 // ExtendManyPar is ExtendMany with morsel-parallel evaluation of fn
@@ -226,7 +195,7 @@ func (r *Relation) ExtendManyPar(par int, cols []Column, fn ExtendFn) (*Relation
 	}
 	k := len(r.schema.Columns)
 	rows := make([]Row, n)
-	parallelMorsels(par, n, func(_, lo, hi int) {
+	r.runMorsels(par, n, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			row := r.rows[i]
 			nr := make(Row, len(all))
@@ -235,7 +204,7 @@ func (r *Relation) ExtendManyPar(par int, cols []Column, fn ExtendFn) (*Relation
 			rows[i] = nr
 		}
 	})
-	return &Relation{schema: es, rows: rows}, nil
+	return &Relation{schema: es, rows: rows, pool: r.pool}, nil
 }
 
 // JoinPar is Join with a partitioned parallel build and a morsel-parallel
@@ -273,12 +242,12 @@ func (r *Relation) JoinPar(par int, o *Relation, leftCol, rightCol, clashPrefix 
 		// the partition h%parts, scanning rows in order so candidate lists
 		// match the sequential build.
 		rh := make([]uint64, nr)
-		parallelMorsels(par, nr, func(_, lo, hi int) {
+		r.runMorsels(par, nr, func(_, lo, hi int) {
 			for i := lo; i < hi; i++ {
 				rh[i] = hashValue(o.rows[i][ri])
 			}
 		})
-		parallelRun(par, parts, func(p int) {
+		r.runPar(par, parts, func(p int) {
 			build := make(map[uint64][]Row, nr/parts+1)
 			up := uint64(p)
 			for i, row := range o.rows {
@@ -293,7 +262,7 @@ func (r *Relation) JoinPar(par int, o *Relation, leftCol, rightCol, clashPrefix 
 	// Probe phase: morsel-parallel over the left side.
 	nl := len(r.rows)
 	outs := make([][]Row, numMorsels(nl))
-	parallelMorsels(par, nl, func(c, lo, hi int) {
+	r.runMorsels(par, nl, func(c, lo, hi int) {
 		var out []Row
 		for _, lrow := range r.rows[lo:hi] {
 			k := lrow[li]
@@ -315,13 +284,13 @@ func (r *Relation) JoinPar(par int, o *Relation, leftCol, rightCol, clashPrefix 
 		total += len(o)
 	}
 	if total == 0 {
-		return &Relation{schema: spec.schema}, nil
+		return &Relation{schema: spec.schema, pool: r.pool}, nil
 	}
 	rows := make([]Row, 0, total)
 	for _, o := range outs {
 		rows = append(rows, o...)
 	}
-	return &Relation{schema: spec.schema, rows: rows}, nil
+	return &Relation{schema: spec.schema, rows: rows, pool: r.pool}, nil
 }
 
 // localGroup is one group discovered within a single morsel during the
@@ -361,7 +330,7 @@ func (r *Relation) GroupByPar(par int, groupCols []string, aggs []AggSpec) (*Rel
 	// bounds the group count, so pre-sizing the map to it eliminates every
 	// incremental rehash on high-cardinality groupings.
 	locals := make([][]*localGroup, numMorsels(n)) // first-seen order per morsel
-	parallelMorsels(par, n, func(c, lo, hi int) {
+	r.runMorsels(par, n, func(c, lo, hi int) {
 		groups := make(map[uint64][]*localGroup, hi-lo)
 		var order []*localGroup
 		for i := lo; i < hi; i++ {
@@ -414,7 +383,7 @@ func (r *Relation) GroupByPar(par int, groupCols []string, aggs []AggSpec) (*Rel
 	// Phase 2: fold each group's rows in global order, in parallel across
 	// groups, emitting straight into the group's output slot.
 	out := make([]Row, len(order))
-	parallelRun(par, len(order), func(gi int) {
+	r.runPar(par, len(order), func(gi int) {
 		g := order[gi]
 		acc := &groupAcc{key: g.key, aggs: make([]aggAcc, len(spec.aggs))}
 		for _, idx := range g.idx {
@@ -424,7 +393,7 @@ func (r *Relation) GroupByPar(par int, groupCols []string, aggs []AggSpec) (*Rel
 		}
 		out[gi] = spec.emit(acc)
 	})
-	return &Relation{schema: spec.out, rows: out}, nil
+	return &Relation{schema: spec.out, rows: out, pool: r.pool}, nil
 }
 
 // identityOrdsCache caches small identity ordinal slices ([0], [0 1], ...)
@@ -484,7 +453,7 @@ func (r *Relation) UnionDistinctPar(par int, keyCols []string, others ...*Relati
 	}
 
 	kept := make([][]hashedRow, numMorsels(total))
-	parallelMorsels(par, total, func(c, lo, hi int) {
+	r.runMorsels(par, total, func(c, lo, hi int) {
 		local := make(map[uint64][]Row)
 		out := make([]hashedRow, 0, hi-lo)
 		for _, row := range all[lo:hi] {
@@ -531,7 +500,7 @@ func (r *Relation) UnionDistinctPar(par int, keyCols []string, others ...*Relati
 			out = append(out, hr.row)
 		}
 	}
-	return &Relation{schema: r.schema, rows: out}, nil
+	return &Relation{schema: r.schema, rows: out, pool: r.pool}, nil
 }
 
 // SortPar is Sort as a parallel stable merge sort: contiguous runs are
@@ -559,7 +528,7 @@ func (r *Relation) SortPar(par int, cols ...string) (*Relation, error) {
 	}
 	bounds = append(bounds, n)
 
-	parallelRun(par, len(bounds)-1, func(i int) {
+	r.runPar(par, len(bounds)-1, func(i int) {
 		seg := rows[bounds[i]:bounds[i+1]]
 		sort.SliceStable(seg, func(a, b int) bool {
 			return compareRowsOn(seg[a], seg[b], ordinals) < 0
@@ -569,7 +538,7 @@ func (r *Relation) SortPar(par int, cols ...string) (*Relation, error) {
 	src, dst := rows, make([]Row, n)
 	for len(bounds) > 2 {
 		pairs := (len(bounds) - 1) / 2
-		parallelRun(par, pairs, func(p int) {
+		r.runPar(par, pairs, func(p int) {
 			lo, mid, hi := bounds[2*p], bounds[2*p+1], bounds[2*p+2]
 			mergeRuns(dst[lo:hi], src[lo:mid], src[mid:hi], ordinals)
 		})
@@ -587,7 +556,7 @@ func (r *Relation) SortPar(par int, cols ...string) (*Relation, error) {
 		bounds = nb
 		src, dst = dst, src
 	}
-	return &Relation{schema: r.schema, rows: src}, nil
+	return &Relation{schema: r.schema, rows: src, pool: r.pool}, nil
 }
 
 // mergeRuns merges two stably sorted runs; ties take the left run, which

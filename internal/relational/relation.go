@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"repro/internal/sched"
 )
 
 // Relation is an immutable, materialized bag of rows with a schema. It is
@@ -12,6 +14,11 @@ import (
 type Relation struct {
 	schema *Schema
 	rows   []Row
+	// pool attributes the relation's parallel kernel work to a scheduler
+	// handle (the owning tenant/shard) for fair-share arbitration. Nil
+	// falls back to the process-wide default handle. The parallel kernels
+	// propagate it into their outputs so operator chains stay attributed.
+	pool *sched.Handle
 }
 
 // NewRelation builds a relation, validating each row against the schema.
@@ -61,7 +68,7 @@ func (r *Relation) Get(i int, col string) Value {
 func (r *Relation) Clone() *Relation {
 	rows := make([]Row, len(r.rows))
 	copy(rows, r.rows)
-	return &Relation{schema: r.schema, rows: rows}
+	return &Relation{schema: r.schema, rows: rows, pool: r.pool}
 }
 
 // View returns a copy-on-write view: a fresh header over the same rows,
@@ -73,7 +80,18 @@ func (r *Relation) Clone() *Relation {
 // consumer also holds (each caller gets its own). Row contents stay
 // shared and immutable as everywhere in the engine.
 func (r *Relation) View() *Relation {
-	return &Relation{schema: r.schema, rows: r.rows[:len(r.rows):len(r.rows)]}
+	return &Relation{schema: r.schema, rows: r.rows[:len(r.rows):len(r.rows)], pool: r.pool}
+}
+
+// WithPool returns a view of the relation attributed to the given
+// scheduler handle; its parallel kernels (and theirs, transitively
+// through kernel outputs) submit work under that handle's fair share.
+// A nil handle returns the relation unchanged.
+func (r *Relation) WithPool(h *sched.Handle) *Relation {
+	if h == nil || r.pool == h {
+		return r
+	}
+	return &Relation{schema: r.schema, rows: r.rows, pool: h}
 }
 
 // Select returns the rows satisfying the predicate.

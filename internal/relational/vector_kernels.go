@@ -37,7 +37,7 @@ func (r *Relation) FilterVec(par int, pred Predicate) (*Relation, Layout, error)
 		return out, LayoutRow, err
 	}
 	outs := make([][]Row, numMorsels(n))
-	parallelMorsels(par, n, func(c, lo, hi int) {
+	r.runMorsels(par, n, func(c, lo, hi int) {
 		base := r.rows[lo:hi]
 		cs := getColSet(r.schema, base)
 		for _, ord := range prog.ords {
@@ -96,7 +96,7 @@ func (r *Relation) ProjectVec(par int, names ...string) (*Relation, Layout, erro
 	k := len(ordinals)
 	backing := make([]Value, n*k)
 	rows := make([]Row, n)
-	parallelMorsels(par, n, func(_, lo, hi int) {
+	r.runMorsels(par, n, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			src := r.rows[i]
 			dst := backing[i*k : i*k+k : i*k+k]
@@ -128,7 +128,7 @@ func (r *Relation) ExtendVec(par int, cols []Column, fn ExtendFn) (*Relation, La
 	w := len(all)
 	backing := make([]Value, n*w)
 	rows := make([]Row, n)
-	parallelMorsels(par, n, func(_, lo, hi int) {
+	r.runMorsels(par, n, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			row := r.rows[i]
 			nr := backing[i*w : i*w+w : i*w+w]
@@ -200,7 +200,7 @@ func (r *Relation) HashJoinVec(par int, o *Relation, leftCol, rightCol, clashPre
 	nm := numMorsels(nl)
 	counts := make([]int, nm)
 	bad := make([]bool, nm)
-	parallelMorsels(par, nl, func(c, lo, hi int) {
+	r.runMorsels(par, nl, func(c, lo, hi int) {
 		total := 0
 		for _, lrow := range r.rows[lo:hi] {
 			k := lrow[li]
@@ -229,7 +229,7 @@ func (r *Relation) HashJoinVec(par int, o *Relation, leftCol, rightCol, clashPre
 	// Probe pass 2: assemble output rows into exact-size per-morsel arenas.
 	w := len(spec.schema.Columns)
 	outs := make([][]Row, nm)
-	parallelMorsels(par, nl, func(c, lo, hi int) {
+	r.runMorsels(par, nl, func(c, lo, hi int) {
 		if counts[c] == 0 {
 			return
 		}
@@ -710,7 +710,7 @@ func (r *Relation) GroupAggVec(par int, groupCols []string, aggs []AggSpec) (*Re
 	exact, replay := vecExactLanes(plans)
 	locals := make([][]*vecLocalGroup, nm)
 	bad := make([]bool, nm)
-	parallelMorsels(par, n, func(c, lo, hi int) {
+	r.runMorsels(par, n, func(c, lo, hi int) {
 		groups := make(map[uint64][]*vecLocalGroup, hi-lo)
 		var order []*vecLocalGroup
 		for i := lo; i < hi; i++ {
@@ -800,7 +800,7 @@ func (r *Relation) GroupAggVec(par int, groupCols []string, aggs []AggSpec) (*Re
 	w := len(spec.out.Columns)
 	backing := make([]Value, len(order)*w)
 	out := make([]Row, len(order))
-	parallelRun(par, len(order), func(gi int) {
+	r.runPar(par, len(order), func(gi int) {
 		g := order[gi]
 		states := g.states
 		if replay {
@@ -977,7 +977,7 @@ func (r *Relation) groupAggExtVecPar(par int, spec *groupSpec, plans []vecAggPla
 	nm := numMorsels(n)
 	locals := make([][]*vecLocalGroup, nm)
 	bad := make([]bool, nm)
-	parallelMorsels(par, n, func(c, lo, hi int) {
+	r.runMorsels(par, n, func(c, lo, hi int) {
 		groups := make(map[uint64][]*vecLocalGroup, hi-lo)
 		var order []*vecLocalGroup
 		scratch := make(Row, w)
@@ -1071,7 +1071,7 @@ func (r *Relation) groupAggExtVecPar(par int, spec *groupSpec, plans []vecAggPla
 	ow := len(spec.out.Columns)
 	backing := make([]Value, len(order)*ow)
 	out := make([]Row, len(order))
-	parallelRun(par, len(order), func(gi int) {
+	r.runPar(par, len(order), func(gi int) {
 		g := order[gi]
 		states := g.states
 		if replay {

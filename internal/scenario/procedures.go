@@ -172,6 +172,9 @@ func ComputeOrdersMV(db *rel.Database) (*rel.Relation, uint64, error) {
 	par := db.Parallelism()
 	columnar := db.Columnar()
 	orders, version := db.MustTable("Orders").ScanWithVersion()
+	// Table scans carry no scheduler attribution; tag the fold's input so
+	// the whole kernel chain bills to this instance's fair-share handle.
+	orders = orders.WithPool(db.Scheduler())
 	dateOrd := orders.Schema().MustOrdinal("Orderdate")
 	// The extension columns and the closure are shared between the row and
 	// the columnar path, so the two variants cannot drift apart.

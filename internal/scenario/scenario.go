@@ -26,6 +26,7 @@ import (
 	"repro/internal/dbproto"
 	"repro/internal/fault"
 	rel "repro/internal/relational"
+	"repro/internal/sched"
 	"repro/internal/schema"
 	"repro/internal/ws"
 )
@@ -225,6 +226,16 @@ func (s *Scenario) SetColumnar(on bool) {
 	s.ES.Instance(schema.SysDWH).SetColumnar(on)
 	for _, v := range schema.Marts {
 		s.ES.Instance(v.Name).SetColumnar(on)
+	}
+}
+
+// SetScheduler attributes the warehouse- and mart-layer stored procedure
+// work to the tenant's fair-share scheduler handle, mirroring
+// SetParallelism. Nil means the process-wide default handle.
+func (s *Scenario) SetScheduler(h *sched.Handle) {
+	s.ES.Instance(schema.SysDWH).SetScheduler(h)
+	for _, v := range schema.Marts {
+		s.ES.Instance(v.Name).SetScheduler(h)
 	}
 }
 

@@ -13,6 +13,21 @@ type Metrics struct {
 	Running int `json:"running"`
 	// Tenants lists every known tenant in admission order.
 	Tenants []TenantMetrics `json:"tenants"`
+	// Sched snapshots the shared work-stealing scheduler all running
+	// tenants compete on.
+	Sched SchedMetrics `json:"sched"`
+}
+
+// SchedMetrics is the pool-level view of the shared scheduler plus its
+// governor's admission ledger.
+type SchedMetrics struct {
+	MaxWorkers int     `json:"max_workers"`
+	Workers    int     `json:"workers"`
+	QueueDepth int     `json:"queue_depth"`
+	Dispatches uint64  `json:"dispatches"`
+	Steals     uint64  `json:"steals"`
+	Capacity   float64 `json:"capacity"` // governor weight capacity
+	Used       float64 `json:"used"`     // weight currently admitted
 }
 
 // TenantMetrics is one tenant's live progress.
@@ -35,6 +50,15 @@ type TenantMetrics struct {
 	// Breakers maps endpoint -> breaker state ("closed", "open",
 	// "half-open") for every endpoint that has seen traffic.
 	Breakers map[string]string `json:"breakers,omitempty"`
+	// Share is the tenant's fair-share weight; SchedTasks counts the
+	// morsels its run has executed on the shared scheduler, and
+	// ShareUtilization is its observed task fraction divided by its fair
+	// fraction across the currently running tenants (1.0 = exactly its
+	// share; only set while running).
+	Share            float64 `json:"share,omitempty"`
+	SchedTasks       uint64  `json:"sched_tasks,omitempty"`
+	SchedStolen      uint64  `json:"sched_stolen,omitempty"`
+	ShareUtilization float64 `json:"share_utilization,omitempty"`
 	// Digest is the final state digest (terminal states only).
 	Digest string `json:"digest,omitempty"`
 	Error  string `json:"error,omitempty"`

@@ -20,6 +20,17 @@
 // most MaxQueue wait behind them; beyond that, submissions are shed with
 // 429 and a Retry-After hint — backpressure instead of collapse.
 //
+// Execution is governed, not pooled: admission reserves a fair-share
+// weight on the process-wide work-stealing scheduler (internal/sched)
+// instead of parking a goroutine per slot, and every tenant's kernel
+// work runs on the one shared worker pool — N tenants no longer
+// oversubscribe the host by N x GOMAXPROCS. A tenant's RunSpec.Share
+// (default Options.DefaultShare) sets both its governor reservation and
+// its scheduling weight; the governor capacity is
+// MaxTenants x DefaultShare, so default-share tenants keep the familiar
+// MaxTenants concurrency while heavier tenants trade concurrency for
+// share.
+//
 // Graceful drain: Drain (wired to SIGTERM by cmd/dipbenchd) stops
 // admission, lets every in-flight run reach its next committed stream
 // barrier — where the PR5 recovery controller has just made a checkpoint
@@ -40,6 +51,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/sched"
 )
 
 // Options configures the daemon.
@@ -60,6 +73,10 @@ type Options struct {
 	CheckpointEvery int
 	// RetryAfter is the hint returned with shed submissions (default 5s).
 	RetryAfter time.Duration
+	// DefaultShare is the fair-share weight of tenants whose RunSpec does
+	// not set one (default 1). The governor capacity is
+	// MaxTenants * DefaultShare.
+	DefaultShare float64
 }
 
 func (o Options) withDefaults() Options {
@@ -71,6 +88,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.RetryAfter <= 0 {
 		o.RetryAfter = 5 * time.Second
+	}
+	if o.DefaultShare <= 0 {
+		o.DefaultShare = 1
 	}
 	return o
 }
@@ -85,7 +105,8 @@ type Server struct {
 	stopOnce sync.Once
 	draining atomic.Bool
 	shed     atomic.Uint64
-	workerWG sync.WaitGroup // workers finish their in-flight run before exiting
+	workerWG sync.WaitGroup // dispatcher + tenant runs finish before Drain returns
+	gov      *sched.Governor
 
 	mu      sync.Mutex
 	tenants map[string]*tenant
@@ -124,15 +145,18 @@ func NewServer(opts Options) (*Server, error) {
 		return nil, err
 	}
 	// The queue must hold every re-admitted tenant plus a fresh admission
-	// window — recovery enqueues before the workers start draining.
+	// window — recovery enqueues before the dispatcher starts draining.
 	s.queue = make(chan *tenant, opts.MaxQueue+opts.MaxTenants+len(pending))
 	for _, t := range pending {
 		s.queue <- t
 	}
-	for i := 0; i < opts.MaxTenants; i++ {
-		s.workerWG.Add(1)
-		go s.worker()
-	}
+	// Concurrency is governed by fair-share capacity on the process-wide
+	// scheduler, not by a goroutine per slot: one dispatcher admits queued
+	// tenants as weight frees up and spawns a goroutine per RUNNING
+	// tenant only.
+	s.gov = sched.NewGovernor(sched.Default(), float64(opts.MaxTenants)*opts.DefaultShare)
+	s.workerWG.Add(1)
+	go s.dispatch()
 	return s, nil
 }
 
@@ -162,9 +186,12 @@ func (s *Server) Drain(ctx context.Context) error {
 	}
 }
 
-// worker executes queued tenants one at a time; MaxTenants workers give
-// the concurrency bound.
-func (s *Server) worker() {
+// dispatch admits queued tenants by governor capacity: each tenant's
+// fair-share weight must fit under MaxTenants * DefaultShare before its
+// run starts, which bounds concurrent runs without dedicating a parked
+// goroutine to every slot. The 429 + Retry-After shed decision stays in
+// handleSubmit, unchanged.
+func (s *Server) dispatch() {
 	defer s.workerWG.Done()
 	for {
 		select {
@@ -176,7 +203,22 @@ func (s *Server) worker() {
 				// the restarted daemon re-admits it.
 				continue
 			}
-			s.runTenant(t)
+			h, err := s.gov.Admit(t.id, t.share(s.opts.DefaultShare), s.stop)
+			if err != nil {
+				// Drain closed the stop channel mid-wait: the tenant stays
+				// queued on disk for the restarted daemon.
+				continue
+			}
+			if s.draining.Load() {
+				s.gov.Release(h)
+				continue
+			}
+			s.workerWG.Add(1)
+			go func(t *tenant, h *sched.Handle) {
+				defer s.workerWG.Done()
+				defer s.gov.Release(h)
+				s.runTenant(t, h)
+			}(t, h)
 		}
 	}
 }
@@ -421,7 +463,37 @@ func (s *Server) snapshot() Metrics {
 		}
 		m.Tenants = append(m.Tenants, tm)
 	}
+	s.shareUtilization(m.Tenants)
+	ss := s.gov.Scheduler().Stats()
+	m.Sched = SchedMetrics{
+		MaxWorkers: ss.MaxWorkers, Workers: ss.Workers, QueueDepth: ss.QueueDepth,
+		Dispatches: ss.Dispatches, Steals: ss.Steals,
+		Capacity: s.gov.Capacity(), Used: s.gov.Used(),
+	}
 	return m
+}
+
+// shareUtilization fills ShareUtilization across the currently admitted
+// tenants: observed task fraction over fair weight fraction, so 1.0
+// means a tenant got exactly its share of the executed morsels.
+func (s *Server) shareUtilization(tms []TenantMetrics) {
+	var tasks, weight float64
+	for i := range tms {
+		if tms[i].State == StateRunning || tms[i].State == StateDraining {
+			tasks += float64(tms[i].SchedTasks)
+			weight += tms[i].Share
+		}
+	}
+	if tasks == 0 || weight == 0 {
+		return
+	}
+	for i := range tms {
+		if (tms[i].State == StateRunning || tms[i].State == StateDraining) && tms[i].Share > 0 {
+			frac := float64(tms[i].SchedTasks) / tasks
+			fair := tms[i].Share / weight
+			tms[i].ShareUtilization = frac / fair
+		}
+	}
 }
 
 // tenantMetricsLocked renders one tenant's metrics; the caller holds mu.
@@ -432,9 +504,16 @@ func (s *Server) tenantMetricsLocked(t *tenant) TenantMetrics {
 		Events: t.events, Failures: t.failures,
 		Retries: t.retries, Trips: t.trips, DeadLetters: t.deadLetters,
 		Digest: t.digest, Error: t.err,
+		SchedTasks: t.schedTasks, SchedStolen: t.schedStolen,
 	}
 	if tm.Periods == 0 {
 		tm.Periods = 1 // core.Config default
+	}
+	if h := t.sched; h != nil {
+		hs := h.Stats()
+		tm.Share = hs.Weight
+		tm.SchedTasks = hs.CallerTasks + hs.WorkerTasks
+		tm.SchedStolen = hs.Stolen
 	}
 	if b := t.bench; b != nil {
 		tm.Retries, tm.Trips, tm.DeadLetters = b.Monitor().Resilience().Totals()

@@ -104,7 +104,7 @@ func soloDigest(t *testing.T, spec RunSpec) string {
 		return d
 	}
 	solo := &tenant{spec: spec, dir: t.TempDir()}
-	cfg := solo.coreConfig(1, nil, nil)
+	cfg := solo.coreConfig(1, nil, nil, nil)
 	b, err := core.New(cfg)
 	if err != nil {
 		t.Fatalf("solo run: %v", err)

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/driver"
+	"repro/internal/sched"
 )
 
 // Tenant lifecycle states. A tenant moves
@@ -55,6 +56,12 @@ type RunSpec struct {
 	Columnar        string `json:"columnar,omitempty"`
 	Shards          int    `json:"shards,omitempty"`
 	CheckpointEvery int    `json:"checkpoint_every,omitempty"`
+
+	// Share is the tenant's fair-share weight on the daemon's shared
+	// scheduler — its governor reservation and its dispatch priority
+	// relative to the other running tenants. Defaults to
+	// Options.DefaultShare.
+	Share float64 `json:"share,omitempty"`
 }
 
 // tenant is one admitted run and its full private stack: scenario
@@ -79,6 +86,17 @@ type tenant struct {
 	resumed     bool
 	cancel      context.CancelFunc
 	bench       *core.Benchmark // non-nil while running
+	sched       *sched.Handle   // non-nil while admitted
+	schedTasks  uint64          // morsels executed (caller + pool workers)
+	schedStolen uint64          // tokens stolen while running
+}
+
+// share is the tenant's effective fair-share weight.
+func (t *tenant) share(def float64) float64 {
+	if t.spec.Share > 0 {
+		return t.spec.Share
+	}
+	return def
 }
 
 // tenantRecord is the persisted tenant.json — enough to re-admit the
@@ -105,11 +123,12 @@ type resultRecord struct {
 
 // coreConfig maps the spec onto a core.Config rooted in the tenant's
 // private directory.
-func (t *tenant) coreConfig(checkpointEvery int, drain func() bool, onPeriod func(int, driver.PeriodStats)) core.Config {
+func (t *tenant) coreConfig(checkpointEvery int, h *sched.Handle, drain func() bool, onPeriod func(int, driver.PeriodStats)) core.Config {
 	if t.spec.CheckpointEvery > 0 {
 		checkpointEvery = t.spec.CheckpointEvery
 	}
 	return core.Config{
+		Scheduler:       h,
 		Datasize:        t.spec.Datasize,
 		TimeScale:       t.spec.TimeScale,
 		Distribution:    t.spec.Distribution,
@@ -166,7 +185,7 @@ func writeJSON(path string, v any) error {
 // runTenant executes one tenant end to end inside its isolation
 // boundary: a recovered panic or a watchdog expiry marks this tenant
 // failed and leaves every other tenant untouched.
-func (s *Server) runTenant(t *tenant) {
+func (s *Server) runTenant(t *tenant, h *sched.Handle) {
 	defer func() {
 		if r := recover(); r != nil {
 			s.finishTenant(t, StateFailed, "", "", fmt.Sprintf("panic: %v", r))
@@ -183,6 +202,7 @@ func (s *Server) runTenant(t *tenant) {
 	s.mu.Lock()
 	t.state = StateRunning
 	t.cancel = cancel
+	t.sched = h
 	s.mu.Unlock()
 	_ = t.persist(StateRunning)
 
@@ -193,7 +213,7 @@ func (s *Server) runTenant(t *tenant) {
 		t.failures += ps.Failures
 		s.mu.Unlock()
 	}
-	cfg := t.coreConfig(s.opts.CheckpointEvery, s.drainCheck, onPeriod)
+	cfg := t.coreConfig(s.opts.CheckpointEvery, h, s.drainCheck, onPeriod)
 	resumed = cfg.Resume
 
 	b, err := core.New(cfg)
@@ -239,12 +259,18 @@ func (s *Server) finishTenant(t *tenant, state, digest, report, errMsg string) {
 	if b := t.bench; b != nil {
 		t.retries, t.trips, t.deadLetters = b.Monitor().Resilience().Totals()
 	}
+	if h := t.sched; h != nil {
+		hs := h.Stats()
+		t.schedTasks = hs.CallerTasks + hs.WorkerTasks
+		t.schedStolen = hs.Stolen
+	}
 	t.state = state
 	t.digest = digest
 	t.report = report
 	t.err = errMsg
 	t.bench = nil
 	t.cancel = nil
+	t.sched = nil
 	rec := resultRecord{
 		State: state, Digest: digest, Report: report, Error: errMsg,
 		PeriodsDone: t.periodsDone, Events: t.events, Failures: t.failures,
@@ -258,8 +284,14 @@ func (s *Server) finishTenant(t *tenant, state, digest, report, errMsg string) {
 // setTenantState updates the in-memory state only.
 func (s *Server) setTenantState(t *tenant, state string) {
 	s.mu.Lock()
+	if h := t.sched; h != nil {
+		hs := h.Stats()
+		t.schedTasks = hs.CallerTasks + hs.WorkerTasks
+		t.schedStolen = hs.Stolen
+	}
 	t.state = state
 	t.bench = nil
 	t.cancel = nil
+	t.sched = nil
 	s.mu.Unlock()
 }
