@@ -1,0 +1,211 @@
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// fakeGuard is a FenceGuard with a settable token and check result —
+// the unit-test stand-in for a cluster lease.
+type fakeGuard struct {
+	token uint64
+	err   error
+}
+
+func (g *fakeGuard) Token() uint64 { return g.token }
+func (g *fakeGuard) Check() error  { return g.err }
+
+func TestFenceTokenStampedInManifest(t *testing.T) {
+	dir := t.TempDir()
+	m, err := NewManager(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetFence(&fakeGuard{token: 3})
+	m.SetWALName("wal-000000003.log")
+	man, err := m.Commit(testMeta, 0, 1, 9, []byte("fenced"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Fence != 3 {
+		t.Fatalf("manifest fence = %d, want 3", man.Fence)
+	}
+	if man.WAL != "wal-000000003.log" || man.WALFile() != "wal-000000003.log" {
+		t.Fatalf("manifest wal = %q / WALFile %q", man.WAL, man.WALFile())
+	}
+	if got := m.WALPath(); got != filepath.Join(dir, "wal-000000003.log") {
+		t.Fatalf("WALPath = %q", got)
+	}
+	// Unfenced manifests keep the legacy WAL name.
+	m2, _ := NewManager(t.TempDir())
+	man2, err := m2.Commit(testMeta, 0, 1, 0, []byte("plain"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man2.Fence != 0 || man2.WAL != "" || man2.WALFile() != "wal.log" {
+		t.Fatalf("unfenced manifest carries fence metadata: %+v", man2)
+	}
+}
+
+func TestFenceGuardFailureAbortsCommit(t *testing.T) {
+	dir := t.TempDir()
+	m, err := NewManager(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := &fakeGuard{token: 1}
+	m.SetFence(g)
+	if _, err := m.Commit(testMeta, 0, 1, 0, []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	g.err = fmt.Errorf("lease lost: %w", ErrFenced)
+	if _, err := m.Commit(testMeta, 1, 1, 0, []byte("two")); !errors.Is(err, ErrFenced) {
+		t.Fatalf("commit with failing guard = %v, want ErrFenced", err)
+	}
+	// The rejected commit left the manifest untouched.
+	man, err := m.Latest()
+	if err != nil || man.Period != 0 || man.Fence != 1 {
+		t.Fatalf("manifest after rejected commit: %+v, %v", man, err)
+	}
+}
+
+func TestFenceRegressionRejected(t *testing.T) {
+	dir := t.TempDir()
+	successor, err := NewManager(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	successor.SetFence(&fakeGuard{token: 5})
+	successor.SetWALName("wal-000000005.log")
+	if _, err := successor.Commit(testMeta, 2, 1, 0, []byte("new-owner")); err != nil {
+		t.Fatal(err)
+	}
+	// A revived previous owner whose lease read raced (its guard still
+	// passes) is caught by the manifest's fence-regression check.
+	stale, err := NewManager(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale.SetFence(&fakeGuard{token: 3})
+	stale.SetWALName("wal-000000003.log")
+	if _, err := stale.Commit(testMeta, 1, 1, 0, []byte("zombie")); !errors.Is(err, ErrFenced) {
+		t.Fatalf("lower-token commit = %v, want ErrFenced", err)
+	}
+	man, err := ReadManifest(dir)
+	if err != nil || man.Fence != 5 || man.Period != 2 {
+		t.Fatalf("manifest overwritten by fenced owner: %+v, %v", man, err)
+	}
+}
+
+func TestFencedCommitPrunesSupersededWALs(t *testing.T) {
+	dir := t.TempDir()
+	for _, n := range []string{"wal.log", "wal-000000001.log"} {
+		if err := os.WriteFile(filepath.Join(dir, n), []byte("old"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, err := NewManager(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetFence(&fakeGuard{token: 2})
+	m.SetWALName("wal-000000002.log")
+	if err := os.WriteFile(m.WALPath(), []byte("current"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Commit(testMeta, 0, 1, 7, []byte("snap")); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []string{"wal.log", "wal-000000001.log"} {
+		if _, err := os.Stat(filepath.Join(dir, n)); !os.IsNotExist(err) {
+			t.Fatalf("superseded %s survived the fenced commit", n)
+		}
+	}
+	if _, err := os.Stat(m.WALPath()); err != nil {
+		t.Fatalf("current wal pruned: %v", err)
+	}
+}
+
+// TestSnapshotGCRacesConcurrentReader is the checkpoint-side of the
+// failover race: a peer claiming a dead owner's tenant reads the
+// manifest and then the snapshot, while the (not-quite-dead) owner's
+// last commit prunes that snapshot in between. LatestSnapshot retries
+// against the newer manifest instead of failing the claim.
+func TestSnapshotGCRacesConcurrentReader(t *testing.T) {
+	dir := t.TempDir()
+	owner, err := NewManager(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	man1, err := owner.Commit(testMeta, 0, 1, 10, []byte("one"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reader, err := NewManager(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The GC-pause hook proves the publish/prune window exists: at
+	// publish time of commit 2 both snapshots are still on disk.
+	owner.SetGCHook(func() {
+		for _, man := range []Manifest{man1} {
+			if _, err := os.Stat(filepath.Join(dir, man.Snapshot)); err != nil {
+				t.Errorf("snapshot %s already pruned before gc: %v", man.Snapshot, err)
+			}
+		}
+	})
+	if _, err := owner.Commit(testMeta, 1, 1, 20, []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	// The reader's stale manifest now names a pruned snapshot...
+	if _, err := reader.ReadSnapshot(man1); err == nil {
+		t.Fatal("pruned snapshot still readable; the race this test guards cannot occur")
+	}
+	// ...but LatestSnapshot re-reads the manifest and lands on the newer
+	// checkpoint.
+	man, blob, err := reader.LatestSnapshot()
+	if err != nil {
+		t.Fatalf("LatestSnapshot after GC race: %v", err)
+	}
+	if man.Seq != man1.Seq+1 || string(blob) != "two" {
+		t.Fatalf("retried read got seq %d blob %q", man.Seq, blob)
+	}
+}
+
+func TestLatestSnapshotUnderCommitStorm(t *testing.T) {
+	dir := t.TempDir()
+	owner, err := NewManager(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := owner.Commit(testMeta, 0, 1, 0, []byte("seed")); err != nil {
+		t.Fatal(err)
+	}
+	reader, err := NewManager(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 1; i <= 200; i++ {
+			if _, err := owner.Commit(testMeta, i, 1, int64(i), []byte(fmt.Sprintf("snap-%d", i))); err != nil {
+				t.Errorf("commit %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	for {
+		select {
+		case <-done:
+			return
+		default:
+		}
+		if _, _, err := reader.LatestSnapshot(); err != nil {
+			t.Fatalf("LatestSnapshot failed under concurrent commits: %v", err)
+		}
+	}
+}

@@ -1,0 +1,490 @@
+// Package cluster is the placement layer that lets several dipbenchd
+// daemons share one tenant population over a common data directory.
+//
+// Coordination is plain files under one shared directory — no external
+// coordination service, matching the checkpoint layer's posture:
+//
+//	<dir>/peers/<peer>.json            heartbeat-refreshed peer table
+//	<dir>/leases/<tenant>/lease-N.json per-tenant lease, one file per
+//	                                   fencing token N
+//
+// A daemon acquires a tenant's lease before admitting it and renews the
+// lease on every heartbeat. Claims are atomic (write-temp + link(2), so
+// exactly one contender wins each token) and tokens increase by one per
+// ownership change — the token is the fencing token the checkpoint
+// layer validates on every manifest commit. Peer death is detected by
+// lease expiry alone: a dead daemon stops renewing, the lease passes
+// its TTL, and the first surviving peer's scan loop claims it with
+// token+1 and resumes the tenant from its latest committed checkpoint.
+// Graceful drain instead marks the lease Released, making it claimable
+// immediately. Either way the previous incarnation is fenced: its
+// Lease.Check fails with checkpoint.ErrFenced on the next commit.
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Options configures one daemon's cluster membership.
+type Options struct {
+	// Dir is the shared coordination directory (peer table + leases).
+	// Every daemon of the cluster must point at the same directory.
+	Dir string
+	// Peer is this daemon's unique identity. Required.
+	Peer string
+	// Addr is the advertised control-plane address (peer table only,
+	// informational).
+	Addr string
+	// LeaseTTL is how long a lease stays live without renewal (default
+	// 10s). Failover latency is bounded by LeaseTTL + one heartbeat.
+	LeaseTTL time.Duration
+	// Heartbeat is the renewal/scan interval (default LeaseTTL/4). It
+	// must be well under LeaseTTL or a merely busy peer gets fenced.
+	Heartbeat time.Duration
+	// OnClaim is invoked from the scan loop each time this peer claims
+	// an expired or handed-off lease — the failover hook: the serve
+	// layer re-admits the tenant from its checkpoint directory.
+	OnClaim func(tenant string, l *Lease)
+	// Now injects a clock for tests (default time.Now).
+	Now func() time.Time
+}
+
+func (o Options) withDefaults() Options {
+	if o.LeaseTTL <= 0 {
+		o.LeaseTTL = 10 * time.Second
+	}
+	if o.Heartbeat <= 0 {
+		o.Heartbeat = o.LeaseTTL / 4
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	return o
+}
+
+// peerRecord is the on-disk peer-table entry, rewritten every heartbeat.
+type peerRecord struct {
+	ID              string `json:"id"`
+	Addr            string `json:"addr,omitempty"`
+	PID             int    `json:"pid"`
+	StartedUnixNano int64  `json:"started_unix_nano"`
+	BeatUnixNano    int64  `json:"beat_unix_nano"`
+}
+
+// Manager is one daemon's view of the cluster: its peer-table entry,
+// the leases it holds, and the loop that renews them and claims the
+// leases of dead or drained peers.
+type Manager struct {
+	opts      Options
+	startedAt int64
+
+	stop      chan struct{}
+	stopOnce  sync.Once
+	wg        sync.WaitGroup
+	started   atomic.Bool
+	suspended atomic.Bool // test/chaos hook: stop renewing without stopping the run
+
+	failovers atomic.Uint64 // claims of expired leases previously owned elsewhere
+	handoffs  atomic.Uint64 // claims of released (drained) leases
+
+	mu   sync.Mutex
+	held map[string]*Lease
+}
+
+// Join registers the daemon in the peer table and prepares the lease
+// directories. The heartbeat/scan loop is NOT started — call Start once
+// the claim callback's receiver is ready to take tenants.
+func Join(opts Options) (*Manager, error) {
+	opts = opts.withDefaults()
+	if opts.Dir == "" || opts.Peer == "" {
+		return nil, fmt.Errorf("cluster: Options.Dir and Options.Peer are required")
+	}
+	if strings.ContainsAny(opts.Peer, "/\\") {
+		return nil, fmt.Errorf("cluster: peer id %q must not contain path separators", opts.Peer)
+	}
+	for _, sub := range []string{"peers", "leases"} {
+		if err := os.MkdirAll(filepath.Join(opts.Dir, sub), 0o755); err != nil {
+			return nil, err
+		}
+	}
+	m := &Manager{
+		opts: opts,
+		stop: make(chan struct{}),
+		held: make(map[string]*Lease),
+	}
+	m.startedAt = m.opts.Now().UnixNano()
+	if err := m.beat(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Start launches the heartbeat loop: refresh the peer-table entry,
+// renew held leases, and scan for claimable ones.
+func (m *Manager) Start() {
+	if !m.started.CompareAndSwap(false, true) {
+		return
+	}
+	m.wg.Add(1)
+	go m.loop()
+}
+
+func (m *Manager) loop() {
+	defer m.wg.Done()
+	t := time.NewTicker(m.opts.Heartbeat)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-t.C:
+			if m.suspended.Load() {
+				continue
+			}
+			_ = m.beat()
+			m.renewHeld()
+			m.scan()
+		}
+	}
+}
+
+// beat rewrites this peer's table entry with a fresh timestamp.
+func (m *Manager) beat() error {
+	rec := peerRecord{
+		ID: m.opts.Peer, Addr: m.opts.Addr, PID: os.Getpid(),
+		StartedUnixNano: m.startedAt, BeatUnixNano: m.opts.Now().UnixNano(),
+	}
+	return writeFileAtomic(filepath.Join(m.opts.Dir, "peers", m.opts.Peer+".json"), rec)
+}
+
+func (m *Manager) tenantLeaseDir(tenant string) string {
+	return filepath.Join(m.opts.Dir, "leases", tenant)
+}
+
+// claimable reports whether a lease may be taken over: gracefully
+// released, or expired because its owner stopped renewing.
+func (m *Manager) claimable(rec *leaseRecord) bool {
+	return rec.Released || m.opts.Now().UnixNano() > rec.ExpiresUnixNano
+}
+
+// Acquire claims the tenant's lease for this peer. A live lease held by
+// another peer returns ErrOwned; an expired or released one (or none at
+// all) is claimed with the next fencing token. Re-acquiring a tenant
+// this peer already holds returns the existing lease. Losing a claim
+// race re-evaluates — if the winner's lease is live, that is ErrOwned.
+func (m *Manager) Acquire(tenant string) (*Lease, error) {
+	if tenant == "" || strings.ContainsAny(tenant, "/\\") {
+		return nil, fmt.Errorf("cluster: bad tenant name %q", tenant)
+	}
+	m.mu.Lock()
+	if l, ok := m.held[tenant]; ok {
+		m.mu.Unlock()
+		return l, nil
+	}
+	m.mu.Unlock()
+	dir := m.tenantLeaseDir(tenant)
+	for attempt := 0; attempt < 16; attempt++ {
+		cur, err := readCurrent(dir)
+		if err != nil {
+			return nil, err
+		}
+		next := uint64(1)
+		prevOwner, released := "", false
+		if cur != nil {
+			if cur.Owner != m.opts.Peer && !m.claimable(cur) {
+				return nil, fmt.Errorf("cluster: tenant %q owned by %s (token %d): %w",
+					tenant, cur.Owner, cur.Token, ErrOwned)
+			}
+			// Expired, released, or our own previous incarnation (daemon
+			// restart): take over with the next token either way, fencing
+			// whatever still thinks it owns the old one.
+			next = cur.Token + 1
+			prevOwner, released = cur.Owner, cur.Released
+		}
+		now := m.opts.Now()
+		rec := leaseRecord{
+			Tenant: tenant, Owner: m.opts.Peer, Token: next,
+			AcquiredUnixNano: now.UnixNano(),
+			ExpiresUnixNano:  now.Add(m.opts.LeaseTTL).UnixNano(),
+		}
+		switch err := claimToken(dir, next, rec); {
+		case err == nil:
+			m.pruneOldLeases(dir, next)
+			l := &Lease{m: m, tenant: tenant, token: next}
+			m.mu.Lock()
+			m.held[tenant] = l
+			m.mu.Unlock()
+			if prevOwner != "" && prevOwner != m.opts.Peer {
+				if released {
+					m.handoffs.Add(1)
+				} else {
+					m.failovers.Add(1)
+				}
+			}
+			return l, nil
+		case err == errLost:
+			continue
+		default:
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("cluster: tenant %q: too many claim races", tenant)
+}
+
+// pruneOldLeases removes superseded token files, best-effort; the
+// highest token is authoritative regardless.
+func (m *Manager) pruneOldLeases(dir string, current uint64) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if tok, ok := parseLeaseToken(e.Name()); ok && tok < current {
+			_ = os.Remove(filepath.Join(dir, e.Name()))
+		}
+	}
+}
+
+// renewHeld extends every held lease's expiry. A lease that is no
+// longer ours on disk (a peer fenced us) is dropped from the held set —
+// its Check surfaces the fencing to the running tenant.
+func (m *Manager) renewHeld() {
+	m.mu.Lock()
+	leases := make([]*Lease, 0, len(m.held))
+	for _, l := range m.held {
+		leases = append(leases, l)
+	}
+	m.mu.Unlock()
+	for _, l := range leases {
+		dir := m.tenantLeaseDir(l.tenant)
+		cur, err := readCurrent(dir)
+		if err != nil || cur == nil || cur.Token != l.token || cur.Owner != m.opts.Peer {
+			m.dropHeld(l)
+			continue
+		}
+		cur.ExpiresUnixNano = m.opts.Now().Add(m.opts.LeaseTTL).UnixNano()
+		_ = writeFileAtomic(filepath.Join(dir, leaseName(l.token)), cur)
+	}
+}
+
+// scan hunts claimable leases: each is an orphaned tenant whose owner
+// stopped renewing (crash, kill -9) or released at drain. The first
+// peer to win the claim owns the resume; losers see ErrOwned and move
+// on.
+func (m *Manager) scan() {
+	root := filepath.Join(m.opts.Dir, "leases")
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		tenant := e.Name()
+		m.mu.Lock()
+		_, mine := m.held[tenant]
+		m.mu.Unlock()
+		if mine {
+			continue
+		}
+		cur, err := readCurrent(filepath.Join(root, tenant))
+		if err != nil || cur == nil || !m.claimable(cur) {
+			continue
+		}
+		l, err := m.Acquire(tenant)
+		if err != nil {
+			continue // lost the race to another peer
+		}
+		if m.opts.OnClaim != nil {
+			m.opts.OnClaim(tenant, l)
+		}
+	}
+}
+
+func (m *Manager) dropHeld(l *Lease) {
+	m.mu.Lock()
+	if cur, ok := m.held[l.tenant]; ok && cur == l {
+		delete(m.held, l.tenant)
+	}
+	m.mu.Unlock()
+}
+
+// Release permanently retires a finished tenant's lease. Ownership is
+// re-checked on disk first: a fenced previous owner must not delete its
+// successor's lease, so a stale Release is a no-op.
+func (m *Manager) Release(l *Lease) {
+	if l == nil {
+		return
+	}
+	m.dropHeld(l)
+	dir := m.tenantLeaseDir(l.tenant)
+	cur, err := readCurrent(dir)
+	if err != nil || cur == nil || cur.Token != l.token || cur.Owner != m.opts.Peer {
+		return
+	}
+	_ = os.RemoveAll(dir)
+}
+
+// Handoff marks the lease immediately claimable without breaking the
+// fencing order: the next owner claims token+1 and resumes the tenant
+// from its checkpoint directory. Used at graceful drain, once the
+// tenant's checkpoint is durable. Stale hand-offs are no-ops.
+func (m *Manager) Handoff(l *Lease) {
+	if l == nil {
+		return
+	}
+	m.dropHeld(l)
+	dir := m.tenantLeaseDir(l.tenant)
+	cur, err := readCurrent(dir)
+	if err != nil || cur == nil || cur.Token != l.token || cur.Owner != m.opts.Peer {
+		return
+	}
+	cur.Released = true
+	_ = writeFileAtomic(filepath.Join(dir, leaseName(l.token)), cur)
+}
+
+// SuspendRenewals pauses (or resumes) the heartbeat loop's writes while
+// leaving everything else running — the split-brain chaos hook: the
+// daemon keeps executing its tenants, its leases expire, a peer claims
+// them, and the next commit here must fail with checkpoint.ErrFenced.
+func (m *Manager) SuspendRenewals(v bool) { m.suspended.Store(v) }
+
+// Close stops the loop and hands off every still-held lease so live
+// peers (or this daemon's own restart) claim the tenants immediately.
+// The graceful counterpart of Abandon.
+func (m *Manager) Close() {
+	m.stopOnce.Do(func() { close(m.stop) })
+	m.wg.Wait()
+	m.mu.Lock()
+	leases := make([]*Lease, 0, len(m.held))
+	for _, l := range m.held {
+		leases = append(leases, l)
+	}
+	m.mu.Unlock()
+	for _, l := range leases {
+		m.Handoff(l)
+	}
+}
+
+// Abandon stops the loop WITHOUT touching any lease or peer file — the
+// in-process stand-in for kill -9. Held leases stay live until their
+// TTL runs out, and surviving peers must detect the death by lease
+// expiry alone, exactly as they would for a dead process.
+func (m *Manager) Abandon() {
+	m.stopOnce.Do(func() { close(m.stop) })
+	m.wg.Wait()
+}
+
+// Failovers returns how many expired leases this peer has claimed from
+// dead owners.
+func (m *Manager) Failovers() uint64 { return m.failovers.Load() }
+
+// Peer returns this daemon's identity.
+func (m *Manager) Peer() string { return m.opts.Peer }
+
+// PeerStatus is one peer-table row in the Status view.
+type PeerStatus struct {
+	ID        string   `json:"id"`
+	Addr      string   `json:"addr,omitempty"`
+	PID       int      `json:"pid"`
+	Alive     bool     `json:"alive"`
+	BeatAgeMS int64    `json:"beat_age_ms"`
+	Tenants   []string `json:"tenants,omitempty"`
+}
+
+// LeaseStatus is one lease row in the Status view.
+type LeaseStatus struct {
+	Tenant      string `json:"tenant"`
+	Owner       string `json:"owner"`
+	Token       uint64 `json:"token"`
+	Released    bool   `json:"released,omitempty"`
+	Expired     bool   `json:"expired,omitempty"`
+	AgeMS       int64  `json:"age_ms"`
+	ExpiresInMS int64  `json:"expires_in_ms"`
+}
+
+// Status is the cluster view served at /cluster and rendered by
+// dipmon -cluster.
+type Status struct {
+	Self       string        `json:"self"`
+	LeaseTTLMS int64         `json:"lease_ttl_ms"`
+	Failovers  uint64        `json:"failovers"`
+	Handoffs   uint64        `json:"handoffs"`
+	Peers      []PeerStatus  `json:"peers"`
+	Leases     []LeaseStatus `json:"leases"`
+}
+
+// Status assembles the live cluster view from the coordination
+// directory. A peer is alive while its last heartbeat is within the
+// lease TTL.
+func (m *Manager) Status() Status {
+	now := m.opts.Now()
+	st := Status{
+		Self:       m.opts.Peer,
+		LeaseTTLMS: m.opts.LeaseTTL.Milliseconds(),
+		Failovers:  m.failovers.Load(),
+		Handoffs:   m.handoffs.Load(),
+	}
+	byOwner := make(map[string][]string)
+	if entries, err := os.ReadDir(filepath.Join(m.opts.Dir, "leases")); err == nil {
+		for _, e := range entries {
+			if !e.IsDir() {
+				continue
+			}
+			rec, err := readCurrent(filepath.Join(m.opts.Dir, "leases", e.Name()))
+			if err != nil || rec == nil {
+				continue
+			}
+			expired := now.UnixNano() > rec.ExpiresUnixNano
+			st.Leases = append(st.Leases, LeaseStatus{
+				Tenant: rec.Tenant, Owner: rec.Owner, Token: rec.Token,
+				Released:    rec.Released,
+				Expired:     expired,
+				AgeMS:       (now.UnixNano() - rec.AcquiredUnixNano) / int64(time.Millisecond),
+				ExpiresInMS: (rec.ExpiresUnixNano - now.UnixNano()) / int64(time.Millisecond),
+			})
+			if !expired && !rec.Released {
+				byOwner[rec.Owner] = append(byOwner[rec.Owner], rec.Tenant)
+			}
+		}
+	}
+	sort.Slice(st.Leases, func(i, j int) bool { return st.Leases[i].Tenant < st.Leases[j].Tenant })
+	if entries, err := os.ReadDir(filepath.Join(m.opts.Dir, "peers")); err == nil {
+		for _, e := range entries {
+			if !strings.HasSuffix(e.Name(), ".json") {
+				continue
+			}
+			data, err := os.ReadFile(filepath.Join(m.opts.Dir, "peers", e.Name()))
+			if err != nil {
+				continue
+			}
+			var rec peerRecord
+			if json.Unmarshal(data, &rec) != nil {
+				continue
+			}
+			age := now.UnixNano() - rec.BeatUnixNano
+			st.Peers = append(st.Peers, PeerStatus{
+				ID: rec.ID, Addr: rec.Addr, PID: rec.PID,
+				Alive:     age <= m.opts.LeaseTTL.Nanoseconds(),
+				BeatAgeMS: age / int64(time.Millisecond),
+				Tenants:   sorted(byOwner[rec.ID]),
+			})
+		}
+	}
+	sort.Slice(st.Peers, func(i, j int) bool { return st.Peers[i].ID < st.Peers[j].ID })
+	return st
+}
+
+func sorted(s []string) []string {
+	sort.Strings(s)
+	return s
+}

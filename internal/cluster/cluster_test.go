@@ -1,0 +1,252 @@
+package cluster
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/checkpoint"
+)
+
+func mgr(t *testing.T, dir, peer string, ttl, beat time.Duration) *Manager {
+	t.Helper()
+	m, err := Join(Options{Dir: dir, Peer: peer, LeaseTTL: ttl, Heartbeat: beat})
+	if err != nil {
+		t.Fatalf("Join(%s): %v", peer, err)
+	}
+	t.Cleanup(m.Close)
+	return m
+}
+
+func TestAcquireOwnershipAndExpiry(t *testing.T) {
+	dir := t.TempDir()
+	// Huge heartbeats: loops are never started, so nothing renews.
+	a := mgr(t, dir, "a", 150*time.Millisecond, time.Hour)
+	b := mgr(t, dir, "b", 150*time.Millisecond, time.Hour)
+
+	la, err := a.Acquire("t1")
+	if err != nil {
+		t.Fatalf("a.Acquire: %v", err)
+	}
+	if la.Token() != 1 {
+		t.Fatalf("first lease token = %d, want 1", la.Token())
+	}
+	if err := la.Check(); err != nil {
+		t.Fatalf("live lease Check: %v", err)
+	}
+	// Re-acquiring a held tenant returns the same lease.
+	if l2, err := a.Acquire("t1"); err != nil || l2 != la {
+		t.Fatalf("re-Acquire = (%v, %v), want same lease", l2, err)
+	}
+	// A live lease held elsewhere is ErrOwned.
+	if _, err := b.Acquire("t1"); !errors.Is(err, ErrOwned) {
+		t.Fatalf("b.Acquire on live lease = %v, want ErrOwned", err)
+	}
+
+	// The owner stops renewing (it never started): after the TTL the
+	// lease is claimable with the next token, and the old lease is
+	// fenced.
+	time.Sleep(200 * time.Millisecond)
+	lb, err := b.Acquire("t1")
+	if err != nil {
+		t.Fatalf("b.Acquire after expiry: %v", err)
+	}
+	if lb.Token() != 2 {
+		t.Fatalf("failover lease token = %d, want 2", lb.Token())
+	}
+	if b.Failovers() != 1 {
+		t.Fatalf("b failovers = %d, want 1", b.Failovers())
+	}
+	if err := la.Check(); !errors.Is(err, checkpoint.ErrFenced) {
+		t.Fatalf("stale lease Check = %v, want ErrFenced", err)
+	}
+	if err := lb.Check(); err != nil {
+		t.Fatalf("new lease Check: %v", err)
+	}
+}
+
+func TestConcurrentClaimSingleWinner(t *testing.T) {
+	dir := t.TempDir()
+	const peers = 8
+	ms := make([]*Manager, peers)
+	for i := range ms {
+		ms[i] = mgr(t, dir, string(rune('a'+i)), time.Minute, time.Hour)
+	}
+	var wg sync.WaitGroup
+	wins := make([]*Lease, peers)
+	start := make(chan struct{})
+	for i := range ms {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			if l, err := ms[i].Acquire("contested"); err == nil {
+				wins[i] = l
+			}
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	winners := 0
+	for i, l := range wins {
+		if l == nil {
+			continue
+		}
+		winners++
+		if l.Token() != 1 {
+			t.Fatalf("winner %d got token %d, want 1", i, l.Token())
+		}
+	}
+	if winners != 1 {
+		t.Fatalf("%d peers won the claim race, want exactly 1", winners)
+	}
+}
+
+func TestHandoffClaimableImmediately(t *testing.T) {
+	dir := t.TempDir()
+	a := mgr(t, dir, "a", time.Minute, time.Hour)
+	b := mgr(t, dir, "b", time.Minute, time.Hour)
+	la, err := a.Acquire("t1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Handoff(la)
+	lb, err := b.Acquire("t1") // no TTL wait: the lease was released
+	if err != nil {
+		t.Fatalf("Acquire after handoff: %v", err)
+	}
+	if lb.Token() != 2 {
+		t.Fatalf("handoff claim token = %d, want 2", lb.Token())
+	}
+	if b.handoffs.Load() != 1 || b.failovers.Load() != 0 {
+		t.Fatalf("counters = failovers %d handoffs %d, want 0/1", b.failovers.Load(), b.handoffs.Load())
+	}
+	if err := la.Check(); !errors.Is(err, checkpoint.ErrFenced) {
+		t.Fatalf("handed-off lease Check = %v, want ErrFenced", err)
+	}
+}
+
+func TestStaleReleaseCannotRetireSuccessor(t *testing.T) {
+	dir := t.TempDir()
+	a := mgr(t, dir, "a", 100*time.Millisecond, time.Hour)
+	b := mgr(t, dir, "b", time.Minute, time.Hour)
+	la, err := a.Acquire("t1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(150 * time.Millisecond)
+	lb, err := b.Acquire("t1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The fenced previous owner finishes its (doomed) run and tries to
+	// retire the lease — it must not delete the successor's.
+	a.Release(la)
+	if err := lb.Check(); err != nil {
+		t.Fatalf("successor lease gone after stale Release: %v", err)
+	}
+	// The real owner's Release retires the tenant for good.
+	b.Release(lb)
+	if cur, err := readCurrent(b.tenantLeaseDir("t1")); err != nil || cur != nil {
+		t.Fatalf("lease after owner Release = (%+v, %v), want gone", cur, err)
+	}
+}
+
+func TestScanClaimsExpiredLease(t *testing.T) {
+	dir := t.TempDir()
+	a := mgr(t, dir, "a", 200*time.Millisecond, time.Hour) // never renews
+	if _, err := a.Acquire("orphan"); err != nil {
+		t.Fatal(err)
+	}
+
+	claimed := make(chan *Lease, 1)
+	b, err := Join(Options{
+		Dir: dir, Peer: "b", LeaseTTL: 200 * time.Millisecond, Heartbeat: 50 * time.Millisecond,
+		OnClaim: func(tenant string, l *Lease) {
+			if tenant == "orphan" {
+				claimed <- l
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	b.Start()
+	select {
+	case l := <-claimed:
+		if l.Token() != 2 {
+			t.Fatalf("scan claim token = %d, want 2", l.Token())
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("scan loop never claimed the expired lease")
+	}
+	if b.Failovers() != 1 {
+		t.Fatalf("failovers = %d, want 1", b.Failovers())
+	}
+	// The new owner renews: the lease must stay live well past the TTL.
+	time.Sleep(400 * time.Millisecond)
+	cur, err := readCurrent(b.tenantLeaseDir("orphan"))
+	if err != nil || cur == nil {
+		t.Fatalf("lease vanished: %+v, %v", cur, err)
+	}
+	if cur.Owner != "b" || b.opts.Now().UnixNano() > cur.ExpiresUnixNano {
+		t.Fatalf("lease not renewed by new owner: %+v", cur)
+	}
+}
+
+func TestPeerTableLiveness(t *testing.T) {
+	dir := t.TempDir()
+	ttl := 200 * time.Millisecond
+	a, err := Join(Options{Dir: dir, Peer: "a", LeaseTTL: ttl, Heartbeat: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Start()
+	b := mgr(t, dir, "b", ttl, 50*time.Millisecond)
+	b.Start()
+
+	st := b.Status()
+	if len(st.Peers) != 2 {
+		t.Fatalf("peer table has %d rows, want 2: %+v", len(st.Peers), st.Peers)
+	}
+	for _, p := range st.Peers {
+		if !p.Alive {
+			t.Fatalf("peer %s dead right after joining", p.ID)
+		}
+	}
+	// Abandon = kill -9: the peer file goes stale and liveness flips.
+	a.Abandon()
+	time.Sleep(ttl + 150*time.Millisecond)
+	st = b.Status()
+	for _, p := range st.Peers {
+		if p.ID == "a" && p.Alive {
+			t.Fatalf("abandoned peer still alive after TTL: %+v", p)
+		}
+		if p.ID == "b" && !p.Alive {
+			t.Fatalf("heartbeating peer marked dead: %+v", p)
+		}
+	}
+}
+
+func TestShutdownLeaksNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	dir := t.TempDir()
+	for i := 0; i < 3; i++ {
+		m, err := Join(Options{Dir: dir, Peer: "p", LeaseTTL: 100 * time.Millisecond, Heartbeat: 20 * time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Start()
+		if _, err := m.Acquire("t1"); err != nil {
+			t.Fatal(err)
+		}
+		m.Close()
+	}
+	time.Sleep(100 * time.Millisecond)
+	if after := runtime.NumGoroutine(); after > before+3 {
+		t.Fatalf("goroutines grew %d -> %d after Close", before, after)
+	}
+}

@@ -1,0 +1,91 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/checkpoint"
+)
+
+var fenceMeta = checkpoint.Meta{Seed: 7, Datasize: 0.01, TimeScale: 1, Dist: "uniform", Engine: "pipeline", Periods: 4}
+
+// TestSplitBrainCommitFenced wires a real lease into the checkpoint
+// layer and plays out the split-brain scenario end to end: daemon A
+// owns the tenant and commits; A stops renewing (partition / pause); B
+// claims the expired lease with token 2 and commits; the revived A —
+// which still believes it owns the tenant — has its next manifest
+// commit rejected with ErrFenced and can never clobber B's checkpoint.
+func TestSplitBrainCommitFenced(t *testing.T) {
+	clusterDir, ckptDir := t.TempDir(), t.TempDir()
+	// Huge heartbeats: renewal loops never run, so A's lease expires on
+	// schedule no matter how slow the test host is.
+	a := mgr(t, clusterDir, "a", 150*time.Millisecond, time.Hour)
+	b := mgr(t, clusterDir, "b", 150*time.Millisecond, time.Hour)
+
+	la, err := a.Acquire("t1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ma, err := checkpoint.NewManager(ckptDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ma.SetFence(la)
+	ma.SetWALName(fmt.Sprintf("wal-%09d.log", la.Token()))
+	man, err := ma.Commit(fenceMeta, 0, 1, 10, []byte("owned-by-a"))
+	if err != nil {
+		t.Fatalf("live owner's commit: %v", err)
+	}
+	if man.Fence != 1 {
+		t.Fatalf("first manifest fence = %d, want 1", man.Fence)
+	}
+
+	time.Sleep(200 * time.Millisecond) // A's lease expires un-renewed
+
+	lb, err := b.Acquire("t1")
+	if err != nil {
+		t.Fatalf("failover claim: %v", err)
+	}
+	mb, err := checkpoint.NewManager(ckptDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb.SetFence(lb)
+	mb.SetWALName(fmt.Sprintf("wal-%09d.log", lb.Token()))
+	if man, err = mb.Commit(fenceMeta, 1, 1, 20, []byte("owned-by-b")); err != nil {
+		t.Fatalf("successor's commit: %v", err)
+	}
+	if man.Fence != 2 {
+		t.Fatalf("successor manifest fence = %d, want 2", man.Fence)
+	}
+
+	// The revived A: its lease check and its commit both fail fenced.
+	if err := la.Check(); !errors.Is(err, checkpoint.ErrFenced) {
+		t.Fatalf("stale lease Check = %v, want ErrFenced", err)
+	}
+	if _, err := ma.Commit(fenceMeta, 2, 1, 30, []byte("zombie-write")); !errors.Is(err, checkpoint.ErrFenced) {
+		t.Fatalf("zombie commit = %v, want ErrFenced", err)
+	}
+	got, err := checkpoint.ReadManifest(ckptDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Fence != 2 || string(mustSnap(t, mb, got)) != "owned-by-b" {
+		t.Fatalf("manifest clobbered by fenced owner: %+v", got)
+	}
+	// B keeps committing unimpeded.
+	if _, err := mb.Commit(fenceMeta, 2, 1, 40, []byte("b-continues")); err != nil {
+		t.Fatalf("successor's follow-up commit: %v", err)
+	}
+}
+
+func mustSnap(t *testing.T, m *checkpoint.Manager, man checkpoint.Manifest) []byte {
+	t.Helper()
+	blob, err := m.ReadSnapshot(man)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}

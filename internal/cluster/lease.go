@@ -1,0 +1,188 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/checkpoint"
+)
+
+// ErrOwned reports that a tenant's lease is held — live and unreleased —
+// by another peer. Admission must route the tenant to its owner (or
+// wait for the lease to expire) instead of running it twice.
+var ErrOwned = errors.New("cluster: tenant leased by a live peer")
+
+// errLost reports a claim race lost to a concurrent contender; Acquire
+// retries after re-reading the current lease.
+var errLost = errors.New("cluster: claim race lost")
+
+// leaseRecord is the on-disk lease file. One file per fencing token
+// lives under <cluster-dir>/leases/<tenant>/lease-<token>.json; the
+// highest token present is the current lease. Files are created with
+// link(2) — which fails if the name exists — so exactly one contender
+// wins each token, and only the winner ever rewrites its own token file
+// (renewals). Tokens therefore increase monotonically for the life of
+// the tenant, which is what makes them usable as fencing tokens.
+type leaseRecord struct {
+	Tenant           string `json:"tenant"`
+	Owner            string `json:"owner"`
+	Token            uint64 `json:"token"`
+	AcquiredUnixNano int64  `json:"acquired_unix_nano"`
+	ExpiresUnixNano  int64  `json:"expires_unix_nano"`
+	// Released marks a graceful hand-off: the owner checkpointed the
+	// tenant and surrendered it, so peers may claim immediately instead
+	// of waiting out the TTL.
+	Released bool `json:"released,omitempty"`
+}
+
+func leaseName(token uint64) string { return fmt.Sprintf("lease-%09d.json", token) }
+
+// parseLeaseToken extracts the token from a lease file name.
+func parseLeaseToken(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "lease-") || !strings.HasSuffix(name, ".json") {
+		return 0, false
+	}
+	tok, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "lease-"), ".json"), 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return tok, true
+}
+
+// readCurrent returns the highest-token lease of a tenant, or nil when
+// the tenant has no lease directory (never claimed, or retired).
+func readCurrent(dir string) (*leaseRecord, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var best uint64
+	found := false
+	for _, e := range entries {
+		if tok, ok := parseLeaseToken(e.Name()); ok && (!found || tok > best) {
+			best, found = tok, true
+		}
+	}
+	if !found {
+		return nil, nil
+	}
+	data, err := os.ReadFile(filepath.Join(dir, leaseName(best)))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil // retired between listing and read
+		}
+		return nil, err
+	}
+	var rec leaseRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, fmt.Errorf("cluster: corrupt lease %s: %w", leaseName(best), err)
+	}
+	return &rec, nil
+}
+
+// claimToken atomically creates lease-<token>.json: the full record is
+// written to a temp file, fsynced, and hard-linked into place. link(2)
+// fails with EEXIST if the name already exists, so exactly one
+// contender wins each token even across processes and hosts sharing the
+// directory.
+func claimToken(dir string, token uint64, rec leaseRecord) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, ".claim-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName)
+	if _, err := tmp.Write(data); err != nil {
+		_ = tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		_ = tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Link(tmpName, filepath.Join(dir, leaseName(token))); err != nil {
+		if os.IsExist(err) {
+			return errLost
+		}
+		return err
+	}
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	return nil
+}
+
+// writeFileAtomic rewrites an existing coordination file via temp +
+// rename (renewals, hand-off marks, peer heartbeats). Only the current
+// owner of a name ever rewrites it, so rename atomicity is enough.
+func writeFileAtomic(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Lease is one peer's exclusive, renewable claim on a tenant, carrying
+// the monotonic fencing token. It implements checkpoint.FenceGuard: the
+// durability layer calls Check before every manifest commit, so a stale
+// owner — one whose lease expired and was re-claimed with a higher
+// token — fails loudly with checkpoint.ErrFenced instead of silently
+// corrupting the new owner's state.
+type Lease struct {
+	m      *Manager
+	tenant string
+	token  uint64
+}
+
+var _ checkpoint.FenceGuard = (*Lease)(nil)
+
+// Tenant returns the tenant this lease covers.
+func (l *Lease) Tenant() string { return l.tenant }
+
+// Token returns the fencing token. Tokens increase by exactly one per
+// ownership change, so any commit stamped with a lower token than the
+// current lease is provably from a previous, dead incarnation.
+func (l *Lease) Token() uint64 { return l.token }
+
+// Check re-reads the tenant's current lease from disk and reports
+// whether this lease still confers ownership. Any other outcome —
+// higher token, different owner, lease retired — wraps
+// checkpoint.ErrFenced.
+func (l *Lease) Check() error {
+	cur, err := readCurrent(l.m.tenantLeaseDir(l.tenant))
+	if err != nil {
+		return fmt.Errorf("cluster: lease for %s unreadable (%v): %w", l.tenant, err, checkpoint.ErrFenced)
+	}
+	if cur == nil {
+		return fmt.Errorf("cluster: lease for %s gone: %w", l.tenant, checkpoint.ErrFenced)
+	}
+	if cur.Token != l.token || cur.Owner != l.m.opts.Peer {
+		return fmt.Errorf("cluster: tenant %s now owned by %s with token %d (ours %d): %w",
+			l.tenant, cur.Owner, cur.Token, l.token, checkpoint.ErrFenced)
+	}
+	return nil
+}

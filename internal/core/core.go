@@ -26,6 +26,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/datagen"
 	"repro/internal/driver"
 	"repro/internal/engine"
@@ -165,6 +166,13 @@ type Config struct {
 	// instead of cold-starting: snapshot restore, WAL-suffix replay,
 	// idempotent re-execution of the interrupted streams.
 	Resume bool
+	// Fence, when non-nil, guards the durability layer with a cluster
+	// fencing token (the owner's lease): the WAL is segmented per
+	// ownership incarnation (wal-<token>.log) and every checkpoint
+	// commit re-validates ownership, so a stale owner fails loudly with
+	// checkpoint.ErrFenced instead of corrupting its successor's state.
+	// Requires WALDir.
+	Fence checkpoint.FenceGuard
 	// CrashAt injects a deterministic crash at "period:stream:occurrence"
 	// (e.g. "1:A:3" = after the 3rd completed stream-A event of period 1;
 	// occurrence 0 = at the stream's closing barrier, before its
@@ -352,12 +360,14 @@ func New(cfg Config) (*Benchmark, error) {
 		res *driver.Resume
 	)
 	if cfg.WALDir != "" {
-		rc, res, err = newRecoveryController(cfg, scn, eng, mon)
+		rc, res, err = newRecoveryController(cfg, scn, eng, mon, plan)
 		if err != nil {
 			return fail(err)
 		}
 	} else if cfg.Resume {
 		return fail(fmt.Errorf("core: Resume requires WALDir"))
+	} else if cfg.Fence != nil {
+		return fail(fmt.Errorf("core: Fence requires WALDir"))
 	}
 	if plan != nil {
 		scn.InstallFaultPlan(plan)
@@ -518,6 +528,7 @@ func (b *Benchmark) runChaosTwin(ctx context.Context) (*driver.VerificationResul
 	twinCfg.OnPeriod = nil
 	twinCfg.DrainCheck = nil
 	twinCfg.WALDir = ""
+	twinCfg.Fence = nil
 	twinCfg.CheckpointEvery = 0
 	twinCfg.Resume = false
 	twinCfg.CrashAt = ""
@@ -552,6 +563,7 @@ func (b *Benchmark) runRecomputeTwin(ctx context.Context) (*driver.VerificationR
 	twinCfg.OnPeriod = nil
 	twinCfg.DrainCheck = nil
 	twinCfg.WALDir = ""
+	twinCfg.Fence = nil
 	twinCfg.CheckpointEvery = 0
 	twinCfg.Resume = false
 	twinCfg.CrashAt = ""
@@ -587,6 +599,7 @@ func (b *Benchmark) runShardTwin(ctx context.Context) (*driver.VerificationResul
 	twinCfg.OnPeriod = nil
 	twinCfg.DrainCheck = nil
 	twinCfg.WALDir = ""
+	twinCfg.Fence = nil
 	twinCfg.CheckpointEvery = 0
 	twinCfg.Resume = false
 	twinCfg.CrashAt = ""

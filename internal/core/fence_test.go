@@ -1,0 +1,104 @@
+package core
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/checkpoint"
+	"repro/internal/fault"
+	"repro/internal/wal"
+)
+
+// testGuard is a checkpoint.FenceGuard stand-in for a cluster lease.
+type testGuard struct {
+	token uint64
+	err   error
+}
+
+func (g *testGuard) Token() uint64 { return g.token }
+func (g *testGuard) Check() error  { return g.err }
+
+// TestFencedCrashFailoverByteIdentity is the core-level failover story:
+// ownership incarnation 1 runs fenced and crashes mid-period; a new
+// incarnation with token 2 (a peer that claimed the expired lease)
+// resumes from the committed checkpoint, replays incarnation 1's WAL
+// suffix and finishes with a state digest byte-identical to an
+// uninterrupted run.
+func TestFencedCrashFailoverByteIdentity(t *testing.T) {
+	cfg := recoveryConfig("", EnginePipeline)
+	want := cleanDigest(t, cfg)
+
+	cfg.WALDir = filepath.Join(t.TempDir(), "ckpt")
+	crash := cfg
+	crash.CrashAt = "1:B:5"
+	crash.Fence = &testGuard{token: 1}
+	b, err := New(crash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, runErr := b.Run()
+	_ = b.Close()
+	if !errors.Is(runErr, fault.ErrCrash) {
+		t.Fatalf("fenced crash run: %v", runErr)
+	}
+	// Incarnation 1 wrote its own segmented log, not the legacy wal.log.
+	if _, err := os.Stat(filepath.Join(cfg.WALDir, "wal-000000001.log")); err != nil {
+		t.Fatalf("incarnation 1 wal missing: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(cfg.WALDir, "wal.log")); !os.IsNotExist(err) {
+		t.Fatal("fenced run must not write the legacy wal.log")
+	}
+
+	resume := cfg
+	resume.Resume = true
+	resume.Fence = &testGuard{token: 2}
+	rb, err := New(resume)
+	if err != nil {
+		t.Fatalf("failover resume: %v", err)
+	}
+	defer rb.Close()
+	if _, err := rb.Run(); err != nil {
+		t.Fatalf("failover run: %v", err)
+	}
+	if ok, _, _ := rb.Monitor().Recovery().Recovered(); !ok {
+		t.Fatal("failover run did not report a recovery")
+	}
+	if got := rb.StateDigest(); got != want {
+		t.Fatalf("failover digest diverged:\n  recovered %s\n  clean     %s", got, want)
+	}
+
+	// The final manifest carries the successor's token and names its log,
+	// whose first record is the FENCE stamp.
+	man, err := checkpoint.ReadManifest(cfg.WALDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Fence != 2 || man.WALFile() != "wal-000000002.log" {
+		t.Fatalf("final manifest fence=%d wal=%q", man.Fence, man.WALFile())
+	}
+	recs, _, _, err := wal.ReadAll(filepath.Join(cfg.WALDir, "wal-000000002.log"), 0)
+	if err != nil || len(recs) == 0 {
+		t.Fatalf("read successor wal: %d recs, %v", len(recs), err)
+	}
+	if recs[0].Type != wal.TypeFence {
+		t.Fatalf("first record of fenced wal is %v, want FENCE", recs[0].Type)
+	}
+	fn, err := wal.DecodeFenceNote(recs[0].Payload)
+	if err != nil || fn.Token != 2 {
+		t.Fatalf("fence note %+v, %v", fn, err)
+	}
+	// The predecessor's log was pruned once a successor checkpoint
+	// covered it.
+	if _, err := os.Stat(filepath.Join(cfg.WALDir, "wal-000000001.log")); !os.IsNotExist(err) {
+		t.Fatal("superseded incarnation wal not pruned after successor checkpoints")
+	}
+}
+
+func TestFenceRequiresWALDir(t *testing.T) {
+	cfg := Config{Datasize: 0.02, Periods: 1, Seed: 1, FastClock: true, Fence: &testGuard{token: 1}}
+	if _, err := New(cfg); err == nil {
+		t.Fatal("Fence without WALDir must be rejected")
+	}
+}

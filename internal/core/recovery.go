@@ -4,11 +4,13 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"path/filepath"
 	"time"
 
 	"repro/internal/checkpoint"
 	"repro/internal/driver"
 	"repro/internal/engine"
+	"repro/internal/fault"
 	"repro/internal/monitor"
 	"repro/internal/scenario"
 	"repro/internal/schedule"
@@ -27,6 +29,10 @@ type snapshotPayload struct {
 	Failures    int
 	FailuresBy  map[string]int
 	PeriodsDone int
+	// FaultOcc anchors the fault plan's deterministic decision stream:
+	// without it a resumed chaos run would draw different faults than
+	// the uninterrupted run and break digest identity.
+	FaultOcc []fault.OccCount
 }
 
 // walSyncEvery is the group-commit interval. The durability policy is
@@ -51,6 +57,11 @@ type recoveryController struct {
 	scn *scenario.Scenario
 	eng *engine.Engine
 	mon *monitor.Monitor
+	// plan is held directly rather than read through the scenario: the
+	// restore path runs before the plan is installed at the external
+	// boundaries (a snapshot restore must never draw injected faults),
+	// and the occurrence state has to land in the plan regardless.
+	plan *fault.Plan
 }
 
 // checkpointMeta derives the configuration key that locks a checkpoint
@@ -71,14 +82,25 @@ func checkpointMeta(cfg Config, eng *engine.Engine) checkpoint.Meta {
 // newRecoveryController prepares the WAL and checkpoint manager. With
 // resume it restores the stack from the latest valid checkpoint and
 // returns the driver's Resume point; otherwise it starts a fresh WAL.
-func newRecoveryController(cfg Config, scn *scenario.Scenario, eng *engine.Engine, mon *monitor.Monitor) (*recoveryController, *driver.Resume, error) {
+//
+// Under a fence guard (cluster mode) every ownership incarnation writes
+// its own wal-<token>.log — even a resume starts a fresh log rather
+// than appending to the previous owner's, so a fenced-but-still-running
+// predecessor with a buffered WAL writer can never corrupt the records
+// this incarnation commits against. The predecessor's log stays on disk
+// until this incarnation's first checkpoint covers it.
+func newRecoveryController(cfg Config, scn *scenario.Scenario, eng *engine.Engine, mon *monitor.Monitor, plan *fault.Plan) (*recoveryController, *driver.Resume, error) {
 	mgr, err := checkpoint.NewManager(cfg.WALDir)
 	if err != nil {
 		return nil, nil, err
 	}
+	if cfg.Fence != nil {
+		mgr.SetFence(cfg.Fence)
+		mgr.SetWALName(fmt.Sprintf("wal-%09d.log", cfg.Fence.Token()))
+	}
 	rc := &recoveryController{
 		mgr: mgr, meta: checkpointMeta(cfg, eng), every: cfg.CheckpointEvery,
-		scn: scn, eng: eng, mon: mon,
+		scn: scn, eng: eng, mon: mon, plan: plan,
 	}
 	if rc.every <= 0 {
 		rc.every = 1
@@ -89,12 +111,21 @@ func newRecoveryController(cfg Config, scn *scenario.Scenario, eng *engine.Engin
 		if err != nil {
 			return nil, nil, err
 		}
-		rc.w, err = wal.OpenAppend(mgr.WALPath(), walSyncEvery)
+		if cfg.Fence != nil {
+			rc.w, err = wal.Create(mgr.WALPath(), walSyncEvery)
+		} else {
+			rc.w, err = wal.OpenAppend(mgr.WALPath(), walSyncEvery)
+		}
 	} else {
 		rc.w, err = wal.Create(mgr.WALPath(), walSyncEvery)
 	}
 	if err != nil {
 		return nil, nil, err
+	}
+	if cfg.Fence != nil {
+		if _, err := rc.w.Append(wal.TypeFence, (wal.FenceNote{Token: cfg.Fence.Token()}).Encode()); err != nil {
+			return nil, nil, err
+		}
 	}
 	eng.SetWatermarkSink(rc.watermark)
 	eng.SetDLQSink(rc.deadLetter)
@@ -106,15 +137,14 @@ func newRecoveryController(cfg Config, scn *scenario.Scenario, eng *engine.Engin
 // dedup map of events acknowledged after the checkpoint but before the
 // crash.
 func (rc *recoveryController) recover() (*driver.Resume, error) {
-	man, err := rc.mgr.Latest()
+	// LatestSnapshot retries the manifest+snapshot pair: a failover
+	// claimant can race the previous owner's last commits, whose GC
+	// prunes the snapshot the stale manifest read had named.
+	man, blob, err := rc.mgr.LatestSnapshot()
 	if err != nil {
 		return nil, err
 	}
 	if err := checkpoint.CheckMeta(man.Meta, rc.meta); err != nil {
-		return nil, err
-	}
-	blob, err := rc.mgr.ReadSnapshot(man)
-	if err != nil {
 		return nil, err
 	}
 	t0 := time.Now()
@@ -129,10 +159,13 @@ func (rc *recoveryController) recover() (*driver.Resume, error) {
 		return nil, err
 	}
 	rc.mon.RestoreLedger(p.Ledger)
+	rc.plan.RestoreState(p.FaultOcc)
 	snapshotLat := time.Since(t0)
 
 	t1 := time.Now()
-	recs, _, _, err := wal.ReadAll(rc.mgr.WALPath(), man.WALOffset)
+	// Replay the suffix of the WAL file the manifest names — under
+	// fencing that is the previous incarnation's log, not ours.
+	recs, _, _, err := wal.ReadAll(filepath.Join(rc.mgr.Dir(), man.WALFile()), man.WALOffset)
 	if err != nil {
 		return nil, err
 	}
@@ -233,6 +266,7 @@ func (rc *recoveryController) Barrier(bp driver.BarrierPoint) error {
 		Failures:    bp.Failures,
 		FailuresBy:  bp.FailuresByProcess,
 		PeriodsDone: bp.PeriodsDone,
+		FaultOcc:    rc.plan.CheckpointState(),
 	}); err != nil {
 		return fmt.Errorf("core: encode snapshot: %w", err)
 	}

@@ -516,6 +516,9 @@ func (c *Client) post(ctx context.Context, op string, doc *x.Node) (*x.Node, err
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/xml")
+	if caller := fault.Caller(ctx); caller != "" {
+		req.Header.Set(fault.CallerHeader, caller)
+	}
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("dbproto: %s %s: %w", c.instance, op, err)

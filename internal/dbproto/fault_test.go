@@ -67,7 +67,7 @@ func TestStoreFaultMapsTo503(t *testing.T) {
 	}
 	defer remote.Close()
 	c := NewClient(remote.BaseURL(), "CDB")
-	srv.SetCallHook(func(instance, op, table string) error {
+	srv.SetCallHook(func(caller, instance, op, table string) error {
 		return &fault.TransientError{Endpoint: "es/" + instance, Msg: "injected store fault"}
 	})
 	_, qerr := c.Query("T", nil)

@@ -394,6 +394,11 @@ func (c *Client) runPeriod(ctx context.Context, k int, prep prepared, rp resumeP
 	var crashed atomic.Bool
 
 	pol := c.eng.Options().Resilience
+	// On the direct E1 path the engine re-executes transient failures
+	// inside one monitor record (runInstanceRetried); the dispatch loop
+	// below must not retry again on top of that — it only re-dispatches
+	// for the queue and batch paths, which return at submit time.
+	engineRetries := !c.eng.Options().QueueTrigger && c.eng.Options().BatchSize <= 1
 	var mu sync.Mutex
 	failures := 0
 	executed := 0
@@ -451,7 +456,7 @@ func (c *Client) runPeriod(ctx context.Context, k int, prep prepared, rp resumeP
 			// E1 dispatch resilience: re-dispatch a transiently failed
 			// message, then dead-letter it instead of losing it silently.
 			if err != nil && msg != nil && pol != nil {
-				for a := 0; a < pol.DispatchRetries && err != nil && fault.IsTransient(err) && cctx.Err() == nil; a++ {
+				for a := 0; !engineRetries && a < pol.DispatchRetries && err != nil && fault.IsTransient(err) && cctx.Err() == nil; a++ {
 					err = c.eng.ExecuteContext(cctx, in.Process, msg, k)
 				}
 				if err != nil {

@@ -610,12 +610,16 @@ func (e *Engine) ExecuteContext(ctx context.Context, processID string, input *x.
 		if e.opts.BatchSize > 1 {
 			return e.batcherFor(p).submit(input, period)
 		}
-		return e.runInstanceRecorded(ctx, p, mtm.XMLMessage(input), period)
+		return e.runInstanceRetried(ctx, p, mtm.XMLMessage(input), period)
 	}
 	if input != nil {
 		return fmt.Errorf("engine: process %s is time-scheduled and takes no message", processID)
 	}
-	return e.runInstanceRecorded(ctx, p, nil, period)
+	// Time-scheduled instances get the same in-record retry budget as
+	// message-triggered ones: their refreshes are idempotent re-runs, and
+	// without the extra attempts a transient streak that outlasts the
+	// call-level retries marks the whole period as failed.
+	return e.runInstanceRetried(ctx, p, nil, period)
 }
 
 // acquireWorker takes a worker-pool slot, honouring the caller's context:
@@ -706,6 +710,30 @@ func (e *Engine) runInstanceRecorded(ctx context.Context, p *mtm.Process, input 
 	return err
 }
 
+// runInstanceRetried is runInstanceRecorded with the dispatch-level
+// re-execution policy applied INSIDE the record: a transiently failed
+// message-driven instance re-runs under the same monitor record, so the
+// execution ledger counts exactly one entry per dispatched instance with
+// its final outcome. Ledger determinism depends on this — two process
+// types issuing byte-identical requests to one endpoint race for the
+// occurrence slot that draws a fault streak, so per-attempt records
+// would attribute the extra retry record to whichever process lost the
+// race and the ledger digest would differ run to run.
+func (e *Engine) runInstanceRetried(ctx context.Context, p *mtm.Process, input *mtm.Message, period int) error {
+	pol := e.opts.Resilience
+	if pol == nil || pol.DispatchRetries <= 0 {
+		return e.runInstanceRecorded(ctx, p, input, period)
+	}
+	rec := e.mon.StartInstanceShard(p.ID, period, e.shardID)
+	e.instances.Add(1)
+	err := e.runInstance(ctx, p, input, rec)
+	for a := 0; a < pol.DispatchRetries && err != nil && fault.IsTransient(err) && ctx.Err() == nil; a++ {
+		err = e.runInstance(ctx, p, input, rec)
+	}
+	rec.Finish(err)
+	return err
+}
+
 // runInstance compiles (or fetches) the plan and executes the operators.
 // rec may be nil (costs discarded).
 func (e *Engine) runInstance(goctx context.Context, p *mtm.Process, input *mtm.Message, rec *monitor.InstanceRecorder) error {
@@ -720,7 +748,9 @@ func (e *Engine) runInstance(goctx context.Context, p *mtm.Process, input *mtm.M
 		rec.Record(mtm.CostMgmt, time.Since(mgmtStart))
 	}
 	ctx := mtm.NewContext(e.ext, input, costRec)
-	ctx.SetContext(goctx)
+	// Tag the instance's external calls with its process identity so the
+	// fault boundaries key decision streams per caller.
+	ctx.SetContext(fault.WithCaller(goctx, p.ID))
 	ctx.SetParallelism(e.opts.Parallelism)
 	if e.opts.Scheduler != nil {
 		ctx.SetScheduler(e.opts.Scheduler)

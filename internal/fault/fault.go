@@ -10,14 +10,19 @@
 // Determinism. Fault decisions follow the same RNG discipline as
 // internal/datagen: splitmix64 streams derived from (seed, endpoint,
 // request content, occurrence). A decision depends only on WHAT is asked
-// (the endpoint and a digest of the request) and HOW OFTEN that exact
-// request has been seen — never on wall-clock time or on the interleaving
-// of unrelated endpoints. Concurrent streams may reorder calls across
+// (the endpoint, a digest of the request, and the identity of the
+// calling process — see CallerHeader) and HOW OFTEN that exact request
+// has been seen — never on wall-clock time or on the interleaving of
+// unrelated endpoints. Concurrent streams may reorder calls across
 // endpoints, but the multiset of injected faults is a pure function of
 // the seed and the workload, so two runs with the same seed produce
 // identical (canonically ordered) fault traces. A retry of a faulted
 // request advances the occurrence counter and draws a fresh decision,
-// which is what lets capped retries recover deterministically.
+// which is what lets capped retries recover deterministically. Keying by
+// caller matters for attribution: without it, two process types issuing
+// byte-identical requests would race for the occurrence slots of one
+// shared stream, and which process draws a fault streak — and therefore
+// which ledger row records the failure — would depend on scheduling.
 package fault
 
 import (
@@ -141,6 +146,34 @@ func (p *Plan) Config() Config {
 	return p.cfg
 }
 
+// CallerHeader is the HTTP header carrying the identity of the process
+// instance behind a request. The loopback clients stamp it and the
+// injection sites fold it into the decision key, so two process types
+// issuing byte-identical requests to one endpoint draw from independent
+// decision streams instead of racing for occurrence slots — without it,
+// which process eats a fault streak (and therefore which ledger row
+// carries the failure) would depend on goroutine scheduling.
+const CallerHeader = "X-Dip-Caller"
+
+// callerKey carries the executing process identity through a context.
+type callerKey struct{}
+
+// WithCaller tags the context with the identity of the process instance
+// about to make external calls.
+func WithCaller(ctx context.Context, process string) context.Context {
+	if process == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, callerKey{}, process)
+}
+
+// Caller returns the process identity tagged by WithCaller ("" when the
+// call originates outside a process instance — setup, verification, …).
+func Caller(ctx context.Context) string {
+	s, _ := ctx.Value(callerKey{}).(string)
+	return s
+}
+
 // httpKinds are the faults applicable to an HTTP boundary.
 var httpKinds = []Kind{KindHTTP500, KindReset, KindLatency}
 
@@ -192,6 +225,54 @@ func (p *Plan) decide(endpoint string, key uint64, applicable []Kind) Decision {
 	p.trace = append(p.trace, Injection{Endpoint: endpoint, Key: key, Occurrence: occ, Kind: d.Kind})
 	p.mu.Unlock()
 	return d
+}
+
+// OccCount is one persisted occurrence counter: how many times the
+// plan has decided for this exact (endpoint, request-digest) pair.
+type OccCount struct {
+	Endpoint string
+	Key      uint64
+	Count    uint32
+}
+
+// CheckpointState exports the plan's position in the decision stream —
+// the per-(endpoint, key) occurrence counters — in canonical order for
+// inclusion in a checkpoint snapshot. Decisions depend on nothing else
+// that mutates, so restoring these counters makes a resumed run draw
+// exactly the decisions the uninterrupted run would have drawn.
+func (p *Plan) CheckpointState() []OccCount {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	out := make([]OccCount, 0, len(p.occ))
+	for k, c := range p.occ {
+		out = append(out, OccCount{Endpoint: k.endpoint, Key: k.key, Count: c})
+	}
+	p.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Endpoint != out[j].Endpoint {
+			return out[i].Endpoint < out[j].Endpoint
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// RestoreState rewinds the plan to a checkpointed stream position. The
+// injection trace restarts empty — trace and counts are reported per
+// process incarnation, only the counters anchor determinism.
+func (p *Plan) RestoreState(occ []OccCount) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.occ = make(map[planKey]uint32, len(occ))
+	for _, o := range occ {
+		p.occ[planKey{o.Endpoint, o.Key}] = o.Count
+	}
+	p.trace = nil
+	p.mu.Unlock()
 }
 
 // allowed intersects the applicable kinds with the configured allowlist.

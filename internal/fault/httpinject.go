@@ -16,7 +16,7 @@ func InjectHTTP(w http.ResponseWriter, req *http.Request, p *Plan, endpoint, op 
 	if p == nil {
 		return true
 	}
-	d := p.DecideHTTP(endpoint, DigestBytes(body)^Digest(op))
+	d := p.DecideHTTP(endpoint, DigestBytes(body)^Digest(op, req.Header.Get(CallerHeader)))
 	switch d.Kind {
 	case KindHTTP500:
 		http.Error(w, "fault: injected unavailability", http.StatusServiceUnavailable)

@@ -1,0 +1,58 @@
+package fault
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestDaemonKillFiresExactlyOnce(t *testing.T) {
+	k := NewDaemonKill(3)
+	if k.OnPeriod() || k.OnPeriod() {
+		t.Fatal("kill fired before the planned period count")
+	}
+	if k.Fired() {
+		t.Fatal("Fired before the trigger")
+	}
+	if !k.OnPeriod() {
+		t.Fatal("kill did not fire on the Nth period")
+	}
+	if !k.Fired() {
+		t.Fatal("Fired not latched after the trigger")
+	}
+	for i := 0; i < 5; i++ {
+		if k.OnPeriod() {
+			t.Fatal("kill fired twice")
+		}
+	}
+}
+
+func TestDaemonKillNilSafe(t *testing.T) {
+	if k := NewDaemonKill(0); k != nil {
+		t.Fatal("non-positive plan must be nil (no kill)")
+	}
+	var k *DaemonKill
+	if k.OnPeriod() || k.Fired() {
+		t.Fatal("nil plan must never fire")
+	}
+}
+
+func TestDaemonKillConcurrentSingleWinner(t *testing.T) {
+	k := NewDaemonKill(1)
+	var wg sync.WaitGroup
+	var fired sync.Map
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if k.OnPeriod() {
+				fired.Store(i, true)
+			}
+		}(i)
+	}
+	wg.Wait()
+	n := 0
+	fired.Range(func(_, _ any) bool { n++; return true })
+	if n != 1 {
+		t.Fatalf("%d goroutines observed the kill trigger, want exactly 1", n)
+	}
+}

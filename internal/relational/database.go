@@ -219,10 +219,11 @@ type Server struct {
 }
 
 // CallHook observes every remote call before it executes and may fail it
-// (the fault layer injects transient store errors this way). op is the
-// logical operation name ("query", "insert", ...), table the target table
-// or procedure.
-type CallHook func(instance, op, table string) error
+// (the fault layer injects transient store errors this way). caller is
+// the identity of the process instance behind the call ("" outside an
+// instance), op the logical operation name ("query", "insert", ...),
+// table the target table or procedure.
+type CallHook func(caller, instance, op, table string) error
 
 // NewServer creates a server with the given simulated per-call latency.
 func NewServer(latency time.Duration) *Server {
@@ -306,7 +307,7 @@ func (c *Conn) roundTrip(op, table string) error {
 	if h == nil {
 		return nil
 	}
-	return h(c.db.name, op, table)
+	return h(c.caller, c.db.name, op, table)
 }
 
 // Conn is a client connection to one database instance on a server. Every
@@ -315,6 +316,15 @@ func (c *Conn) roundTrip(op, table string) error {
 type Conn struct {
 	server *Server
 	db     *Database
+	caller string
+}
+
+// SetCaller tags the connection with the identity of the process instance
+// it serves; the call hook receives the tag with every round trip. It
+// returns the Conn for chaining at the call site.
+func (c *Conn) SetCaller(caller string) *Conn {
+	c.caller = caller
+	return c
 }
 
 // Connect opens a connection to the named instance.

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/fault"
 	rel "repro/internal/relational"
 	x "repro/internal/xmlmsg"
 )
@@ -20,6 +21,17 @@ type Gateway struct {
 
 // Gateway returns the external-system gateway of the topology.
 func (s *Scenario) Gateway() *Gateway { return &Gateway{s: s} }
+
+// esConn opens a connection to an in-process store instance, tagged with
+// the calling process identity from the context so the fault hook keys
+// its decision stream per caller.
+func (g *Gateway) esConn(ctx context.Context, system string) (*rel.Conn, error) {
+	conn, err := g.s.ES.Connect(system)
+	if err != nil {
+		return nil, err
+	}
+	return conn.SetCaller(fault.Caller(ctx)), nil
+}
 
 // Query implements mtm.External.
 func (g *Gateway) Query(ctx context.Context, system, table string, pred rel.Predicate) (*rel.Relation, error) {
@@ -38,7 +50,7 @@ func (g *Gateway) Query(ctx context.Context, system, table string, pred rel.Pred
 	if g.s.remote != nil {
 		return g.s.dbClient(system).QueryContext(ctx, table, pred)
 	}
-	conn, err := g.s.ES.Connect(system)
+	conn, err := g.esConn(ctx, system)
 	if err != nil {
 		return nil, err
 	}
@@ -64,7 +76,7 @@ func (g *Gateway) QuerySince(ctx context.Context, system, table string, since ui
 	if g.s.remote != nil {
 		return g.s.dbClient(system).QuerySinceContext(ctx, table, since)
 	}
-	conn, err := g.s.ES.Connect(system)
+	conn, err := g.esConn(ctx, system)
 	if err != nil {
 		return nil, err
 	}
@@ -84,7 +96,7 @@ func (g *Gateway) FetchXML(ctx context.Context, system, table string) (*x.Node, 
 		return x.FromRelation(table, r), nil
 	}
 	// Databases can also serve XML result sets (export path).
-	conn, err := g.s.ES.Connect(system)
+	conn, err := g.esConn(ctx, system)
 	if err != nil {
 		return nil, err
 	}
@@ -103,7 +115,7 @@ func (g *Gateway) Insert(ctx context.Context, system, table string, r *rel.Relat
 	if g.s.remote != nil {
 		return g.s.dbClient(system).InsertContext(ctx, table, r)
 	}
-	conn, err := g.s.ES.Connect(system)
+	conn, err := g.esConn(ctx, system)
 	if err != nil {
 		return err
 	}
@@ -118,7 +130,7 @@ func (g *Gateway) Upsert(ctx context.Context, system, table string, r *rel.Relat
 	if g.s.remote != nil {
 		return g.s.dbClient(system).UpsertContext(ctx, table, r)
 	}
-	conn, err := g.s.ES.Connect(system)
+	conn, err := g.esConn(ctx, system)
 	if err != nil {
 		return err
 	}
@@ -133,7 +145,7 @@ func (g *Gateway) Delete(ctx context.Context, system, table string, pred rel.Pre
 	if g.s.remote != nil {
 		return g.s.dbClient(system).DeleteContext(ctx, table, pred)
 	}
-	conn, err := g.s.ES.Connect(system)
+	conn, err := g.esConn(ctx, system)
 	if err != nil {
 		return 0, err
 	}
@@ -151,7 +163,7 @@ func (g *Gateway) Update(ctx context.Context, system, table string, pred rel.Pre
 	if g.s.remote != nil {
 		return g.s.dbClient(system).UpdateContext(ctx, table, pred, set)
 	}
-	conn, err := g.s.ES.Connect(system)
+	conn, err := g.esConn(ctx, system)
 	if err != nil {
 		return 0, err
 	}
@@ -192,7 +204,7 @@ func (g *Gateway) Call(ctx context.Context, system, proc string, args ...rel.Val
 	if g.s.remote != nil {
 		return g.s.dbClient(system).CallContext(ctx, proc, args...)
 	}
-	conn, err := g.s.ES.Connect(system)
+	conn, err := g.esConn(ctx, system)
 	if err != nil {
 		return nil, err
 	}

@@ -178,9 +178,9 @@ func (s *Scenario) InstallFaultPlan(p *fault.Plan) {
 		s.ES.SetCallHook(nil)
 		return
 	}
-	s.ES.SetCallHook(func(instance, op, table string) error {
+	s.ES.SetCallHook(func(caller, instance, op, table string) error {
 		endpoint := "es/" + strings.ToLower(instance)
-		d := p.DecideStore(endpoint, fault.Digest(op, table))
+		d := p.DecideStore(endpoint, fault.Digest(op, table, caller))
 		switch d.Kind {
 		case fault.KindStoreError:
 			return &fault.TransientError{Endpoint: endpoint, Msg: "injected store fault"}

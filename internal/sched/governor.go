@@ -51,6 +51,22 @@ func (g *Governor) Used() float64 {
 	return g.used
 }
 
+// SetCapacity resizes the admissible weight (clamped to >= 1) — the
+// per-daemon scope knob in cluster deployments, where several daemons
+// sharing one host each govern their own slice of it. Growing wakes
+// waiters immediately; shrinking never evicts admitted clients, the
+// governor simply stops admitting until Releases bring the used weight
+// back under the new capacity.
+func (g *Governor) SetCapacity(capacity float64) {
+	if capacity < 1 {
+		capacity = 1
+	}
+	g.mu.Lock()
+	g.cap = capacity
+	g.mu.Unlock()
+	g.cond.Broadcast()
+}
+
 // Admit blocks until weight fits under the capacity, then registers and
 // returns a scheduler handle carrying that weight. Weights are clamped
 // to [0, Capacity] (a request heavier than the whole governor must still
@@ -90,6 +106,11 @@ func (g *Governor) Admit(name string, weight float64, stop <-chan struct{}) (*Ha
 			return nil, ErrStopped
 		}
 		g.cond.Wait()
+		// Capacity may have been resized while waiting; re-clamp so a
+		// request heavier than the shrunken governor stays admissible.
+		if weight > g.cap {
+			weight = g.cap
+		}
 	}
 	if stopped(stop) {
 		g.mu.Unlock()

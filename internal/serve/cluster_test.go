@@ -1,0 +1,334 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// clusterDaemon spins up one cluster-mode daemon over a shared data
+// directory with failure detection tuned for test speed.
+func clusterDaemon(t *testing.T, dataDir, peer string) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := NewServer(Options{
+		DataDir:    dataDir,
+		MaxTenants: 2,
+		PeerID:     peer,
+		LeaseTTL:   400 * time.Millisecond,
+		Heartbeat:  100 * time.Millisecond,
+		Addr:       peer + ".test",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = s.Drain(ctx)
+		ts.Close()
+	})
+	return s, ts
+}
+
+// statusMaybe fetches a tenant's metrics, tolerating 404: in a cluster a
+// tenant exists only on the daemon that currently owns it.
+func statusMaybe(t *testing.T, ts *httptest.Server, id string) (TenantMetrics, bool) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/runs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return TenantMetrics{}, false
+	}
+	var tm TenantMetrics
+	if err := json.NewDecoder(resp.Body).Decode(&tm); err != nil {
+		t.Fatalf("decode status: %v", err)
+	}
+	return tm, true
+}
+
+// waitDoneOnAny polls the given daemons until one of them reports the
+// tenant terminal.
+func waitDoneOnAny(t *testing.T, fronts []*httptest.Server, id string, timeout time.Duration) TenantMetrics {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		for _, ts := range fronts {
+			if tm, ok := statusMaybe(t, ts, id); ok {
+				switch tm.State {
+				case StateDone, StateFailed, StateCanceled:
+					return tm
+				}
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("tenant %s never finished on any surviving daemon", id)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// waitProgress polls until the tenant has completed at least min periods.
+func waitProgress(t *testing.T, ts *httptest.Server, id string, min int, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		if tm, ok := statusMaybe(t, ts, id); ok && tm.PeriodsDone >= min {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("tenant %s made no progress", id)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestClusterFailoverMatrix is the tentpole invariant end to end: the
+// daemon owning a tenant is hard-killed mid-run (no drain, no release),
+// a surviving peer detects the expired lease, claims it with the next
+// fencing token and resumes from the last committed checkpoint — and
+// the final digest still equals the uninterrupted solo digest, across
+// engines and under fault injection.
+func TestClusterFailoverMatrix(t *testing.T) {
+	cases := []struct {
+		daemons   int
+		variant   string // "pipeline" | "remote"
+		faultRate float64
+	}{
+		{2, "pipeline", 0},
+		{2, "remote", 0},
+		{2, "pipeline", 0.2},
+		{3, "remote", 0.2},
+	}
+	for _, tc := range cases {
+		tc := tc
+		name := fmt.Sprintf("%dd_%s_fault%.1f", tc.daemons, tc.variant, tc.faultRate)
+		t.Run(name, func(t *testing.T) {
+			dataDir := t.TempDir()
+			servers := make([]*Server, tc.daemons)
+			fronts := make([]*httptest.Server, tc.daemons)
+			for i := range servers {
+				servers[i], fronts[i] = clusterDaemon(t, dataDir, fmt.Sprintf("peer-%d", i))
+			}
+			// Breaker trips are order-sensitive (wall-clock cooldown), so
+			// the chaos cases disable them — the digest comparison below
+			// demands byte-identical state across daemons.
+			spec := RunSpec{
+				Name: "fo", Datasize: 0.005, Periods: 60, Seed: 33,
+				FastClock: true, FaultRate: tc.faultRate,
+				BreakerThreshold: 1.1,
+			}
+			switch tc.variant {
+			case "pipeline":
+				spec.Engine = "pipeline"
+			case "remote":
+				spec.RemoteDB = true
+			}
+			if _, code := submit(t, fronts[0], spec); code != http.StatusAccepted {
+				t.Fatalf("submit: %d", code)
+			}
+			// Kill the owner only after a checkpoint exists (the first
+			// period's barriers have committed).
+			waitProgress(t, fronts[0], "fo", 1, 60*time.Second)
+			servers[0].Kill()
+
+			tm := waitDoneOnAny(t, fronts[1:], "fo", 180*time.Second)
+			if tm.State != StateDone {
+				t.Fatalf("failover run ended %s: %s", tm.State, tm.Error)
+			}
+			if !tm.Resumed {
+				t.Error("failover run did not resume from a checkpoint")
+			}
+			if want := soloDigest(t, spec); tm.Digest != want {
+				t.Errorf("failover digest %s != solo digest %s — not exactly-once", tm.Digest, want)
+			}
+			failovers := uint64(0)
+			for _, s := range servers[1:] {
+				failovers += s.cluster.Failovers()
+			}
+			if failovers < 1 {
+				t.Errorf("no survivor counted a failover")
+			}
+		})
+	}
+}
+
+// TestDrainHandsOffCheckpointedTenantsToPeer: a graceful drain releases
+// the lease at the committed checkpoint, so a live peer claims the
+// tenant immediately — a handoff, not a failover — and finishes it
+// exactly-once.
+func TestDrainHandsOffCheckpointedTenantsToPeer(t *testing.T) {
+	dataDir := t.TempDir()
+	a, tsA := clusterDaemon(t, dataDir, "peer-a")
+	b, tsB := clusterDaemon(t, dataDir, "peer-b")
+	_ = tsB
+
+	spec := RunSpec{Name: "ho", Datasize: 0.005, Periods: 100, Seed: 21, FastClock: true}
+	if _, code := submit(t, tsA, spec); code != http.StatusAccepted {
+		t.Fatalf("submit: %d", code)
+	}
+	waitProgress(t, tsA, "ho", 1, 60*time.Second)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := a.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if tm, ok := statusMaybe(t, tsA, "ho"); !ok || tm.State != StateCheckpointed {
+		t.Fatalf("post-drain state on a: %+v ok=%v", tm, ok)
+	}
+
+	tm := waitDoneOnAny(t, []*httptest.Server{tsB}, "ho", 180*time.Second)
+	if tm.State != StateDone {
+		t.Fatalf("handed-off run ended %s: %s", tm.State, tm.Error)
+	}
+	if !tm.Resumed {
+		t.Error("handed-off run did not resume from the drain checkpoint")
+	}
+	if want := soloDigest(t, spec); tm.Digest != want {
+		t.Errorf("handoff digest %s != solo digest %s", tm.Digest, want)
+	}
+	st := b.cluster.Status()
+	if st.Handoffs < 1 {
+		t.Errorf("peer-b counted %d handoffs, want >= 1", st.Handoffs)
+	}
+	if st.Failovers != 0 {
+		t.Errorf("graceful handoff counted as %d failovers", st.Failovers)
+	}
+}
+
+// TestZombieOwnerFencedOnCommit: an owner that stops renewing (paused,
+// partitioned) but keeps executing is a zombie once a peer claims its
+// tenant. Its next checkpoint commit must fail on the fencing token —
+// the tenant fails locally without persisting anything — while the new
+// owner finishes with the solo digest.
+func TestZombieOwnerFencedOnCommit(t *testing.T) {
+	dataDir := t.TempDir()
+	a, tsA := clusterDaemon(t, dataDir, "peer-a")
+	_, tsB := clusterDaemon(t, dataDir, "peer-b")
+
+	spec := RunSpec{Name: "zb", Datasize: 0.005, Periods: 100, Seed: 44, FastClock: true, Engine: "pipeline"}
+	if _, code := submit(t, tsA, spec); code != http.StatusAccepted {
+		t.Fatalf("submit: %d", code)
+	}
+	waitProgress(t, tsA, "zb", 1, 60*time.Second)
+	// The zombie: renewals stop, execution continues.
+	a.cluster.SuspendRenewals(true)
+
+	// The zombie's next commit after peer-b's claim dies fenced.
+	tmA := waitState(t, tsA, "zb", 60*time.Second, StateFailed)
+	if !strings.Contains(tmA.Error, "fencing token") {
+		t.Errorf("zombie failure = %q, want a fencing-token rejection", tmA.Error)
+	}
+	tmB := waitDoneOnAny(t, []*httptest.Server{tsB}, "zb", 180*time.Second)
+	if tmB.State != StateDone {
+		t.Fatalf("successor run ended %s: %s", tmB.State, tmB.Error)
+	}
+	if want := soloDigest(t, spec); tmB.Digest != want {
+		t.Errorf("successor digest %s != solo digest %s", tmB.Digest, want)
+	}
+}
+
+// TestClusterDuplicateSubmissionRejected: submitting a name that a live
+// peer owns is refused with 409 before anything touches the tenant's
+// directory.
+func TestClusterDuplicateSubmissionRejected(t *testing.T) {
+	dataDir := t.TempDir()
+	_, tsA := clusterDaemon(t, dataDir, "peer-a")
+	_, tsB := clusterDaemon(t, dataDir, "peer-b")
+
+	id, code := submit(t, tsA, slowSpec("dup"))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit to a: %d", code)
+	}
+	waitState(t, tsA, id, 10*time.Second, StateRunning)
+	if _, code := submit(t, tsB, slowSpec("dup")); code != http.StatusConflict {
+		t.Fatalf("duplicate submit to b: %d, want 409", code)
+	}
+	// The rejected submission left no tenant behind on b.
+	if _, ok := statusMaybe(t, tsB, "dup"); ok {
+		t.Error("rejected duplicate left a tenant record on peer-b")
+	}
+	cancelRun(t, tsA, id)
+	waitState(t, tsA, id, 10*time.Second, StateCanceled)
+}
+
+// TestClusterEndpointAndMetrics pins the observability surface: /cluster
+// serves the placement view in cluster mode and 404s standalone, and
+// /metrics embeds the cluster summary.
+func TestClusterEndpointAndMetrics(t *testing.T) {
+	dataDir := t.TempDir()
+	_, tsA := clusterDaemon(t, dataDir, "peer-a")
+	_, _ = clusterDaemon(t, dataDir, "peer-b")
+
+	id, code := submit(t, tsA, slowSpec("cv"))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d", code)
+	}
+	waitState(t, tsA, id, 10*time.Second, StateRunning)
+
+	resp, err := http.Get(tsA.URL + "/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		Self  string `json:"self"`
+		Peers []struct {
+			ID    string `json:"id"`
+			Alive bool   `json:"alive"`
+		} `json:"peers"`
+		Leases []struct {
+			Tenant string `json:"tenant"`
+			Owner  string `json:"owner"`
+			Token  uint64 `json:"token"`
+		} `json:"leases"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Self != "peer-a" || len(st.Peers) != 2 {
+		t.Fatalf("cluster view: %+v", st)
+	}
+	found := false
+	for _, l := range st.Leases {
+		if l.Tenant == "cv" && l.Owner == "peer-a" && l.Token == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("lease for cv not in placement view: %+v", st.Leases)
+	}
+
+	mresp, err := http.Get(tsA.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m Metrics
+	_ = json.NewDecoder(mresp.Body).Decode(&m)
+	mresp.Body.Close()
+	if m.Cluster == nil || m.Cluster.Self != "peer-a" {
+		t.Errorf("metrics carry no cluster summary: %+v", m.Cluster)
+	}
+
+	cancelRun(t, tsA, id)
+	waitState(t, tsA, id, 10*time.Second, StateCanceled)
+
+	// Standalone daemons 404 the endpoint.
+	_, tsSolo := daemon(t, Options{MaxTenants: 1})
+	sresp, err := http.Get(tsSolo.URL + "/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+	if sresp.StatusCode != http.StatusNotFound {
+		t.Errorf("/cluster standalone: %d, want 404", sresp.StatusCode)
+	}
+}

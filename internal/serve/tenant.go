@@ -8,8 +8,11 @@ import (
 	"os"
 	"path/filepath"
 
+	"repro/internal/checkpoint"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/driver"
+	"repro/internal/fault"
 	"repro/internal/sched"
 )
 
@@ -21,11 +24,16 @@ import (
 // and a checkpointed or queued tenant is re-admitted by the restarted
 // daemon — checkpointed ones resume from their barrier checkpoint
 // exactly-once, queued ones cold-start.
+//
+// In cluster mode a tenant claimed from a dead or drained peer enters
+// handoff — queued on its new owner, about to resume from the
+// checkpoint directory the previous owner left behind.
 const (
 	StateQueued       = "queued"
 	StateRunning      = "running"
 	StateDraining     = "draining"
 	StateCheckpointed = "checkpointed"
+	StateHandoff      = "handoff"
 	StateDone         = "done"
 	StateFailed       = "failed"
 	StateCanceled     = "canceled"
@@ -51,6 +59,13 @@ type RunSpec struct {
 
 	FaultRate float64 `json:"fault_rate,omitempty"`
 	FaultSeed uint64  `json:"fault_seed,omitempty"`
+
+	// BreakerThreshold overrides the circuit-breaker failure ratio when
+	// > 0; a value above 1 effectively disables trips. Breaker cooldowns
+	// are wall-clock and their trips order-sensitive, so runs that must
+	// reproduce a byte-identical state digest across daemons (failover
+	// verification) disable them.
+	BreakerThreshold float64 `json:"breaker_threshold,omitempty"`
 
 	Incremental     string `json:"incremental,omitempty"`
 	Columnar        string `json:"columnar,omitempty"`
@@ -87,6 +102,7 @@ type tenant struct {
 	cancel      context.CancelFunc
 	bench       *core.Benchmark // non-nil while running
 	sched       *sched.Handle   // non-nil while admitted
+	lease       *cluster.Lease  // non-nil in cluster mode; the fencing guard
 	schedTasks  uint64          // morsels executed (caller + pool workers)
 	schedStolen uint64          // tokens stolen while running
 }
@@ -127,7 +143,18 @@ func (t *tenant) coreConfig(checkpointEvery int, h *sched.Handle, drain func() b
 	if t.spec.CheckpointEvery > 0 {
 		checkpointEvery = t.spec.CheckpointEvery
 	}
+	// A typed-nil *cluster.Lease must not become a non-nil FenceGuard.
+	var fence checkpoint.FenceGuard
+	if t.lease != nil {
+		fence = t.lease
+	}
+	var pol *fault.Policy
+	if t.spec.BreakerThreshold > 0 {
+		pol = &fault.Policy{BreakerThreshold: t.spec.BreakerThreshold}
+	}
 	return core.Config{
+		Resilience:      pol,
+		Fence:           fence,
 		Scheduler:       h,
 		Datasize:        t.spec.Datasize,
 		TimeScale:       t.spec.TimeScale,
@@ -212,6 +239,9 @@ func (s *Server) runTenant(t *tenant, h *sched.Handle) {
 		t.events += ps.Events
 		t.failures += ps.Failures
 		s.mu.Unlock()
+		if s.opts.Kill.OnPeriod() && s.opts.OnKill != nil {
+			s.opts.OnKill()
+		}
 	}
 	cfg := t.coreConfig(s.opts.CheckpointEvery, h, s.drainCheck, onPeriod)
 	resumed = cfg.Resume
@@ -229,6 +259,17 @@ func (s *Server) runTenant(t *tenant, h *sched.Handle) {
 	s.mu.Unlock()
 
 	res, err := b.RunContext(ctx)
+	if s.killed.Load() {
+		// The daemon was hard-killed mid-run (Kill, the in-process
+		// kill -9 double): leave every durable trace exactly as the kill
+		// found it — no state transition, no persist, no lease release.
+		// A surviving peer detects the lease expiry and resumes the
+		// tenant from its last committed checkpoint.
+		s.mu.Lock()
+		t.bench, t.cancel, t.sched = nil, nil, nil
+		s.mu.Unlock()
+		return
+	}
 	switch {
 	case err == nil:
 		report := ""
@@ -237,10 +278,15 @@ func (s *Server) runTenant(t *tenant, h *sched.Handle) {
 		}
 		s.finishTenant(t, StateDone, b.StateDigest(), report, "")
 	case errors.Is(err, driver.ErrDrained):
-		// The run stopped at a committed barrier; Close below syncs the
-		// WAL tail, and the restarted daemon resumes from the checkpoint.
+		// The run stopped at a committed barrier; Close syncs the WAL
+		// tail, then the lease is handed off so a live peer (or this
+		// daemon's restart) resumes from the checkpoint. Close must come
+		// before the hand-off: the lease becomes claimable only once the
+		// checkpoint directory is complete.
 		s.setTenantState(t, StateCheckpointed)
 		_ = t.persist(StateCheckpointed)
+		_ = b.Close()
+		s.handoffLease(t)
 	case errors.Is(err, context.DeadlineExceeded):
 		s.finishTenant(t, StateFailed, "", "",
 			fmt.Sprintf("watchdog: run exceeded %v deadline", s.opts.Watchdog))
@@ -248,6 +294,18 @@ func (s *Server) runTenant(t *tenant, h *sched.Handle) {
 		s.finishTenant(t, StateCanceled, "", "", "canceled")
 	default:
 		s.finishTenant(t, StateFailed, "", "", err.Error())
+	}
+}
+
+// handoffLease surrenders a checkpointed tenant's lease for immediate
+// claim by a live peer.
+func (s *Server) handoffLease(t *tenant) {
+	s.mu.Lock()
+	l := t.lease
+	t.lease = nil
+	s.mu.Unlock()
+	if l != nil && s.cluster != nil {
+		s.cluster.Handoff(l)
 	}
 }
 
@@ -271,14 +329,25 @@ func (s *Server) finishTenant(t *tenant, state, digest, report, errMsg string) {
 	t.bench = nil
 	t.cancel = nil
 	t.sched = nil
+	lease := t.lease
+	t.lease = nil
 	rec := resultRecord{
 		State: state, Digest: digest, Report: report, Error: errMsg,
 		PeriodsDone: t.periodsDone, Events: t.events, Failures: t.failures,
 		Retries: t.retries, Trips: t.trips, DeadLetters: t.deadLetters,
 	}
 	s.mu.Unlock()
-	_ = t.persist(state)
-	_ = t.persistResult(rec)
+	// A fenced owner reaching a terminal state (typically Failed with
+	// ErrFenced) no longer owns tenant.json — its successor does; only
+	// the owner may write the durable record or retire the lease
+	// (Release is ownership-checked again on disk).
+	if lease == nil || lease.Check() == nil {
+		_ = t.persist(state)
+		_ = t.persistResult(rec)
+	}
+	if lease != nil && s.cluster != nil {
+		s.cluster.Release(lease)
+	}
 }
 
 // setTenantState updates the in-memory state only.

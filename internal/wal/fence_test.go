@@ -1,0 +1,36 @@
+package wal
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestFenceNoteRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal-000000002.log")
+	w, err := Create(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := FenceNote{Owner: "peer-b", Token: 2}
+	mustAppend(t, w, TypeFence, fn.Encode())
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, _, torn, err := ReadAll(path, 0)
+	if err != nil || torn {
+		t.Fatalf("read: torn=%v err=%v", torn, err)
+	}
+	if len(recs) != 1 || recs[0].Type != TypeFence {
+		t.Fatalf("records %+v", recs)
+	}
+	got, err := DecodeFenceNote(recs[0].Payload)
+	if err != nil || got != fn {
+		t.Fatalf("fence round trip: %+v vs %+v (%v)", got, fn, err)
+	}
+	if TypeFence.String() != "FENCE" {
+		t.Fatalf("TypeFence.String() = %q", TypeFence.String())
+	}
+	if _, err := DecodeFenceNote([]byte{0xff}); err == nil {
+		t.Fatal("truncated fence payload must fail to decode")
+	}
+}

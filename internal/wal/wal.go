@@ -65,6 +65,10 @@ const (
 	// TypeBarrier marks a committed checkpoint barrier; recovery resumes
 	// from the snapshot the marker names. Payload: BarrierNote.
 	TypeBarrier
+	// TypeFence opens an ownership incarnation's WAL: the first record
+	// of every fenced (cluster-mode) log, naming the owner and its
+	// fencing token for the audit trail. Payload: FenceNote.
+	TypeFence
 )
 
 // String names the record type.
@@ -86,6 +90,8 @@ func (t Type) String() string {
 		return "STREAM_END"
 	case TypeBarrier:
 		return "BARRIER"
+	case TypeFence:
+		return "FENCE"
 	default:
 		return fmt.Sprintf("Type(%d)", uint8(t))
 	}
